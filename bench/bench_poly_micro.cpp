@@ -1,0 +1,77 @@
+// Micro-benchmarks of the polynomial algebra layer (the inner loops of SOS
+// program assembly).
+#include <benchmark/benchmark.h>
+
+#include "poly/basis.hpp"
+#include "poly/polynomial.hpp"
+#include "util/rng.hpp"
+
+using namespace soslock;
+using poly::Polynomial;
+
+namespace {
+
+Polynomial dense_poly(std::size_t nvars, unsigned deg, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Polynomial p(nvars);
+  for (const poly::Monomial& m : poly::monomials_up_to(nvars, deg))
+    p.add_term(m, rng.uniform(-1.0, 1.0));
+  return p;
+}
+
+void BM_PolyMultiply(benchmark::State& state) {
+  const auto nvars = static_cast<std::size_t>(state.range(0));
+  const Polynomial a = dense_poly(nvars, 4, 3);
+  const Polynomial b = dense_poly(nvars, 4, 5);
+  for (auto _ : state) {
+    const Polynomial c = a * b;
+    benchmark::DoNotOptimize(c.term_count());
+  }
+}
+BENCHMARK(BM_PolyMultiply)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_PolyLieDerivative(benchmark::State& state) {
+  const auto nvars = static_cast<std::size_t>(state.range(0));
+  const Polynomial v = dense_poly(nvars, 6, 7);
+  std::vector<Polynomial> f;
+  for (std::size_t i = 0; i < nvars; ++i) f.push_back(dense_poly(nvars, 1, 11 + i));
+  for (auto _ : state) {
+    const Polynomial lie = v.lie_derivative(f);
+    benchmark::DoNotOptimize(lie.term_count());
+  }
+}
+BENCHMARK(BM_PolyLieDerivative)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_PolyEval(benchmark::State& state) {
+  const Polynomial p = dense_poly(4, 8, 17);
+  util::Rng rng(23);
+  const linalg::Vector x = rng.uniform_vector(4, -1.0, 1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(p.eval(x));
+}
+BENCHMARK(BM_PolyEval);
+
+void BM_PolySubstitute(benchmark::State& state) {
+  const Polynomial p = dense_poly(3, 4, 29);
+  std::vector<Polynomial> repl;
+  for (std::size_t i = 0; i < 3; ++i) repl.push_back(dense_poly(3, 1, 31 + i));
+  for (auto _ : state) {
+    const Polynomial composed = p.substitute(repl);
+    benchmark::DoNotOptimize(composed.term_count());
+  }
+}
+BENCHMARK(BM_PolySubstitute);
+
+void BM_GramBasis(benchmark::State& state) {
+  const auto deg = static_cast<unsigned>(state.range(0));
+  const Polynomial p = dense_poly(4, deg, 37);
+  const poly::SupportInfo info = poly::support_info(p);
+  for (auto _ : state) {
+    const auto basis = poly::gram_basis(4, info);
+    benchmark::DoNotOptimize(basis.size());
+  }
+}
+BENCHMARK(BM_GramBasis)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Micro-benchmarks of the interior-point SDP solver: scaling with block size
+// and constraint count, and the value of the Mehrotra predictor-corrector.
+#include <benchmark/benchmark.h>
+
+#include "linalg/matrix.hpp"
+#include "sdp/ipm.hpp"
+#include "util/rng.hpp"
+
+using namespace soslock;
+
+namespace {
+
+/// Random feasible min-trace SDP: b = A(X*) for a random PSD X*.
+sdp::Problem random_sdp(std::size_t n, std::size_t m, std::uint64_t seed) {
+  util::Rng rng(seed);
+  linalg::Matrix g(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) g(r, c) = rng.uniform(-1.0, 1.0);
+  const linalg::Matrix xstar = linalg::transposed_times(g, g);
+
+  sdp::Problem p;
+  const std::size_t b = p.add_block(n);
+  p.set_block_objective(b, linalg::Matrix::identity(n));
+  for (std::size_t i = 0; i < m; ++i) {
+    sdp::Row row;
+    sdp::SparseSym a;
+    for (int k = 0; k < 6; ++k) {
+      const std::size_t r = rng.index(n), c = rng.index(n);
+      a.add(std::min(r, c), std::max(r, c), rng.uniform(-1.0, 1.0));
+    }
+    if (a.empty()) a.add(0, 0, 1.0);
+    linalg::Matrix dense(n, n);
+    a.add_to(dense);
+    row.rhs = linalg::dot(dense, xstar);
+    row.blocks[b] = std::move(a);
+    p.add_row(std::move(row));
+  }
+  return p;
+}
+
+void BM_IpmSolveBlockSize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const sdp::Problem p = random_sdp(n, 2 * n, 7);
+  const sdp::IpmSolver solver;
+  for (auto _ : state) {
+    const sdp::Solution sol = solver.solve(p);
+    benchmark::DoNotOptimize(sol.primal_objective);
+  }
+}
+BENCHMARK(BM_IpmSolveBlockSize)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_IpmSolveConstraints(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const sdp::Problem p = random_sdp(12, m, 11);
+  const sdp::IpmSolver solver;
+  for (auto _ : state) {
+    const sdp::Solution sol = solver.solve(p);
+    benchmark::DoNotOptimize(sol.iterations);
+  }
+}
+BENCHMARK(BM_IpmSolveConstraints)->Arg(10)->Arg(40)->Arg(120);
+
+void BM_IpmPredictorCorrector(benchmark::State& state) {
+  const bool use_pc = state.range(0) != 0;
+  const sdp::Problem p = random_sdp(16, 40, 13);
+  sdp::IpmOptions options;
+  options.predictor_corrector = use_pc;
+  const sdp::IpmSolver solver(options);
+  int iterations = 0;
+  for (auto _ : state) {
+    const sdp::Solution sol = solver.solve(p);
+    iterations = sol.iterations;
+    benchmark::DoNotOptimize(sol.mu);
+  }
+  state.counters["iterations"] = iterations;
+}
+BENCHMARK(BM_IpmPredictorCorrector)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

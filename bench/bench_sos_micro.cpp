@@ -1,0 +1,89 @@
+// Micro-benchmarks of the SOS layer: compile+solve cost by degree, and the
+// effect of the Newton-box Gram basis pruning (an ablation of a DESIGN.md
+// choice).
+#include <benchmark/benchmark.h>
+
+#include "sos/checker.hpp"
+#include "sos/program.hpp"
+#include "util/rng.hpp"
+
+using namespace soslock;
+using poly::Polynomial;
+
+namespace {
+
+/// Obviously-SOS polynomial: sum of squares of random polynomials of degree
+/// deg/2 in `nvars` variables.
+Polynomial random_sos(std::size_t nvars, unsigned deg, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Polynomial p(nvars);
+  for (int k = 0; k < 4; ++k) {
+    Polynomial q(nvars);
+    for (const poly::Monomial& m : poly::monomials_up_to(nvars, deg / 2))
+      q.add_term(m, rng.uniform(-1.0, 1.0));
+    p += q * q;
+  }
+  return p;
+}
+
+void BM_SosFeasibilityByDegree(benchmark::State& state) {
+  const auto deg = static_cast<unsigned>(state.range(0));
+  const Polynomial p = random_sos(3, deg, 41);
+  for (auto _ : state) {
+    sos::SosProgram prog(3);
+    prog.set_trace_regularization(1e-8);
+    prog.add_sos_constraint(p, "p");
+    const sos::SolveResult r = prog.solve();
+    benchmark::DoNotOptimize(r.feasible);
+  }
+}
+BENCHMARK(BM_SosFeasibilityByDegree)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_SosPruning(benchmark::State& state) {
+  const bool prune = state.range(0) != 0;
+  // Sparse even polynomial where pruning pays off.
+  const Polynomial x = Polynomial::variable(3, 0);
+  const Polynomial y = Polynomial::variable(3, 1);
+  const Polynomial z = Polynomial::variable(3, 2);
+  const Polynomial p = x.pow(6) + y.pow(6) + z.pow(6) + x.pow(2) * y.pow(2) * z.pow(2) +
+                       2.0 * x.pow(4) * y.pow(2) + 1.0 * y.pow(4) * z.pow(2);
+  std::size_t basis_size = 0;
+  for (auto _ : state) {
+    sos::SosProgram prog(3);
+    prog.set_trace_regularization(1e-8);
+    prog.add_sos_constraint(p, "p", prune);
+    basis_size = prog.gram_blocks().front().basis.size();
+    const sos::SolveResult r = prog.solve();
+    benchmark::DoNotOptimize(r.feasible);
+  }
+  state.counters["gram_basis"] = static_cast<double>(basis_size);
+}
+BENCHMARK(BM_SosPruning)->Arg(0)->Arg(1);
+
+void BM_SosCompileOnly(benchmark::State& state) {
+  const Polynomial p = random_sos(4, 6, 43);
+  for (auto _ : state) {
+    sos::SosProgram prog(4);
+    prog.add_sos_constraint(p, "p");
+    const sdp::Problem compiled = prog.compile();
+    benchmark::DoNotOptimize(compiled.num_rows());
+  }
+}
+BENCHMARK(BM_SosCompileOnly);
+
+void BM_CertificateAudit(benchmark::State& state) {
+  const Polynomial p = random_sos(3, 6, 47);
+  sos::SosProgram prog(3);
+  prog.set_trace_regularization(1e-8);
+  prog.add_sos_constraint(p, "p");
+  const sos::SolveResult r = prog.solve();
+  for (auto _ : state) {
+    const sos::AuditReport report = sos::audit(prog, r);
+    benchmark::DoNotOptimize(report.ok);
+  }
+}
+BENCHMARK(BM_CertificateAudit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

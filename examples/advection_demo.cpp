@@ -1,0 +1,90 @@
+// Level-set advection on a 2-D nonlinear system: watch a polynomial sublevel
+// set transported by the flow (the Wang-Lall-West machinery the paper's P2
+// stage builds on), independently of any PLL.
+//
+// System: a damped polynomial oscillator x' = y, y' = -x - y - 0.05 x^3.
+#include <cmath>
+#include <cstdio>
+
+#include "core/advection.hpp"
+#include "core/inclusion.hpp"
+#include "util/ascii_plot.hpp"
+
+using namespace soslock;
+using poly::Polynomial;
+
+namespace {
+
+std::vector<std::pair<double, double>> boundary(const Polynomial& b, int rays = 160) {
+  std::vector<std::pair<double, double>> pts;
+  linalg::Vector x(2, 0.0);
+  for (int k = 0; k < rays; ++k) {
+    const double th = 2.0 * M_PI * k / rays;
+    double lo = 0.0, hi = 6.0;
+    for (int it = 0; it < 50; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      x[0] = mid * std::cos(th);
+      x[1] = mid * std::sin(th);
+      (b.eval(x) <= 0.0 ? lo : hi) = mid;
+    }
+    pts.emplace_back(lo * std::cos(th), lo * std::sin(th));
+  }
+  return pts;
+}
+
+}  // namespace
+
+int main() {
+  hybrid::HybridSystem sys(2, 0);
+  const Polynomial x = Polynomial::variable(2, 0);
+  const Polynomial y = Polynomial::variable(2, 1);
+  hybrid::Mode mode;
+  mode.flow = {y, -1.0 * x - y - 0.05 * x.pow(3)};
+  mode.domain = hybrid::SemialgebraicSet(2);
+  mode.domain.add_interval(0, -4.0, 4.0);
+  mode.domain.add_interval(1, -4.0, 4.0);
+  mode.contains_equilibrium = true;
+  sys.add_mode(std::move(mode));
+
+  core::AdvectionOptions opt;
+  opt.h = 0.02;
+  opt.gamma = 0.004;
+  opt.eps = 0.4;
+  opt.set_degree = 2;
+  opt.multiplier_degree = 4;  // the cubic flow needs richer S-procedure terms
+  const core::AdvectionEngine engine(sys, opt);
+
+  Polynomial b = 0.5 * ((1.0 / 9.0) * (x * x + y * y) - Polynomial::constant(2, 1.0));
+  const Polynomial target = x * x + y * y - 6.25;  // disk of radius 2.5
+  const core::InclusionChecker inclusion;
+
+  util::AsciiPlot plot(-4.0, 4.0, -4.0, 4.0, 72, 30);
+  plot.add({"initial set (radius 3)", '#', boundary(b)});
+  std::printf("advecting the disk of radius 3 under x'=y, y'=-x-y-0.05x^3 ...\n");
+
+  int iterations = 0;
+  bool immersed = false;
+  for (; iterations < 150 && !immersed; ++iterations) {
+    immersed = inclusion.subset(b, target).included;
+    if (immersed) break;
+    const core::AdvectionStepResult step = engine.step(b);
+    if (!step.success) {
+      std::printf("step %d infeasible: %s\n", iterations, step.message.c_str());
+      return 1;
+    }
+    b = step.next;
+    if (iterations % 30 == 29) plot.add({"iterate " + std::to_string(iterations + 1), '.',
+                                       boundary(b)});
+  }
+  plot.add({"final set", 'o', boundary(b)});
+  plot.add({"target disk (radius 2.5)", '*',
+            boundary(x * x + y * y - 6.25)});
+  std::printf("%s\n", plot.str("advected level sets", "x", "y").c_str());
+  if (immersed) {
+    std::printf("certified immersed into {x^2+y^2 <= 6.25} after %d advection steps\n",
+                iterations);
+  } else {
+    std::printf("not immersed within %d steps (final set shown above)\n", iterations);
+  }
+  return immersed ? 0 : 1;
+}

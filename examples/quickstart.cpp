@@ -1,0 +1,71 @@
+// Quickstart: the three layers of soslock in ~60 lines.
+//   1. Prove a polynomial nonnegative by SOS decomposition.
+//   2. Bound the minimum of a polynomial on an interval (S-procedure).
+//   3. Synthesize a Lyapunov certificate for a dynamical system and verify
+//      an attractive sublevel set.
+#include <cstdio>
+
+#include "core/level_set.hpp"
+#include "core/lyapunov.hpp"
+#include "sos/checker.hpp"
+#include "sos/program.hpp"
+
+using namespace soslock;
+using poly::LinExpr;
+using poly::Monomial;
+using poly::Polynomial;
+using poly::PolyLin;
+
+int main() {
+  // --- 1. Is p = 2x^2 + 2xy + y^2 + 1 a sum of squares? ---------------------
+  const Polynomial x = Polynomial::variable(2, 0);
+  const Polynomial y = Polynomial::variable(2, 1);
+  const Polynomial p = 2.0 * x * x + 2.0 * x * y + y * y + 1.0;
+  std::printf("p = %s\n", p.str({"x", "y"}).c_str());
+  std::printf("p is SOS: %s\n\n", sos::is_sos_numeric(p) ? "yes" : "no");
+
+  // --- 2. Certified lower bound of q(x) = x^4 - 3x^2 + 2 --------------------
+  // maximize g s.t. q - g in SOS; exact for univariate polynomials.
+  const Polynomial t = Polynomial::variable(1, 0);
+  const Polynomial q = t.pow(4) - 3.0 * t.pow(2) + 2.0;
+  sos::SosProgram bound(1);
+  const LinExpr g = bound.add_scalar("gamma");
+  PolyLin expr(q);
+  PolyLin g_term(1);
+  g_term.add_term(Monomial(1), g);
+  expr -= g_term;
+  bound.add_sos_constraint(expr, "q - gamma");
+  bound.maximize(g);
+  const sos::SolveResult r = bound.solve();
+  std::printf("min over R of %s  >=  %.6f (true: -0.25)\n\n", q.str({"x"}).c_str(),
+              r.objective);
+
+  // --- 3. Lyapunov certificate for x' = -x + y, y' = -x - y -----------------
+  hybrid::HybridSystem sys(2, 0);
+  hybrid::Mode mode;
+  mode.flow = {-1.0 * x + y, -1.0 * x - y};
+  mode.domain = hybrid::SemialgebraicSet(2);
+  mode.domain.add_interval(0, -2.0, 2.0);
+  mode.domain.add_interval(1, -2.0, 2.0);
+  mode.contains_equilibrium = true;
+  sys.add_mode(std::move(mode));
+
+  core::LyapunovOptions opt;
+  opt.certificate_degree = 2;
+  opt.flow_decrease = core::FlowDecrease::Strict;
+  const core::LyapunovResult lyap = core::LyapunovSynthesizer(opt).synthesize(sys);
+  if (!lyap.success) {
+    std::printf("Lyapunov synthesis failed: %s\n", lyap.message.c_str());
+    return 1;
+  }
+  std::printf("V(x,y) = %s\n", lyap.certificates.front().str({"x", "y"}).c_str());
+  std::printf("certificate audit: %s (worst Gram eigenvalue %.2e)\n",
+              lyap.audit.ok ? "passed" : "FAILED", lyap.audit.worst_eigenvalue);
+
+  const core::LevelSetResult level =
+      core::LevelSetMaximizer().maximize_one(lyap.certificates.front(),
+                                             sys.modes().front().domain);
+  std::printf("largest invariant sublevel set inside the box: {V <= %.4f}\n",
+              level.levels.front());
+  return 0;
+}

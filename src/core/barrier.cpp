@@ -1,0 +1,119 @@
+#include "core/barrier.hpp"
+
+#include "core/lyapunov.hpp"
+#include "util/log.hpp"
+
+namespace soslock::core {
+
+using hybrid::SemialgebraicSet;
+using poly::Monomial;
+using poly::Polynomial;
+using poly::PolyLin;
+
+namespace {
+
+void add_set_multipliers(sos::SosProgram& prog, PolyLin& expr, const SemialgebraicSet& set,
+                         unsigned degree, const std::string& tag) {
+  for (std::size_t k = 0; k < set.constraints().size(); ++k) {
+    const PolyLin sigma = prog.add_sos_poly(degree, 0, tag + std::to_string(k));
+    expr -= sigma * set.constraints()[k];
+  }
+}
+
+}  // namespace
+
+BarrierResult BarrierCertifier::certify(const hybrid::HybridSystem& system,
+                                        const SemialgebraicSet& initial,
+                                        const SemialgebraicSet& unsafe) const {
+  BarrierResult result;
+  const std::size_t nvars = system.nvars();
+  const std::size_t nstates = system.nstates();
+  const std::size_t num_modes = system.modes().size();
+
+  sos::SosProgram prog(nvars);
+  prog.set_trace_regularization(options_.trace_regularization);
+
+  // Barrier polynomials over the states (constant term included: the zero
+  // level surface separates X0 from Xu).
+  const std::vector<Monomial> support =
+      state_monomials(nvars, nstates, options_.certificate_degree, 0);
+  std::vector<PolyLin> b;
+  if (options_.common_certificate) {
+    b.assign(num_modes, prog.add_poly(support, "B"));
+  } else {
+    for (std::size_t q = 0; q < num_modes; ++q)
+      b.push_back(prog.add_poly(support, "B" + std::to_string(q)));
+  }
+
+  for (std::size_t q = 0; q < num_modes; ++q) {
+    const std::string tag = "barrier.m" + std::to_string(q);
+    // (i) B <= 0 on X0: -B - sigmas*g ∈ Σ.
+    {
+      PolyLin expr = -b[q];
+      add_set_multipliers(prog, expr, initial, options_.multiplier_degree, tag + ".x0.");
+      prog.add_sos_constraint(expr, tag + ".initial");
+    }
+    // (ii) B >= margin on Xu: B - margin - sigmas*g ∈ Σ.
+    {
+      PolyLin expr = b[q] - PolyLin(Polynomial::constant(nvars, options_.unsafe_margin));
+      add_set_multipliers(prog, expr, unsafe, options_.multiplier_degree, tag + ".xu.");
+      prog.add_sos_constraint(expr, tag + ".unsafe");
+    }
+    // (iii) dB/dx·f_q <= 0 on C_q x U: -LieB - sigmas*g ∈ Σ.
+    {
+      PolyLin expr = -b[q].lie_derivative(system.modes()[q].flow);
+      add_set_multipliers(prog, expr, system.modes()[q].domain, options_.multiplier_degree,
+                          tag + ".flow.");
+      add_set_multipliers(prog, expr, system.parameter_set(), options_.multiplier_degree,
+                          tag + ".u.");
+      prog.add_sos_constraint(expr, tag + ".decrease");
+    }
+  }
+
+  // (iv) jumps: B_to(R(x)) - B_from(x) <= 0 on guards.
+  if (!options_.common_certificate) {
+    for (std::size_t l = 0; l < system.jumps().size(); ++l) {
+      const auto& jump = system.jumps()[l];
+      if (jump.from == jump.to) continue;
+      PolyLin b_after;
+      if (jump.is_identity_reset()) {
+        b_after = b[jump.to];
+      } else {
+        std::vector<Polynomial> repl;
+        for (std::size_t i = 0; i < nstates; ++i) repl.push_back(jump.reset[i]);
+        for (std::size_t i = nstates; i < nvars; ++i)
+          repl.push_back(Polynomial::variable(nvars, i));
+        PolyLin composed(nvars);
+        for (const auto& [m, coeff] : b[jump.to].terms()) {
+          const Polynomial cm = Polynomial::from_monomial(m, 1.0).substitute(repl);
+          for (const auto& [mm, cc] : cm.terms()) composed.add_term(mm, cc * coeff);
+        }
+        b_after = composed;
+      }
+      PolyLin expr = b[jump.from] - b_after;
+      add_set_multipliers(prog, expr, jump.guard, options_.multiplier_degree,
+                          "barrier.j" + std::to_string(l) + ".");
+      prog.add_sos_constraint(expr, "barrier.jump" + std::to_string(l));
+    }
+  }
+
+  const sos::SolveResult solved = prog.solve(options_.ipm);
+  if (solved.status == sdp::SolveStatus::PrimalInfeasible ||
+      solved.status == sdp::SolveStatus::DualInfeasible ||
+      solved.sdp.primal_residual > 1e-4) {
+    result.message = "barrier SOS infeasible (" + sdp::to_string(solved.status) + ")";
+    return result;
+  }
+  result.audit = sos::audit(prog, solved);
+  if (!result.audit.ok) {
+    result.message = "barrier certificate failed audit";
+    return result;
+  }
+  for (std::size_t q = 0; q < num_modes; ++q)
+    result.certificates.push_back(solved.value(b[q]).pruned(1e-12));
+  result.success = true;
+  util::log_info("barrier: synthesized (", result.audit.checked, " identities audited)");
+  return result;
+}
+
+}  // namespace soslock::core

@@ -1,0 +1,135 @@
+#include "core/escape.hpp"
+
+#include "core/lyapunov.hpp"
+#include "util/log.hpp"
+
+namespace soslock::core {
+
+using hybrid::SemialgebraicSet;
+using poly::LinExpr;
+using poly::Monomial;
+using poly::Polynomial;
+using poly::PolyLin;
+
+namespace {
+
+/// Build and solve one escape program: E over `modes` (shared E when several
+/// modes are passed), each restricted to its own semialgebraic set.
+EscapeResult solve_escape(const hybrid::HybridSystem& system,
+                          const std::vector<std::size_t>& modes,
+                          const std::vector<SemialgebraicSet>& sets,
+                          const EscapeOptions& options) {
+  EscapeResult result;
+  const std::size_t nstates = system.nstates();
+  const std::size_t nvars = system.nvars();
+
+  sos::SosProgram prog(nvars);
+  prog.set_trace_regularization(options.trace_regularization);
+
+  // E: states only, degrees 1..d (the constant shifts nothing).
+  const PolyLin e_poly =
+      prog.add_poly(state_monomials(nvars, nstates, options.certificate_degree, 1), "E");
+  const LinExpr rho = prog.add_scalar("rho");
+  prog.add_linear_ge(rho - LinExpr(options.rho_min), "rho_min");
+  prog.add_linear_ge(LinExpr(options.rho_cap) - rho, "rho_cap");
+  for (const auto& [m, coeff] : e_poly.terms()) {
+    prog.add_linear_ge(LinExpr(options.coeff_cap) - coeff, "E cap+");
+    prog.add_linear_ge(coeff + LinExpr(options.coeff_cap), "E cap-");
+  }
+
+  for (std::size_t idx = 0; idx < modes.size(); ++idx) {
+    const std::size_t q = modes[idx];
+    const std::string tag = "esc.m" + std::to_string(q);
+    // -dE/dx·f_q - rho - sum sigma*g ∈ Σ on the set.
+    PolyLin expr = -e_poly.lie_derivative(system.modes()[q].flow);
+    PolyLin rho_term(nvars);
+    rho_term.add_term(Monomial(nvars), rho);
+    expr -= rho_term;
+    for (std::size_t k = 0; k < sets[idx].constraints().size(); ++k) {
+      const PolyLin s = prog.add_sos_poly(options.multiplier_degree, 0,
+                                          tag + ".g" + std::to_string(k));
+      expr -= s * sets[idx].constraints()[k];
+    }
+    for (std::size_t k = 0; k < system.parameter_set().constraints().size(); ++k) {
+      const PolyLin s = prog.add_sos_poly(options.multiplier_degree, 0,
+                                          tag + ".u" + std::to_string(k));
+      expr -= s * system.parameter_set().constraints()[k];
+    }
+    prog.add_sos_constraint(expr, tag + ".escape");
+  }
+
+  prog.maximize(rho);
+  const sos::SolveResult solved = prog.solve(options.ipm);
+  if (solved.status == sdp::SolveStatus::PrimalInfeasible ||
+      solved.status == sdp::SolveStatus::DualInfeasible ||
+      solved.sdp.primal_residual > 1e-4) {
+    result.message = "escape SOS infeasible (" + sdp::to_string(solved.status) + ")";
+    return result;
+  }
+  result.audit = sos::audit(prog, solved);
+  if (!result.audit.ok) {
+    result.message = "escape certificate failed audit";
+    return result;
+  }
+  const double rate = solved.value(rho);
+  if (!(rate >= options.rho_min)) {
+    result.message = "escape rate below rho_min";
+    return result;
+  }
+  result.success = true;
+  const Polynomial e_num = solved.value(e_poly).pruned(1e-12);
+  for (std::size_t idx = 0; idx < modes.size(); ++idx) {
+    result.certificates.push_back(e_num);
+    result.rates.push_back(rate);
+  }
+  result.num_certificates = 1;
+  return result;
+}
+
+}  // namespace
+
+EscapeResult EscapeCertifier::certify(const hybrid::HybridSystem& system,
+                                      const std::vector<std::size_t>& modes,
+                                      const Polynomial& region,
+                                      const std::vector<Polynomial>& certificates,
+                                      double level) const {
+  // Region per mode: S(region) ∩ {V_q >= level} ∩ C_q.
+  std::vector<SemialgebraicSet> sets;
+  sets.reserve(modes.size());
+  for (std::size_t q : modes) {
+    SemialgebraicSet s = system.modes()[q].domain;
+    s.add_constraint(-1.0 * region);                      // region <= 0
+    s.add_constraint(certificates[q] - level);            // outside the level set
+    sets.push_back(std::move(s));
+  }
+
+  if (!options_.per_mode) {
+    return solve_escape(system, modes, sets, options_);
+  }
+
+  // Independent certificate per mode (mirrors the paper's "2 certificates").
+  EscapeResult combined;
+  combined.success = true;
+  for (std::size_t idx = 0; idx < modes.size(); ++idx) {
+    EscapeResult one = solve_escape(system, {modes[idx]}, {sets[idx]}, options_);
+    combined.audit.checked += one.audit.checked;
+    combined.audit.failed += one.audit.failed;
+    if (!one.success) {
+      combined.success = false;
+      combined.message = "mode " + std::to_string(modes[idx]) + ": " + one.message;
+      return combined;
+    }
+    combined.certificates.push_back(one.certificates.front());
+    combined.rates.push_back(one.rates.front());
+    ++combined.num_certificates;
+  }
+  combined.audit.ok = combined.audit.failed == 0;
+  return combined;
+}
+
+EscapeResult EscapeCertifier::certify_set(const hybrid::HybridSystem& system, std::size_t mode,
+                                          const SemialgebraicSet& set) const {
+  return solve_escape(system, {mode}, {set}, options_);
+}
+
+}  // namespace soslock::core

@@ -1,0 +1,54 @@
+#pragma once
+// Certified set-inclusion tests between polynomial sublevel sets (Lemma 1 of
+// the paper): S(b1) ⊆ S(b2) is certified by sigma ∈ Σ with
+//   sigma * b1 - b2 ∈ Σ.
+// Used by Algorithm 1 to decide when an advected level set has immersed into
+// the attractive invariant.
+#include <vector>
+
+#include "core/level_set.hpp"
+#include "hybrid/system.hpp"
+#include "sos/checker.hpp"
+#include "sos/program.hpp"
+
+namespace soslock::core {
+
+struct InclusionOptions {
+  unsigned multiplier_degree = 2;
+  double trace_regularization = 1e-7;
+  sdp::IpmOptions ipm;
+};
+
+struct InclusionResult {
+  bool included = false;          // certified
+  sos::AuditReport audit;
+  std::string message;
+  /// For per-mode checks: which modes failed (empty when included).
+  std::vector<std::size_t> failed_modes;
+};
+
+class InclusionChecker {
+ public:
+  explicit InclusionChecker(InclusionOptions options = {}) : options_(options) {}
+
+  /// Certify S(b1) ⊆ S(b2) globally.
+  InclusionResult subset(const poly::Polynomial& b1, const poly::Polynomial& b2) const;
+
+  /// Certify S(b1) ⊆ S(b2) restricted to a semialgebraic domain.
+  InclusionResult subset_on(const poly::Polynomial& b1, const poly::Polynomial& b2,
+                            const hybrid::SemialgebraicSet& domain) const;
+
+  /// The hybrid immersion check of Algorithm 1: for every mode q,
+  ///   x ∈ S(b) ∩ C_q  =>  V_q(x) <= level,
+  /// so every hybrid state over S(b) lies in the attractive invariant at the
+  /// jump-consistent level.
+  InclusionResult subset_of_invariant(const poly::Polynomial& b,
+                                      const hybrid::HybridSystem& system,
+                                      const std::vector<poly::Polynomial>& certificates,
+                                      double level) const;
+
+ private:
+  InclusionOptions options_;
+};
+
+}  // namespace soslock::core

@@ -1,0 +1,112 @@
+#include "core/level_set.hpp"
+
+#include "sos/checker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace soslock::core {
+
+using hybrid::SemialgebraicSet;
+using poly::LinExpr;
+using poly::Polynomial;
+using poly::PolyLin;
+
+bool AttractiveInvariant::contains(const linalg::Vector& x_full) const {
+  for (std::size_t q = 0; q < certificates.size(); ++q) {
+    if (certificates[q].eval(x_full) <= levels[q]) return true;
+  }
+  return false;
+}
+
+bool AttractiveInvariant::contains_consistent(const linalg::Vector& x_full) const {
+  for (const Polynomial& v : certificates) {
+    if (v.eval(x_full) <= consistent_level) return true;
+  }
+  return false;
+}
+
+LevelSetResult LevelSetMaximizer::maximize_one(const Polynomial& v,
+                                               const SemialgebraicSet& domain) const {
+  LevelSetResult result;
+  const std::size_t nvars = v.nvars();
+
+  // Scale the variables to the domain box: high-degree monomials over wide
+  // voltage boxes otherwise span many orders of magnitude and wreck the SDP
+  // conditioning. The level value c is coordinate-free.
+  const auto box = hybrid::estimate_box(domain, nvars);
+  std::vector<Polynomial> scale_map;
+  scale_map.reserve(nvars);
+  for (std::size_t i = 0; i < nvars; ++i) {
+    const double s = std::max({std::fabs(box[i].first), std::fabs(box[i].second), 1e-9});
+    scale_map.push_back(s * Polynomial::variable(nvars, i));
+  }
+  const Polynomial v_scaled = v.substitute(scale_map);
+  SemialgebraicSet domain_scaled(nvars);
+  for (const Polynomial& g : domain.constraints())
+    domain_scaled.add_constraint(g.substitute(scale_map));
+
+  sos::SosProgram prog(nvars);
+
+  const LinExpr c = prog.add_scalar("c");
+  prog.add_linear_ge(c, "c >= 0");
+  prog.add_linear_ge(LinExpr(options_.level_cap) - c, "c cap");
+
+  for (std::size_t k = 0; k < domain_scaled.constraints().size(); ++k) {
+    const Polynomial& g = domain_scaled.constraints()[k];
+    const PolyLin sigma = prog.add_sos_poly(options_.multiplier_degree, 0,
+                                            "lvl.sigma" + std::to_string(k));
+    // V - c + sigma * g ∈ Σ  (Lemma 1 with unit multiplier on V - c).
+    PolyLin expr = PolyLin(v_scaled);
+    expr += sigma * g;
+    // Subtract the scalar c as the coefficient of the constant monomial.
+    PolyLin c_term(nvars);
+    c_term.add_term(poly::Monomial(nvars), c);
+    expr -= c_term;
+    prog.add_sos_constraint(expr, "lvl.g" + std::to_string(k));
+  }
+
+  prog.maximize(c);
+  const sos::SolveResult solved = prog.solve(options_.ipm);
+  // Audit-based acceptance: a stalled iterate still certifies a (possibly
+  // smaller) level; only certified infeasibility or residual blowup fails.
+  if (solved.status == sdp::SolveStatus::PrimalInfeasible ||
+      solved.status == sdp::SolveStatus::DualInfeasible ||
+      solved.sdp.primal_residual > 1e-4) {
+    result.message = "level maximisation failed (" + sdp::to_string(solved.status) + ")";
+    return result;
+  }
+  const sos::AuditReport audit_report = sos::audit(prog, solved);
+  if (!audit_report.ok) {
+    result.message = "level certificate failed audit";
+    return result;
+  }
+  result.success = true;
+  result.levels = {solved.value(c)};
+  result.consistent_level = result.levels.front();
+  return result;
+}
+
+LevelSetResult LevelSetMaximizer::maximize(const hybrid::HybridSystem& system,
+                                           const std::vector<Polynomial>& certificates) const {
+  LevelSetResult result;
+  result.success = true;
+  result.levels.reserve(system.modes().size());
+  for (std::size_t q = 0; q < system.modes().size(); ++q) {
+    const LevelSetResult one = maximize_one(certificates[q], system.modes()[q].domain);
+    if (!one.success) {
+      result.success = false;
+      result.message = "mode " + std::to_string(q) + ": " + one.message;
+      return result;
+    }
+    result.levels.push_back(one.levels.front());
+    util::log_info("level set: mode ", q, " c_max = ", one.levels.front());
+  }
+  result.consistent_level =
+      *std::min_element(result.levels.begin(), result.levels.end());
+  return result;
+}
+
+}  // namespace soslock::core

@@ -1,0 +1,204 @@
+#include "core/lyapunov.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "poly/basis.hpp"
+#include "util/log.hpp"
+
+namespace soslock::core {
+
+using hybrid::HybridSystem;
+using hybrid::Jump;
+using hybrid::Mode;
+using poly::Monomial;
+using poly::Polynomial;
+using poly::PolyLin;
+
+std::vector<Monomial> state_monomials(std::size_t nvars, std::size_t nstates, unsigned max_deg,
+                                      unsigned min_deg) {
+  const std::vector<Monomial> base = poly::monomials_up_to(nstates, max_deg, min_deg);
+  std::vector<Monomial> out;
+  out.reserve(base.size());
+  for (const Monomial& m : base) {
+    Monomial big(nvars);
+    for (std::size_t i = 0; i < nstates; ++i) big.set_exponent(i, m.exponent(i));
+    out.push_back(big);
+  }
+  return out;
+}
+
+namespace {
+
+/// Add S-procedure multipliers for every constraint of `set`, subtracting
+/// sigma_k * g_k from `expr`. Multiplier Gram bases run over the listed
+/// variable support.
+void subtract_multipliers(sos::SosProgram& prog, PolyLin& expr,
+                          const hybrid::SemialgebraicSet& set, unsigned multiplier_degree,
+                          const std::string& label) {
+  const std::size_t nvars = prog.nvars();
+  for (std::size_t k = 0; k < set.constraints().size(); ++k) {
+    const Polynomial& g = set.constraints()[k];
+    const PolyLin sigma =
+        prog.add_sos_poly(multiplier_degree, 0, label + ".sigma" + std::to_string(k));
+    (void)nvars;
+    expr -= sigma * g;
+  }
+}
+
+}  // namespace
+
+LyapunovResult LyapunovSynthesizer::synthesize(const HybridSystem& system) const {
+  LyapunovResult result;
+  const std::string invalid = system.validate();
+  if (!invalid.empty()) {
+    result.message = "invalid hybrid system: " + invalid;
+    return result;
+  }
+  const std::size_t nstates = system.nstates();
+  const std::size_t nvars = system.nvars();
+  const unsigned deg_v = options_.certificate_degree;
+  const unsigned deg_sigma = options_.multiplier_degree;
+  if (deg_v < 2 || deg_v % 2 != 0) {
+    result.message = "certificate degree must be even and >= 2";
+    return result;
+  }
+
+  sos::SosProgram prog(nvars);
+  prog.set_trace_regularization(options_.trace_regularization);
+
+  // Unknown certificates: monomials of degree 2..deg_v in the states only
+  // (V(0) = 0 by construction; no linear terms so the origin can be a local
+  // minimum).
+  const std::vector<Monomial> v_support = state_monomials(nvars, nstates, deg_v, 2);
+  std::vector<PolyLin> v;
+  const std::size_t num_modes = system.modes().size();
+  if (options_.common_certificate) {
+    const PolyLin shared = prog.add_poly(v_support, "V");
+    v.assign(num_modes, shared);
+  } else {
+    for (std::size_t q = 0; q < num_modes; ++q)
+      v.push_back(prog.add_poly(v_support, "V" + std::to_string(q)));
+  }
+
+  const Polynomial x_norm2 = poly::squared_norm(nvars, nstates);
+
+  for (std::size_t q = 0; q < num_modes; ++q) {
+    const Mode& mode = system.modes()[q];
+    const std::string tag = "mode" + std::to_string(q);
+
+    // (a) positivity: V_q - eps*|x|^2 - sum sigma*g ∈ Σ on C_q.
+    {
+      PolyLin expr = v[q] - PolyLin(options_.positivity_margin * x_norm2);
+      subtract_multipliers(prog, expr, mode.domain, deg_sigma, tag + ".pos");
+      prog.add_sos_constraint(expr, tag + ".positivity");
+    }
+
+    // (b) flow decrease: -V̇_q - [margin*|x|^2] - sum sigma*g - sum sigma*gu ∈ Σ.
+    {
+      PolyLin expr = -v[q].lie_derivative(mode.flow);
+      if (options_.flow_decrease == FlowDecrease::Strict) {
+        expr -= PolyLin(options_.strict_margin * x_norm2);
+      }
+      subtract_multipliers(prog, expr, mode.domain, deg_sigma, tag + ".flow");
+      subtract_multipliers(prog, expr, system.parameter_set(), deg_sigma, tag + ".flowu");
+      if (options_.exclude_ball_radius > 0.0) {
+        // Decrease required only on {||x||^2 >= r^2}.
+        const double r2 = options_.exclude_ball_radius * options_.exclude_ball_radius;
+        hybrid::SemialgebraicSet outside(nvars);
+        outside.add_constraint(x_norm2 - r2);
+        subtract_multipliers(prog, expr, outside, deg_sigma, tag + ".ball");
+      }
+      prog.add_sos_constraint(expr, tag + ".decrease");
+    }
+  }
+
+  // (c) jumps: V_to(R(x)) - V_from(x) <= -jump_margin on each guard.
+  if (!options_.common_certificate) {
+    for (std::size_t l = 0; l < system.jumps().size(); ++l) {
+      const Jump& jump = system.jumps()[l];
+      if (jump.from == jump.to) continue;
+      PolyLin v_to_after;  // V_to composed with the reset map
+      if (jump.is_identity_reset()) {
+        v_to_after = v[jump.to];
+      } else {
+        // Compose each monomial of the unknown V_to with the numeric reset.
+        PolyLin composed(nvars);
+        std::vector<Polynomial> repl;
+        repl.reserve(nvars);
+        for (std::size_t i = 0; i < nstates; ++i) repl.push_back(jump.reset[i]);
+        for (std::size_t i = nstates; i < nvars; ++i)
+          repl.push_back(Polynomial::variable(nvars, i));
+        for (const auto& [m, coeff] : v[jump.to].terms()) {
+          const Polynomial composed_monomial =
+              Polynomial::from_monomial(m, 1.0).substitute(repl);
+          PolyLin scaled(composed_monomial);
+          // scaled has numeric coefficients; multiply by the LinExpr coeff.
+          for (const auto& [mm, cc] : composed_monomial.terms())
+            composed.add_term(mm, cc * coeff);
+          (void)scaled;
+        }
+        v_to_after = composed;
+      }
+      PolyLin expr = v[jump.from] - v_to_after;
+      if (options_.jump_margin > 0.0) {
+        expr -= PolyLin(options_.jump_margin * x_norm2);
+      }
+      const std::string tag = "jump" + std::to_string(l);
+      subtract_multipliers(prog, expr, jump.guard, deg_sigma, tag);
+      prog.add_sos_constraint(expr, tag + ".nonincrease");
+    }
+  }
+
+  if (options_.maximize_region) {
+    // Fatten the eventual level sets: minimize sum_q int_box V_q.
+    const auto box = hybrid::estimate_state_box(system);
+    poly::LinExpr objective;
+    for (std::size_t q = 0; q < num_modes; ++q) {
+      for (const auto& [m, coeff] : v[q].terms()) {
+        // Normalized moment = average of the monomial over the box; keeps
+        // the objective O(1) per coefficient (raw moments over wide voltage
+        // boxes reach 1e5 and wreck the SDP conditioning).
+        double moment = 1.0;
+        for (std::size_t i = 0; i < nstates; ++i) {
+          const auto [lo, hi] = box[i];
+          const double p = static_cast<double>(m.exponent(i)) + 1.0;
+          moment *= (std::pow(hi, p) - std::pow(lo, p)) / (p * std::max(hi - lo, 1e-12));
+        }
+        objective += moment * coeff;
+      }
+      if (options_.common_certificate) break;
+    }
+    prog.minimize(objective);
+  }
+
+  const sos::SolveResult solved = prog.solve(options_.ipm);
+  result.status = solved.status;
+  // Acceptance policy: reject certified-infeasible outcomes outright; for
+  // anything else (including objective-stalled MaxIterations iterates) the
+  // independent audit below is the verdict — a feasible-but-suboptimal
+  // iterate still yields sound certificates.
+  const bool hard_fail = solved.status == sdp::SolveStatus::PrimalInfeasible ||
+                         solved.status == sdp::SolveStatus::DualInfeasible ||
+                         solved.sdp.primal_residual > 1e-4;
+  if (hard_fail) {
+    result.message = "SOS program infeasible or unsolved (" + sdp::to_string(solved.status) + ")";
+    return result;
+  }
+
+  result.audit = sos::audit(prog, solved);
+  result.certificates.reserve(num_modes);
+  for (std::size_t q = 0; q < num_modes; ++q) {
+    result.certificates.push_back(solved.value(v[q]).pruned(1e-12));
+  }
+  result.success = result.audit.ok;
+  if (!result.audit.ok) {
+    result.message = "certificate audit failed: " +
+                     (result.audit.failures.empty() ? "?" : result.audit.failures.front());
+  }
+  util::log_info("lyapunov: status=", sdp::to_string(result.status),
+                 " audit_ok=", result.audit.ok, " worst_residual=", result.audit.worst_residual);
+  return result;
+}
+
+}  // namespace soslock::core

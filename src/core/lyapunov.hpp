@@ -1,0 +1,75 @@
+#pragma once
+// Multiple-Lyapunov-certificate synthesis for hybrid systems — the paper's
+// SOS program 1 (Sec. 3, Theorem 1/2). For every mode q it searches a
+// polynomial V_q with
+//   (a) V_q - eps*||x||^2 ∈ Σ on C_q           (positive definiteness),
+//   (b) -dV_q/dx · f_q(x,u) ∈ Σ on C_q × U     (flow decrease; strict adds
+//       a margin*||x||^2 term — see the DESIGN.md rigor note),
+//   (c) V_to(R_l(x)) - V_from(x) <= 0 on D_l   (jump non-increase; optional
+//       strict margin),
+// with all domain restrictions done by the S-procedure (one SOS multiplier
+// per inequality of C_q, D_l and of the parameter box U).
+#include <string>
+#include <vector>
+
+#include "hybrid/system.hpp"
+#include "sos/checker.hpp"
+#include "sos/program.hpp"
+
+namespace soslock::core {
+
+enum class FlowDecrease {
+  NonStrict,  // -V̇ ∈ Σ (matches the paper's numerics; see DESIGN.md)
+  Strict,     // -V̇ - margin*||x||^2 ∈ Σ (infeasible for idle CP PLL mode)
+};
+
+struct LyapunovOptions {
+  unsigned certificate_degree = 4;   // degree of each V_q (even, >= 2)
+  unsigned multiplier_degree = 2;    // degree of S-procedure multipliers (even)
+  double positivity_margin = 1e-2;   // eps in (a)
+  FlowDecrease flow_decrease = FlowDecrease::NonStrict;
+  double strict_margin = 1e-3;       // margin in (b) when Strict
+  double jump_margin = 0.0;          // >0 makes (c) strict
+  /// When > 0, the flow-decrease condition (b) is only required outside the
+  /// ball ||x|| <= exclude_ball_radius (practical stability: attractivity to
+  /// a small neighbourhood). Needed when a bounded disturbance (e.g. the
+  /// continuization ripple) makes exact decrease at the origin impossible.
+  double exclude_ball_radius = 0.0;
+  bool common_certificate = false;   // single V for all modes (ablation)
+  /// Minimize the integral of V over the state box so the (later maximized)
+  /// sublevel sets fill the mode domains — the paper's attractive invariants
+  /// span essentially the whole voltage box (Figs. 2-3).
+  bool maximize_region = false;
+  double trace_regularization = 1e-7;
+  sdp::IpmOptions ipm;
+};
+
+struct LyapunovResult {
+  bool success = false;
+  /// One certificate per mode (all identical when common_certificate).
+  std::vector<poly::Polynomial> certificates;
+  sos::AuditReport audit;        // independent certificate re-check
+  sdp::SolveStatus status = sdp::SolveStatus::NumericalProblem;
+  std::string message;
+};
+
+class LyapunovSynthesizer {
+ public:
+  explicit LyapunovSynthesizer(LyapunovOptions options = {}) : options_(options) {}
+
+  /// Synthesize certificates for `system`. States are variables
+  /// [0, nstates); parameters enter through system.parameter_set().
+  LyapunovResult synthesize(const hybrid::HybridSystem& system) const;
+
+  const LyapunovOptions& options() const { return options_; }
+
+ private:
+  LyapunovOptions options_;
+};
+
+/// Monomials of total degree in [min_deg, max_deg] involving only the first
+/// `nstates` of `nvars` variables (certificates must not depend on u).
+std::vector<poly::Monomial> state_monomials(std::size_t nvars, std::size_t nstates,
+                                            unsigned max_deg, unsigned min_deg);
+
+}  // namespace soslock::core

@@ -1,0 +1,78 @@
+#include "hybrid/semialgebraic.hpp"
+
+#include <cassert>
+
+namespace soslock::hybrid {
+
+using poly::Polynomial;
+
+SemialgebraicSet::SemialgebraicSet(std::vector<Polynomial> constraints)
+    : constraints_(std::move(constraints)) {
+  if (!constraints_.empty()) nvars_ = constraints_.front().nvars();
+  for (const Polynomial& g : constraints_) {
+    assert(g.nvars() == nvars_);
+    (void)g;
+  }
+}
+
+void SemialgebraicSet::add_interval(std::size_t var, double lo, double hi) {
+  assert(var < nvars_);
+  // x - lo >= 0 and hi - x >= 0.
+  constraints_.push_back(Polynomial::variable(nvars_, var) - lo);
+  constraints_.push_back(Polynomial::constant(nvars_, hi) - Polynomial::variable(nvars_, var));
+}
+
+void SemialgebraicSet::add_ball(const std::vector<std::size_t>& vars, double radius) {
+  Polynomial g = Polynomial::constant(nvars_, radius * radius);
+  for (std::size_t v : vars) {
+    assert(v < nvars_);
+    g -= Polynomial::variable(nvars_, v) * Polynomial::variable(nvars_, v);
+  }
+  constraints_.push_back(std::move(g));
+}
+
+void SemialgebraicSet::add_constraint(Polynomial g) {
+  if (constraints_.empty() && nvars_ == 0) nvars_ = g.nvars();
+  assert(g.nvars() == nvars_);
+  constraints_.push_back(std::move(g));
+}
+
+bool SemialgebraicSet::contains(const linalg::Vector& x, double tol) const {
+  for (const Polynomial& g : constraints_) {
+    if (g.eval(x) < -tol) return false;
+  }
+  return true;
+}
+
+SemialgebraicSet SemialgebraicSet::intersect(const SemialgebraicSet& other) const {
+  SemialgebraicSet out(*this);
+  if (out.nvars_ == 0) out.nvars_ = other.nvars_;
+  assert(other.nvars_ == out.nvars_ || other.empty());
+  for (const Polynomial& g : other.constraints_) out.constraints_.push_back(g);
+  return out;
+}
+
+SemialgebraicSet SemialgebraicSet::remap(std::size_t new_nvars,
+                                         const std::vector<std::size_t>& map) const {
+  SemialgebraicSet out(new_nvars);
+  for (const Polynomial& g : constraints_) out.constraints_.push_back(g.remap(new_nvars, map));
+  return out;
+}
+
+std::string SemialgebraicSet::str(const std::vector<std::string>& names) const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += constraints_[i].str(names) + " >= 0";
+  }
+  return out + "}";
+}
+
+SemialgebraicSet box_set(std::size_t nvars,
+                         const std::vector<std::pair<double, double>>& bounds) {
+  SemialgebraicSet s(nvars);
+  for (std::size_t i = 0; i < bounds.size(); ++i) s.add_interval(i, bounds[i].first, bounds[i].second);
+  return s;
+}
+
+}  // namespace soslock::hybrid

@@ -1,0 +1,49 @@
+#pragma once
+// Basic semialgebraic sets {x : g_1(x) >= 0, ..., g_k(x) >= 0}. Mode domains,
+// guard sets and parameter boxes of the hybrid system are all of this form;
+// the S-procedure multiplies one SOS multiplier per inequality.
+#include <string>
+#include <vector>
+
+#include "poly/polynomial.hpp"
+
+namespace soslock::hybrid {
+
+class SemialgebraicSet {
+ public:
+  SemialgebraicSet() = default;
+  explicit SemialgebraicSet(std::size_t nvars) : nvars_(nvars) {}
+  explicit SemialgebraicSet(std::vector<poly::Polynomial> constraints);
+
+  /// Box |x_var - center| <= radius as two affine constraints, added to *this.
+  void add_interval(std::size_t var, double lo, double hi);
+  /// radius^2 - sum_{i in vars} x_i^2 >= 0.
+  void add_ball(const std::vector<std::size_t>& vars, double radius);
+  void add_constraint(poly::Polynomial g);
+
+  std::size_t nvars() const { return nvars_; }
+  std::size_t size() const { return constraints_.size(); }
+  bool empty() const { return constraints_.empty(); }
+  const std::vector<poly::Polynomial>& constraints() const { return constraints_; }
+
+  /// Pointwise membership with slack tolerance (g_i(x) >= -tol for all i).
+  bool contains(const linalg::Vector& x, double tol = 0.0) const;
+
+  /// Set with the union of both constraint lists (geometric intersection).
+  SemialgebraicSet intersect(const SemialgebraicSet& other) const;
+
+  /// Remap into a larger variable space (see poly::Polynomial::remap).
+  SemialgebraicSet remap(std::size_t new_nvars, const std::vector<std::size_t>& map) const;
+
+  std::string str(const std::vector<std::string>& names = {}) const;
+
+ private:
+  std::size_t nvars_ = 0;
+  std::vector<poly::Polynomial> constraints_;
+};
+
+/// Axis-aligned box as a semialgebraic set over `nvars` variables; bounds are
+/// given for the first bounds.size() variables.
+SemialgebraicSet box_set(std::size_t nvars, const std::vector<std::pair<double, double>>& bounds);
+
+}  // namespace soslock::hybrid

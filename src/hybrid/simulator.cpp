@@ -1,0 +1,118 @@
+#include "hybrid/simulator.hpp"
+
+#include <cassert>
+
+namespace soslock::hybrid {
+
+Simulator::Simulator(const HybridSystem& system)
+    : Simulator(system, system.nominal_parameters()) {}
+
+Simulator::Simulator(const HybridSystem& system, linalg::Vector params)
+    : system_(system), params_(std::move(params)) {
+  if (params_.empty()) params_.assign(system_.nparams(), 0.0);
+  assert(params_.size() == system_.nparams());
+}
+
+linalg::Vector Simulator::rk4_step(std::size_t mode, const linalg::Vector& x, double dt) const {
+  using linalg::Vector;
+  const Vector k1 = system_.eval_flow(mode, x, params_);
+  Vector x2 = x;
+  linalg::axpy(0.5 * dt, k1, x2);
+  const Vector k2 = system_.eval_flow(mode, x2, params_);
+  Vector x3 = x;
+  linalg::axpy(0.5 * dt, k2, x3);
+  const Vector k3 = system_.eval_flow(mode, x3, params_);
+  Vector x4 = x;
+  linalg::axpy(dt, k3, x4);
+  const Vector k4 = system_.eval_flow(mode, x4, params_);
+  Vector out = x;
+  const double w = dt / 6.0;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] += w * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  return out;
+}
+
+bool Simulator::in_domain(std::size_t mode, const linalg::Vector& x, double tol) const {
+  const SemialgebraicSet& dom = system_.mode(mode).domain;
+  if (dom.empty()) return true;
+  linalg::Vector full(system_.nvars(), 0.0);
+  std::copy(x.begin(), x.end(), full.begin());
+  std::copy(params_.begin(), params_.end(),
+            full.begin() + static_cast<std::ptrdiff_t>(system_.nstates()));
+  return dom.contains(full, tol);
+}
+
+std::optional<std::size_t> Simulator::enabled_jump(std::size_t mode, const linalg::Vector& x,
+                                                   double tol) const {
+  linalg::Vector full(system_.nvars(), 0.0);
+  std::copy(x.begin(), x.end(), full.begin());
+  std::copy(params_.begin(), params_.end(),
+            full.begin() + static_cast<std::ptrdiff_t>(system_.nstates()));
+  for (std::size_t l = 0; l < system_.jumps().size(); ++l) {
+    const Jump& jump = system_.jumps()[l];
+    if (jump.from != mode) continue;
+    if (jump.guard.empty() || jump.guard.contains(full, tol)) return l;
+  }
+  return std::nullopt;
+}
+
+SimResult Simulator::run(std::size_t initial_mode, linalg::Vector x0,
+                         const SimOptions& options) const {
+  SimResult result;
+  TracePoint point{0.0, 0, initial_mode, std::move(x0)};
+  result.trace.push_back(point);
+  int steps = 0;
+
+  while (point.t < options.t_max) {
+    if (options.stop_when && options.stop_when(point)) {
+      result.stop_reason = "stop_when";
+      return result;
+    }
+    const double dt = std::min(options.dt, options.t_max - point.t);
+    linalg::Vector next = rk4_step(point.mode, point.x, dt);
+
+    if (in_domain(point.mode, next, options.domain_tol)) {
+      point.x = std::move(next);
+      point.t += dt;
+      if (++steps % options.record_stride == 0) result.trace.push_back(point);
+      continue;
+    }
+
+    // Left the domain: bisect [0, dt] to localize the exit time, so that the
+    // jump fires (approximately) on the domain boundary.
+    double lo = 0.0, hi = dt;
+    for (int it = 0; it < options.bisection_iters; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      const linalg::Vector xm = rk4_step(point.mode, point.x, mid);
+      if (in_domain(point.mode, xm, options.domain_tol)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const linalg::Vector boundary = rk4_step(point.mode, point.x, hi);
+    const auto jump_index = enabled_jump(point.mode, boundary, 1e-6);
+    if (!jump_index) {
+      point.x = boundary;
+      point.t += hi;
+      result.trace.push_back(point);
+      result.stop_reason = "stuck";
+      return result;
+    }
+    const Jump& jump = system_.jumps()[*jump_index];
+    point.x = system_.apply_reset(*jump_index, boundary);
+    point.t += hi;
+    point.mode = jump.to;
+    ++point.jumps;
+    result.trace.push_back(point);
+    if (point.jumps >= options.max_jumps) {
+      result.stop_reason = "max_jumps";
+      return result;
+    }
+  }
+  result.stop_reason = "t_max";
+  result.trace.push_back(point);
+  return result;
+}
+
+}  // namespace soslock::hybrid

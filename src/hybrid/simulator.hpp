@@ -1,0 +1,62 @@
+#pragma once
+// Numerical execution of hybrid systems: RK4 flow inside the current mode's
+// domain, bisection localisation of domain exit, then a guard-enabled jump.
+// Semantics follow the flow/jump-set convention: flow while x in C_q, jump
+// when the flow leaves C_q and some guard D_l (from the current mode) holds.
+//
+// Used to validate certificates empirically (Monte-Carlo lock checks, level
+// set advection cross-checks) — never as part of a proof.
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hybrid/system.hpp"
+
+namespace soslock::hybrid {
+
+struct TracePoint {
+  double t = 0.0;       // continuous time
+  int jumps = 0;        // discrete time j
+  std::size_t mode = 0;
+  linalg::Vector x;
+};
+
+struct SimOptions {
+  double dt = 1e-3;
+  double t_max = 50.0;
+  int max_jumps = 100000;
+  double domain_tol = 1e-9;   // slack when testing domain membership
+  int bisection_iters = 40;   // localisation of the domain-exit time
+  /// Record every k-th accepted step (1 = all).
+  int record_stride = 1;
+  /// Optional early-stop predicate (e.g. "locked"): stop when true.
+  std::function<bool(const TracePoint&)> stop_when;
+};
+
+struct SimResult {
+  std::vector<TracePoint> trace;
+  std::string stop_reason;    // "t_max" | "stop_when" | "max_jumps" | "stuck"
+  bool stuck() const { return stop_reason == "stuck"; }
+  const TracePoint& final() const { return trace.back(); }
+};
+
+class Simulator {
+ public:
+  /// Simulate with explicit parameter values (defaults to nominal).
+  explicit Simulator(const HybridSystem& system);
+  Simulator(const HybridSystem& system, linalg::Vector params);
+
+  SimResult run(std::size_t initial_mode, linalg::Vector x0, const SimOptions& options) const;
+
+ private:
+  linalg::Vector rk4_step(std::size_t mode, const linalg::Vector& x, double dt) const;
+  bool in_domain(std::size_t mode, const linalg::Vector& x, double tol) const;
+  std::optional<std::size_t> enabled_jump(std::size_t mode, const linalg::Vector& x,
+                                          double tol) const;
+
+  const HybridSystem& system_;
+  linalg::Vector params_;
+};
+
+}  // namespace soslock::hybrid

@@ -1,0 +1,139 @@
+#include "hybrid/system.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace soslock::hybrid {
+
+HybridSystem::HybridSystem(std::size_t nstates, std::size_t nparams)
+    : nstates_(nstates), nparams_(nparams), params_(nstates + nparams) {}
+
+std::size_t HybridSystem::add_mode(Mode mode) {
+  assert(mode.flow.size() == nstates_);
+  modes_.push_back(std::move(mode));
+  return modes_.size() - 1;
+}
+
+std::size_t HybridSystem::add_jump(Jump jump) {
+  assert(jump.from < modes_.size() && jump.to < modes_.size());
+  jumps_.push_back(std::move(jump));
+  return jumps_.size() - 1;
+}
+
+linalg::Vector HybridSystem::eval_flow(std::size_t q, const linalg::Vector& x,
+                                       const linalg::Vector& u) const {
+  assert(q < modes_.size());
+  assert(x.size() == nstates_ && u.size() == nparams_);
+  linalg::Vector full(nvars());
+  std::copy(x.begin(), x.end(), full.begin());
+  std::copy(u.begin(), u.end(), full.begin() + static_cast<std::ptrdiff_t>(nstates_));
+  linalg::Vector dx(nstates_);
+  for (std::size_t i = 0; i < nstates_; ++i) dx[i] = modes_[q].flow[i].eval(full);
+  return dx;
+}
+
+linalg::Vector HybridSystem::apply_reset(std::size_t l, const linalg::Vector& x) const {
+  assert(l < jumps_.size());
+  const Jump& jump = jumps_[l];
+  if (jump.is_identity_reset()) return x;
+  linalg::Vector full(nvars(), 0.0);
+  std::copy(x.begin(), x.end(), full.begin());
+  linalg::Vector out(nstates_);
+  for (std::size_t i = 0; i < nstates_; ++i) out[i] = jump.reset[i].eval(full);
+  return out;
+}
+
+std::string HybridSystem::validate() const {
+  char buf[160];
+  if (modes_.empty()) return "no modes";
+  for (std::size_t q = 0; q < modes_.size(); ++q) {
+    const Mode& m = modes_[q];
+    if (m.flow.size() != nstates_) {
+      std::snprintf(buf, sizeof(buf), "mode %zu: flow has %zu components, expected %zu", q,
+                    m.flow.size(), nstates_);
+      return buf;
+    }
+    for (const poly::Polynomial& f : m.flow) {
+      if (!f.is_zero() && f.nvars() != nvars()) {
+        std::snprintf(buf, sizeof(buf), "mode %zu: flow over %zu vars, expected %zu", q,
+                      f.nvars(), nvars());
+        return buf;
+      }
+    }
+    if (!m.domain.empty() && m.domain.nvars() != nvars()) {
+      std::snprintf(buf, sizeof(buf), "mode %zu: domain over %zu vars, expected %zu", q,
+                    m.domain.nvars(), nvars());
+      return buf;
+    }
+  }
+  for (std::size_t l = 0; l < jumps_.size(); ++l) {
+    const Jump& jump = jumps_[l];
+    if (jump.from >= modes_.size() || jump.to >= modes_.size()) {
+      std::snprintf(buf, sizeof(buf), "jump %zu: mode index out of range", l);
+      return buf;
+    }
+    if (!jump.is_identity_reset() && jump.reset.size() != nstates_) {
+      std::snprintf(buf, sizeof(buf), "jump %zu: reset has %zu components, expected %zu", l,
+                    jump.reset.size(), nstates_);
+      return buf;
+    }
+  }
+  if (!nominal_params_.empty() && nominal_params_.size() != nparams_)
+    return "nominal parameter vector has wrong length";
+  return {};
+}
+
+namespace {
+
+void accumulate_box(const SemialgebraicSet& set, std::size_t nvars,
+                    std::vector<std::pair<double, double>>& box, std::vector<bool>& have_lo,
+                    std::vector<bool>& have_hi) {
+  for (const poly::Polynomial& g : set.constraints()) {
+    if (g.degree() != 1 || g.term_count() > 2) continue;
+    // Affine single-variable pattern g = c * x_i + d >= 0.
+    std::size_t var = nvars;
+    double c = 0.0;
+    bool single = true;
+    for (const auto& [m, coeff] : g.terms()) {
+      if (m.is_constant()) continue;
+      for (std::size_t i = 0; i < g.nvars(); ++i) {
+        if (m.exponent(i) > 0) {
+          if (var != nvars || i >= nvars) single = false;
+          var = i;
+          c = coeff;
+        }
+      }
+    }
+    if (!single || var >= nvars || c == 0.0) continue;
+    const double d = g.coefficient(poly::Monomial(g.nvars()));
+    const double bound = -d / c;
+    if (c > 0.0) {  // x >= bound
+      box[var].first = have_lo[var] ? std::min(box[var].first, bound) : bound;
+      have_lo[var] = true;
+    } else {  // x <= bound
+      box[var].second = have_hi[var] ? std::max(box[var].second, bound) : bound;
+      have_hi[var] = true;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<double, double>> estimate_box(const SemialgebraicSet& set,
+                                                    std::size_t nvars) {
+  std::vector<std::pair<double, double>> box(nvars, {-1.0, 1.0});
+  std::vector<bool> have_lo(nvars, false), have_hi(nvars, false);
+  accumulate_box(set, nvars, box, have_lo, have_hi);
+  return box;
+}
+
+std::vector<std::pair<double, double>> estimate_state_box(const HybridSystem& system) {
+  const std::size_t nstates = system.nstates();
+  std::vector<std::pair<double, double>> box(nstates, {-1.0, 1.0});
+  std::vector<bool> have_lo(nstates, false), have_hi(nstates, false);
+  for (const auto& mode : system.modes())
+    accumulate_box(mode.domain, nstates, box, have_lo, have_hi);
+  return box;
+}
+
+}  // namespace soslock::hybrid

@@ -1,0 +1,95 @@
+#pragma once
+// Hybrid dynamical systems in the Goebel-Sanfelice-Teel style used by the
+// paper (Sec. 2.1): a finite set of modes with polynomial flow maps f_q(x,u)
+// on flow-set domains C_q, and jumps with guard sets and polynomial resets.
+//
+// Variable-space convention: one shared polynomial variable space of size
+// nstates + nparams. Indices [0, nstates) are the continuous states x,
+// indices [nstates, nstates+nparams) are the uncertain parameters u.
+#include <string>
+#include <vector>
+
+#include "hybrid/semialgebraic.hpp"
+#include "poly/polynomial.hpp"
+
+namespace soslock::hybrid {
+
+struct Mode {
+  std::string name;
+  /// dx_i/dt = flow[i](x, u); size nstates, over the full variable space.
+  std::vector<poly::Polynomial> flow;
+  /// Flow set C_q (constraints typically involve only states).
+  SemialgebraicSet domain;
+  /// Mode belongs to I_0 (contains the equilibrium) in the sense of Th. 1.
+  bool contains_equilibrium = false;
+};
+
+struct Jump {
+  std::size_t from = 0, to = 0;
+  /// Guard set D_l; the jump may fire when the state is in it.
+  SemialgebraicSet guard;
+  /// x+ = reset[i](x); size nstates (identity if empty).
+  std::vector<poly::Polynomial> reset;
+  std::string name;
+
+  bool is_identity_reset() const { return reset.empty(); }
+};
+
+class HybridSystem {
+ public:
+  HybridSystem() : HybridSystem(0, 0) {}
+  HybridSystem(std::size_t nstates, std::size_t nparams);
+
+  std::size_t nstates() const { return nstates_; }
+  std::size_t nparams() const { return nparams_; }
+  /// Size of the shared polynomial variable space.
+  std::size_t nvars() const { return nstates_ + nparams_; }
+
+  std::size_t add_mode(Mode mode);
+  std::size_t add_jump(Jump jump);
+
+  const std::vector<Mode>& modes() const { return modes_; }
+  const std::vector<Jump>& jumps() const { return jumps_; }
+  Mode& mode(std::size_t q) { return modes_[q]; }
+  const Mode& mode(std::size_t q) const { return modes_[q]; }
+
+  /// Parameter constraint set {g(u) >= 0} over the full variable space.
+  void set_parameter_set(SemialgebraicSet set) { params_ = std::move(set); }
+  const SemialgebraicSet& parameter_set() const { return params_; }
+  /// Nominal parameter values (used by the simulator); length nparams.
+  void set_nominal_parameters(linalg::Vector u) { nominal_params_ = std::move(u); }
+  const linalg::Vector& nominal_parameters() const { return nominal_params_; }
+
+  void set_state_names(std::vector<std::string> names) { state_names_ = std::move(names); }
+  const std::vector<std::string>& state_names() const { return state_names_; }
+
+  /// Evaluate mode q's vector field at state x with parameters u.
+  linalg::Vector eval_flow(std::size_t q, const linalg::Vector& x,
+                           const linalg::Vector& u) const;
+  /// Apply jump l's reset to state x.
+  linalg::Vector apply_reset(std::size_t l, const linalg::Vector& x) const;
+
+    /// Check the structural invariants (sizes, variable spaces); returns a
+  /// human-readable problem description or empty string when consistent.
+  std::string validate() const;
+
+ private:
+  std::size_t nstates_, nparams_;
+  std::vector<Mode> modes_;
+  std::vector<Jump> jumps_;
+  SemialgebraicSet params_;
+  linalg::Vector nominal_params_;
+  std::vector<std::string> state_names_;
+};
+
+/// Per-variable interval bounds extracted from the affine constraints of a
+/// single semialgebraic set (unbounded directions default to [-1, 1]).
+std::vector<std::pair<double, double>> estimate_box(const SemialgebraicSet& set,
+                                                    std::size_t nvars);
+
+/// Per-state interval bounds extracted from affine mode-domain constraints
+/// (union over modes; unbounded directions default to [-1, 1]). Used as the
+/// integration box of volume-proxy objectives.
+std::vector<std::pair<double, double>> estimate_state_box(const HybridSystem& system);
+
+}  // namespace soslock::hybrid

@@ -1,0 +1,122 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace soslock::linalg {
+namespace {
+
+/// In-place attempt; returns false when a non-positive pivot appears.
+bool try_factor(const Matrix& a, double shift, Matrix& l) {
+  const std::size_t n = a.rows();
+  l = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j) + shift;
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (!(d > 0.0) || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      const double* li = l.row_ptr(i);
+      const double* lj = l.row_ptr(j);
+      for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
+      l(i, j) = s / ljj;
+    }
+  }
+  return true;
+}
+
+double diag_scale(const Matrix& a) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) m = std::max(m, std::fabs(a(i, i)));
+  return m > 0.0 ? m : 1.0;
+}
+
+}  // namespace
+
+std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  Cholesky c;
+  if (!try_factor(a, 0.0, c.l_)) return std::nullopt;
+  return c;
+}
+
+Cholesky Cholesky::factor_shifted(const Matrix& a, double initial_rel_shift) {
+  assert(a.rows() == a.cols());
+  const double scale = diag_scale(a);
+  Cholesky c;
+  double rel = initial_rel_shift;
+  if (try_factor(a, rel * scale, c.l_)) {
+    c.shift_ = rel * scale;
+    return c;
+  }
+  rel = rel > 0.0 ? rel * 10.0 : 1e-14;
+  while (rel < 1e6) {
+    if (try_factor(a, rel * scale, c.l_)) {
+      c.shift_ = rel * scale;
+      util::log_trace("Cholesky: applied diagonal shift ", c.shift_);
+      return c;
+    }
+    rel *= 10.0;
+  }
+  // Degenerate input (e.g. all-NaN): fall back to identity to avoid UB; the
+  // caller's residual checks will expose the failure.
+  util::log_warn("Cholesky: factorization failed even with large shift");
+  c.l_ = Matrix::identity(a.rows());
+  c.shift_ = rel * scale;
+  return c;
+}
+
+Vector Cholesky::solve_lower(const Vector& b) const {
+  const std::size_t n = l_.rows();
+  assert(b.size() == n);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    const double* li = l_.row_ptr(i);
+    for (std::size_t k = 0; k < i; ++k) s -= li[k] * y[k];
+    y[i] = s / li[i];
+  }
+  return y;
+}
+
+Vector Cholesky::solve_lower_transposed(const Vector& y) const {
+  const std::size_t n = l_.rows();
+  assert(y.size() == n);
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+Vector Cholesky::solve(const Vector& b) const { return solve_lower_transposed(solve_lower(b)); }
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  Matrix x(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    const Vector sol = solve(col);
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+  }
+  return x;
+}
+
+double Cholesky::log_det() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+bool is_positive_definite(const Matrix& a, double tol) {
+  Matrix l;
+  const double shift = tol * diag_scale(a);
+  return try_factor(a, shift, l);
+}
+
+}  // namespace soslock::linalg

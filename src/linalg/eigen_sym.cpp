@@ -1,0 +1,86 @@
+#include "linalg/eigen_sym.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace soslock::linalg {
+
+EigenSym eigen_sym(const Matrix& a, double tol, int max_sweeps) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+
+  auto off_norm = [&d, n]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += d(i, j) * d(i, j);
+    return std::sqrt(2.0 * s);
+  };
+
+  const double scale = std::max(frobenius_norm(d), 1e-300);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_norm() <= tol * scale) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = d(p, p), aqq = d(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply rotation J(p,q,theta) on both sides of D and accumulate in V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p), dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k), dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenvalues ascending, permute eigenvectors to match.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&d](std::size_t i, std::size_t j) { return d(i, i) < d(j, j); });
+
+  EigenSym out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = d(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+double min_eigenvalue(const Matrix& a) {
+  if (a.rows() == 0) return 0.0;
+  if (a.rows() == 1) return a(0, 0);
+  return eigen_sym(a).values.front();
+}
+
+Matrix sqrt_psd(const Matrix& a) {
+  const EigenSym es = eigen_sym(a);
+  const std::size_t n = a.rows();
+  Matrix sqrt_d(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    sqrt_d(i, i) = es.values[i] > 0.0 ? std::sqrt(es.values[i]) : 0.0;
+  return es.vectors * sqrt_d * es.vectors.transposed();
+}
+
+}  // namespace soslock::linalg

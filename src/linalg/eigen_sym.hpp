@@ -1,0 +1,24 @@
+#pragma once
+// Symmetric eigensolver (cyclic Jacobi). Used for:
+//  * exact maximum step length to the PSD cone boundary in the IPM,
+//  * Gram-matrix PSD margins in the independent certificate checker,
+//  * extracting SOS decompositions (square roots of Gram matrices).
+#include "linalg/matrix.hpp"
+
+namespace soslock::linalg {
+
+struct EigenSym {
+  Vector values;   // ascending
+  Matrix vectors;  // columns are eigenvectors, A = V diag(values) V^T
+};
+
+/// Full symmetric eigendecomposition via cyclic Jacobi rotations.
+EigenSym eigen_sym(const Matrix& a, double tol = 1e-12, int max_sweeps = 64);
+
+/// Smallest eigenvalue only (still runs Jacobi; convenience wrapper).
+double min_eigenvalue(const Matrix& a);
+
+/// Symmetric square root A^{1/2} (clamps tiny negative eigenvalues to 0).
+Matrix sqrt_psd(const Matrix& a);
+
+}  // namespace soslock::linalg

@@ -1,0 +1,91 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace soslock::linalg {
+
+std::optional<Lu> Lu::factor(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Lu f;
+  f.lu_ = a;
+  f.perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) f.perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting.
+    std::size_t piv = k;
+    double best = std::fabs(f.lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(f.lu_(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (!(best > 0.0) || !std::isfinite(best)) return std::nullopt;
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(f.lu_(k, j), f.lu_(piv, j));
+      std::swap(f.perm_[k], f.perm_[piv]);
+      f.sign_ = -f.sign_;
+    }
+    const double pivot = f.lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = f.lu_(i, k) / pivot;
+      f.lu_(i, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) f.lu_(i, j) -= m * f.lu_(k, j);
+    }
+  }
+  return f;
+}
+
+Vector Lu::solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  assert(b.size() == n);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    for (std::size_t k = 0; k < i; ++k) s -= lu_(i, k) * y[k];
+    y[i] = s;
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= lu_(ii, k) * x[k];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  Matrix x(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    const Vector sol = solve(col);
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+  }
+  return x;
+}
+
+double Lu::det() const {
+  double d = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+Vector solve(const Matrix& a, const Vector& b) {
+  auto f = Lu::factor(a);
+  if (!f) throw std::runtime_error("linalg::solve: singular matrix");
+  return f->solve(b);
+}
+
+Matrix inverse(const Matrix& a) {
+  auto f = Lu::factor(a);
+  if (!f) throw std::runtime_error("linalg::inverse: singular matrix");
+  return f->solve(Matrix::identity(a.rows()));
+}
+
+}  // namespace soslock::linalg

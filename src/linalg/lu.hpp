@@ -1,0 +1,32 @@
+#pragma once
+// LU factorization with partial pivoting, for general square solves
+// (jump-map composition, equilibrium computation, least-squares normal
+// equations fallback).
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace soslock::linalg {
+
+class Lu {
+ public:
+  /// Factor PA = LU. Returns nullopt when the matrix is numerically singular.
+  static std::optional<Lu> factor(const Matrix& a);
+
+  Vector solve(const Vector& b) const;
+  Matrix solve(const Matrix& b) const;
+  /// |det A|; sign tracked through the permutation parity.
+  double det() const;
+
+ private:
+  Matrix lu_;                  // packed L (unit diag, below) and U (on/above)
+  std::vector<std::size_t> perm_;
+  int sign_ = 1;
+};
+
+/// Solve A x = b, throwing std::runtime_error on singular input.
+Vector solve(const Matrix& a, const Vector& b);
+/// Inverse via LU; intended for small matrices only.
+Matrix inverse(const Matrix& a);
+
+}  // namespace soslock::linalg

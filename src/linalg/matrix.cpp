@@ -1,0 +1,232 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace soslock::linalg {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diag(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return {};
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols());
+    std::copy(rows[r].begin(), rows[r].end(), m.row_ptr(r));
+  }
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+void Matrix::symmetrize() {
+  assert(rows_ == cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      const double avg = 0.5 * ((*this)(r, c) + (*this)(c, r));
+      (*this)(r, c) = avg;
+      (*this)(c, r) = avg;
+    }
+}
+
+void Matrix::fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Matrix::scale(double s) {
+  for (double& x : data_) x *= s;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+void Matrix::axpy(double s, const Matrix& b) {
+  assert(rows_ == b.rows_ && cols_ == b.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * b.data_[i];
+}
+
+std::string Matrix::str(int precision) const {
+  std::string out;
+  char buf[64];
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out += "[ ";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      std::snprintf(buf, sizeof(buf), "% .*g ", precision, (*this)(r, c));
+      out += buf;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+Matrix operator+(Matrix a, const Matrix& b) {
+  a += b;
+  return a;
+}
+
+Matrix operator-(Matrix a, const Matrix& b) {
+  a -= b;
+  return a;
+}
+
+Matrix operator*(double s, Matrix a) {
+  a.scale(s);
+  return a;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* ci = c.row_ptr(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* bk = b.row_ptr(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  assert(a.cols() == x.size());
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row_ptr(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Vector transposed_times(const Matrix& a, const Vector& x) {
+  assert(a.rows() == x.size());
+  Vector y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* row = a.row_ptr(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
+  }
+  return y;
+}
+
+Matrix transposed_times(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* ak = a.row_ptr(k);
+    const double* bk = b.row_ptr(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = ak[i];
+      if (aki == 0.0) continue;
+      double* ci = c.row_ptr(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aki * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix times_transposed(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_ptr(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* bj = b.row_ptr(j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += ai[k] * bj[k];
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+double dot(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double acc = 0.0;
+  for (std::size_t i = 0, n = a.rows() * a.cols(); i < n; ++i) acc += pa[i] * pb[i];
+  return acc;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
+
+double norm_inf(const Vector& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double frobenius_norm(const Matrix& a) { return std::sqrt(dot(a, a)); }
+
+double norm_inf(const Matrix& a) {
+  double m = 0.0;
+  const double* p = a.data();
+  for (std::size_t i = 0, n = a.rows() * a.cols(); i < n; ++i) m = std::max(m, std::fabs(p[i]));
+  return m;
+}
+
+Vector operator+(Vector a, const Vector& b) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+  return a;
+}
+
+Vector operator-(Vector a, const Vector& b) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] -= b[i];
+  return a;
+}
+
+Vector operator*(double s, Vector a) {
+  for (double& x : a) x *= s;
+  return a;
+}
+
+void axpy(double s, const Vector& x, Vector& y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += s * x[i];
+}
+
+double max_abs_diff(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace soslock::linalg

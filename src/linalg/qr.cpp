@@ -1,0 +1,88 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+namespace soslock::linalg {
+
+Qr Qr::factor(const Matrix& a) {
+  assert(a.rows() >= a.cols());
+  Qr f;
+  f.qr_ = a;
+  const std::size_t m = a.rows(), n = a.cols();
+  f.tau_.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += f.qr_(i, k) * f.qr_(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;
+    const double alpha = f.qr_(k, k) >= 0.0 ? -norm : norm;
+    // v = x - alpha e1, normalized so v[k] = 1.
+    const double vk = f.qr_(k, k) - alpha;
+    if (vk == 0.0) {
+      f.qr_(k, k) = alpha;
+      continue;
+    }
+    for (std::size_t i = k + 1; i < m; ++i) f.qr_(i, k) /= vk;
+    f.tau_[k] = -vk / alpha;  // tau = 2 / (v^T v) with this normalization
+    f.qr_(k, k) = alpha;
+    // Apply reflector to remaining columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = f.qr_(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += f.qr_(i, k) * f.qr_(i, j);
+      s *= f.tau_[k];
+      f.qr_(k, j) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) f.qr_(i, j) -= f.qr_(i, k) * s;
+    }
+  }
+  return f;
+}
+
+Vector Qr::q_transpose_times(const Vector& b) const {
+  const std::size_t m = qr_.rows(), n = qr_.cols();
+  assert(b.size() == m);
+  Vector y = b;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (tau_[k] == 0.0) continue;
+    double s = y[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * y[i];
+    s *= tau_[k];
+    y[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) y[i] -= qr_(i, k) * s;
+  }
+  return y;
+}
+
+Vector Qr::solve_least_squares(const Vector& b) const {
+  const std::size_t n = qr_.cols();
+  Vector y = q_transpose_times(b);
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= qr_(ii, k) * x[k];
+    const double r = qr_(ii, ii);
+    x[ii] = std::fabs(r) > 1e-300 ? s / r : 0.0;
+  }
+  return x;
+}
+
+std::size_t Qr::rank(double rel_tol) const {
+  const std::size_t n = qr_.cols();
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i) max_diag = std::max(max_diag, std::fabs(qr_(i, i)));
+  if (max_diag == 0.0) return 0;
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (std::fabs(qr_(i, i)) > rel_tol * max_diag) ++r;
+  return r;
+}
+
+Matrix Qr::r() const {
+  const std::size_t n = qr_.cols();
+  Matrix r(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) r(i, j) = qr_(i, j);
+  return r;
+}
+
+}  // namespace soslock::linalg

@@ -1,0 +1,27 @@
+#pragma once
+// Householder QR used for least-squares solves (certificate fitting audits)
+// and rank estimation of SOS coefficient-matching systems.
+#include "linalg/matrix.hpp"
+
+namespace soslock::linalg {
+
+class Qr {
+ public:
+  /// Factor a (rows >= cols) as A = Q R.
+  static Qr factor(const Matrix& a);
+
+  /// Minimum-norm least-squares solution of min ||A x - b||_2.
+  Vector solve_least_squares(const Vector& b) const;
+  /// Numerical rank with relative tolerance on |R_ii|.
+  std::size_t rank(double rel_tol = 1e-10) const;
+  /// The upper-triangular factor (cols x cols).
+  Matrix r() const;
+  /// Apply Q^T to a vector of length rows().
+  Vector q_transpose_times(const Vector& b) const;
+
+ private:
+  Matrix qr_;          // Householder vectors below the diagonal, R on/above
+  Vector tau_;         // Householder scalars
+};
+
+}  // namespace soslock::linalg

@@ -1,0 +1,129 @@
+#include "pll/full_model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "pll/models.hpp"
+
+namespace soslock::pll {
+
+FullPllModel::FullPllModel(const Params& params, double gain_scale)
+    : constants_(derive_constants(params, resolve_gain_scale(params.order, gain_scale))),
+      nv_(params.order == 3 ? 2 : 3),
+      n_ref_(params.f_ref * constants_.t_scale) {
+  // Guard against a degenerate reference rate (the event machinery needs
+  // edges to arrive within the simulation horizon).
+  if (n_ref_ <= 0.0) n_ref_ = 1.0;
+}
+
+namespace {
+
+/// Loop-filter voltage derivatives with pump current sign s in {-1,0,1}.
+void filter_rhs(const LoopConstants& k, int s, const std::vector<double>& v,
+                std::vector<double>& dv) {
+  if (k.order == 3) {
+    dv[0] = k.a * (v[1] - v[0]);
+    dv[1] = (v[0] - v[1]) + k.rho * static_cast<double>(s);
+  } else {
+    dv[0] = k.a * (v[1] - v[0]);
+    dv[1] = (v[0] - v[1]) + k.beta * (v[2] - v[1]) + k.rho * static_cast<double>(s);
+    dv[2] = k.gamma * (v[1] - v[2]);
+  }
+}
+
+}  // namespace
+
+FullSimResult FullPllModel::simulate(const std::vector<double>& v0, double e0,
+                                     const FullSimOptions& options) const {
+  assert(v0.size() == nv_);
+  FullSimResult result;
+
+  std::vector<double> v = v0;
+  // Split the initial phase error across the two oscillator phases.
+  double theta_ref = e0 > 0.0 ? std::fmod(e0, 1.0) : 0.0;
+  double theta_vco = e0 < 0.0 ? std::fmod(-e0, 1.0) : 0.0;
+  double e = e0;
+  PfdState pfd = PfdState::Idle;
+  int edges = 0;
+  int slips = 0;
+  double tau = 0.0;
+  double hold_start = -1.0;
+  int step_count = 0;
+
+  const std::size_t ctl = nv_ - 1;  // VCO control voltage index (v2 or v3)
+  std::vector<double> dv(nv_), k1(nv_), k2(nv_), k3(nv_), k4(nv_), tmp(nv_);
+
+  auto record = [&]() {
+    result.trace.push_back({tau, v, e, pfd, edges});
+  };
+  record();
+
+  while (tau < options.tau_max) {
+    const int s = static_cast<int>(pfd);
+    // RK4 for the voltages (the pump state is constant within a step; edge
+    // events are localized to step boundaries, adequate at dt << period).
+    filter_rhs(constants_, s, v, k1);
+    for (std::size_t i = 0; i < nv_; ++i) tmp[i] = v[i] + 0.5 * options.dt * k1[i];
+    filter_rhs(constants_, s, tmp, k2);
+    for (std::size_t i = 0; i < nv_; ++i) tmp[i] = v[i] + 0.5 * options.dt * k2[i];
+    filter_rhs(constants_, s, tmp, k3);
+    for (std::size_t i = 0; i < nv_; ++i) tmp[i] = v[i] + options.dt * k3[i];
+    filter_rhs(constants_, s, tmp, k4);
+
+    const double n_vco = n_ref_ + constants_.kappa * v[ctl];  // cycles / unit time
+
+    for (std::size_t i = 0; i < nv_; ++i)
+      v[i] += options.dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    const double e_prev = e;
+    theta_ref += n_ref_ * options.dt;
+    theta_vco += n_vco * options.dt;
+    e += (n_ref_ - n_vco) * options.dt;
+    tau += options.dt;
+
+    if (std::floor(e_prev) != std::floor(e)) {
+      // Crossing an integer boundary away from 0 is a cycle slip.
+      if (std::fabs(e) > 1.0) ++slips;
+    }
+
+    // Edge events (order within one tiny step is immaterial).
+    if (theta_ref >= 1.0) {
+      theta_ref -= 1.0;
+      ++edges;
+      if (pfd == PfdState::Idle) {
+        pfd = PfdState::Up;
+      } else if (pfd == PfdState::Down) {
+        pfd = PfdState::Idle;
+      }
+      // Up stays Up: no cycle-slip accumulation in the tri-state model.
+    }
+    if (theta_vco >= 1.0) {
+      theta_vco -= 1.0;
+      ++edges;
+      if (pfd == PfdState::Idle) {
+        pfd = PfdState::Down;
+      } else if (pfd == PfdState::Up) {
+        pfd = PfdState::Idle;
+      }
+    }
+
+    // Lock detection with a hold window.
+    if (std::fabs(e) < options.e_tol && std::fabs(v[ctl]) < options.v_tol) {
+      if (hold_start < 0.0) hold_start = tau;
+      if (tau - hold_start >= options.hold) {
+        result.locked = true;
+        result.lock_time = hold_start;
+        record();
+        break;
+      }
+    } else {
+      hold_start = -1.0;
+    }
+
+    if (++step_count % options.record_stride == 0) record();
+  }
+  if (result.trace.back().tau != tau) record();
+  result.cycle_slips = slips;
+  return result;
+}
+
+}  // namespace soslock::pll

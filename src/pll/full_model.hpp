@@ -1,0 +1,64 @@
+#pragma once
+// Faithful (non-reduced) behavioural CP PLL simulator: explicit reference and
+// VCO phases in [0,1) with a tri-state PFD driven by rising-edge events,
+// exactly the mechanism the paper's Eq. 2 abstracts. The reduced hybrid model
+// is what gets *certified*; this model is what gets *simulated* to validate
+// that the certified statements hold for the real event-driven circuit.
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pll/params.hpp"
+
+namespace soslock::pll {
+
+/// Tri-state phase-frequency detector state.
+enum class PfdState { Down = -1, Idle = 0, Up = 1 };
+
+struct FullTracePoint {
+  double tau = 0.0;          // normalized time (units of R*C2)
+  std::vector<double> v;     // loop filter voltages (shifted, v~ = v - v2*)
+  double e = 0.0;            // accumulated phase error in cycles
+  PfdState pfd = PfdState::Idle;
+  int edges = 0;             // total number of PFD edge events so far
+};
+
+struct FullSimOptions {
+  double dt = 5e-4;          // integration step (normalized time)
+  double tau_max = 200.0;
+  /// Lock detection: |e| < e_tol and |v_ctl| < v_tol persistently for
+  /// `hold` normalized time units.
+  double e_tol = 0.02;
+  double v_tol = 0.05;
+  double hold = 5.0;
+  int record_stride = 16;
+};
+
+struct FullSimResult {
+  std::vector<FullTracePoint> trace;
+  bool locked = false;
+  double lock_time = -1.0;   // normalized time when the hold window started
+  int cycle_slips = 0;       // |e| crossed an integer boundary
+};
+
+class FullPllModel {
+ public:
+  /// `gain_scale` must match the reduced model for comparable trajectories
+  /// (0 = the same auto default as pll::ModelOptions).
+  explicit FullPllModel(const Params& params, double gain_scale = 0.0);
+
+  const LoopConstants& constants() const { return constants_; }
+  std::size_t num_voltages() const { return nv_; }
+
+  /// Simulate from shifted voltages v0 (size = num_voltages) and initial
+  /// phase error e0 (cycles; fractional part splits into the two phases).
+  FullSimResult simulate(const std::vector<double>& v0, double e0,
+                         const FullSimOptions& options = {}) const;
+
+ private:
+  LoopConstants constants_;
+  std::size_t nv_;
+  double n_ref_;  // reference phase rate in cycles per normalized time unit
+};
+
+}  // namespace soslock::pll

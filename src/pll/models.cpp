@@ -1,0 +1,255 @@
+#include "pll/models.hpp"
+
+#include <cassert>
+
+namespace soslock::pll {
+
+using hybrid::HybridSystem;
+using hybrid::Jump;
+using hybrid::Mode;
+using hybrid::SemialgebraicSet;
+using poly::Polynomial;
+
+namespace {
+
+/// Flow field of the loop filter + VCO with pump term `pump` (a polynomial in
+/// the shared variable space: 0, +u, -u, +rho*e, ...).
+std::vector<Polynomial> loop_flow(const LoopConstants& k, std::size_t nvars,
+                                  const Polynomial& pump) {
+  std::vector<Polynomial> f;
+  const auto var = [nvars](std::size_t i) { return Polynomial::variable(nvars, i); };
+  if (k.order == 3) {
+    // x = (v1, v2, e)
+    f.push_back(k.a * (var(1) - var(0)));
+    f.push_back((var(0) - var(1)) + pump);
+    f.push_back(-k.kappa * var(1));
+  } else {
+    // x = (v1, v2, v3, e); VCO driven from the extra RC node v3.
+    f.push_back(k.a * (var(1) - var(0)));
+    f.push_back((var(0) - var(1)) + k.beta * (var(2) - var(1)) + pump);
+    f.push_back(k.gamma * (var(1) - var(2)));
+    f.push_back(-k.kappa * var(2));
+  }
+  return f;
+}
+
+SemialgebraicSet voltage_box(std::size_t nvars, std::size_t nv, double v_box) {
+  SemialgebraicSet s(nvars);
+  for (std::size_t i = 0; i < nv; ++i) s.add_interval(i, -v_box, v_box);
+  return s;
+}
+
+}  // namespace
+
+double resolve_gain_scale(int order, double gain_scale) {
+  if (gain_scale > 0.0) return gain_scale;
+  // Defaults chosen so (i) the averaged loop is Hurwitz-stable and (ii) the
+  // event-driven loop respects Gardner's limit: the per-reference-period
+  // phase correction kappa*rho*T_ref^2 stays below ~0.5, otherwise the
+  // sampled bang-bang loop cycle-slips even though the continuized model is
+  // stable. See DESIGN.md ("substitutions") for the unit-interpretation
+  // discussion.
+  return order == 3 ? 0.02 : 3e-4;
+}
+
+ReducedModel make_reduced(const Params& params, const ModelOptions& options) {
+  ReducedModel model;
+  model.order = params.order;
+  model.constants =
+      derive_constants(params, resolve_gain_scale(params.order, options.gain_scale));
+  model.options = options;
+  const LoopConstants& k = model.constants;
+
+  const std::size_t nstates = params.order == 3 ? 3 : 4;
+  const std::size_t nparams = options.uncertain_pump ? 1 : 0;
+  const std::size_t nvars = nstates + nparams;
+  const std::size_t nv = nstates - 1;  // number of voltage states
+  model.e_index = nstates - 1;
+
+  HybridSystem sys(nstates, nparams);
+  {
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < nv; ++i) names.push_back("v" + std::to_string(i + 1));
+    names.push_back("e");
+    if (nparams > 0) names.push_back("u_pump");
+    sys.set_state_names(names);
+  }
+
+  const Polynomial zero(nvars);
+  // Normalized uncertainty: pump magnitude rho_nom + rho_rad * u with
+  // u in [-1, 1] (centering/scaling keeps the SDP data well conditioned).
+  const double rho_rad = 0.5 * (k.rho_hi - k.rho_lo);
+  const Polynomial pump_mag =
+      options.uncertain_pump
+          ? Polynomial::constant(nvars, k.rho) +
+                rho_rad * Polynomial::variable(nvars, nstates)
+          : Polynomial::constant(nvars, k.rho);
+
+  // Mode domains: C_idle = {|e| <= e_box}, C_up = {0 <= e <= e_pump_max},
+  // C_down = {-e_pump_max <= e <= 0}; all within the voltage box.
+  const SemialgebraicSet vbox = voltage_box(nvars, nv, options.v_box);
+
+  Mode idle;
+  idle.name = "idle";
+  idle.flow = loop_flow(k, nvars, zero);
+  idle.domain = vbox;
+  idle.domain.add_interval(model.e_index, -options.e_box, options.e_box);
+  idle.contains_equilibrium = true;
+  model.mode_idle = sys.add_mode(std::move(idle));
+
+  Mode up;
+  up.name = "up";
+  up.flow = loop_flow(k, nvars, pump_mag);
+  up.domain = vbox;
+  up.domain.add_interval(model.e_index, 0.0, options.e_pump_max);
+  model.mode_up = sys.add_mode(std::move(up));
+
+  Mode down;
+  down.name = "down";
+  down.flow = loop_flow(k, nvars, -1.0 * pump_mag);
+  down.domain = vbox;
+  down.domain.add_interval(model.e_index, -options.e_pump_max, 0.0);
+  model.mode_down = sys.add_mode(std::move(down));
+
+  // Jumps (identity resets, Remark 1). Guards: the reference (resp. VCO)
+  // wrap can occur anywhere with the corresponding sign of e, within one
+  // period of lock.
+  auto guard_on_e = [&](double lo, double hi) {
+    SemialgebraicSet g = vbox;
+    g.add_interval(model.e_index, lo, hi);
+    return g;
+  };
+  sys.add_jump({model.mode_idle, model.mode_up, guard_on_e(0.0, options.e_box), {},
+                "ref-wrap(idle->up)"});
+  sys.add_jump({model.mode_up, model.mode_idle, guard_on_e(0.0, options.e_box), {},
+                "vco-wrap(up->idle)"});
+  sys.add_jump({model.mode_idle, model.mode_down, guard_on_e(-options.e_box, 0.0), {},
+                "vco-wrap(idle->down)"});
+  sys.add_jump({model.mode_down, model.mode_idle, guard_on_e(-options.e_box, 0.0), {},
+                "ref-wrap(down->idle)"});
+
+  if (options.uncertain_pump) {
+    SemialgebraicSet pset(nvars);
+    pset.add_interval(nstates, -1.0, 1.0);
+    sys.set_parameter_set(std::move(pset));
+    sys.set_nominal_parameters({0.0});
+  }
+
+  model.system = std::move(sys);
+  assert(model.system.validate().empty());
+  return model;
+}
+
+ReducedModel make_averaged(const Params& params, const ModelOptions& options) {
+  ReducedModel model;
+  model.order = params.order;
+  model.constants =
+      derive_constants(params, resolve_gain_scale(params.order, options.gain_scale));
+  model.options = options;
+  const LoopConstants& k = model.constants;
+
+  const std::size_t nstates = params.order == 3 ? 3 : 4;
+  const bool has_ripple = options.ripple_bound > 0.0;
+  const std::size_t nparams =
+      (options.uncertain_pump ? 1u : 0u) + (has_ripple ? 1u : 0u);
+  const std::size_t nvars = nstates + nparams;
+  const std::size_t nv = nstates - 1;
+  model.e_index = nstates - 1;
+  const std::size_t pump_var = nstates;                              // if uncertain
+  const std::size_t ripple_var = nstates + (options.uncertain_pump ? 1 : 0);
+
+  HybridSystem sys(nstates, nparams);
+  {
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < nv; ++i) names.push_back("v" + std::to_string(i + 1));
+    names.push_back("e");
+    if (options.uncertain_pump) names.push_back("u_pump");
+    if (has_ripple) names.push_back("w");
+    sys.set_state_names(names);
+  }
+
+  // Average pump current over one reference period: duty cycle |e| with the
+  // sign of e, i.e. pump = rho * e (valid for |e| <= 1), plus the bounded
+  // continuization ripple w. Uncertainties are normalized to [-1, 1].
+  const Polynomial e_poly = Polynomial::variable(nvars, model.e_index);
+  const double rho_rad = 0.5 * (k.rho_hi - k.rho_lo);
+  Polynomial pump =
+      options.uncertain_pump
+          ? (Polynomial::constant(nvars, k.rho) +
+             rho_rad * Polynomial::variable(nvars, pump_var)) *
+                e_poly
+          : k.rho * e_poly;
+  if (has_ripple) pump += options.ripple_bound * Polynomial::variable(nvars, ripple_var);
+
+  Mode avg;
+  avg.name = "averaged";
+  avg.flow = loop_flow(k, nvars, pump);
+  avg.domain = voltage_box(nvars, nv, options.v_box);
+  avg.domain.add_interval(model.e_index, -options.e_box, options.e_box);
+  avg.contains_equilibrium = true;
+  model.mode_idle = model.mode_up = model.mode_down = sys.add_mode(std::move(avg));
+
+  if (nparams > 0) {
+    SemialgebraicSet pset(nvars);
+    linalg::Vector nominal;
+    if (options.uncertain_pump) {
+      pset.add_interval(pump_var, -1.0, 1.0);
+      nominal.push_back(0.0);
+    }
+    if (has_ripple) {
+      pset.add_interval(ripple_var, -1.0, 1.0);
+      nominal.push_back(0.0);
+    }
+    sys.set_parameter_set(std::move(pset));
+    sys.set_nominal_parameters(std::move(nominal));
+  }
+
+  model.system = std::move(sys);
+  assert(model.system.validate().empty());
+  return model;
+}
+
+ReducedModel make_averaged_vertices(const Params& params, const ModelOptions& options) {
+  ModelOptions nominal = options;
+  nominal.uncertain_pump = false;
+  nominal.ripple_bound = 0.0;
+  ReducedModel model = make_averaged(params, nominal);
+  const LoopConstants& k = model.constants;
+  const std::size_t nvars = model.system.nvars();
+  const Polynomial e_poly = Polynomial::variable(nvars, model.e_index);
+
+  // Rebuild as a two-mode system: one vertex of the Ip interval per mode.
+  HybridSystem sys(model.system.nstates(), 0);
+  sys.set_state_names(model.system.state_names());
+  for (const double rho : {k.rho_lo, k.rho_hi}) {
+    Mode m;
+    m.name = rho == k.rho_lo ? "pump-lo" : "pump-hi";
+    m.flow = loop_flow(k, nvars, rho * e_poly);
+    m.domain = model.system.modes().front().domain;
+    m.contains_equilibrium = true;
+    sys.add_mode(std::move(m));
+  }
+  // The "switching" between vertices is arbitrary (the true Ip is fixed but
+  // unknown): identity jumps over the shared domain in both directions.
+  const hybrid::SemialgebraicSet guard = sys.modes().front().domain;
+  sys.add_jump({0, 1, guard, {}, "vertex-lo->hi"});
+  sys.add_jump({1, 0, guard, {}, "vertex-hi->lo"});
+  model.system = std::move(sys);
+  model.mode_idle = model.mode_up = model.mode_down = 0;
+  assert(model.system.validate().empty());
+  return model;
+}
+
+linalg::Matrix averaged_state_matrix(const LoopConstants& k) {
+  if (k.order == 3) {
+    return linalg::Matrix::from_rows({{-k.a, k.a, 0.0},
+                                      {1.0, -1.0, k.rho},
+                                      {0.0, -k.kappa, 0.0}});
+  }
+  return linalg::Matrix::from_rows({{-k.a, k.a, 0.0, 0.0},
+                                    {1.0, -(1.0 + k.beta), k.beta, k.rho},
+                                    {0.0, k.gamma, -k.gamma, 0.0},
+                                    {0.0, 0.0, -k.kappa, 0.0}});
+}
+
+}  // namespace soslock::pll

@@ -1,0 +1,65 @@
+#pragma once
+// Reduced-coordinate hybrid models of the CP PLL (the paper's Eq. 2/3 after
+// the Remark-1 change of variables), plus the averaged (continuized) variant.
+//
+// States (shifted so the lock point is the origin, time normalized by R*C2):
+//   order 3:  x = (v1~, v2~, e)          e = (phi_ref - phi_vco)/2pi
+//   order 4:  x = (v1~, v2~, v3~, e)
+// Modes: idle (pump off), up (pump +Ip), down (pump -Ip); all jumps carry
+// identity resets (Remark 1).
+#include "hybrid/system.hpp"
+#include "pll/params.hpp"
+
+namespace soslock::pll {
+
+struct ModelOptions {
+  double v_box = 8.0;        // voltage box |v_i~| <= v_box (volts)
+  double e_box = 1.0;        // idle-mode |e| bound (cycles; one period)
+  double e_pump_max = 2.0;   // pump-mode outer |e| bound (no cycle slip)
+  bool uncertain_pump = true;   // model the Ip interval as a parameter u0
+  /// Averaged model only: bound on the continuization (ripple) disturbance w
+  /// added to v2' (|w| <= ripple_bound, a second uncertain parameter). This
+  /// soundly covers the gap between the instantaneous bang-bang pump and its
+  /// duty-cycle average; 0 disables it.
+  double ripple_bound = 0.0;
+  /// Multiplies kappa. 0 = auto (0.02 for order 3, 3e-4 for order 4): the
+  /// raw Table-1 MHz/V reading puts the loop bandwidth at/above f_ref
+  /// (violating Gardner's limit, so the event-driven loop cycle-slips) and,
+  /// for order 4, also above the extra RC pole (unstable even averaged). The
+  /// paper does not print its 4th-order A matrix or Kv units; see DESIGN.md.
+  double gain_scale = 0.0;
+};
+
+/// The effective gain scale after resolving the auto (0) default.
+double resolve_gain_scale(int order, double gain_scale);
+
+/// A built reduced model with its metadata.
+struct ReducedModel {
+  hybrid::HybridSystem system;
+  std::size_t mode_idle = 0, mode_up = 1, mode_down = 2;
+  LoopConstants constants;
+  ModelOptions options;
+  int order = 3;
+  /// Index of the phase-error state e within the state vector.
+  std::size_t e_index = 0;
+};
+
+/// Build the 3-mode reduced hybrid model (order taken from `params`).
+ReducedModel make_reduced(const Params& params, const ModelOptions& options = {});
+
+/// Averaged (continuized) single-mode model: the pump current is replaced by
+/// its duty-cycle average Ip*e. Linear flow; used as the strictly
+/// asymptotically stable companion model (see the DESIGN.md rigor note).
+ReducedModel make_averaged(const Params& params, const ModelOptions& options = {});
+
+/// Vertex-enumeration robust variant of the averaged model: instead of an
+/// uncertain parameter boxed by the S-procedure, one mode per extreme pump
+/// value {Ip_lo, Ip_hi} sharing the domain. A common certificate over both
+/// modes is equivalent to interval robustness because the flow is affine in
+/// Ip (ablation of the S-procedure parameter handling).
+ReducedModel make_averaged_vertices(const Params& params, const ModelOptions& options = {});
+
+/// The closed-loop averaged state matrix (for analysis and tests).
+linalg::Matrix averaged_state_matrix(const LoopConstants& k);
+
+}  // namespace soslock::pll

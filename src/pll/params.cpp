@@ -1,0 +1,71 @@
+#include "pll/params.hpp"
+
+#include <cstdio>
+
+namespace soslock::pll {
+
+Params Params::paper_third_order() {
+  Params p;
+  p.order = 3;
+  p.c1 = {1.98e-12, 2.2e-12};
+  p.c2 = {6.1e-12, 6.4e-12};
+  p.r = {7.8e3, 8.2e3};
+  p.ip = {495e-6, 505e-6};
+  p.kv = {198.0, 202.0};
+  p.f_ref = 27e6;
+  p.f_c = 27e9;  // with the /1000 divider folded into kv and f_c/N = 27 MHz
+  return p;
+}
+
+Params Params::paper_fourth_order() {
+  Params p;
+  p.order = 4;
+  p.c1 = {29e-12, 31e-12};
+  p.c2 = {3.2e-12, 3.4e-12};
+  p.c3 = {1.8e-12, 2.2e-12};
+  p.r = {48e3, 52e3};
+  p.r2 = {7e3, 9e3};
+  p.ip = {395e-6, 405e-6};
+  p.kv = {495.0, 502.0};
+  p.f_ref = 5e6;
+  p.f_c = 5e6;
+  return p;
+}
+
+std::string Params::str() const {
+  char buf[512];
+  if (order == 3) {
+    std::snprintf(buf, sizeof(buf),
+                  "order-3 CP PLL: C1=[%.3g,%.3g]F C2=[%.3g,%.3g]F R=[%.3g,%.3g]Ohm "
+                  "Ip=[%.3g,%.3g]A Kv=[%.4g,%.4g]MHz/V fref=%.3gHz",
+                  c1.lo, c1.hi, c2.lo, c2.hi, r.lo, r.hi, ip.lo, ip.hi, kv.lo, kv.hi, f_ref);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "order-4 CP PLL: C1=[%.3g,%.3g]F C2=[%.3g,%.3g]F C3=[%.3g,%.3g]F "
+                  "R=[%.3g,%.3g]Ohm R2=[%.3g,%.3g]Ohm Ip=[%.3g,%.3g]A Kv=[%.4g,%.4g]MHz/V "
+                  "fref=%.3gHz",
+                  c1.lo, c1.hi, c2.lo, c2.hi, c3.lo, c3.hi, r.lo, r.hi, r2.lo, r2.hi, ip.lo,
+                  ip.hi, kv.lo, kv.hi, f_ref);
+  }
+  return buf;
+}
+
+LoopConstants derive_constants(const Params& p, double gain_scale) {
+  LoopConstants k;
+  k.order = p.order;
+  const double r = p.r.mid();
+  const double c2 = p.c2.mid();
+  k.t_scale = r * c2;
+  k.a = c2 / p.c1.mid();
+  k.rho = p.ip.mid() * r;
+  k.rho_lo = p.ip.lo * r;
+  k.rho_hi = p.ip.hi * r;
+  k.kappa = p.kv.mid() * 1e6 * k.t_scale * gain_scale;
+  if (p.order == 4) {
+    k.beta = r / p.r2.mid();
+    k.gamma = k.t_scale / (p.r2.mid() * p.c3.mid());
+  }
+  return k;
+}
+
+}  // namespace soslock::pll

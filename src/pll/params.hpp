@@ -1,0 +1,53 @@
+#pragma once
+// Charge-pump PLL circuit parameters (the paper's Table 1) and the derived
+// nondimensional loop constants used by every model in this library.
+#include <string>
+
+namespace soslock::pll {
+
+struct Interval {
+  double lo = 0.0, hi = 0.0;
+  double mid() const { return 0.5 * (lo + hi); }
+  double radius() const { return 0.5 * (hi - lo); }
+  bool contains(double v) const { return v >= lo && v <= hi; }
+};
+
+/// Raw circuit parameters in SI units. `kv` is the *effective* VCO gain seen
+/// by the phase detector (Hz per volt on the feedback path; any divider is
+/// folded in — the paper's Table 1 lists Kv without units, we interpret the
+/// listed numbers as MHz/V, see DESIGN.md).
+struct Params {
+  int order = 3;          // 3 or 4
+  Interval c1, c2, c3;    // farads (c3 used only for order 4)
+  Interval r, r2;         // ohms   (r2 used only for order 4)
+  Interval ip;            // amperes (charge pump current)
+  Interval kv;            // MHz per volt (Table 1 numbers)
+  double f_ref = 0.0;     // Hz, reference frequency
+  double f_c = 0.0;       // Hz, VCO free-running frequency (feedback path)
+
+  /// Table 1, third-order column.
+  static Params paper_third_order();
+  /// Table 1, fourth-order column.
+  static Params paper_fourth_order();
+
+  std::string str() const;
+};
+
+/// Nondimensional loop constants. Time unit T = R*C2 (nominal); voltages stay
+/// in volts; phases in cycles (normalized by 2*pi as in the paper).
+struct LoopConstants {
+  double t_scale = 0.0;  // seconds per normalized time unit (R*C2)
+  double a = 0.0;        // C2/C1          (v1 relaxation)
+  double beta = 0.0;     // R/R2           (order 4 only, else 0)
+  double gamma = 0.0;    // R*C2/(R2*C3)   (order 4 only, else 0)
+  double rho = 0.0;      // Ip*R           (pump step, volts per unit time)
+  double rho_lo = 0.0, rho_hi = 0.0;  // from the Ip interval
+  double kappa = 0.0;    // Kv*T           (cycles per volt per unit time)
+  int order = 3;
+};
+
+/// Derive nominal (midpoint) loop constants; `gain_scale` multiplies kappa
+/// (units-interpretation knob, documented in DESIGN.md).
+LoopConstants derive_constants(const Params& p, double gain_scale = 1.0);
+
+}  // namespace soslock::pll

@@ -1,0 +1,87 @@
+#include "poly/basis.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace soslock::poly {
+namespace {
+
+void enumerate(std::size_t nvars, unsigned max_deg, std::size_t var, unsigned used,
+               std::vector<std::uint8_t>& current, std::vector<Monomial>& out) {
+  if (var == nvars) {
+    out.emplace_back(current);
+    return;
+  }
+  for (unsigned e = 0; e + used <= max_deg; ++e) {
+    current[var] = static_cast<std::uint8_t>(e);
+    enumerate(nvars, max_deg, var + 1, used + e, current, out);
+  }
+  current[var] = 0;
+}
+
+}  // namespace
+
+std::vector<Monomial> monomials_up_to(std::size_t nvars, unsigned max_deg, unsigned min_deg) {
+  std::vector<Monomial> all;
+  std::vector<std::uint8_t> current(nvars, 0);
+  enumerate(nvars, max_deg, 0, 0, current, all);
+  std::vector<Monomial> out;
+  out.reserve(all.size());
+  for (const Monomial& m : all)
+    if (m.degree() >= min_deg) out.push_back(m);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t monomial_count(std::size_t nvars, unsigned max_deg) {
+  // C(nvars + max_deg, max_deg)
+  std::size_t num = 1;
+  for (unsigned i = 1; i <= max_deg; ++i) {
+    num = num * (nvars + i) / i;  // exact: product of consecutive integers divisible
+  }
+  return num;
+}
+
+SupportInfo support_info(const Polynomial& p) {
+  SupportInfo info;
+  info.max_degree = p.degree();
+  info.min_degree = p.min_degree();
+  info.max_degree_per_var.assign(p.nvars(), 0);
+  for (const auto& [m, c] : p.terms())
+    for (std::size_t i = 0; i < p.nvars(); ++i)
+      info.max_degree_per_var[i] = std::max(info.max_degree_per_var[i], m.exponent(i));
+  return info;
+}
+
+SupportInfo support_info(const PolyLin& p) {
+  SupportInfo info;
+  info.min_degree = ~0u;
+  info.max_degree_per_var.assign(p.nvars(), 0);
+  for (const auto& [m, e] : p.terms()) {
+    info.max_degree = std::max(info.max_degree, m.degree());
+    info.min_degree = std::min(info.min_degree, m.degree());
+    for (std::size_t i = 0; i < p.nvars(); ++i)
+      info.max_degree_per_var[i] = std::max(info.max_degree_per_var[i], m.exponent(i));
+  }
+  if (info.min_degree == ~0u) info.min_degree = 0;
+  return info;
+}
+
+std::vector<Monomial> gram_basis(std::size_t nvars, const SupportInfo& info, bool prune) {
+  const unsigned lo = (info.min_degree + 1) / 2;  // ceil(min/2)
+  const unsigned hi = info.max_degree / 2;        // floor(max/2)
+  std::vector<Monomial> base = monomials_up_to(nvars, hi, prune ? lo : 0);
+  if (!prune) return base;
+  std::vector<Monomial> out;
+  out.reserve(base.size());
+  for (const Monomial& m : base) {
+    bool keep = true;
+    for (std::size_t i = 0; i < nvars && keep; ++i) {
+      if (2 * m.exponent(i) > info.max_degree_per_var[i]) keep = false;
+    }
+    if (keep) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace soslock::poly

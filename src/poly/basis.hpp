@@ -1,0 +1,38 @@
+#pragma once
+// Monomial basis construction for Gram (SOS) parametrizations, including the
+// sound degree/box pruning derived from the Newton polytope property:
+// if p = sum q_k^2 then every monomial of q_k lies in (1/2) Newton(p), hence
+//   mindeg(p)/2 <= deg(m) <= deg(p)/2  and  2*deg_{x_i}(m) <= deg_{x_i}(p).
+#include <vector>
+
+#include "poly/monomial.hpp"
+#include "poly/poly_lin.hpp"
+#include "poly/polynomial.hpp"
+
+namespace soslock::poly {
+
+/// All monomials in `nvars` variables with total degree in [min_deg, max_deg],
+/// in graded-lex order.
+std::vector<Monomial> monomials_up_to(std::size_t nvars, unsigned max_deg, unsigned min_deg = 0);
+
+/// Number of monomials of degree <= d in n variables: C(n+d, d).
+std::size_t monomial_count(std::size_t nvars, unsigned max_deg);
+
+/// Structural support description of a polynomial whose Gram basis we need.
+struct SupportInfo {
+  unsigned max_degree = 0;
+  unsigned min_degree = 0;
+  std::vector<unsigned> max_degree_per_var;  // size nvars
+};
+
+SupportInfo support_info(const Polynomial& p);
+/// For a PolyLin, the support is the union over all (possibly active) terms.
+SupportInfo support_info(const PolyLin& p);
+
+/// Gram basis for an SOS representation of a polynomial with the given
+/// support: monomials m with mindeg/2 <= deg(m) <= maxdeg/2 (ceil/floor) and
+/// per-variable exponents at most floor(deg_{x_i}/2). Sound per the Newton
+/// polytope bounding box; `prune=false` keeps the full degree-range basis.
+std::vector<Monomial> gram_basis(std::size_t nvars, const SupportInfo& info, bool prune = true);
+
+}  // namespace soslock::poly

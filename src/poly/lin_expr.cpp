@@ -1,0 +1,81 @@
+#include "poly/lin_expr.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace soslock::poly {
+
+LinExpr LinExpr::variable(int var, double coeff) {
+  LinExpr e;
+  if (coeff != 0.0) e.coeffs_[var] = coeff;
+  return e;
+}
+
+LinExpr LinExpr::operator-() const {
+  LinExpr e;
+  e.constant_ = -constant_;
+  for (const auto& [v, c] : coeffs_) e.coeffs_[v] = -c;
+  return e;
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& other) {
+  constant_ += other.constant_;
+  for (const auto& [v, c] : other.coeffs_) {
+    const double updated = (coeffs_[v] += c);
+    if (updated == 0.0) coeffs_.erase(v);
+  }
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& other) {
+  *this += -other;
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(double s) {
+  if (s == 0.0) {
+    constant_ = 0.0;
+    coeffs_.clear();
+    return *this;
+  }
+  constant_ *= s;
+  for (auto& [v, c] : coeffs_) c *= s;
+  return *this;
+}
+
+double LinExpr::eval(const linalg::Vector& values) const {
+  double acc = constant_;
+  for (const auto& [v, c] : coeffs_) {
+    assert(static_cast<std::size_t>(v) < values.size());
+    acc += c * values[static_cast<std::size_t>(v)];
+  }
+  return acc;
+}
+
+std::string LinExpr::str() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", constant_);
+  std::string out = buf;
+  for (const auto& [v, c] : coeffs_) {
+    std::snprintf(buf, sizeof(buf), " %+g*d%d", c, v);
+    out += buf;
+  }
+  return out;
+}
+
+LinExpr operator+(LinExpr a, const LinExpr& b) {
+  a += b;
+  return a;
+}
+
+LinExpr operator-(LinExpr a, const LinExpr& b) {
+  a -= b;
+  return a;
+}
+
+LinExpr operator*(double s, LinExpr a) {
+  a *= s;
+  return a;
+}
+
+}  // namespace soslock::poly

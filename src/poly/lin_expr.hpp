@@ -1,0 +1,43 @@
+#pragma once
+// Affine expressions c0 + sum_k a_k * d_k in scalar *decision variables* d_k
+// (not the polynomial indeterminates). These are the coefficient entries of
+// unknown polynomials in an SOS program.
+#include <map>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace soslock::poly {
+
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /*implicit*/ LinExpr(double constant) : constant_(constant) {}
+
+  static LinExpr variable(int var, double coeff = 1.0);
+
+  double constant() const { return constant_; }
+  const std::map<int, double>& coeffs() const { return coeffs_; }
+  bool is_constant() const { return coeffs_.empty(); }
+  bool is_zero() const { return coeffs_.empty() && constant_ == 0.0; }
+
+  LinExpr operator-() const;
+  LinExpr& operator+=(const LinExpr& other);
+  LinExpr& operator-=(const LinExpr& other);
+  LinExpr& operator*=(double s);
+
+  /// Evaluate given decision-variable values (indexed by variable id).
+  double eval(const linalg::Vector& values) const;
+
+  std::string str() const;
+
+ private:
+  double constant_ = 0.0;
+  std::map<int, double> coeffs_;
+};
+
+LinExpr operator+(LinExpr a, const LinExpr& b);
+LinExpr operator-(LinExpr a, const LinExpr& b);
+LinExpr operator*(double s, LinExpr a);
+
+}  // namespace soslock::poly

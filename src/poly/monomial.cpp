@@ -1,0 +1,73 @@
+#include "poly/monomial.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace soslock::poly {
+
+Monomial Monomial::variable(std::size_t nvars, std::size_t var, unsigned power) {
+  assert(var < nvars);
+  Monomial m(nvars);
+  m.exps_[var] = static_cast<std::uint8_t>(power);
+  return m;
+}
+
+unsigned Monomial::degree() const {
+  unsigned d = 0;
+  for (std::uint8_t e : exps_) d += e;
+  return d;
+}
+
+Monomial Monomial::operator*(const Monomial& other) const {
+  assert(nvars() == other.nvars());
+  Monomial m(*this);
+  for (std::size_t i = 0; i < exps_.size(); ++i)
+    m.exps_[i] = static_cast<std::uint8_t>(m.exps_[i] + other.exps_[i]);
+  return m;
+}
+
+bool Monomial::divides(const Monomial& other) const {
+  assert(nvars() == other.nvars());
+  for (std::size_t i = 0; i < exps_.size(); ++i)
+    if (exps_[i] > other.exps_[i]) return false;
+  return true;
+}
+
+double Monomial::eval(const linalg::Vector& x) const {
+  assert(x.size() >= exps_.size());
+  double v = 1.0;
+  for (std::size_t i = 0; i < exps_.size(); ++i) {
+    for (unsigned k = 0; k < exps_[i]; ++k) v *= x[i];
+  }
+  return v;
+}
+
+bool Monomial::operator<(const Monomial& other) const {
+  assert(nvars() == other.nvars());
+  const unsigned da = degree(), db = other.degree();
+  if (da != db) return da < db;
+  return exps_ < other.exps_;  // lexicographic tiebreak
+}
+
+std::string Monomial::str(const std::vector<std::string>& names) const {
+  if (is_constant()) return "1";
+  std::string out;
+  char buf[32];
+  for (std::size_t i = 0; i < exps_.size(); ++i) {
+    if (exps_[i] == 0) continue;
+    if (!out.empty()) out += "*";
+    if (i < names.size()) {
+      out += names[i];
+    } else {
+      std::snprintf(buf, sizeof(buf), "x%zu", i);
+      out += buf;
+    }
+    if (exps_[i] > 1) {
+      std::snprintf(buf, sizeof(buf), "^%u", static_cast<unsigned>(exps_[i]));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace soslock::poly

@@ -1,0 +1,50 @@
+#pragma once
+// Multivariate monomials x1^e1 ... xn^en. Ordered graded-lexicographically so
+// polynomial maps have a deterministic iteration order (reproducible SDP
+// assembly across runs).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace soslock::poly {
+
+class Monomial {
+ public:
+  Monomial() = default;
+  /// Constant monomial (all exponents zero) in `nvars` variables.
+  explicit Monomial(std::size_t nvars) : exps_(nvars, 0) {}
+  /// Monomial with explicit exponents.
+  explicit Monomial(std::vector<std::uint8_t> exps) : exps_(std::move(exps)) {}
+
+  /// x_var^power in `nvars` variables.
+  static Monomial variable(std::size_t nvars, std::size_t var, unsigned power = 1);
+
+  std::size_t nvars() const { return exps_.size(); }
+  unsigned degree() const;
+  unsigned exponent(std::size_t var) const { return exps_[var]; }
+  void set_exponent(std::size_t var, unsigned e) { exps_[var] = static_cast<std::uint8_t>(e); }
+  bool is_constant() const { return degree() == 0; }
+
+  Monomial operator*(const Monomial& other) const;
+  /// Componentwise doubling (the square of this monomial).
+  Monomial squared() const { return *this * *this; }
+  /// Does this divide `other` componentwise?
+  bool divides(const Monomial& other) const;
+
+  double eval(const linalg::Vector& x) const;
+
+  /// Graded lexicographic order: first by total degree, then lexicographic.
+  bool operator<(const Monomial& other) const;
+  bool operator==(const Monomial& other) const { return exps_ == other.exps_; }
+  bool operator!=(const Monomial& other) const { return !(*this == other); }
+
+  /// Human-readable form, e.g. "x0^2*x2".
+  std::string str(const std::vector<std::string>& names = {}) const;
+
+ private:
+  std::vector<std::uint8_t> exps_;
+};
+
+}  // namespace soslock::poly

@@ -1,0 +1,128 @@
+#include "poly/poly_lin.hpp"
+
+#include <cassert>
+#include <set>
+
+namespace soslock::poly {
+
+PolyLin::PolyLin(const Polynomial& p) : nvars_(p.nvars()) {
+  for (const auto& [m, c] : p.terms()) terms_[m] = LinExpr(c);
+}
+
+unsigned PolyLin::degree() const {
+  unsigned d = 0;
+  for (const auto& [m, e] : terms_) d = std::max(d, m.degree());
+  return d;
+}
+
+void PolyLin::add_term(const Monomial& m, const LinExpr& e) {
+  assert(m.nvars() == nvars_);
+  if (e.is_zero()) return;
+  auto [it, inserted] = terms_.try_emplace(m, e);
+  if (!inserted) {
+    it->second += e;
+    if (it->second.is_zero()) terms_.erase(it);
+  }
+}
+
+LinExpr PolyLin::coefficient(const Monomial& m) const {
+  const auto it = terms_.find(m);
+  return it == terms_.end() ? LinExpr() : it->second;
+}
+
+PolyLin PolyLin::operator-() const {
+  PolyLin p(nvars_);
+  for (const auto& [m, e] : terms_) p.terms_[m] = -e;
+  return p;
+}
+
+PolyLin& PolyLin::operator+=(const PolyLin& other) {
+  if (terms_.empty()) nvars_ = std::max(nvars_, other.nvars_);
+  assert(nvars_ == other.nvars_ || other.terms_.empty());
+  for (const auto& [m, e] : other.terms_) add_term(m, e);
+  return *this;
+}
+
+PolyLin& PolyLin::operator-=(const PolyLin& other) {
+  if (terms_.empty()) nvars_ = std::max(nvars_, other.nvars_);
+  assert(nvars_ == other.nvars_ || other.terms_.empty());
+  for (const auto& [m, e] : other.terms_) add_term(m, -e);
+  return *this;
+}
+
+PolyLin& PolyLin::operator*=(double s) {
+  if (s == 0.0) {
+    terms_.clear();
+    return *this;
+  }
+  for (auto& [m, e] : terms_) e *= s;
+  return *this;
+}
+
+PolyLin PolyLin::operator*(const Polynomial& p) const {
+  assert(nvars_ == p.nvars() || is_zero() || p.is_zero());
+  PolyLin out(std::max(nvars_, p.nvars()));
+  for (const auto& [ma, ea] : terms_)
+    for (const auto& [mb, cb] : p.terms()) out.add_term(ma * mb, cb * ea);
+  return out;
+}
+
+PolyLin PolyLin::derivative(std::size_t var) const {
+  assert(var < nvars_);
+  PolyLin out(nvars_);
+  for (const auto& [m, e] : terms_) {
+    const unsigned ex = m.exponent(var);
+    if (ex == 0) continue;
+    Monomial dm = m;
+    dm.set_exponent(var, ex - 1);
+    out.add_term(dm, static_cast<double>(ex) * e);
+  }
+  return out;
+}
+
+PolyLin PolyLin::lie_derivative(const std::vector<Polynomial>& f) const {
+  assert(f.size() <= nvars_);
+  PolyLin out(nvars_);
+  for (std::size_t i = 0; i < f.size(); ++i) out += derivative(i) * f[i];
+  return out;
+}
+
+Polynomial PolyLin::eval_decision(const linalg::Vector& values) const {
+  Polynomial p(nvars_);
+  for (const auto& [m, e] : terms_) p.add_term(m, e.eval(values));
+  return p;
+}
+
+std::vector<int> PolyLin::decision_variables() const {
+  std::set<int> vars;
+  for (const auto& [m, e] : terms_)
+    for (const auto& [v, c] : e.coeffs()) vars.insert(v);
+  return {vars.begin(), vars.end()};
+}
+
+std::string PolyLin::str(const std::vector<std::string>& names) const {
+  if (terms_.empty()) return "0";
+  std::string out;
+  for (const auto& [m, e] : terms_) {
+    if (!out.empty()) out += " + ";
+    out += "(" + e.str() + ")*" + m.str(names);
+  }
+  return out;
+}
+
+PolyLin operator+(PolyLin a, const PolyLin& b) {
+  a += b;
+  return a;
+}
+
+PolyLin operator-(PolyLin a, const PolyLin& b) {
+  a -= b;
+  return a;
+}
+
+PolyLin operator*(double s, PolyLin a) {
+  a *= s;
+  return a;
+}
+
+}  // namespace soslock::poly

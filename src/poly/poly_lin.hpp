@@ -1,0 +1,59 @@
+#pragma once
+// Polynomials in the indeterminates x whose coefficients are affine
+// expressions in scalar decision variables — the working currency of the SOS
+// compiler. Every SOS program constraint is a PolyLin identity.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "poly/lin_expr.hpp"
+#include "poly/polynomial.hpp"
+
+namespace soslock::poly {
+
+class PolyLin {
+ public:
+  PolyLin() = default;
+  explicit PolyLin(std::size_t nvars) : nvars_(nvars) {}
+  /// Promote a numeric polynomial (constant coefficients).
+  /*implicit*/ PolyLin(const Polynomial& p);
+
+  std::size_t nvars() const { return nvars_; }
+  bool is_zero() const { return terms_.empty(); }
+  unsigned degree() const;
+  const std::map<Monomial, LinExpr>& terms() const { return terms_; }
+
+  void add_term(const Monomial& m, const LinExpr& e);
+  LinExpr coefficient(const Monomial& m) const;
+
+  PolyLin operator-() const;
+  PolyLin& operator+=(const PolyLin& other);
+  PolyLin& operator-=(const PolyLin& other);
+  PolyLin& operator*=(double s);
+
+  /// Product with a *numeric* polynomial (keeps coefficients affine).
+  PolyLin operator*(const Polynomial& p) const;
+
+  /// Partial derivative with respect to indeterminate `var`.
+  PolyLin derivative(std::size_t var) const;
+  /// Lie derivative sum_i d/dx_i * f[i] over the first f.size() vars.
+  PolyLin lie_derivative(const std::vector<Polynomial>& f) const;
+
+  /// Instantiate decision variables: returns a numeric polynomial.
+  Polynomial eval_decision(const linalg::Vector& values) const;
+
+  /// Set of decision variable ids referenced.
+  std::vector<int> decision_variables() const;
+
+  std::string str(const std::vector<std::string>& names = {}) const;
+
+ private:
+  std::size_t nvars_ = 0;
+  std::map<Monomial, LinExpr> terms_;
+};
+
+PolyLin operator+(PolyLin a, const PolyLin& b);
+PolyLin operator-(PolyLin a, const PolyLin& b);
+PolyLin operator*(double s, PolyLin a);
+
+}  // namespace soslock::poly

@@ -1,0 +1,271 @@
+#include "poly/polynomial.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace soslock::poly {
+
+Polynomial Polynomial::constant(std::size_t nvars, double value) {
+  Polynomial p(nvars);
+  if (value != 0.0) p.terms_[Monomial(nvars)] = value;
+  return p;
+}
+
+Polynomial Polynomial::variable(std::size_t nvars, std::size_t var) {
+  Polynomial p(nvars);
+  p.terms_[Monomial::variable(nvars, var)] = 1.0;
+  return p;
+}
+
+Polynomial Polynomial::from_monomial(const Monomial& m, double coeff) {
+  Polynomial p(m.nvars());
+  if (coeff != 0.0) p.terms_[m] = coeff;
+  return p;
+}
+
+Polynomial Polynomial::affine(std::size_t nvars, const linalg::Vector& lin, double c) {
+  assert(lin.size() <= nvars);
+  Polynomial p = constant(nvars, c);
+  for (std::size_t i = 0; i < lin.size(); ++i)
+    if (lin[i] != 0.0) p.terms_[Monomial::variable(nvars, i)] = lin[i];
+  return p;
+}
+
+unsigned Polynomial::degree() const {
+  unsigned d = 0;
+  for (const auto& [m, c] : terms_) d = std::max(d, m.degree());
+  return d;
+}
+
+unsigned Polynomial::min_degree() const {
+  if (terms_.empty()) return 0;
+  unsigned d = ~0u;
+  for (const auto& [m, c] : terms_) d = std::min(d, m.degree());
+  return d;
+}
+
+unsigned Polynomial::degree_in(std::size_t var) const {
+  unsigned d = 0;
+  for (const auto& [m, c] : terms_) d = std::max(d, m.exponent(var));
+  return d;
+}
+
+double Polynomial::coefficient(const Monomial& m) const {
+  const auto it = terms_.find(m);
+  return it == terms_.end() ? 0.0 : it->second;
+}
+
+void Polynomial::set_coefficient(const Monomial& m, double c) {
+  assert(m.nvars() == nvars_);
+  if (c == 0.0) {
+    terms_.erase(m);
+  } else {
+    terms_[m] = c;
+  }
+}
+
+void Polynomial::add_term(const Monomial& m, double c) {
+  assert(m.nvars() == nvars_);
+  if (c == 0.0) return;
+  const double updated = (terms_[m] += c);
+  if (updated == 0.0) terms_.erase(m);
+}
+
+Polynomial Polynomial::operator-() const {
+  Polynomial p(*this);
+  for (auto& [m, c] : p.terms_) c = -c;
+  return p;
+}
+
+Polynomial& Polynomial::operator+=(const Polynomial& other) {
+  assert(nvars_ == other.nvars_ || other.terms_.empty() || terms_.empty());
+  if (terms_.empty()) nvars_ = std::max(nvars_, other.nvars_);
+  for (const auto& [m, c] : other.terms_) add_term(m, c);
+  return *this;
+}
+
+Polynomial& Polynomial::operator-=(const Polynomial& other) {
+  if (terms_.empty()) nvars_ = std::max(nvars_, other.nvars_);
+  for (const auto& [m, c] : other.terms_) add_term(m, -c);
+  return *this;
+}
+
+Polynomial& Polynomial::operator*=(double s) {
+  if (s == 0.0) {
+    terms_.clear();
+    return *this;
+  }
+  for (auto& [m, c] : terms_) c *= s;
+  return *this;
+}
+
+Polynomial Polynomial::operator*(const Polynomial& other) const {
+  assert(nvars_ == other.nvars_ || is_zero() || other.is_zero());
+  Polynomial p(std::max(nvars_, other.nvars_));
+  for (const auto& [ma, ca] : terms_)
+    for (const auto& [mb, cb] : other.terms_) p.add_term(ma * mb, ca * cb);
+  return p;
+}
+
+Polynomial Polynomial::pow(unsigned k) const {
+  Polynomial result = constant(nvars_, 1.0);
+  Polynomial base(*this);
+  while (k > 0) {
+    if (k & 1u) result = result * base;
+    k >>= 1u;
+    if (k > 0) base = base * base;
+  }
+  return result;
+}
+
+Polynomial Polynomial::pruned(double tol) const {
+  Polynomial p(nvars_);
+  for (const auto& [m, c] : terms_)
+    if (std::fabs(c) > tol) p.terms_[m] = c;
+  return p;
+}
+
+double Polynomial::eval(const linalg::Vector& x) const {
+  double acc = 0.0;
+  for (const auto& [m, c] : terms_) acc += c * m.eval(x);
+  return acc;
+}
+
+Polynomial Polynomial::derivative(std::size_t var) const {
+  assert(var < nvars_);
+  Polynomial p(nvars_);
+  for (const auto& [m, c] : terms_) {
+    const unsigned e = m.exponent(var);
+    if (e == 0) continue;
+    Monomial dm = m;
+    dm.set_exponent(var, e - 1);
+    p.add_term(dm, c * static_cast<double>(e));
+  }
+  return p;
+}
+
+std::vector<Polynomial> Polynomial::gradient() const {
+  std::vector<Polynomial> g;
+  g.reserve(nvars_);
+  for (std::size_t i = 0; i < nvars_; ++i) g.push_back(derivative(i));
+  return g;
+}
+
+Polynomial Polynomial::lie_derivative(const std::vector<Polynomial>& f) const {
+  assert(f.size() <= nvars_);
+  Polynomial p(nvars_);
+  for (std::size_t i = 0; i < f.size(); ++i) p += derivative(i) * f[i];
+  return p;
+}
+
+Polynomial Polynomial::substitute(const std::vector<Polynomial>& repl) const {
+  assert(repl.size() == nvars_);
+  const std::size_t out_vars = repl.empty() ? nvars_ : repl.front().nvars();
+  Polynomial result(out_vars);
+  for (const auto& [m, c] : terms_) {
+    Polynomial term = Polynomial::constant(out_vars, c);
+    for (std::size_t i = 0; i < nvars_; ++i) {
+      const unsigned e = m.exponent(i);
+      if (e > 0) term = term * repl[i].pow(e);
+    }
+    result += term;
+  }
+  return result;
+}
+
+Polynomial Polynomial::remap(std::size_t new_nvars, const std::vector<std::size_t>& map) const {
+  assert(map.size() == nvars_);
+  Polynomial p(new_nvars);
+  for (const auto& [m, c] : terms_) {
+    Monomial nm(new_nvars);
+    for (std::size_t i = 0; i < nvars_; ++i) {
+      assert(map[i] < new_nvars);
+      if (m.exponent(i) > 0) nm.set_exponent(map[i], nm.exponent(map[i]) + m.exponent(i));
+    }
+    p.add_term(nm, c);
+  }
+  return p;
+}
+
+Polynomial Polynomial::fix_variable(std::size_t var, double value) const {
+  assert(var < nvars_);
+  Polynomial p(nvars_);
+  for (const auto& [m, c] : terms_) {
+    const unsigned e = m.exponent(var);
+    double scale = c;
+    for (unsigned k = 0; k < e; ++k) scale *= value;
+    Monomial nm = m;
+    nm.set_exponent(var, 0);
+    p.add_term(nm, scale);
+  }
+  return p;
+}
+
+double Polynomial::coeff_norm_inf() const {
+  double n = 0.0;
+  for (const auto& [m, c] : terms_) n = std::max(n, std::fabs(c));
+  return n;
+}
+
+bool Polynomial::operator==(const Polynomial& other) const {
+  return nvars_ == other.nvars_ && terms_ == other.terms_;
+}
+
+std::string Polynomial::str(const std::vector<std::string>& names) const {
+  if (terms_.empty()) return "0";
+  std::string out;
+  char buf[64];
+  bool first = true;
+  // Print highest-degree terms first for readability.
+  for (auto it = terms_.rbegin(); it != terms_.rend(); ++it) {
+    const double c = it->second;
+    if (first) {
+      std::snprintf(buf, sizeof(buf), "%g", c);
+      out += buf;
+      first = false;
+    } else {
+      std::snprintf(buf, sizeof(buf), c >= 0.0 ? " + %g" : " - %g", std::fabs(c));
+      out += buf;
+    }
+    if (!it->first.is_constant()) {
+      out += "*";
+      out += it->first.str(names);
+    }
+  }
+  return out;
+}
+
+Polynomial operator+(Polynomial a, const Polynomial& b) {
+  a += b;
+  return a;
+}
+
+Polynomial operator-(Polynomial a, const Polynomial& b) {
+  a -= b;
+  return a;
+}
+
+Polynomial operator*(double s, Polynomial a) {
+  a *= s;
+  return a;
+}
+
+Polynomial operator+(Polynomial a, double c) {
+  a += Polynomial::constant(a.nvars(), c);
+  return a;
+}
+
+Polynomial operator-(Polynomial a, double c) { return a + (-c); }
+
+Polynomial squared_norm(std::size_t nvars, std::size_t nstates) {
+  Polynomial p(nvars);
+  for (std::size_t i = 0; i < nstates; ++i) {
+    Monomial m(nvars);
+    m.set_exponent(i, 2);
+    p.add_term(m, 1.0);
+  }
+  return p;
+}
+
+}  // namespace soslock::poly

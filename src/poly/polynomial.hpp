@@ -1,0 +1,90 @@
+#pragma once
+// Sparse multivariate polynomials over the reals. The state variables of the
+// hybrid system and the uncertain circuit parameters share one variable
+// space; conventions for which indices are states vs. parameters live in
+// hybrid::HybridSystem.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "poly/monomial.hpp"
+
+namespace soslock::poly {
+
+class Polynomial {
+ public:
+  Polynomial() = default;
+  /// Zero polynomial in `nvars` variables.
+  explicit Polynomial(std::size_t nvars) : nvars_(nvars) {}
+
+  static Polynomial constant(std::size_t nvars, double value);
+  static Polynomial variable(std::size_t nvars, std::size_t var);
+  static Polynomial from_monomial(const Monomial& m, double coeff = 1.0);
+  /// Affine polynomial c + sum_i lin[i] * x_i.
+  static Polynomial affine(std::size_t nvars, const linalg::Vector& lin, double c);
+
+  std::size_t nvars() const { return nvars_; }
+  bool is_zero() const { return terms_.empty(); }
+  /// Total degree (0 for the zero polynomial).
+  unsigned degree() const;
+  /// Minimum total degree across terms (0 for the zero polynomial).
+  unsigned min_degree() const;
+  /// Max exponent of variable `var` across terms.
+  unsigned degree_in(std::size_t var) const;
+  std::size_t term_count() const { return terms_.size(); }
+
+  double coefficient(const Monomial& m) const;
+  void set_coefficient(const Monomial& m, double c);
+  void add_term(const Monomial& m, double c);
+  const std::map<Monomial, double>& terms() const { return terms_; }
+
+  Polynomial operator-() const;
+  Polynomial& operator+=(const Polynomial& other);
+  Polynomial& operator-=(const Polynomial& other);
+  Polynomial& operator*=(double s);
+  Polynomial operator*(const Polynomial& other) const;
+  Polynomial pow(unsigned k) const;
+
+  /// Drop terms with |coeff| <= tol (absolute).
+  Polynomial pruned(double tol = 0.0) const;
+
+  double eval(const linalg::Vector& x) const;
+  /// Partial derivative with respect to variable `var`.
+  Polynomial derivative(std::size_t var) const;
+  /// Gradient as a vector of polynomials (length nvars).
+  std::vector<Polynomial> gradient() const;
+  /// Lie derivative sum_i dP/dx_i * f[i] over the first f.size() variables.
+  Polynomial lie_derivative(const std::vector<Polynomial>& f) const;
+  /// Substitute variable i by repl[i] for every variable (repl.size()==nvars;
+  /// all repl share one common variable space).
+  Polynomial substitute(const std::vector<Polynomial>& repl) const;
+  /// Extend/renumber into a larger variable space: variable i becomes
+  /// variable map[i] in a space of `new_nvars` variables.
+  Polynomial remap(std::size_t new_nvars, const std::vector<std::size_t>& map) const;
+  /// Substitute variable `var` := value, eliminating it numerically (keeps
+  /// the same variable space, exponent of `var` becomes 0).
+  Polynomial fix_variable(std::size_t var, double value) const;
+
+  /// L-infinity norm of the coefficient vector.
+  double coeff_norm_inf() const;
+
+  bool operator==(const Polynomial& other) const;
+
+  std::string str(const std::vector<std::string>& names = {}) const;
+
+ private:
+  std::size_t nvars_ = 0;
+  std::map<Monomial, double> terms_;
+};
+
+Polynomial operator+(Polynomial a, const Polynomial& b);
+Polynomial operator-(Polynomial a, const Polynomial& b);
+Polynomial operator*(double s, Polynomial a);
+Polynomial operator+(Polynomial a, double c);
+Polynomial operator-(Polynomial a, double c);
+
+/// sum_i x_i^2 over the first `nstates` variables.
+Polynomial squared_norm(std::size_t nvars, std::size_t nstates);
+
+}  // namespace soslock::poly

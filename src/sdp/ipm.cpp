@@ -1,0 +1,508 @@
+#include "sdp/ipm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "sdp/scaling.hpp"
+#include "util/log.hpp"
+
+namespace soslock::sdp {
+namespace {
+
+using linalg::Cholesky;
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Per-iteration state of the IPM.
+struct State {
+  std::vector<Matrix> x, z;  // PSD primal blocks and dual slacks
+  Vector y;                  // equality multipliers
+  Vector w;                  // free variables
+};
+
+/// T = L^{-1} S L^{-T} for symmetric S given the Cholesky factor L.
+Matrix congruence_inv(const Cholesky& chol, const Matrix& s) {
+  const std::size_t n = s.rows();
+  // First F = L^{-1} S: forward substitution applied to each column of S.
+  Matrix f(n, n);
+  Vector col(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) col[i] = s(i, j);
+    const Vector sol = chol.solve_lower(col);
+    for (std::size_t i = 0; i < n; ++i) f(i, j) = sol[i];
+  }
+  // Then T = F L^{-T}: T^T = L^{-1} F^T.
+  Matrix t(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) col[i] = f(j, i);
+    const Vector sol = chol.solve_lower(col);
+    for (std::size_t i = 0; i < n; ++i) t(j, i) = sol[i];
+  }
+  t.symmetrize();
+  return t;
+}
+
+/// Largest alpha in (0, cap] with X + alpha*dX PSD, given chol(X).
+double max_step(const Cholesky& chol_x, const Matrix& dx, double cap) {
+  if (dx.rows() == 0) return cap;
+  const Matrix s = congruence_inv(chol_x, dx);
+  const double lambda_min = linalg::min_eigenvalue(s);
+  if (lambda_min >= -1e-13) return cap;
+  return std::min(cap, -1.0 / lambda_min);
+}
+
+/// Z^{-1} * S for symmetric S using chol(Z) (not symmetric in general).
+Matrix solve_all_columns(const Cholesky& chol, const Matrix& s) {
+  const std::size_t n = s.rows();
+  Matrix out(n, n);
+  Vector col(n);
+  for (std::size_t j = 0; j < s.cols(); ++j) {
+    for (std::size_t i = 0; i < n; ++i) col[i] = s(i, j);
+    const Vector sol = chol.solve(col);
+    for (std::size_t i = 0; i < n; ++i) out(i, j) = sol[i];
+  }
+  return out;
+}
+
+struct Residuals {
+  Vector rp;                 // primal: b - A(X) - B w
+  std::vector<Matrix> rd;    // dual: C - Z - sum_i y_i A_i
+  Vector rf;                 // free: f - B^T y
+  double rp_rel = 0.0, rd_rel = 0.0, rf_rel = 0.0;
+};
+
+class Ipm {
+ public:
+  Ipm(const Problem& p, const IpmOptions& opt) : p_(p), opt_(opt) {
+    m_ = p_.num_rows();
+    nf_ = p_.num_free();
+    nblocks_ = p_.num_blocks();
+    total_dim_ = p_.total_psd_dim();
+    // Row -> blocks incidence for Schur assembly.
+    rows_touching_block_.assign(nblocks_, {});
+    for (std::size_t i = 0; i < m_; ++i)
+      for (const auto& [j, a] : p_.rows()[i].blocks) rows_touching_block_[j].push_back(i);
+    data_norm_ = 1.0;
+    for (std::size_t i = 0; i < m_; ++i) data_norm_ = std::max(data_norm_, std::fabs(p_.rhs(i)));
+    c_norm_ = 1.0;
+    for (std::size_t j = 0; j < nblocks_; ++j)
+      c_norm_ = std::max(c_norm_, linalg::norm_inf(p_.block_objective(j)));
+    for (double fi : p_.free_objective()) c_norm_ = std::max(c_norm_, std::fabs(fi));
+  }
+
+  Solution run() {
+    State s = initial_state();
+    Solution best;
+    double best_merit = std::numeric_limits<double>::infinity();
+    int stagnant_iterations = 0;
+
+    for (int iter = 0; iter < opt_.max_iterations; ++iter) {
+      const Residuals res = residuals(s);
+      const double mu = complementarity(s);
+      const double gap = relative_gap(s);
+
+      if (opt_.verbose) {
+        std::fprintf(stderr, "  ipm %3d  mu=%9.2e  rp=%9.2e  rd=%9.2e  rf=%9.2e  gap=%9.2e\n",
+                     iter, mu, res.rp_rel, res.rd_rel, res.rf_rel, gap);
+      }
+
+      const double merit = res.rp_rel + res.rd_rel + res.rf_rel + gap;
+      if (merit < 0.99 * best_merit) {
+        stagnant_iterations = 0;
+      } else if (++stagnant_iterations > 25) {
+        // No meaningful progress for a long stretch: return the best iterate
+        // instead of burning the remaining iteration budget.
+        best.status = SolveStatus::MaxIterations;
+        return best;
+      }
+      if (merit < best_merit) {
+        best_merit = merit;
+        fill_solution(s, res, gap, mu, iter, best);
+      }
+
+      if (res.rp_rel < opt_.tolerance && res.rd_rel < opt_.tolerance &&
+          res.rf_rel < opt_.tolerance && gap < opt_.tolerance) {
+        fill_solution(s, res, gap, mu, iter, best);
+        best.status = SolveStatus::Optimal;
+        return best;
+      }
+
+      if (detect_primal_infeasible(s, res)) {
+        best.status = SolveStatus::PrimalInfeasible;
+        return best;
+      }
+      if (detect_dual_infeasible(s, res)) {
+        best.status = SolveStatus::DualInfeasible;
+        return best;
+      }
+
+      if (!step(s, res, mu)) {
+        best.status = SolveStatus::NumericalProblem;
+        return best;
+      }
+    }
+    best.status = SolveStatus::MaxIterations;
+    return best;
+  }
+
+ private:
+  State initial_state() const {
+    State s;
+    // SDPT3-style magnitude heuristics keep the first iterations sane.
+    double xi = 10.0, eta = 10.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      double arow = 1.0;
+      for (const auto& [j, a] : p_.rows()[i].blocks) arow = std::max(arow, a.frobenius_norm());
+      xi = std::max(xi, (1.0 + std::fabs(p_.rhs(i))) / arow);
+    }
+    eta = std::max(eta, 1.0 + c_norm_);
+    s.x.reserve(nblocks_);
+    s.z.reserve(nblocks_);
+    for (std::size_t j = 0; j < nblocks_; ++j) {
+      const std::size_t n = p_.block_size(j);
+      Matrix xj = Matrix::identity(n);
+      xj.scale(xi);
+      Matrix zj = Matrix::identity(n);
+      zj.scale(eta);
+      s.x.push_back(std::move(xj));
+      s.z.push_back(std::move(zj));
+    }
+    s.y.assign(m_, 0.0);
+    s.w.assign(nf_, 0.0);
+    return s;
+  }
+
+  double complementarity(const State& s) const {
+    if (total_dim_ == 0) return 0.0;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < nblocks_; ++j) acc += linalg::dot(s.x[j], s.z[j]);
+    return acc / static_cast<double>(total_dim_);
+  }
+
+  double primal_objective(const State& s) const {
+    double obj = linalg::dot(p_.free_objective(), s.w);
+    for (std::size_t j = 0; j < nblocks_; ++j) obj += linalg::dot(p_.block_objective(j), s.x[j]);
+    return obj;
+  }
+
+  double dual_objective(const State& s) const {
+    double obj = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) obj += p_.rhs(i) * s.y[i];
+    return obj;
+  }
+
+  double relative_gap(const State& s) const {
+    const double pobj = primal_objective(s);
+    const double dobj = dual_objective(s);
+    return std::fabs(pobj - dobj) / (1.0 + std::fabs(pobj) + std::fabs(dobj));
+  }
+
+  Residuals residuals(const State& s) const {
+    Residuals r;
+    r.rp.assign(m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const Row& row = p_.rows()[i];
+      double ax = 0.0;
+      for (const auto& [j, a] : row.blocks) ax += a.dot(s.x[j]);
+      for (const auto& [v, c] : row.free_coeffs) ax += c * s.w[v];
+      r.rp[i] = p_.rhs(i) - ax;
+    }
+    r.rd.resize(nblocks_);
+    double rd_norm = 0.0;
+    for (std::size_t j = 0; j < nblocks_; ++j) {
+      Matrix rd = p_.block_objective(j);
+      rd -= s.z[j];
+      for (std::size_t i : rows_touching_block_[j]) {
+        const auto it = p_.rows()[i].blocks.find(j);
+        it->second.add_to(rd, -s.y[i]);
+      }
+      rd_norm = std::max(rd_norm, linalg::norm_inf(rd));
+      r.rd[j] = std::move(rd);
+    }
+    r.rf = p_.free_objective();
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double yi = s.y[i];
+      if (yi == 0.0) continue;
+      for (const auto& [v, c] : p_.rows()[i].free_coeffs) r.rf[v] -= c * yi;
+    }
+    r.rp_rel = linalg::norm_inf(r.rp) / (1.0 + data_norm_);
+    r.rd_rel = rd_norm / (1.0 + c_norm_);
+    r.rf_rel = linalg::norm_inf(r.rf) / (1.0 + c_norm_);
+    return r;
+  }
+
+  bool detect_primal_infeasible(const State& s, const Residuals& res) const {
+    // Heuristic Farkas-type test: the dual iterate grows without bound while
+    // staying (nearly) dual feasible and improving b'y proportionally. The
+    // proportionality guard avoids misfiring on ill-conditioned feasible
+    // problems whose multipliers are merely large.
+    const double ynorm = linalg::norm_inf(s.y);
+    if (ynorm < opt_.infeasibility_threshold) return false;
+    return res.rd_rel < 1e-6 && res.rf_rel < 1e-6 &&
+           dual_objective(s) > 1e-8 * ynorm && dual_objective(s) > 1.0;
+  }
+
+  bool detect_dual_infeasible(const State& s, const Residuals& res) const {
+    // Primal iterate grows unbounded with decreasing objective and near
+    // feasibility -> dual infeasible (primal unbounded).
+    double xnorm = 0.0;
+    for (const Matrix& xj : s.x) xnorm = std::max(xnorm, linalg::norm_inf(xj));
+    xnorm = std::max(xnorm, linalg::norm_inf(s.w));
+    if (xnorm < opt_.infeasibility_threshold) return false;
+    return res.rp_rel < 1e-5 && primal_objective(s) < -1.0;
+  }
+
+  /// One predictor-corrector step; returns false on numerical breakdown.
+  bool step(State& s, const Residuals& res, double mu) {
+    // Factor all Z blocks and X blocks.
+    std::vector<Cholesky> chol_z, chol_x;
+    chol_z.reserve(nblocks_);
+    chol_x.reserve(nblocks_);
+    for (std::size_t j = 0; j < nblocks_; ++j) {
+      chol_z.push_back(Cholesky::factor_shifted(s.z[j]));
+      chol_x.push_back(Cholesky::factor_shifted(s.x[j]));
+    }
+
+    // Assemble the Schur complement M_ik = sum_j <A_ij, Z_j^{-1} A_kj X_j>.
+    Matrix schur(m_, m_);
+    Matrix work_ax, work_w;
+    for (std::size_t j = 0; j < nblocks_; ++j) {
+      const auto& touching = rows_touching_block_[j];
+      if (touching.empty()) continue;
+      const std::size_t n = p_.block_size(j);
+      work_ax = Matrix(n, n);
+      for (std::size_t i : touching) {
+        const SparseSym& ai = p_.rows()[i].blocks.at(j);
+        ai.times_dense(s.x[j], work_ax);       // A_i X
+        work_w = solve_all_columns(chol_z[j], work_ax);  // Z^{-1} A_i X
+        for (std::size_t k : touching) {
+          const SparseSym& ak = p_.rows()[k].blocks.at(j);
+          // <A_k, W> using symmetry of A_k (W is not symmetric; the
+          // symmetrized HKM direction uses (W + W^T)/2, and
+          // <A_k,(W+W^T)/2> = sum over triplets of both orientations).
+          double acc = 0.0;
+          for (const Triplet& t : ak.entries) {
+            acc += t.v * 0.5 * (work_w(t.r, t.c) + work_w(t.c, t.r));
+            if (t.r != t.c) acc += t.v * 0.5 * (work_w(t.c, t.r) + work_w(t.r, t.c));
+          }
+          schur(i, k) += acc;
+        }
+      }
+    }
+    schur.symmetrize();
+
+    const Cholesky chol_m = Cholesky::factor_shifted(schur, 1e-13);
+
+    // Free-variable coupling B (m x nf).
+    Matrix bmat(m_, std::max<std::size_t>(nf_, 1));
+    if (nf_ > 0) {
+      for (std::size_t i = 0; i < m_; ++i)
+        for (const auto& [v, c] : p_.rows()[i].free_coeffs) bmat(i, v) = c;
+    }
+    Matrix w_free, s_free;
+    std::optional<Cholesky> chol_s;
+    if (nf_ > 0) {
+      w_free = chol_m.solve(bmat);                        // M^{-1} B
+      s_free = linalg::transposed_times(bmat, w_free);    // B^T M^{-1} B
+      for (std::size_t v = 0; v < nf_; ++v) s_free(v, v) += opt_.free_var_regularization;
+      chol_s = Cholesky::factor_shifted(s_free, 1e-13);
+    }
+
+    auto solve_kkt_once = [&](const Vector& r1, const Vector& r2, Vector& dy, Vector& dw) {
+      const Vector g = chol_m.solve(r1);
+      if (nf_ == 0) {
+        dy = g;
+        dw.assign(0, 0.0);
+        return;
+      }
+      Vector rhs = linalg::transposed_times(bmat, g);
+      linalg::axpy(-1.0, r2, rhs);
+      dw = chol_s->solve(rhs);
+      dy = g;
+      linalg::axpy(-1.0, w_free * dw, dy);
+    };
+
+    // The Schur complement is severely ill-conditioned near the central-path
+    // end; two rounds of iterative refinement recover the lost digits.
+    auto solve_kkt = [&](const Vector& r1, const Vector& r2, Vector& dy, Vector& dw) {
+      solve_kkt_once(r1, r2, dy, dw);
+      for (int refine = 0; refine < 2; ++refine) {
+        Vector res1 = r1;
+        linalg::axpy(-1.0, schur * dy, res1);
+        if (nf_ > 0) linalg::axpy(-1.0, bmat * dw, res1);
+        Vector res2(nf_, 0.0);
+        if (nf_ > 0) {
+          res2 = r2;
+          linalg::axpy(-1.0, linalg::transposed_times(bmat, dy), res2);
+        }
+        Vector cy, cw;
+        solve_kkt_once(res1, res2, cy, cw);
+        linalg::axpy(1.0, cy, dy);
+        if (nf_ > 0) linalg::axpy(1.0, cw, dw);
+      }
+    };
+
+    // RHS shared pieces: for a given complementarity target nu,
+    // r1_i = rp_i - sum_j <A_ij, nu Z^{-1} - X - Z^{-1} Rd X + Corr>.
+    auto build_r1 = [&](double nu, const std::vector<Matrix>* corr) {
+      Vector r1 = res.rp;
+      for (std::size_t j = 0; j < nblocks_; ++j) {
+        const auto& touching = rows_touching_block_[j];
+        if (touching.empty()) continue;
+        const std::size_t n = p_.block_size(j);
+        // E_j = nu Z^{-1} - X - Z^{-1} Rd X (+ corrector term).
+        Matrix e(n, n);
+        if (nu != 0.0) {
+          const Matrix zi = solve_all_columns(chol_z[j], Matrix::identity(n));
+          e = zi;
+          e.scale(nu);
+        }
+        e -= s.x[j];
+        Matrix rdx = res.rd[j] * s.x[j];
+        if (corr != nullptr) rdx += (*corr)[j];
+        const Matrix zrdx = solve_all_columns(chol_z[j], rdx);
+        e -= zrdx;
+        e.symmetrize();
+        for (std::size_t i : touching) r1[i] -= p_.rows()[i].blocks.at(j).dot(e);
+      }
+      return r1;
+    };
+
+    auto recover_dxdz = [&](const Vector& dy, double nu, const std::vector<Matrix>* corr,
+                            std::vector<Matrix>& dx, std::vector<Matrix>& dz) {
+      dx.resize(nblocks_);
+      dz.resize(nblocks_);
+      for (std::size_t j = 0; j < nblocks_; ++j) {
+        const std::size_t n = p_.block_size(j);
+        Matrix dzj = res.rd[j];
+        for (std::size_t i : rows_touching_block_[j])
+          p_.rows()[i].blocks.at(j).add_to(dzj, -dy[i]);
+        // dX = nu Z^{-1} - X - Z^{-1} (dZ X + Corr), symmetrized.
+        Matrix rhs = dzj * s.x[j];
+        if (corr != nullptr) rhs += (*corr)[j];
+        Matrix dxj = solve_all_columns(chol_z[j], rhs);
+        dxj.scale(-1.0);
+        dxj -= s.x[j];
+        if (nu != 0.0) {
+          const Matrix zi = solve_all_columns(chol_z[j], Matrix::identity(n));
+          dxj.axpy(nu, zi);
+        }
+        dxj.symmetrize();
+        dx[j] = std::move(dxj);
+        dz[j] = std::move(dzj);
+      }
+    };
+
+    Vector dy, dw;
+    std::vector<Matrix> dx, dz;
+    double sigma = 0.2;
+
+    if (opt_.predictor_corrector && total_dim_ > 0) {
+      // Predictor: pure Newton (nu = 0).
+      const Vector r1_aff = build_r1(0.0, nullptr);
+      Vector dy_aff, dw_aff;
+      solve_kkt(r1_aff, res.rf, dy_aff, dw_aff);
+      std::vector<Matrix> dx_aff, dz_aff;
+      recover_dxdz(dy_aff, 0.0, nullptr, dx_aff, dz_aff);
+
+      double ap = 1.0, ad = 1.0;
+      for (std::size_t j = 0; j < nblocks_; ++j) {
+        ap = std::min(ap, max_step(chol_x[j], dx_aff[j], 1.0));
+        ad = std::min(ad, max_step(chol_z[j], dz_aff[j], 1.0));
+      }
+      double mu_aff = 0.0;
+      for (std::size_t j = 0; j < nblocks_; ++j) {
+        Matrix xa = s.x[j];
+        xa.axpy(ap, dx_aff[j]);
+        Matrix za = s.z[j];
+        za.axpy(ad, dz_aff[j]);
+        mu_aff += linalg::dot(xa, za);
+      }
+      mu_aff /= static_cast<double>(total_dim_);
+      const double ratio = mu > 0.0 ? mu_aff / mu : 0.0;
+      sigma = std::clamp(ratio * ratio * ratio, 1e-6, 1.0);
+      // Safeguard: while the iterate is infeasible, do not let the barrier
+      // collapse far below the infeasibility level, or later steps become too
+      // inaccurate to ever restore feasibility.
+      const double infeas = std::max({res.rp_rel, res.rd_rel, res.rf_rel});
+      if (mu < 0.1 * infeas) sigma = std::max(sigma, 0.9);
+
+      // Corrector with second-order term dZ_aff * dX_aff.
+      std::vector<Matrix> corr(nblocks_);
+      for (std::size_t j = 0; j < nblocks_; ++j) corr[j] = dz_aff[j] * dx_aff[j];
+      const Vector r1 = build_r1(sigma * mu, &corr);
+      solve_kkt(r1, res.rf, dy, dw);
+      recover_dxdz(dy, sigma * mu, &corr, dx, dz);
+    } else {
+      const Vector r1 = build_r1(sigma * mu, nullptr);
+      solve_kkt(r1, res.rf, dy, dw);
+      recover_dxdz(dy, sigma * mu, nullptr, dx, dz);
+    }
+
+    // Step lengths.
+    double ap = 1.0, ad = 1.0;
+    for (std::size_t j = 0; j < nblocks_; ++j) {
+      ap = std::min(ap, opt_.step_fraction * max_step(chol_x[j], dx[j], 1.0 / opt_.step_fraction));
+      ad = std::min(ad, opt_.step_fraction * max_step(chol_z[j], dz[j], 1.0 / opt_.step_fraction));
+    }
+    ap = std::min(ap, 1.0);
+    ad = std::min(ad, 1.0);
+    if (!(ap > 1e-10) || !(ad > 1e-10)) {
+      util::log_debug("ipm: step collapsed (ap=", ap, ", ad=", ad, ")");
+      return false;
+    }
+
+    for (std::size_t j = 0; j < nblocks_; ++j) {
+      s.x[j].axpy(ap, dx[j]);
+      s.z[j].axpy(ad, dz[j]);
+    }
+    linalg::axpy(ad, dy, s.y);
+    // w is a *primal* variable: it must advance with the primal step so that
+    // the primal residual contracts by (1 - ap) per iteration.
+    if (nf_ > 0) linalg::axpy(ap, dw, s.w);
+    return true;
+  }
+
+  void fill_solution(const State& s, const Residuals& res, double gap, double mu, int iter,
+                     Solution& out) const {
+    out.x = s.x;
+    out.z = s.z;
+    out.y = s.y;
+    out.w = s.w;
+    out.primal_objective = primal_objective(s);
+    out.dual_objective = dual_objective(s);
+    out.mu = mu;
+    out.primal_residual = res.rp_rel;
+    out.dual_residual = std::max(res.rd_rel, res.rf_rel);
+    out.gap = gap;
+    out.iterations = iter;
+  }
+
+  const Problem& p_;
+  const IpmOptions& opt_;
+  std::size_t m_ = 0, nf_ = 0, nblocks_ = 0, total_dim_ = 0;
+  std::vector<std::vector<std::size_t>> rows_touching_block_;
+  double data_norm_ = 1.0, c_norm_ = 1.0;
+};
+
+}  // namespace
+
+Solution IpmSolver::solve(const Problem& problem) const {
+  Problem scaled = problem;
+  const Scaling scaling = equilibrate_rows(scaled);
+  Ipm ipm(scaled, options_);
+  Solution sol = ipm.run();
+  // Un-scale the dual multipliers so they certify the *original* rows.
+  for (std::size_t i = 0; i < sol.y.size(); ++i) {
+    if (scaling.row_scale[i] != 0.0) sol.y[i] /= scaling.row_scale[i];
+  }
+  util::log_debug("ipm: ", to_string(sol.status), " after ", sol.iterations,
+                  " iters, gap=", sol.gap, ", rp=", sol.primal_residual);
+  return sol;
+}
+
+}  // namespace soslock::sdp

@@ -1,0 +1,36 @@
+#pragma once
+// Infeasible-start primal-dual interior-point method for the block SDP of
+// problem.hpp. HKM (Helmberg-Kojima-Monteiro) search direction with Mehrotra
+// predictor-corrector; free variables are handled exactly via block
+// elimination on the Schur complement.
+//
+// This is the workhorse behind every SOS feasibility/optimization query in
+// the verification pipeline.
+#include "sdp/problem.hpp"
+
+namespace soslock::sdp {
+
+struct IpmOptions {
+  double tolerance = 1e-7;        // relative gap + feasibility target
+  int max_iterations = 120;
+  double step_fraction = 0.98;    // fraction of the distance to the boundary
+  bool predictor_corrector = true;
+  double free_var_regularization = 1e-10;  // delta on the free-var Schur block
+  double infeasibility_threshold = 1e8;    // ||y|| blowup => infeasibility cert
+  bool verbose = false;
+};
+
+class IpmSolver {
+ public:
+  explicit IpmSolver(IpmOptions options = {}) : options_(options) {}
+
+  /// Solve (a copy of) the problem; row equilibration is applied internally.
+  Solution solve(const Problem& problem) const;
+
+  const IpmOptions& options() const { return options_; }
+
+ private:
+  IpmOptions options_;
+};
+
+}  // namespace soslock::sdp

@@ -1,0 +1,117 @@
+#pragma once
+// Semidefinite programming problem in primal standard form with several PSD
+// blocks and unrestricted (free) scalar variables:
+//
+//   minimize    sum_j <C_j, X_j>  +  f' w
+//   subject to  sum_j <A_ij, X_j> + B_i' w  =  b_i    (i = 1..m)
+//               X_j >= 0 (PSD),  w free.
+//
+// This is exactly the shape produced by Gram-matrix SOS relaxations: the X_j
+// are Gram matrices, the w are free polynomial coefficients, and each row is
+// one monomial-coefficient matching equation.
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace soslock::sdp {
+
+/// One entry of a sparse symmetric coefficient matrix (r <= c; the (c, r)
+/// mirror entry is implicit).
+struct Triplet {
+  std::size_t r = 0, c = 0;
+  double v = 0.0;
+};
+
+/// Sparse symmetric matrix stored as upper triplets.
+struct SparseSym {
+  std::vector<Triplet> entries;
+
+  void add(std::size_t r, std::size_t c, double v);
+  bool empty() const { return entries.empty(); }
+  /// <this, S> with S dense symmetric.
+  double dot(const linalg::Matrix& s) const;
+  /// out += scale * this (dense symmetric accumulate).
+  void add_to(linalg::Matrix& out, double scale = 1.0) const;
+  /// out = this * X (dense), using symmetry of this.
+  void times_dense(const linalg::Matrix& x, linalg::Matrix& out) const;
+  double frobenius_norm() const;
+  void scale(double s);
+};
+
+/// One linear equality row.
+struct Row {
+  /// block index -> sparse symmetric coefficient A_ij
+  std::map<std::size_t, SparseSym> blocks;
+  /// free variable index -> coefficient
+  std::map<std::size_t, double> free_coeffs;
+  double rhs = 0.0;
+  std::string label;  // provenance (monomial / constraint name) for debugging
+};
+
+class Problem {
+ public:
+  /// Append a PSD block of size n; returns its index.
+  std::size_t add_block(std::size_t n);
+  /// Append a free scalar variable with objective coefficient; returns index.
+  std::size_t add_free(double obj_coeff = 0.0);
+  /// Set the objective matrix for a block (default zero).
+  void set_block_objective(std::size_t block, linalg::Matrix c);
+  void set_free_objective(std::size_t var, double coeff);
+  /// Append an equality row; returns its index.
+  std::size_t add_row(Row row);
+
+  std::size_t num_blocks() const { return block_sizes_.size(); }
+  std::size_t block_size(std::size_t j) const { return block_sizes_[j]; }
+  const std::vector<std::size_t>& block_sizes() const { return block_sizes_; }
+  std::size_t num_free() const { return f_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  const linalg::Matrix& block_objective(std::size_t j) const { return c_[j]; }
+  const linalg::Vector& free_objective() const { return f_; }
+  double rhs(std::size_t i) const { return rows_[i].rhs; }
+
+  /// Total PSD dimension sum_j n_j.
+  std::size_t total_psd_dim() const;
+
+  std::string stats() const;
+
+ private:
+  std::vector<std::size_t> block_sizes_;
+  std::vector<linalg::Matrix> c_;
+  linalg::Vector f_;
+  std::vector<Row> rows_;
+};
+
+enum class SolveStatus {
+  Optimal,            // all tolerances met
+  MaxIterations,      // returned best iterate
+  PrimalInfeasible,   // heuristic certificate of primal infeasibility
+  DualInfeasible,     // heuristic certificate of dual infeasibility / unbounded primal
+  NumericalProblem,   // linear algebra failed to make progress
+};
+
+std::string to_string(SolveStatus status);
+
+struct Solution {
+  SolveStatus status = SolveStatus::NumericalProblem;
+  std::vector<linalg::Matrix> x;  // PSD blocks
+  std::vector<linalg::Matrix> z;  // dual slacks
+  linalg::Vector y;               // equality multipliers
+  linalg::Vector w;               // free variables
+  double primal_objective = 0.0;
+  double dual_objective = 0.0;
+  double mu = 0.0;                // final complementarity
+  double primal_residual = 0.0;   // relative
+  double dual_residual = 0.0;     // relative
+  double gap = 0.0;               // relative duality gap
+  int iterations = 0;
+  bool feasible() const {
+    return status == SolveStatus::Optimal || status == SolveStatus::MaxIterations;
+  }
+};
+
+}  // namespace soslock::sdp

@@ -1,0 +1,28 @@
+#include "sdp/scaling.hpp"
+
+#include <cmath>
+
+namespace soslock::sdp {
+
+Scaling equilibrate_rows(Problem& p) {
+  Scaling s;
+  s.row_scale.assign(p.num_rows(), 1.0);
+  auto& rows = p.mutable_rows();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    Row& row = rows[i];
+    double mx = 0.0;
+    for (const auto& [j, a] : row.blocks)
+      for (const Triplet& t : a.entries) mx = std::max(mx, std::fabs(t.v));
+    for (const auto& [v, c] : row.free_coeffs) mx = std::max(mx, std::fabs(c));
+    mx = std::max(mx, std::fabs(row.rhs));
+    if (mx <= 0.0 || !std::isfinite(mx)) continue;
+    const double inv = 1.0 / mx;
+    for (auto& [j, a] : row.blocks) a.scale(inv);
+    for (auto& [v, c] : row.free_coeffs) c *= inv;
+    row.rhs *= inv;
+    s.row_scale[i] = mx;
+  }
+  return s;
+}
+
+}  // namespace soslock::sdp

@@ -1,0 +1,19 @@
+#pragma once
+// Row equilibration for SDP data. SOS coefficient-matching rows mix monomial
+// scales that can span many orders of magnitude; normalizing each row to unit
+// infinity-norm keeps the Schur complement well conditioned.
+#include "sdp/problem.hpp"
+
+namespace soslock::sdp {
+
+/// Per-row scale factors applied to a problem (rows divided by `row_scale`).
+struct Scaling {
+  linalg::Vector row_scale;  // original_row = row_scale[i] * scaled_row
+};
+
+/// Scale rows of `p` in place to unit infinity norm; returns the scaling
+/// applied. Dual variables y of the scaled problem relate to the original by
+/// y_orig = y_scaled / row_scale (the primal solution is unchanged).
+Scaling equilibrate_rows(Problem& p);
+
+}  // namespace soslock::sdp

@@ -1,0 +1,138 @@
+#include "sim/monte_carlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace soslock::sim {
+
+using linalg::Vector;
+
+LockStudyResult lock_study(const pll::FullPllModel& model, const LockStudyOptions& options) {
+  LockStudyResult result;
+  util::Rng rng(options.seed);
+  const std::size_t nv = model.num_voltages();
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    std::vector<double> v0(nv);
+    for (double& v : v0) v = rng.uniform(-options.v_range, options.v_range);
+    const double e0 = rng.uniform(-options.e_range, options.e_range);
+    const pll::FullSimResult sim = model.simulate(v0, e0, options.sim);
+    ++result.total;
+    if (sim.locked) {
+      ++result.locked;
+      result.mean_lock_time += sim.lock_time;
+      result.max_lock_time = std::max(result.max_lock_time, sim.lock_time);
+    }
+    if (sim.cycle_slips > 0) ++result.trials_with_cycle_slip;
+  }
+  if (result.locked > 0) result.mean_lock_time /= static_cast<double>(result.locked);
+  return result;
+}
+
+namespace {
+
+Vector full_point(const hybrid::HybridSystem& system, const Vector& x) {
+  Vector full(system.nvars(), 0.0);
+  std::copy(x.begin(), x.end(), full.begin());
+  const Vector& u = system.nominal_parameters();
+  std::copy(u.begin(), u.end(), full.begin() + static_cast<std::ptrdiff_t>(system.nstates()));
+  return full;
+}
+
+/// Sample a state inside the invariant (rejection sampling over the box);
+/// returns false if no point was found.
+bool sample_inside(const hybrid::HybridSystem& system,
+                   const core::AttractiveInvariant& invariant,
+                   const std::vector<std::pair<double, double>>& box, util::Rng& rng,
+                   Vector& out) {
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    Vector x(system.nstates());
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x[i] = rng.uniform(box[i].first, box[i].second);
+    if (invariant.contains_consistent(full_point(system, x))) {
+      out = std::move(x);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The mode whose domain contains x and whose V is smallest there.
+std::size_t pick_mode(const hybrid::HybridSystem& system,
+                      const core::AttractiveInvariant& invariant, const Vector& full) {
+  std::size_t best = 0;
+  double best_v = std::numeric_limits<double>::infinity();
+  for (std::size_t q = 0; q < system.modes().size(); ++q) {
+    if (!system.modes()[q].domain.contains(full, 1e-9)) continue;
+    const double v = invariant.certificates[q].eval(full);
+    if (v < best_v) {
+      best_v = v;
+      best = q;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+DecreaseStudyResult decrease_study(const hybrid::HybridSystem& system,
+                                   const core::AttractiveInvariant& invariant,
+                                   const std::vector<std::pair<double, double>>& state_box,
+                                   const DecreaseStudyOptions& options) {
+  DecreaseStudyResult result;
+  util::Rng rng(options.seed);
+  const hybrid::Simulator simulator(system);
+
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    Vector x0;
+    if (!sample_inside(system, invariant, state_box, rng, x0)) continue;
+    const std::size_t mode0 = pick_mode(system, invariant, full_point(system, x0));
+    const hybrid::SimResult sim = simulator.run(mode0, x0, options.sim);
+
+    double prev_v = std::numeric_limits<double>::infinity();
+    int prev_jumps = -1;
+    for (const hybrid::TracePoint& pt : sim.trace) {
+      const Vector full = full_point(system, pt.x);
+      const double v = invariant.certificates[pt.mode].eval(full);
+      // Along flows V must not increase; across jumps the multiple-Lyapunov
+      // condition also forbids increase (identity resets).
+      if (prev_jumps >= 0) {
+        result.worst_increase = std::max(result.worst_increase, v - prev_v);
+      }
+      prev_v = v;
+      prev_jumps = pt.jumps;
+      ++result.points_checked;
+    }
+  }
+  result.ok = result.worst_increase <= options.tolerance;
+  return result;
+}
+
+InvarianceStudyResult invariance_study(const hybrid::HybridSystem& system,
+                                       const core::AttractiveInvariant& invariant,
+                                       const std::vector<std::pair<double, double>>& state_box,
+                                       const DecreaseStudyOptions& options) {
+  InvarianceStudyResult result;
+  util::Rng rng(options.seed);
+  const hybrid::Simulator simulator(system);
+
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    Vector x0;
+    if (!sample_inside(system, invariant, state_box, rng, x0)) continue;
+    const std::size_t mode0 = pick_mode(system, invariant, full_point(system, x0));
+    const hybrid::SimResult sim = simulator.run(mode0, x0, options.sim);
+    ++result.total;
+    bool stayed = true;
+    for (const hybrid::TracePoint& pt : sim.trace) {
+      if (!invariant.contains(full_point(system, pt.x))) {
+        stayed = false;
+        break;
+      }
+    }
+    if (stayed) ++result.stayed;
+  }
+  return result;
+}
+
+}  // namespace soslock::sim

@@ -1,0 +1,72 @@
+#pragma once
+// Monte-Carlo validation harness. Certificates are *proofs* about the reduced
+// model; these studies empirically confirm that the certified statements
+// match the behaviour of the event-driven circuit model:
+//   * lock_study: do randomized initial states of the full PLL model lock?
+//   * decrease_study: is V_q non-increasing along simulated hybrid arcs?
+//   * invariance_study: do trajectories started inside the attractive
+//     invariant stay inside it?
+#include <cstdint>
+
+#include "core/level_set.hpp"
+#include "hybrid/simulator.hpp"
+#include "pll/full_model.hpp"
+#include "util/rng.hpp"
+
+namespace soslock::sim {
+
+struct LockStudyOptions {
+  std::size_t trials = 100;
+  std::uint64_t seed = 42;
+  double v_range = 4.0;   // initial |v~| bound
+  double e_range = 0.9;   // initial |e| bound (cycles)
+  pll::FullSimOptions sim;
+};
+
+struct LockStudyResult {
+  std::size_t locked = 0;
+  std::size_t total = 0;
+  double mean_lock_time = 0.0;
+  double max_lock_time = 0.0;
+  std::size_t trials_with_cycle_slip = 0;
+  double lock_fraction() const {
+    return total == 0 ? 0.0 : static_cast<double>(locked) / static_cast<double>(total);
+  }
+};
+
+LockStudyResult lock_study(const pll::FullPllModel& model, const LockStudyOptions& options);
+
+struct DecreaseStudyOptions {
+  std::size_t trials = 50;
+  std::uint64_t seed = 7;
+  double tolerance = 1e-6;   // allowed V increase between consecutive samples
+  hybrid::SimOptions sim;
+};
+
+struct DecreaseStudyResult {
+  bool ok = false;
+  double worst_increase = 0.0;   // largest observed V increase along a flow
+  std::size_t points_checked = 0;
+};
+
+/// Check V_q non-increase along simulated hybrid arcs, starting from random
+/// points inside the attractive invariant.
+DecreaseStudyResult decrease_study(const hybrid::HybridSystem& system,
+                                   const core::AttractiveInvariant& invariant,
+                                   const std::vector<std::pair<double, double>>& state_box,
+                                   const DecreaseStudyOptions& options);
+
+struct InvarianceStudyResult {
+  std::size_t stayed = 0;
+  std::size_t total = 0;
+  bool ok() const { return stayed == total; }
+};
+
+/// Trajectories started inside the invariant (consistent level) must remain
+/// inside the per-mode-level union.
+InvarianceStudyResult invariance_study(const hybrid::HybridSystem& system,
+                                       const core::AttractiveInvariant& invariant,
+                                       const std::vector<std::pair<double, double>>& state_box,
+                                       const DecreaseStudyOptions& options);
+
+}  // namespace soslock::sim

@@ -1,0 +1,136 @@
+#include "sos/checker.hpp"
+
+#include <cmath>
+
+#include "linalg/eigen_sym.hpp"
+#include "poly/basis.hpp"
+#include "util/log.hpp"
+
+namespace soslock::sos {
+
+using linalg::Matrix;
+using poly::Polynomial;
+
+CheckReport check_gram_identity(const Polynomial& p, const GramCertificate& cert,
+                                const CheckOptions& options) {
+  CheckReport report;
+  if (cert.gram.rows() != cert.basis.size()) {
+    report.detail = "gram size does not match basis";
+    return report;
+  }
+  // (i) identity residual
+  const Polynomial reconstructed = cert.polynomial(p.nvars());
+  const Polynomial residual = p - reconstructed;
+  const double scale = std::max(1.0, p.coeff_norm_inf());
+  report.residual = residual.coeff_norm_inf() / scale;
+
+  // (ii) PSD margin, relative to the Gram scale
+  if (cert.gram.rows() == 0) {
+    report.min_eigenvalue = 0.0;
+  } else {
+    report.min_eigenvalue = linalg::min_eigenvalue(cert.gram);
+  }
+  double trace = 0.0;
+  for (std::size_t i = 0; i < cert.gram.rows(); ++i) trace += cert.gram(i, i);
+  const double gram_scale = std::max(1.0, trace / std::max<std::size_t>(1, cert.gram.rows()));
+
+  const bool identity_ok = report.residual <= options.residual_tol;
+  const bool psd_ok = report.min_eigenvalue >= -options.psd_tol * gram_scale;
+  report.ok = identity_ok && psd_ok;
+  if (!identity_ok) report.detail += "identity residual too large; ";
+  if (!psd_ok) report.detail += "gram not PSD within tolerance; ";
+  return report;
+}
+
+bool is_sos_numeric(const Polynomial& p, double tolerance) {
+  if (p.is_zero()) return true;
+  SosProgram prog(p.nvars());
+  prog.set_trace_regularization(1e-8);
+  prog.add_sos_constraint(p, "is_sos");
+  sdp::IpmOptions options;
+  options.tolerance = tolerance;
+  const SolveResult result = prog.solve(options);
+  if (!result.feasible) return false;
+  // Audit the returned certificate rather than trusting the solver status.
+  const CheckReport report = check_gram_identity(p, result.grams.front(), {});
+  return report.ok;
+}
+
+std::vector<Polynomial> sos_decomposition(const GramCertificate& cert, std::size_t nvars) {
+  const Matrix root = linalg::sqrt_psd(cert.gram);
+  std::vector<Polynomial> terms;
+  const std::size_t n = cert.basis.size();
+  terms.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // q_k = sum_r root(k, r) * basis_r  (rows of the symmetric square root).
+    Polynomial q(nvars);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (root(k, r) != 0.0) q.add_term(cert.basis[r], root(k, r));
+    }
+    if (!q.is_zero()) terms.push_back(std::move(q));
+  }
+  return terms;
+}
+
+SampleReport sample_minimum(const Polynomial& p, const hybrid::SemialgebraicSet& set,
+                            const std::vector<std::pair<double, double>>& box,
+                            std::size_t samples, util::Rng& rng) {
+  SampleReport report;
+  report.min_value = std::numeric_limits<double>::infinity();
+  linalg::Vector x(p.nvars(), 0.0);
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < box.size() && i < x.size(); ++i)
+      x[i] = rng.uniform(box[i].first, box[i].second);
+    if (!set.empty() && !set.contains(x)) continue;
+    ++report.inside;
+    const double v = p.eval(x);
+    if (v < report.min_value) {
+      report.min_value = v;
+      report.argmin = x;
+    }
+  }
+  if (report.inside == 0) report.min_value = 0.0;
+  return report;
+}
+
+AuditReport audit(const SosProgram& program, const SolveResult& result,
+                  const CheckOptions& options) {
+  AuditReport report;
+  report.worst_eigenvalue = std::numeric_limits<double>::infinity();
+
+  // (a) every explicit SOS constraint: identity + PSD.
+  for (const auto& record : program.sos_records()) {
+    ++report.checked;
+    const Polynomial target = result.value(record.target);
+    const CheckReport check =
+        check_gram_identity(target, result.grams[record.gram_index], options);
+    report.worst_residual = std::max(report.worst_residual, check.residual);
+    report.worst_eigenvalue = std::min(report.worst_eigenvalue, check.min_eigenvalue);
+    if (!check.ok) {
+      ++report.failed;
+      report.failures.push_back("constraint '" + record.label + "': " + check.detail);
+    }
+  }
+
+  // (b) every Gram block must be PSD (covers SOS polynomial variables whose
+  // identity holds by construction).
+  for (const auto& cert : result.grams) {
+    ++report.checked;
+    if (cert.gram.rows() == 0) continue;
+    const double min_eig = linalg::min_eigenvalue(cert.gram);
+    report.worst_eigenvalue = std::min(report.worst_eigenvalue, min_eig);
+    double trace = 0.0;
+    for (std::size_t i = 0; i < cert.gram.rows(); ++i) trace += cert.gram(i, i);
+    const double scale = std::max(1.0, trace / static_cast<double>(cert.gram.rows()));
+    if (min_eig < -options.psd_tol * scale) {
+      ++report.failed;
+      report.failures.push_back("gram '" + cert.label + "' not PSD (min eig " +
+                                std::to_string(min_eig) + ")");
+    }
+  }
+
+  report.ok = report.failed == 0;
+  return report;
+}
+
+}  // namespace soslock::sos

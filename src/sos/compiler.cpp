@@ -1,0 +1,153 @@
+// Compilation of an SosProgram to the block SDP of sdp/problem.hpp, and the
+// end-to-end solve() that extracts certificates from the solver iterate.
+#include <cassert>
+#include <cmath>
+
+#include "sos/program.hpp"
+#include "util/log.hpp"
+
+namespace soslock::sos {
+
+using linalg::Matrix;
+using poly::LinExpr;
+
+sdp::Problem SosProgram::compile() const {
+  sdp::Problem prob;
+
+  // Gram blocks come first so gram block g == SDP block g.
+  for (const GramBlock& g : gram_blocks_) prob.add_block(g.basis.size());
+
+  // Free variables in their registration order.
+  for (std::size_t v = 0; v < var_is_free_.size(); ++v) {
+    if (var_is_free_[v]) {
+      const std::size_t idx = prob.add_free(0.0);
+      assert(idx == var_free_index_[v]);
+      (void)idx;
+    }
+  }
+
+  auto add_expr_to_row = [this](const LinExpr& expr, sdp::Row& row) {
+    row.rhs = -expr.constant();
+    for (const auto& [var, coeff] : expr.coeffs()) {
+      const auto v = static_cast<std::size_t>(var);
+      assert(v < var_is_free_.size());
+      if (var_is_free_[v]) {
+        row.free_coeffs[var_free_index_[v]] += coeff;
+      } else {
+        const GramRef& g = var_gram_ref_[v];
+        // The decision variable is the matrix entry G_rc (mirrored); in
+        // <A, X> an off-diagonal coefficient pair contributes twice.
+        prob_add_gram_coeff(row, g, coeff);
+      }
+    }
+  };
+
+  // Polynomial coefficient-matching rows.
+  for (const EqRow& er : eq_rows_) {
+    sdp::Row row;
+    row.label = er.label.empty() ? er.monomial.str() : er.label + ":" + er.monomial.str();
+    add_expr_to_row(er.expr, row);
+    prob.add_row(std::move(row));
+  }
+
+  // Scalar linear rows; inequalities get a 1x1 slack block.
+  for (const LinRow& lr : linear_rows_) {
+    sdp::Row row;
+    row.label = lr.label;
+    add_expr_to_row(lr.expr, row);
+    if (!lr.is_equality) {
+      const std::size_t slack = prob.add_block(1);
+      sdp::SparseSym s;
+      s.add(0, 0, -1.0);
+      row.blocks[slack] = std::move(s);
+    }
+    prob.add_row(std::move(row));
+  }
+
+  // Objective: free coefficients and Gram-entry coefficients.
+  {
+    std::vector<Matrix> block_obj;
+    block_obj.reserve(gram_blocks_.size());
+    for (const GramBlock& g : gram_blocks_) {
+      Matrix c(g.basis.size(), g.basis.size());
+      if (trace_reg_ > 0.0) {
+        for (std::size_t i = 0; i < g.basis.size(); ++i) c(i, i) = trace_reg_;
+      }
+      block_obj.push_back(std::move(c));
+    }
+    for (const auto& [var, coeff] : objective_.coeffs()) {
+      const auto v = static_cast<std::size_t>(var);
+      if (var_is_free_[v]) {
+        prob.set_free_objective(var_free_index_[v], coeff);
+      } else {
+        const GramRef& g = var_gram_ref_[v];
+        if (g.r == g.c) {
+          block_obj[g.block](g.r, g.c) += coeff;
+        } else {
+          block_obj[g.block](g.r, g.c) += 0.5 * coeff;
+          block_obj[g.block](g.c, g.r) += 0.5 * coeff;
+        }
+      }
+    }
+    for (std::size_t j = 0; j < gram_blocks_.size(); ++j)
+      prob.set_block_objective(j, std::move(block_obj[j]));
+  }
+
+  return prob;
+}
+
+void SosProgram::prob_add_gram_coeff(sdp::Row& row, const GramRef& g, double coeff) {
+  sdp::SparseSym& a = row.blocks[g.block];
+  if (g.r == g.c) {
+    a.add(g.r, g.c, coeff);
+  } else {
+    a.add(g.r, g.c, 0.5 * coeff);
+  }
+}
+
+SolveResult SosProgram::solve(const sdp::IpmOptions& options) const {
+  const sdp::Problem prob = compile();
+  util::log_info("sos: solving ", prob.stats());
+  const sdp::IpmSolver solver(options);
+  sdp::Solution sol = solver.solve(prob);
+
+  SolveResult result;
+  result.status = sol.status;
+  result.sdp = sol;
+  // "feasible" = the iterate satisfies the constraints to working tolerance.
+  // Callers that extract certificates must still pass them through
+  // sos::audit, which is the actual soundness verdict; a stalled-but-valid
+  // iterate (small residual, mediocre gap) is acceptable there, merely
+  // suboptimal in the objective.
+  result.feasible =
+      sol.status == sdp::SolveStatus::Optimal ||
+      (sol.status == sdp::SolveStatus::MaxIterations && sol.primal_residual < 1e-5 &&
+       sol.gap < 5e-3 && sol.dual_residual < 1e-4);
+
+  // Assemble the full decision-variable vector.
+  result.decision_values.assign(var_is_free_.size(), 0.0);
+  for (std::size_t v = 0; v < var_is_free_.size(); ++v) {
+    if (var_is_free_[v]) {
+      result.decision_values[v] = sol.w.empty() ? 0.0 : sol.w[var_free_index_[v]];
+    } else {
+      const GramRef& g = var_gram_ref_[v];
+      if (g.block < sol.x.size()) result.decision_values[v] = sol.x[g.block](g.r, g.c);
+    }
+  }
+
+  // Extract Gram certificates.
+  result.grams.reserve(gram_blocks_.size());
+  for (std::size_t j = 0; j < gram_blocks_.size(); ++j) {
+    GramCertificate cert;
+    cert.basis = gram_blocks_[j].basis;
+    cert.label = gram_blocks_[j].label;
+    if (j < sol.x.size()) cert.gram = sol.x[j];
+    result.grams.push_back(std::move(cert));
+  }
+
+  const double min_value = objective_.eval(result.decision_values);
+  result.objective = objective_is_max_ ? -min_value : min_value;
+  return result;
+}
+
+}  // namespace soslock::sos

@@ -1,0 +1,166 @@
+#pragma once
+// Sum-of-squares programming layer (the role YALMIP's SOS module played for
+// the paper). Models unknown polynomials, SOS constraints and S-procedure
+// multipliers, compiles them to one block SDP, and extracts certificates.
+//
+// Decision variables form one global index space. Each is either a *free*
+// scalar (an unconstrained polynomial coefficient, an objective like a level
+// value c, ...) or a *Gram entry* G_rc of some PSD block introduced by an SOS
+// polynomial or an SOS constraint.
+#include <string>
+#include <vector>
+
+#include "poly/basis.hpp"
+#include "poly/poly_lin.hpp"
+#include "sdp/ipm.hpp"
+#include "sdp/problem.hpp"
+
+namespace soslock::sos {
+
+/// A PSD Gram block: the polynomial it represents is basis' * G * basis.
+struct GramBlock {
+  std::vector<poly::Monomial> basis;
+  std::vector<int> entry_vars;  // decision ids for entries (r<=c, row-major upper)
+  std::string label;
+};
+
+struct SolveResult;
+
+class SosProgram {
+ public:
+  /// `nvars` = number of polynomial indeterminates (states + parameters).
+  explicit SosProgram(std::size_t nvars);
+
+  std::size_t nvars() const { return nvars_; }
+
+  // --- Decision variables -------------------------------------------------
+
+  /// New free scalar decision variable; returns it as a LinExpr.
+  poly::LinExpr add_scalar(const std::string& name = "");
+
+  /// Unknown polynomial with the given monomial support (all coefficients
+  /// free scalars).
+  poly::PolyLin add_poly(const std::vector<poly::Monomial>& support,
+                         const std::string& name = "");
+  /// Unknown polynomial with full support of total degree in [min_deg, max_deg].
+  poly::PolyLin add_poly(unsigned max_deg, unsigned min_deg = 0,
+                         const std::string& name = "");
+
+  /// Unknown SOS polynomial: creates a Gram PSD block over `gram_basis` and
+  /// returns basis' G basis as a PolyLin (coefficients linear in Gram vars).
+  poly::PolyLin add_sos_poly(const std::vector<poly::Monomial>& gram_basis,
+                             const std::string& name = "");
+  /// Gram basis = all monomials of degree <= max_deg/2 (>= min_deg/2).
+  poly::PolyLin add_sos_poly(unsigned max_deg, unsigned min_deg = 0,
+                             const std::string& name = "");
+
+  // --- Constraints ----------------------------------------------------------
+
+  /// Require p(x) == 0 identically (coefficient matching).
+  void add_eq_zero(const poly::PolyLin& p, const std::string& label = "");
+  /// Require p ∈ Σ[x]: introduces a Gram block (basis pruned from the support
+  /// of p via the Newton-polytope box bound when `prune`).
+  void add_sos_constraint(const poly::PolyLin& p, const std::string& label = "",
+                          bool prune = true);
+  /// Scalar affine equality e == 0.
+  void add_linear_eq(const poly::LinExpr& e, const std::string& label = "");
+  /// Scalar affine inequality e >= 0 (1x1 PSD slack).
+  void add_linear_ge(const poly::LinExpr& e, const std::string& label = "");
+
+  // --- Objective ------------------------------------------------------------
+
+  void minimize(const poly::LinExpr& objective);
+  void maximize(const poly::LinExpr& objective);
+
+  /// Add w * trace(G) to the minimization objective for every Gram block;
+  /// regularizes pure feasibility problems (keeps Gram matrices small and
+  /// well inside the cone).
+  void set_trace_regularization(double weight) { trace_reg_ = weight; }
+
+  // --- Solve ----------------------------------------------------------------
+
+  SolveResult solve(const sdp::IpmOptions& options = {}) const;
+
+  /// Compile to the underlying SDP (exposed for tests and benchmarks).
+  sdp::Problem compile() const;
+
+  std::size_t num_decision_vars() const { return var_is_free_.size(); }
+  const std::vector<GramBlock>& gram_blocks() const { return gram_blocks_; }
+  std::size_t num_constraints() const { return eq_rows_.size() + linear_rows_.size(); }
+
+  /// Record of one `p ∈ Σ` constraint, kept so solved certificates can be
+  /// independently re-audited (see sos/checker.hpp).
+  struct SosConstraintRecord {
+    poly::PolyLin target;       // the constrained polynomial (decision-linear)
+    std::size_t gram_index = 0; // Gram block allocated for it
+    std::string label;
+  };
+  const std::vector<SosConstraintRecord>& sos_records() const { return sos_records_; }
+
+ private:
+  friend struct SolveResult;
+
+  int new_free_var(const std::string& name);
+  int new_gram_var();
+  struct GramRef;
+  static void prob_add_gram_coeff(sdp::Row& row, const GramRef& g, double coeff);
+
+  std::size_t nvars_;
+  // Decision variable table: free vars get an SDP free index, gram vars map
+  // to (block, r, c).
+  std::vector<bool> var_is_free_;
+  std::vector<std::size_t> var_free_index_;            // valid when free
+  struct GramRef {
+    std::size_t block = 0, r = 0, c = 0;
+  };
+  std::vector<GramRef> var_gram_ref_;                  // valid when !free
+  std::vector<std::string> free_names_;
+  std::size_t num_free_ = 0;
+
+  std::vector<GramBlock> gram_blocks_;
+
+  struct EqRow {
+    poly::Monomial monomial;     // provenance
+    poly::LinExpr expr;          // expr == 0
+    std::string label;
+  };
+  std::vector<EqRow> eq_rows_;
+  struct LinRow {
+    poly::LinExpr expr;
+    bool is_equality;            // else: expr >= 0
+    std::string label;
+  };
+  std::vector<LinRow> linear_rows_;
+
+  poly::LinExpr objective_;      // always stored in minimization form
+  bool objective_is_max_ = false;
+  double trace_reg_ = 0.0;
+  std::vector<SosConstraintRecord> sos_records_;
+};
+
+/// A Gram certificate extracted from a solved program.
+struct GramCertificate {
+  std::vector<poly::Monomial> basis;
+  linalg::Matrix gram;           // PSD up to solver tolerance
+  std::string label;
+  /// The polynomial basis' * G * basis.
+  poly::Polynomial polynomial(std::size_t nvars) const;
+};
+
+struct SolveResult {
+  sdp::SolveStatus status = sdp::SolveStatus::NumericalProblem;
+  /// True when the iterate satisfies all constraints to working tolerance;
+  /// the independent CertificateChecker gives the final soundness verdict.
+  bool feasible = false;
+  linalg::Vector decision_values;          // indexed by decision var id
+  std::vector<GramCertificate> grams;      // one per Gram block, program order
+  double objective = 0.0;                  // value of the user objective
+  sdp::Solution sdp;                       // raw solver output
+
+  double value(const poly::LinExpr& e) const { return e.eval(decision_values); }
+  poly::Polynomial value(const poly::PolyLin& p) const {
+    return p.eval_decision(decision_values);
+  }
+};
+
+}  // namespace soslock::sos

@@ -1,0 +1,19 @@
+// Certificate reconstruction helpers for solved SOS programs.
+#include "sos/program.hpp"
+
+namespace soslock::sos {
+
+poly::Polynomial GramCertificate::polynomial(std::size_t nvars) const {
+  poly::Polynomial p(nvars);
+  const std::size_t n = basis.size();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (gram.rows() <= r || gram.cols() <= c) continue;
+      const double v = gram(r, c);
+      if (v != 0.0) p.add_term(basis[r] * basis[c], v);
+    }
+  }
+  return p;
+}
+
+}  // namespace soslock::sos

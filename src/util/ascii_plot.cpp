@@ -1,0 +1,48 @@
+#include "util/ascii_plot.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace soslock::util {
+
+AsciiPlot::AsciiPlot(double xmin, double xmax, double ymin, double ymax, int cols, int rows)
+    : xmin_(xmin), xmax_(xmax), ymin_(ymin), ymax_(ymax), cols_(cols), rows_(rows),
+      grid_(static_cast<std::size_t>(rows), std::string(static_cast<std::size_t>(cols), ' ')) {}
+
+void AsciiPlot::add_point(double x, double y, char glyph) {
+  if (!(x >= xmin_ && x <= xmax_ && y >= ymin_ && y <= ymax_)) return;
+  const int col = static_cast<int>(std::lround((x - xmin_) / (xmax_ - xmin_) * (cols_ - 1)));
+  const int row = static_cast<int>(std::lround((ymax_ - y) / (ymax_ - ymin_) * (rows_ - 1)));
+  if (col < 0 || col >= cols_ || row < 0 || row >= rows_) return;
+  grid_[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = glyph;
+}
+
+void AsciiPlot::add(const Series& series) {
+  legend_.emplace_back(series.glyph, series.name);
+  for (const auto& [x, y] : series.points) add_point(x, y, series.glyph);
+}
+
+std::string AsciiPlot::str(const std::string& title, const std::string& xlabel,
+                           const std::string& ylabel) const {
+  std::string out = title + "   (y: " + ylabel + ", x: " + xlabel + ")\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%9.3f ", ymax_);
+  out += std::string(buf) + "+" + std::string(static_cast<std::size_t>(cols_), '-') + "+\n";
+  for (int r = 0; r < rows_; ++r) {
+    out += "          |" + grid_[static_cast<std::size_t>(r)] + "|\n";
+  }
+  std::snprintf(buf, sizeof(buf), "%9.3f ", ymin_);
+  out += std::string(buf) + "+" + std::string(static_cast<std::size_t>(cols_), '-') + "+\n";
+  std::snprintf(buf, sizeof(buf), "          %-10.3f", xmin_);
+  out += std::string(buf);
+  std::snprintf(buf, sizeof(buf), "%*.3f\n", cols_ - 10, xmax_);
+  out += std::string(buf);
+  for (const auto& [glyph, name] : legend_) {
+    out += "    ";
+    out += glyph;
+    out += "  " + name + "\n";
+  }
+  return out;
+}
+
+}  // namespace soslock::util

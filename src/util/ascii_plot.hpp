@@ -1,0 +1,35 @@
+#pragma once
+// Terminal scatter/contour plotting used by the figure-reproduction benches:
+// the paper's Figures 2-5 are 2-D projections of level sets; we render the
+// same projections as ASCII plots plus CSV point dumps.
+#include <string>
+#include <vector>
+
+namespace soslock::util {
+
+/// One named point series (e.g. one advection iterate's boundary).
+struct Series {
+  std::string name;
+  char glyph = '*';
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Fixed-extent ASCII scatter plot.
+class AsciiPlot {
+ public:
+  AsciiPlot(double xmin, double xmax, double ymin, double ymax, int cols = 72, int rows = 28);
+
+  void add(const Series& series);
+  void add_point(double x, double y, char glyph);
+  /// Render with axis labels; `xlabel`/`ylabel` appear in the frame.
+  std::string str(const std::string& title, const std::string& xlabel,
+                  const std::string& ylabel) const;
+
+ private:
+  double xmin_, xmax_, ymin_, ymax_;
+  int cols_, rows_;
+  std::vector<std::string> grid_;
+  std::vector<std::pair<char, std::string>> legend_;
+};
+
+}  // namespace soslock::util

@@ -1,0 +1,49 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/log.hpp"
+
+namespace soslock::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void CsvWriter::add_row(const std::vector<double>& row) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  char buf[64];
+  for (double v : row) {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    cells.emplace_back(buf);
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) { rows_.push_back(row); }
+
+std::string CsvWriter::str() const {
+  std::string out;
+  auto join = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out += ',';
+      out += cells[i];
+    }
+    out += '\n';
+  };
+  join(header_);
+  for (const auto& row : rows_) join(row);
+  return out;
+}
+
+bool CsvWriter::write(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    log_warn("CsvWriter: cannot open ", path);
+    return false;
+  }
+  os << str();
+  return static_cast<bool>(os);
+}
+
+}  // namespace soslock::util

@@ -1,0 +1,26 @@
+#pragma once
+// Tiny CSV writer: the figure benches dump the level-set boundary samples so
+// the paper's plots can be regenerated with any external plotting tool.
+#include <string>
+#include <vector>
+
+namespace soslock::util {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(const std::vector<double>& row);
+  void add_row(const std::vector<std::string>& row);
+  /// Serialize the whole table.
+  std::string str() const;
+  /// Write to `path`; returns false (and logs) on I/O failure.
+  bool write(const std::string& path) const;
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace soslock::util

@@ -1,0 +1,43 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace soslock::util {
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("SOSLOCK_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::Trace;
+  return LogLevel::Warn;
+}
+
+LogLevel g_level = level_from_env();
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Trace: return "TRACE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[soslock %s] %s\n", tag(level), msg.c_str());
+}
+
+}  // namespace soslock::util

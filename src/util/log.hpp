@@ -1,0 +1,48 @@
+#pragma once
+// Minimal leveled logger. Controlled at runtime via soslock::util::set_log_level
+// or the SOSLOCK_LOG environment variable (error|warn|info|debug|trace).
+#include <sstream>
+#include <string>
+
+namespace soslock::util {
+
+enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3, Trace = 4 };
+
+/// Set the global log threshold; messages above it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (thread-unsafe by design: the library is single-threaded).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Ts>
+std::string concat(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Ts>
+void log_error(const Ts&... parts) {
+  if (log_level() >= LogLevel::Error) log_line(LogLevel::Error, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_warn(const Ts&... parts) {
+  if (log_level() >= LogLevel::Warn) log_line(LogLevel::Warn, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_info(const Ts&... parts) {
+  if (log_level() >= LogLevel::Info) log_line(LogLevel::Info, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_debug(const Ts&... parts) {
+  if (log_level() >= LogLevel::Debug) log_line(LogLevel::Debug, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_trace(const Ts&... parts) {
+  if (log_level() >= LogLevel::Trace) log_line(LogLevel::Trace, detail::concat(parts...));
+}
+
+}  // namespace soslock::util

@@ -1,0 +1,33 @@
+#pragma once
+// Deterministic random number generation for tests, Monte-Carlo validation
+// and workload generators. Wraps a fixed-algorithm engine so results are
+// reproducible across standard library implementations.
+#include <cstdint>
+#include <vector>
+
+namespace soslock::util {
+
+/// xoshiro256** — small, fast, reproducible PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Standard normal via Box-Muller.
+  double normal();
+  /// Uniform integer in [0, n).
+  std::size_t index(std::size_t n);
+  /// Vector of uniforms in [lo, hi).
+  std::vector<double> uniform_vector(std::size_t n, double lo, double hi);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace soslock::util

@@ -1,0 +1,29 @@
+#include "util/timer.hpp"
+
+#include <cstdio>
+
+namespace soslock::util {
+
+double TimingTable::total_seconds() const {
+  double total = 0.0;
+  for (const Entry& e : entries_) total += e.seconds;
+  return total;
+}
+
+std::string TimingTable::str(const std::string& title) const {
+  std::string out = title + "\n";
+  std::size_t width = 24;
+  for (const Entry& e : entries_) width = std::max(width, e.name.size() + 2);
+  char line[256];
+  for (const Entry& e : entries_) {
+    std::snprintf(line, sizeof(line), "  %-*s %10.3f s   %s\n", static_cast<int>(width),
+                  e.name.c_str(), e.seconds, e.note.c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  %-*s %10.3f s\n", static_cast<int>(width), "TOTAL",
+                total_seconds());
+  out += line;
+  return out;
+}
+
+}  // namespace soslock::util

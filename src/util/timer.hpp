@@ -1,0 +1,46 @@
+#pragma once
+// Wall-clock timing helpers used by the pipeline to regenerate the paper's
+// Table 2 (per-step verification times).
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace soslock::util {
+
+/// Simple wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named timing entries (one row per verification step).
+class TimingTable {
+ public:
+  struct Entry {
+    std::string name;
+    double seconds = 0.0;
+    std::string note;
+  };
+
+  void add(std::string name, double seconds, std::string note = {}) {
+    entries_.push_back({std::move(name), seconds, std::move(note)});
+  }
+  const std::vector<Entry>& entries() const { return entries_; }
+  double total_seconds() const;
+  /// Render as an aligned text table.
+  std::string str(const std::string& title) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace soslock::util

@@ -1,0 +1,179 @@
+// Focused tests of the event-driven CP PLL model: PFD state machine
+// behaviour, lock detection, parameter sweeps, and agreement with the
+// averaged abstraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hybrid/simulator.hpp"
+#include "pll/full_model.hpp"
+#include "pll/models.hpp"
+#include "pll/params.hpp"
+
+namespace soslock::pll {
+namespace {
+
+TEST(FullModel, AlreadyLockedStaysLocked) {
+  const FullPllModel model(Params::paper_third_order());
+  FullSimOptions opt;
+  opt.tau_max = 50.0;
+  const FullSimResult run = model.simulate({0.0, 0.0}, 0.0, opt);
+  EXPECT_TRUE(run.locked);
+  EXPECT_LT(run.lock_time, 1.0);
+  for (const FullTracePoint& pt : run.trace) {
+    EXPECT_LT(std::fabs(pt.e), 0.05);
+  }
+}
+
+TEST(FullModel, PositiveErrorPumpsUpFirst) {
+  const FullPllModel model(Params::paper_third_order());
+  FullSimOptions opt;
+  opt.tau_max = 1.5;
+  opt.record_stride = 1;
+  const FullSimResult run = model.simulate({0.0, 0.0}, 0.5, opt);
+  // The first non-idle PFD state encountered must be Up (reference leads).
+  PfdState first_active = PfdState::Idle;
+  for (const FullTracePoint& pt : run.trace) {
+    if (pt.pfd != PfdState::Idle) {
+      first_active = pt.pfd;
+      break;
+    }
+  }
+  EXPECT_EQ(first_active, PfdState::Up);
+}
+
+TEST(FullModel, NegativeErrorPumpsDownFirst) {
+  const FullPllModel model(Params::paper_third_order());
+  FullSimOptions opt;
+  opt.tau_max = 1.5;
+  opt.record_stride = 1;
+  const FullSimResult run = model.simulate({0.0, 0.0}, -0.5, opt);
+  PfdState first_active = PfdState::Idle;
+  for (const FullTracePoint& pt : run.trace) {
+    if (pt.pfd != PfdState::Idle) {
+      first_active = pt.pfd;
+      break;
+    }
+  }
+  EXPECT_EQ(first_active, PfdState::Down);
+}
+
+TEST(FullModel, SymmetryUnderSignFlip) {
+  // (v, e) -> (-v, -e) is a symmetry of the loop; lock times must agree.
+  const FullPllModel model(Params::paper_third_order());
+  FullSimOptions opt;
+  opt.tau_max = 600.0;
+  const FullSimResult pos = model.simulate({1.0, 0.5}, 0.3, opt);
+  const FullSimResult neg = model.simulate({-1.0, -0.5}, -0.3, opt);
+  ASSERT_TRUE(pos.locked);
+  ASSERT_TRUE(neg.locked);
+  EXPECT_NEAR(pos.lock_time, neg.lock_time, 0.2 * pos.lock_time + 2.0);
+}
+
+class LockFromOffsets : public ::testing::TestWithParam<double> {};
+
+TEST_P(LockFromOffsets, ThirdOrderLocks) {
+  const FullPllModel model(Params::paper_third_order());
+  FullSimOptions opt;
+  opt.tau_max = 800.0;
+  const FullSimResult run = model.simulate({0.5, -0.5}, GetParam(), opt);
+  EXPECT_TRUE(run.locked) << "e0 = " << GetParam();
+  EXPECT_EQ(run.cycle_slips, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PhaseOffsets, LockFromOffsets,
+                         ::testing::Values(-0.8, -0.4, -0.1, 0.1, 0.4, 0.8));
+
+TEST(FullModel, LargerGainLocksFasterWithinLimit) {
+  // Within the Gardner limit, more loop gain -> faster acquisition.
+  const FullPllModel slow(Params::paper_third_order(), 0.01);
+  const FullPllModel fast(Params::paper_third_order(), 0.03);
+  FullSimOptions opt;
+  opt.tau_max = 1500.0;
+  const FullSimResult s = slow.simulate({1.0, 1.0}, 0.4, opt);
+  const FullSimResult f = fast.simulate({1.0, 1.0}, 0.4, opt);
+  ASSERT_TRUE(s.locked);
+  ASSERT_TRUE(f.locked);
+  EXPECT_LT(f.lock_time, s.lock_time);
+}
+
+TEST(FullModel, TraceIsTimeMonotone) {
+  const FullPllModel model(Params::paper_third_order());
+  FullSimOptions opt;
+  opt.tau_max = 20.0;
+  const FullSimResult run = model.simulate({1.0, -1.0}, 0.2, opt);
+  for (std::size_t i = 1; i < run.trace.size(); ++i) {
+    EXPECT_GE(run.trace[i].tau, run.trace[i - 1].tau);
+  }
+}
+
+TEST(FullModel, AgreesWithAveragedEnvelope) {
+  // The event-driven control voltage must track the averaged model's within
+  // the pump ripple amplitude during a moderate transient.
+  const Params params = Params::paper_third_order();
+  const FullPllModel full(params);
+  const ReducedModel avg = make_averaged(params);
+  const hybrid::Simulator sim(avg.system);
+
+  FullSimOptions fopt;
+  fopt.tau_max = 40.0;
+  fopt.record_stride = 1;
+  const FullSimResult frun = full.simulate({0.5, 0.5}, 0.2, fopt);
+
+  hybrid::SimOptions sopt;
+  sopt.dt = 1e-3;
+  sopt.t_max = 40.0;
+  const hybrid::SimResult srun = sim.run(0, {0.5, 0.5, 0.2}, sopt);
+
+  // Compare v2 at a few matched times.
+  const double ripple = full.constants().rho / (params.f_ref * full.constants().t_scale);
+  for (double t : {5.0, 15.0, 30.0}) {
+    auto at = [t](const auto& trace, auto time_of) {
+      std::size_t best = 0;
+      double bd = 1e18;
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        const double d = std::fabs(time_of(trace[i]) - t);
+        if (d < bd) {
+          bd = d;
+          best = i;
+        }
+      }
+      return best;
+    };
+    const std::size_t fi =
+        at(frun.trace, [](const FullTracePoint& p) { return p.tau; });
+    const std::size_t si =
+        at(srun.trace, [](const hybrid::TracePoint& p) { return p.t; });
+    EXPECT_NEAR(frun.trace[fi].v[1], srun.trace[si].x[1], ripple + 0.35)
+        << "at t = " << t;
+  }
+}
+
+TEST(FullModel, FourthOrderConstantsPropagate) {
+  const FullPllModel model(Params::paper_fourth_order());
+  EXPECT_EQ(model.num_voltages(), 3u);
+  EXPECT_GT(model.constants().beta, 0.0);
+  EXPECT_GT(model.constants().gamma, 0.0);
+}
+
+TEST(VertexModel, StructureAndNominalEquivalence) {
+  const ReducedModel v = make_averaged_vertices(Params::paper_third_order());
+  ASSERT_EQ(v.system.modes().size(), 2u);
+  // At the interval midpoint the two vertex flows bracket the nominal one.
+  const ReducedModel nom = [] {
+    ModelOptions o;
+    o.uncertain_pump = false;
+    return make_averaged(Params::paper_third_order(), o);
+  }();
+  const linalg::Vector x = {0.3, -0.2, 0.4};
+  const linalg::Vector lo = v.system.eval_flow(0, x, {});
+  const linalg::Vector hi = v.system.eval_flow(1, x, {});
+  const linalg::Vector mid = nom.system.eval_flow(0, x, {});
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LE(std::min(lo[i], hi[i]), mid[i] + 1e-12);
+    EXPECT_GE(std::max(lo[i], hi[i]), mid[i] - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace soslock::pll

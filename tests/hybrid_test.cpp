@@ -1,0 +1,208 @@
+// Tests for semialgebraic sets, hybrid system structure, and the simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hybrid/semialgebraic.hpp"
+#include "hybrid/simulator.hpp"
+#include "hybrid/system.hpp"
+
+namespace soslock::hybrid {
+namespace {
+
+using linalg::Vector;
+using poly::Polynomial;
+
+TEST(SemialgebraicSet, IntervalMembership) {
+  SemialgebraicSet s(2);
+  s.add_interval(0, -1.0, 2.0);
+  EXPECT_TRUE(s.contains({0.0, 100.0}));
+  EXPECT_TRUE(s.contains({2.0, 0.0}));
+  EXPECT_FALSE(s.contains({2.1, 0.0}));
+  EXPECT_FALSE(s.contains({-1.5, 0.0}));
+}
+
+TEST(SemialgebraicSet, BallMembership) {
+  SemialgebraicSet s(3);
+  s.add_ball({0, 1}, 2.0);  // x0^2 + x1^2 <= 4, x2 unconstrained
+  EXPECT_TRUE(s.contains({1.0, 1.0, 50.0}));
+  EXPECT_FALSE(s.contains({2.0, 1.5, 0.0}));
+}
+
+TEST(SemialgebraicSet, IntersectCombines) {
+  SemialgebraicSet a(1), b(1);
+  a.add_interval(0, 0.0, 10.0);
+  b.add_interval(0, 5.0, 20.0);
+  const SemialgebraicSet c = a.intersect(b);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_TRUE(c.contains({7.0}));
+  EXPECT_FALSE(c.contains({3.0}));
+}
+
+TEST(SemialgebraicSet, ToleranceSlack) {
+  SemialgebraicSet s(1);
+  s.add_interval(0, 0.0, 1.0);
+  EXPECT_FALSE(s.contains({-1e-6}));
+  EXPECT_TRUE(s.contains({-1e-6}, 1e-5));
+}
+
+TEST(SemialgebraicSet, RemapKeepsGeometry) {
+  SemialgebraicSet s(1);
+  s.add_interval(0, 0.0, 1.0);
+  const SemialgebraicSet r = s.remap(3, {2});
+  EXPECT_TRUE(r.contains({9.0, 9.0, 0.5}));
+  EXPECT_FALSE(r.contains({0.5, 0.5, 2.0}));
+}
+
+TEST(SemialgebraicSet, BoxHelper) {
+  const SemialgebraicSet s = box_set(2, {{-1.0, 1.0}, {0.0, 2.0}});
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_TRUE(s.contains({0.0, 1.0}));
+  EXPECT_FALSE(s.contains({0.0, -0.5}));
+}
+
+HybridSystem linear_decay_system() {
+  // One mode, x' = -x, no params.
+  HybridSystem sys(1, 0);
+  Mode m;
+  m.name = "decay";
+  m.flow = {-1.0 * Polynomial::variable(1, 0)};
+  m.domain = SemialgebraicSet(1);
+  sys.add_mode(std::move(m));
+  return sys;
+}
+
+TEST(HybridSystem, ValidateCatchesBadFlowArity) {
+  HybridSystem sys(2, 0);
+  Mode m;
+  m.flow = {Polynomial::variable(2, 0)};  // only 1 component for 2 states
+  m.domain = SemialgebraicSet(2);
+  // add_mode asserts in debug; use validate on a system built with the right
+  // arity but inconsistent var space instead.
+  Mode ok;
+  ok.flow = {Polynomial::variable(3, 0), Polynomial::variable(3, 1)};  // 3 vars != 2
+  ok.domain = SemialgebraicSet(2);
+  sys.add_mode(std::move(ok));
+  EXPECT_FALSE(sys.validate().empty());
+}
+
+TEST(HybridSystem, EvalFlowWithParams) {
+  // x' = u * x with u as parameter.
+  HybridSystem sys(1, 1);
+  Mode m;
+  m.flow = {Polynomial::variable(2, 0) * Polynomial::variable(2, 1)};
+  m.domain = SemialgebraicSet(2);
+  sys.add_mode(std::move(m));
+  sys.set_nominal_parameters({3.0});
+  const Vector dx = sys.eval_flow(0, {2.0}, {3.0});
+  EXPECT_DOUBLE_EQ(dx[0], 6.0);
+}
+
+TEST(Simulator, ExponentialDecayMatchesClosedForm) {
+  const HybridSystem sys = linear_decay_system();
+  const Simulator sim(sys);
+  SimOptions opt;
+  opt.dt = 1e-3;
+  opt.t_max = 1.0;
+  const SimResult r = sim.run(0, {1.0}, opt);
+  EXPECT_EQ(r.stop_reason, "t_max");
+  EXPECT_NEAR(r.final().x[0], std::exp(-1.0), 1e-6);
+}
+
+TEST(Simulator, HarmonicOscillatorEnergyConserved) {
+  HybridSystem sys(2, 0);
+  Mode m;
+  m.flow = {Polynomial::variable(2, 1), -1.0 * Polynomial::variable(2, 0)};
+  m.domain = SemialgebraicSet(2);
+  sys.add_mode(std::move(m));
+  const Simulator sim(sys);
+  SimOptions opt;
+  opt.dt = 1e-3;
+  opt.t_max = 6.283185307179586;  // one period
+  const SimResult r = sim.run(0, {1.0, 0.0}, opt);
+  EXPECT_NEAR(r.final().x[0], 1.0, 1e-5);
+  EXPECT_NEAR(r.final().x[1], 0.0, 1e-5);
+}
+
+HybridSystem bouncing_ball() {
+  // states (h, v): h' = v, v' = -1; jump at h <= 0, v < 0: v := -0.5 v.
+  HybridSystem sys(2, 0);
+  Mode m;
+  m.name = "fall";
+  m.flow = {Polynomial::variable(2, 1), Polynomial::constant(2, -1.0)};
+  m.domain = SemialgebraicSet(2);
+  m.domain.add_constraint(Polynomial::variable(2, 0));  // h >= 0
+  sys.add_mode(std::move(m));
+  Jump j;
+  j.from = 0;
+  j.to = 0;
+  j.guard = SemialgebraicSet(2);
+  j.guard.add_constraint(-1.0 * Polynomial::variable(2, 1));  // v <= 0
+  j.reset = {Polynomial::variable(2, 0), -0.5 * Polynomial::variable(2, 1)};
+  sys.add_jump(std::move(j));
+  return sys;
+}
+
+TEST(Simulator, BouncingBallJumpsAndDecays) {
+  const HybridSystem sys = bouncing_ball();
+  const Simulator sim(sys);
+  SimOptions opt;
+  opt.dt = 1e-3;
+  opt.t_max = 10.0;
+  opt.max_jumps = 50;
+  const SimResult r = sim.run(0, {1.0, 0.0}, opt);
+  // First impact at t = sqrt(2) with v = -sqrt(2); after jump v = sqrt(2)/2.
+  int jumps_seen = r.final().jumps;
+  EXPECT_GE(jumps_seen, 3);
+  // Energy decreases across jumps: final height bounded by a small value.
+  double max_h_late = 0.0;
+  for (const TracePoint& pt : r.trace) {
+    if (pt.t > 8.0) max_h_late = std::max(max_h_late, pt.x[0]);
+  }
+  EXPECT_LT(max_h_late, 0.2);
+}
+
+TEST(Simulator, BouncingBallFirstImpactTime) {
+  const HybridSystem sys = bouncing_ball();
+  const Simulator sim(sys);
+  SimOptions opt;
+  opt.dt = 1e-3;
+  opt.t_max = 2.0;
+  opt.max_jumps = 1;
+  const SimResult r = sim.run(0, {1.0, 0.0}, opt);
+  EXPECT_EQ(r.stop_reason, "max_jumps");
+  EXPECT_NEAR(r.final().t, std::sqrt(2.0), 1e-3);
+  EXPECT_NEAR(r.final().x[1], std::sqrt(2.0) / 2.0, 1e-2);
+}
+
+TEST(Simulator, StopWhenPredicate) {
+  const HybridSystem sys = linear_decay_system();
+  const Simulator sim(sys);
+  SimOptions opt;
+  opt.dt = 1e-3;
+  opt.t_max = 10.0;
+  opt.stop_when = [](const TracePoint& pt) { return pt.x[0] < 0.5; };
+  const SimResult r = sim.run(0, {1.0}, opt);
+  EXPECT_EQ(r.stop_reason, "stop_when");
+  EXPECT_NEAR(r.final().t, std::log(2.0), 5e-3);
+}
+
+TEST(Simulator, StuckWhenNoJumpEnabled) {
+  // Domain x <= 1, flow x' = +1, no jumps: must stop as "stuck" at x = 1.
+  HybridSystem sys(1, 0);
+  Mode m;
+  m.flow = {Polynomial::constant(1, 1.0)};
+  m.domain = SemialgebraicSet(1);
+  m.domain.add_interval(0, -10.0, 1.0);
+  sys.add_mode(std::move(m));
+  const Simulator sim(sys);
+  SimOptions opt;
+  opt.dt = 1e-2;
+  opt.t_max = 5.0;
+  const SimResult r = sim.run(0, {0.0}, opt);
+  EXPECT_TRUE(r.stuck());
+  EXPECT_NEAR(r.final().x[0], 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace soslock::hybrid

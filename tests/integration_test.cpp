@@ -1,0 +1,232 @@
+// Cross-module integration tests: formal certificates cross-checked against
+// simulation, corrupted certificates caught by the audit, and the full
+// verification pipeline agreeing with Monte-Carlo behaviour on both PLL
+// orders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pipeline.hpp"
+#include "core/rate.hpp"
+#include "hybrid/simulator.hpp"
+#include "pll/full_model.hpp"
+#include "pll/models.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sos/checker.hpp"
+#include "util/rng.hpp"
+
+namespace soslock {
+namespace {
+
+using poly::Polynomial;
+
+Polynomial ellipsoid(std::size_t nvars, const std::vector<double>& axes) {
+  Polynomial b(nvars);
+  for (std::size_t i = 0; i < axes.size(); ++i) {
+    const Polynomial x = Polynomial::variable(nvars, i);
+    b += (1.0 / (axes[i] * axes[i])) * x * x;
+  }
+  b -= Polynomial::constant(nvars, 1.0);
+  b *= 0.5;
+  return b;
+}
+
+class Pll3Pipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new pll::ReducedModel(pll::make_averaged(pll::Params::paper_third_order()));
+    core::PipelineOptions opt;
+    opt.lyapunov.certificate_degree = 2;
+    opt.lyapunov.flow_decrease = core::FlowDecrease::Strict;
+    opt.lyapunov.strict_margin = 1e-4;
+    opt.lyapunov.maximize_region = true;
+    opt.advection.h = 0.01;
+    opt.advection.gamma = 0.008;
+    opt.advection.eps = 0.3;
+    opt.max_advection_iterations = 12;
+    report_ = new core::PipelineReport(core::InevitabilityVerifier(opt).verify(
+        model_->system, ellipsoid(model_->system.nvars(), {5.0, 4.2, 0.9})));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete report_;
+    model_ = nullptr;
+    report_ = nullptr;
+  }
+  static pll::ReducedModel* model_;
+  static core::PipelineReport* report_;
+};
+
+pll::ReducedModel* Pll3Pipeline::model_ = nullptr;
+core::PipelineReport* Pll3Pipeline::report_ = nullptr;
+
+TEST_F(Pll3Pipeline, Verifies) {
+  EXPECT_EQ(report_->verdict, core::Verdict::VerifiedByAdvection) << report_->summary();
+}
+
+TEST_F(Pll3Pipeline, CertificateDecreasesAlongSimulatedFlows) {
+  ASSERT_TRUE(report_->lyapunov.success);
+  sim::DecreaseStudyOptions opt;
+  opt.trials = 20;
+  opt.sim.dt = 2e-3;
+  opt.sim.t_max = 4.0;
+  const sim::DecreaseStudyResult result = sim::decrease_study(
+      model_->system, report_->invariant, {{-8.0, 8.0}, {-8.0, 8.0}, {-1.0, 1.0}}, opt);
+  EXPECT_TRUE(result.ok) << "V increased by " << result.worst_increase;
+}
+
+TEST_F(Pll3Pipeline, AdvectedSetsContainFlowedSamples) {
+  // Soundness of advection: points of S(b_k), flowed forward by h, must land
+  // in S(b_{k+1}) (up to the gamma margin).
+  ASSERT_GE(report_->advection_iterates.size(), 2u);
+  const hybrid::Simulator sim(model_->system);
+  util::Rng rng(99);
+  const std::size_t nvars = model_->system.nvars();
+  int checked = 0;
+  for (std::size_t k = 0; k + 1 < report_->advection_iterates.size(); ++k) {
+    const Polynomial& b0 = report_->advection_iterates[k];
+    const Polynomial& b1 = report_->advection_iterates[k + 1];
+    for (int s = 0; s < 200; ++s) {
+      linalg::Vector x(3);
+      x[0] = rng.uniform(-6.0, 6.0);
+      x[1] = rng.uniform(-6.0, 6.0);
+      x[2] = rng.uniform(-1.0, 1.0);
+      linalg::Vector full(nvars, 0.0);
+      std::copy(x.begin(), x.end(), full.begin());
+      if (b0.eval(full) > 0.0) continue;
+      hybrid::SimOptions sopt;
+      sopt.dt = 1e-3;
+      sopt.t_max = 0.01;  // the advection step h
+      const hybrid::SimResult run = sim.run(0, x, sopt);
+      linalg::Vector next(nvars, 0.0);
+      std::copy(run.final().x.begin(), run.final().x.end(), next.begin());
+      EXPECT_LE(b1.eval(next), 1e-6)
+          << "iterate " << k << " sample escaped the advected set";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST_F(Pll3Pipeline, InvariantContainsAdvectionLimit) {
+  // The final advected set is certified inside the invariant; spot-check.
+  ASSERT_TRUE(report_->advection_included);
+  const Polynomial& b_final = report_->advection_iterates.back();
+  util::Rng rng(7);
+  const std::size_t nvars = model_->system.nvars();
+  for (int s = 0; s < 3000; ++s) {
+    linalg::Vector full(nvars, 0.0);
+    full[0] = rng.uniform(-6.0, 6.0);
+    full[1] = rng.uniform(-6.0, 6.0);
+    full[2] = rng.uniform(-1.0, 1.0);
+    if (b_final.eval(full) > 0.0) continue;
+    EXPECT_TRUE(report_->invariant.contains_consistent(full));
+  }
+}
+
+TEST_F(Pll3Pipeline, CorruptedCertificateCaughtByChecker) {
+  ASSERT_TRUE(report_->lyapunov.success);
+  Polynomial v = report_->invariant.certificates.front();
+  // Flip the sign of the e^2 coefficient: V is no longer positive definite.
+  poly::Monomial e2(model_->system.nvars());
+  e2.set_exponent(2, 2);
+  v.set_coefficient(e2, -std::fabs(v.coefficient(e2)));
+  EXPECT_FALSE(sos::is_sos_numeric(v - 1e-4 * poly::squared_norm(v.nvars(), 3)));
+}
+
+TEST(Integration, ReducedAndFullModelTimeScalesAgree) {
+  // The averaged model's certified decay and the full event-driven model's
+  // observed lock times live on the same normalized time axis: the full
+  // model must lock within a small multiple of the certified bound.
+  const pll::ReducedModel reduced = pll::make_averaged(pll::Params::paper_third_order());
+  core::LyapunovOptions lopt;
+  lopt.certificate_degree = 2;
+  lopt.flow_decrease = core::FlowDecrease::Strict;
+  lopt.strict_margin = 1e-4;
+  const core::LyapunovResult lyap = core::LyapunovSynthesizer(lopt).synthesize(reduced.system);
+  ASSERT_TRUE(lyap.success);
+  const core::RateResult rate =
+      core::RateCertifier().certify(reduced.system, 0, lyap.certificates.front());
+  ASSERT_TRUE(rate.success);
+  const double bound = rate.time_to_reach(2.0, 0.15);
+  ASSERT_TRUE(std::isfinite(bound));
+
+  const pll::FullPllModel full(pll::Params::paper_third_order());
+  pll::FullSimOptions fopt;
+  fopt.tau_max = 3.0 * bound;  // ripple means the full model is a bit slower
+  const pll::FullSimResult run = full.simulate({1.0, -0.5}, 0.3, fopt);
+  EXPECT_TRUE(run.locked);
+}
+
+TEST(Integration, FourthOrderPipelinePlusMonteCarlo) {
+  const pll::ReducedModel model = pll::make_averaged(pll::Params::paper_fourth_order());
+  core::PipelineOptions opt;
+  opt.lyapunov.certificate_degree = 2;
+  opt.lyapunov.flow_decrease = core::FlowDecrease::Strict;
+  opt.lyapunov.strict_margin = 1e-5;
+  opt.lyapunov.maximize_region = true;
+  opt.advection.h = 0.004;
+  opt.advection.gamma = 0.01;
+  opt.max_advection_iterations = 1;
+  const core::PipelineReport report = core::InevitabilityVerifier(opt).verify(
+      model.system, ellipsoid(model.system.nvars(), {5.0, 5.0, 5.0, 0.8}));
+  EXPECT_EQ(report.verdict, core::Verdict::VerifiedWithEscape) << report.summary();
+
+  // Invariance of the certified region under simulation.
+  sim::DecreaseStudyOptions mopt;
+  mopt.trials = 10;
+  mopt.sim.dt = 4e-3;
+  mopt.sim.t_max = 5.0;
+  const sim::InvarianceStudyResult inv = sim::invariance_study(
+      model.system, report.invariant,
+      {{-8.0, 8.0}, {-8.0, 8.0}, {-8.0, 8.0}, {-1.0, 1.0}}, mopt);
+  EXPECT_TRUE(inv.ok()) << inv.stayed << "/" << inv.total;
+}
+
+TEST(Integration, EscapeRegionIsActuallyLeft) {
+  // Simulate from inside the escape region of the 3rd-order pipeline and
+  // confirm trajectories exit it in bounded time (Prop. 1's conclusion).
+  const pll::ReducedModel model = pll::make_averaged(pll::Params::paper_third_order());
+  core::PipelineOptions opt;
+  opt.lyapunov.certificate_degree = 2;
+  opt.lyapunov.flow_decrease = core::FlowDecrease::Strict;
+  opt.lyapunov.strict_margin = 1e-4;
+  opt.lyapunov.maximize_region = true;
+  opt.max_advection_iterations = 0;
+  opt.escape.certificate_degree = 2;
+  const Polynomial b_init = ellipsoid(model.system.nvars(), {6.0, 5.0, 0.9});
+  const core::PipelineReport report =
+      core::InevitabilityVerifier(opt).verify(model.system, b_init);
+  ASSERT_EQ(report.verdict, core::Verdict::VerifiedWithEscape) << report.summary();
+
+  const hybrid::Simulator sim(model.system);
+  util::Rng rng(11);
+  const std::size_t nvars = model.system.nvars();
+  int tested = 0;
+  for (int s = 0; s < 500 && tested < 10; ++s) {
+    linalg::Vector x(3);
+    x[0] = rng.uniform(-6.0, 6.0);
+    x[1] = rng.uniform(-5.0, 5.0);
+    x[2] = rng.uniform(-0.9, 0.9);
+    linalg::Vector full(nvars, 0.0);
+    std::copy(x.begin(), x.end(), full.begin());
+    const bool in_region = b_init.eval(full) <= 0.0 &&
+                           !report.invariant.contains_consistent(full);
+    if (!in_region) continue;
+    ++tested;
+    hybrid::SimOptions sopt;
+    sopt.dt = 2e-3;
+    sopt.t_max = 100.0;
+    sopt.stop_when = [&](const hybrid::TracePoint& pt) {
+      linalg::Vector f(nvars, 0.0);
+      std::copy(pt.x.begin(), pt.x.end(), f.begin());
+      return report.invariant.contains_consistent(f);
+    };
+    const hybrid::SimResult run = sim.run(0, x, sopt);
+    EXPECT_EQ(run.stop_reason, "stop_when") << "trajectory failed to reach the invariant";
+  }
+  EXPECT_GE(tested, 5);
+}
+
+}  // namespace
+}  // namespace soslock

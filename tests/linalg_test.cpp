@@ -1,0 +1,250 @@
+// Unit and property tests for the dense linear algebra kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+#include "util/rng.hpp"
+
+namespace soslock::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+Matrix random_spd(std::size_t n, util::Rng& rng, double shift = 0.5) {
+  const Matrix a = random_matrix(n, n, rng);
+  Matrix s = transposed_times(a, a);
+  for (std::size_t i = 0; i < n; ++i) s(i, i) += shift;
+  return s;
+}
+
+TEST(Matrix, IdentityAndDiag) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_EQ(i3(0, 0), 1.0);
+  EXPECT_EQ(i3(0, 1), 0.0);
+  const Matrix d = Matrix::diag({2.0, 3.0});
+  EXPECT_EQ(d(1, 1), 3.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const Matrix b = Matrix::from_rows({{5.0, 6.0}, {7.0, 8.0}});
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  util::Rng rng(1);
+  const Matrix a = random_matrix(4, 7, rng);
+  const Matrix att = a.transposed().transposed();
+  EXPECT_NEAR(norm_inf(a - att), 0.0, 0.0);
+}
+
+TEST(Matrix, TransposedTimesAgreesWithExplicit) {
+  util::Rng rng(2);
+  const Matrix a = random_matrix(5, 3, rng);
+  const Matrix b = random_matrix(5, 4, rng);
+  const Matrix direct = transposed_times(a, b);
+  const Matrix explicit_ = a.transposed() * b;
+  EXPECT_LT(norm_inf(direct - explicit_), 1e-14);
+}
+
+TEST(Matrix, TimesTransposedAgreesWithExplicit) {
+  util::Rng rng(3);
+  const Matrix a = random_matrix(4, 6, rng);
+  const Matrix b = random_matrix(5, 6, rng);
+  const Matrix direct = times_transposed(a, b);
+  const Matrix explicit_ = a * b.transposed();
+  EXPECT_LT(norm_inf(direct - explicit_), 1e-14);
+}
+
+TEST(Matrix, FrobeniusDotSymmetry) {
+  util::Rng rng(4);
+  const Matrix a = random_matrix(6, 6, rng);
+  const Matrix b = random_matrix(6, 6, rng);
+  EXPECT_NEAR(dot(a, b), dot(b, a), 1e-12);
+}
+
+TEST(Matrix, SymmetrizeProducesSymmetric) {
+  util::Rng rng(5);
+  Matrix a = random_matrix(5, 5, rng);
+  a.symmetrize();
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c) EXPECT_DOUBLE_EQ(a(r, c), a(c, r));
+}
+
+TEST(Vector, Norms) {
+  const Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(v), 4.0);
+}
+
+class CholeskyParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskyParam, ReconstructsAndSolves) {
+  util::Rng rng(GetParam() * 13 + 1);
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, rng);
+  const auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  // L L^T == A
+  const Matrix rec = times_transposed(chol->lower(), chol->lower());
+  EXPECT_LT(norm_inf(rec - a), 1e-10 * std::max(1.0, norm_inf(a)));
+  // Solve residual
+  const Vector b = rng.uniform_vector(n, -1.0, 1.0);
+  const Vector x = chol->solve(b);
+  const Vector r = a * x;
+  EXPECT_LT(max_abs_diff(r, b), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyParam, ::testing::Values(1, 2, 3, 5, 10, 25, 60));
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a = Matrix::from_rows({{1.0, 2.0}, {2.0, 1.0}});  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky::factor(a).has_value());
+  EXPECT_FALSE(is_positive_definite(a));
+}
+
+TEST(Cholesky, ShiftedFactorizationHandlesSingular) {
+  Matrix a(3, 3);  // zero matrix: PSD but singular
+  const Cholesky chol = Cholesky::factor_shifted(a);
+  EXPECT_GT(chol.shift(), 0.0);
+}
+
+TEST(Cholesky, MatrixSolve) {
+  util::Rng rng(11);
+  const Matrix a = random_spd(6, rng);
+  const Matrix b = random_matrix(6, 3, rng);
+  const auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const Matrix x = chol->solve(b);
+  EXPECT_LT(norm_inf(a * x - b), 1e-9);
+}
+
+TEST(Cholesky, LogDetMatchesKnown) {
+  const Matrix a = Matrix::diag({2.0, 3.0, 4.0});
+  const auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_NEAR(chol->log_det(), std::log(24.0), 1e-12);
+}
+
+class LuParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuParam, SolveResidual) {
+  util::Rng rng(GetParam() * 7 + 3);
+  const std::size_t n = GetParam();
+  const Matrix a = random_matrix(n, n, rng);
+  const auto lu = Lu::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  const Vector b = rng.uniform_vector(n, -2.0, 2.0);
+  const Vector x = lu->solve(b);
+  EXPECT_LT(max_abs_diff(a * x, b), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuParam, ::testing::Values(1, 2, 4, 8, 20, 50));
+
+TEST(Lu, DetKnown) {
+  const Matrix a = Matrix::from_rows({{2.0, 0.0}, {1.0, 3.0}});
+  const auto lu = Lu::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_NEAR(lu->det(), 6.0, 1e-12);
+}
+
+TEST(Lu, SingularDetected) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {2.0, 4.0}});
+  EXPECT_FALSE(Lu::factor(a).has_value());
+}
+
+TEST(Lu, InverseRoundTrip) {
+  util::Rng rng(17);
+  const Matrix a = random_spd(5, rng);
+  const Matrix inv = inverse(a);
+  EXPECT_LT(norm_inf(a * inv - Matrix::identity(5)), 1e-9);
+}
+
+TEST(Qr, LeastSquaresResidualOrthogonal) {
+  util::Rng rng(23);
+  const Matrix a = random_matrix(10, 4, rng);
+  const Vector b = rng.uniform_vector(10, -1.0, 1.0);
+  const Qr qr = Qr::factor(a);
+  const Vector x = qr.solve_least_squares(b);
+  // Normal equations: A^T (A x - b) == 0.
+  Vector res = a * x;
+  axpy(-1.0, b, res);
+  const Vector nt = transposed_times(a, res);
+  EXPECT_LT(norm_inf(nt), 1e-9);
+}
+
+TEST(Qr, ExactSolveWhenSquare) {
+  util::Rng rng(29);
+  const Matrix a = random_spd(5, rng);
+  const Vector b = rng.uniform_vector(5, -1.0, 1.0);
+  const Qr qr = Qr::factor(a);
+  const Vector x = qr.solve_least_squares(b);
+  EXPECT_LT(max_abs_diff(a * x, b), 1e-8);
+}
+
+TEST(Qr, RankDetection) {
+  // Rank-2 matrix embedded in 4 columns.
+  util::Rng rng(31);
+  const Matrix u = random_matrix(8, 2, rng);
+  const Matrix v = random_matrix(4, 2, rng);
+  const Matrix a = times_transposed(u, v);
+  const Qr qr = Qr::factor(a);
+  EXPECT_EQ(qr.rank(1e-8), 2u);
+}
+
+class EigenParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenParam, DecompositionProperties) {
+  util::Rng rng(GetParam() * 5 + 11);
+  const std::size_t n = GetParam();
+  Matrix a = random_matrix(n, n, rng);
+  a.symmetrize();
+  const EigenSym es = eigen_sym(a);
+  // Ascending order.
+  for (std::size_t i = 1; i < n; ++i) EXPECT_LE(es.values[i - 1], es.values[i] + 1e-12);
+  // Orthogonality of eigenvectors.
+  const Matrix vtv = transposed_times(es.vectors, es.vectors);
+  EXPECT_LT(norm_inf(vtv - Matrix::identity(n)), 1e-9);
+  // Reconstruction A = V D V^T.
+  const Matrix rec = es.vectors * Matrix::diag(es.values) * es.vectors.transposed();
+  EXPECT_LT(norm_inf(rec - a), 1e-8 * std::max(1.0, norm_inf(a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenParam, ::testing::Values(1, 2, 3, 6, 12, 30));
+
+TEST(EigenSym, KnownEigenvalues) {
+  const Matrix a = Matrix::from_rows({{2.0, 1.0}, {1.0, 2.0}});
+  const EigenSym es = eigen_sym(a);
+  EXPECT_NEAR(es.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(es.values[1], 3.0, 1e-10);
+}
+
+TEST(EigenSym, MinEigenvalueOfIndefinite) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {2.0, 1.0}});
+  EXPECT_NEAR(min_eigenvalue(a), -1.0, 1e-10);
+}
+
+TEST(EigenSym, SqrtPsdSquares) {
+  util::Rng rng(37);
+  const Matrix a = random_spd(6, rng);
+  const Matrix r = sqrt_psd(a);
+  EXPECT_LT(norm_inf(r * r - a), 1e-8);
+}
+
+}  // namespace
+}  // namespace soslock::linalg

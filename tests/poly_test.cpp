@@ -1,0 +1,310 @@
+// Unit and property tests for the polynomial algebra layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "poly/basis.hpp"
+#include "poly/lin_expr.hpp"
+#include "poly/poly_lin.hpp"
+#include "poly/polynomial.hpp"
+#include "util/rng.hpp"
+
+namespace soslock::poly {
+namespace {
+
+using linalg::Vector;
+
+Polynomial random_poly(std::size_t nvars, unsigned deg, util::Rng& rng, double density = 0.6) {
+  Polynomial p(nvars);
+  for (const Monomial& m : monomials_up_to(nvars, deg)) {
+    if (rng.uniform() < density) p.add_term(m, rng.uniform(-2.0, 2.0));
+  }
+  return p;
+}
+
+TEST(Monomial, DegreeAndEval) {
+  Monomial m(3);
+  m.set_exponent(0, 2);
+  m.set_exponent(2, 1);
+  EXPECT_EQ(m.degree(), 3u);
+  EXPECT_DOUBLE_EQ(m.eval({2.0, 5.0, 3.0}), 12.0);
+}
+
+TEST(Monomial, GradedLexOrder) {
+  const Monomial one(2);
+  const Monomial x = Monomial::variable(2, 0);
+  const Monomial y = Monomial::variable(2, 1);
+  const Monomial x2 = Monomial::variable(2, 0, 2);
+  EXPECT_LT(one, x);
+  EXPECT_LT(y, x);   // lexicographic tiebreak on exponent vectors: (0,1) < (1,0)
+  EXPECT_LT(x, x2);  // degree dominates
+}
+
+TEST(Monomial, ProductAddsExponents) {
+  const Monomial x = Monomial::variable(2, 0);
+  const Monomial xy = x * Monomial::variable(2, 1);
+  EXPECT_EQ(xy.exponent(0), 1u);
+  EXPECT_EQ(xy.exponent(1), 1u);
+  EXPECT_EQ((x * x).exponent(0), 2u);
+}
+
+TEST(Monomial, Divides) {
+  const Monomial x = Monomial::variable(2, 0);
+  const Monomial x2y = Monomial::variable(2, 0, 2) * Monomial::variable(2, 1);
+  EXPECT_TRUE(x.divides(x2y));
+  EXPECT_FALSE(x2y.divides(x));
+}
+
+TEST(Polynomial, ConstructorsAndDegree) {
+  const Polynomial c = Polynomial::constant(2, 3.0);
+  EXPECT_EQ(c.degree(), 0u);
+  EXPECT_DOUBLE_EQ(c.eval({1.0, 1.0}), 3.0);
+  const Polynomial x = Polynomial::variable(2, 0);
+  EXPECT_EQ(x.degree(), 1u);
+  const Polynomial p = x * x + 2.0 * Polynomial::variable(2, 1);
+  EXPECT_EQ(p.degree(), 2u);
+  EXPECT_EQ(p.min_degree(), 1u);
+}
+
+TEST(Polynomial, AffineHelper) {
+  const Polynomial p = Polynomial::affine(3, {1.0, -2.0, 0.5}, 4.0);
+  EXPECT_DOUBLE_EQ(p.eval({1.0, 1.0, 2.0}), 1.0 - 2.0 + 1.0 + 4.0);
+}
+
+TEST(Polynomial, AdditionCancels) {
+  const Polynomial x = Polynomial::variable(1, 0);
+  const Polynomial zero = x - x;
+  EXPECT_TRUE(zero.is_zero());
+}
+
+class PolyArithmetic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolyArithmetic, ProductEvaluationHomomorphism) {
+  util::Rng rng(GetParam());
+  const std::size_t nvars = 1 + rng.index(3);
+  const Polynomial p = random_poly(nvars, 3, rng);
+  const Polynomial q = random_poly(nvars, 2, rng);
+  const Vector x = rng.uniform_vector(nvars, -1.5, 1.5);
+  EXPECT_NEAR((p * q).eval(x), p.eval(x) * q.eval(x), 1e-9);
+}
+
+TEST_P(PolyArithmetic, SumEvaluationHomomorphism) {
+  util::Rng rng(GetParam() + 1000);
+  const std::size_t nvars = 1 + rng.index(4);
+  const Polynomial p = random_poly(nvars, 4, rng);
+  const Polynomial q = random_poly(nvars, 4, rng);
+  const Vector x = rng.uniform_vector(nvars, -1.0, 1.0);
+  EXPECT_NEAR((p + q).eval(x), p.eval(x) + q.eval(x), 1e-10);
+}
+
+TEST_P(PolyArithmetic, PowMatchesRepeatedProduct) {
+  util::Rng rng(GetParam() + 2000);
+  const Polynomial p = random_poly(2, 2, rng);
+  const Polynomial p3 = p.pow(3);
+  const Polynomial explicit3 = p * p * p;
+  const Vector x = rng.uniform_vector(2, -1.0, 1.0);
+  EXPECT_NEAR(p3.eval(x), explicit3.eval(x), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolyArithmetic, ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(Polynomial, DerivativeKnown) {
+  // d/dx (x^2 y + 3x) = 2xy + 3
+  const Polynomial x = Polynomial::variable(2, 0);
+  const Polynomial y = Polynomial::variable(2, 1);
+  const Polynomial p = x * x * y + 3.0 * x;
+  const Polynomial dp = p.derivative(0);
+  EXPECT_DOUBLE_EQ(dp.eval({2.0, 5.0}), 2.0 * 2.0 * 5.0 + 3.0);
+}
+
+TEST(Polynomial, DerivativeNumericalCheck) {
+  util::Rng rng(77);
+  const Polynomial p = random_poly(3, 4, rng);
+  const Vector x = rng.uniform_vector(3, -1.0, 1.0);
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < 3; ++i) {
+    Vector xp = x, xm = x;
+    xp[i] += h;
+    xm[i] -= h;
+    const double fd = (p.eval(xp) - p.eval(xm)) / (2.0 * h);
+    EXPECT_NEAR(p.derivative(i).eval(x), fd, 1e-5);
+  }
+}
+
+TEST(Polynomial, LieDerivativeIsChainRule) {
+  // V = x^2 + y^2, f = (-y, x) (rotation): V̇ = 0.
+  const Polynomial x = Polynomial::variable(2, 0);
+  const Polynomial y = Polynomial::variable(2, 1);
+  const Polynomial v = x * x + y * y;
+  const Polynomial vdot = v.lie_derivative({-1.0 * y, x});
+  EXPECT_TRUE(vdot.pruned(1e-15).is_zero());
+}
+
+TEST(Polynomial, SubstituteAffine) {
+  // p(x) = x^2, x := 1 + 2t  =>  p = 1 + 4t + 4t^2.
+  const Polynomial p = Polynomial::variable(1, 0).pow(2);
+  const Polynomial repl = Polynomial::affine(1, {2.0}, 1.0);
+  const Polynomial composed = p.substitute({repl});
+  EXPECT_DOUBLE_EQ(composed.eval({0.5}), 4.0);
+  EXPECT_EQ(composed.degree(), 2u);
+}
+
+TEST(Polynomial, SubstituteMatchesEvaluation) {
+  util::Rng rng(91);
+  const Polynomial p = random_poly(2, 3, rng);
+  const Polynomial r0 = random_poly(2, 2, rng);
+  const Polynomial r1 = random_poly(2, 2, rng);
+  const Polynomial composed = p.substitute({r0, r1});
+  const Vector x = rng.uniform_vector(2, -0.8, 0.8);
+  EXPECT_NEAR(composed.eval(x), p.eval({r0.eval(x), r1.eval(x)}), 1e-8);
+}
+
+TEST(Polynomial, RemapMovesVariables) {
+  const Polynomial p = Polynomial::variable(2, 0) * Polynomial::variable(2, 1);
+  const Polynomial q = p.remap(4, {3, 1});
+  EXPECT_DOUBLE_EQ(q.eval({0.0, 5.0, 0.0, 2.0}), 10.0);
+}
+
+TEST(Polynomial, FixVariable) {
+  const Polynomial x = Polynomial::variable(2, 0);
+  const Polynomial y = Polynomial::variable(2, 1);
+  const Polynomial p = x * x * y + y + 1.0 * x;
+  const Polynomial fixed = p.fix_variable(1, 2.0);
+  // 2x^2 + x + 2
+  EXPECT_DOUBLE_EQ(fixed.eval({3.0, 999.0}), 2.0 * 9.0 + 3.0 + 2.0);
+}
+
+TEST(Polynomial, SquaredNormHelper) {
+  const Polynomial n2 = squared_norm(3, 2);  // x0^2 + x1^2 only
+  EXPECT_DOUBLE_EQ(n2.eval({3.0, 4.0, 100.0}), 25.0);
+}
+
+TEST(Polynomial, PrunedDropsSmallTerms) {
+  Polynomial p(1);
+  p.add_term(Monomial::variable(1, 0), 1e-15);
+  p.add_term(Monomial(1), 1.0);
+  EXPECT_EQ(p.pruned(1e-12).term_count(), 1u);
+}
+
+TEST(LinExpr, Arithmetic) {
+  const LinExpr a = LinExpr::variable(0, 2.0) + LinExpr(1.0);
+  const LinExpr b = LinExpr::variable(1) - LinExpr::variable(0);
+  const LinExpr c = a + b;  // x0 + x1 + 1
+  EXPECT_DOUBLE_EQ(c.eval({3.0, 4.0}), 8.0);
+  EXPECT_TRUE((a - a).is_zero());
+}
+
+TEST(LinExpr, ScalingAndNegation) {
+  LinExpr e = LinExpr::variable(2, 3.0) + LinExpr(1.0);
+  e *= -2.0;
+  EXPECT_DOUBLE_EQ(e.eval({0.0, 0.0, 1.0}), -8.0);
+  EXPECT_DOUBLE_EQ((-e).eval({0.0, 0.0, 1.0}), 8.0);
+}
+
+TEST(PolyLin, PromoteAndEvalDecision) {
+  const Polynomial p = Polynomial::variable(2, 0) + Polynomial::constant(2, 2.0);
+  const PolyLin pl(p);
+  const Polynomial back = pl.eval_decision({});
+  EXPECT_TRUE((back - p).is_zero());
+}
+
+TEST(PolyLin, DecisionLinearity) {
+  // q = d0 * x + d1 * y^2; instantiating decisions gives the right poly.
+  PolyLin q(2);
+  q.add_term(Monomial::variable(2, 0), LinExpr::variable(0));
+  q.add_term(Monomial::variable(2, 1, 2), LinExpr::variable(1));
+  const Polynomial inst = q.eval_decision({3.0, -2.0});
+  EXPECT_DOUBLE_EQ(inst.eval({1.0, 2.0}), 3.0 - 8.0);
+}
+
+TEST(PolyLin, MultiplyByPolynomial) {
+  PolyLin q(1);
+  q.add_term(Monomial::variable(1, 0), LinExpr::variable(0));  // d0 * x
+  const Polynomial x = Polynomial::variable(1, 0);
+  const PolyLin qx = q * x;  // d0 * x^2
+  const Polynomial inst = qx.eval_decision({2.0});
+  EXPECT_DOUBLE_EQ(inst.eval({3.0}), 18.0);
+}
+
+TEST(PolyLin, DerivativeCommutesWithInstantiation) {
+  util::Rng rng(123);
+  PolyLin q(2);
+  for (const Monomial& m : monomials_up_to(2, 3)) {
+    q.add_term(m, LinExpr::variable(static_cast<int>(q.terms().size()), rng.uniform(-1, 1)));
+  }
+  Vector decisions(q.terms().size());
+  for (double& d : decisions) d = rng.uniform(-1.0, 1.0);
+  const Polynomial d_then_i = q.derivative(0).eval_decision(decisions);
+  const Polynomial i_then_d = q.eval_decision(decisions).derivative(0);
+  EXPECT_TRUE((d_then_i - i_then_d).pruned(1e-14).is_zero());
+}
+
+TEST(PolyLin, DecisionVariablesListed) {
+  PolyLin q(1);
+  q.add_term(Monomial(1), LinExpr::variable(5));
+  q.add_term(Monomial::variable(1, 0), LinExpr::variable(2));
+  const auto vars = q.decision_variables();
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], 2);
+  EXPECT_EQ(vars[1], 5);
+}
+
+TEST(Basis, MonomialCountsMatchFormula) {
+  for (std::size_t n = 1; n <= 4; ++n) {
+    for (unsigned d = 0; d <= 5; ++d) {
+      EXPECT_EQ(monomials_up_to(n, d).size(), monomial_count(n, d))
+          << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(Basis, MinDegreeFilter) {
+  const auto ms = monomials_up_to(2, 4, 3);
+  for (const Monomial& m : ms) {
+    EXPECT_GE(m.degree(), 3u);
+    EXPECT_LE(m.degree(), 4u);
+  }
+  // Count: deg-3 (4 monomials) + deg-4 (5 monomials) in 2 vars.
+  EXPECT_EQ(ms.size(), 9u);
+}
+
+TEST(Basis, GramBasisForEvenForm) {
+  // p = x^4 + x^2 y^2 + y^4 (homogeneous quartic): basis must be the three
+  // degree-2 monomials only.
+  const Polynomial x = Polynomial::variable(2, 0);
+  const Polynomial y = Polynomial::variable(2, 1);
+  const Polynomial p = x.pow(4) + x.pow(2) * y.pow(2) + y.pow(4);
+  const auto basis = gram_basis(2, support_info(p));
+  EXPECT_EQ(basis.size(), 3u);
+  for (const Monomial& m : basis) EXPECT_EQ(m.degree(), 2u);
+}
+
+TEST(Basis, GramBasisBoxPrune) {
+  // p = 1 + x^2: y never appears, so no basis monomial may contain y.
+  const Polynomial x = Polynomial::variable(2, 0);
+  const Polynomial p = x * x + 1.0;
+  const auto basis = gram_basis(2, support_info(p));
+  for (const Monomial& m : basis) EXPECT_EQ(m.exponent(1), 0u);
+  EXPECT_EQ(basis.size(), 2u);  // {1, x}
+}
+
+TEST(Basis, NoPruneKeepsFullRange) {
+  const Polynomial x = Polynomial::variable(2, 0);
+  const Polynomial p = x * x + 1.0;
+  const auto full = gram_basis(2, support_info(p), /*prune=*/false);
+  EXPECT_EQ(full.size(), 3u);  // {1, x, y}
+}
+
+TEST(Basis, SupportInfoOfPolyLin) {
+  PolyLin q(2);
+  q.add_term(Monomial::variable(2, 0, 4), LinExpr::variable(0));
+  q.add_term(Monomial::variable(2, 1, 2), LinExpr(1.0));
+  const SupportInfo info = support_info(q);
+  EXPECT_EQ(info.max_degree, 4u);
+  EXPECT_EQ(info.min_degree, 2u);
+  EXPECT_EQ(info.max_degree_per_var[0], 4u);
+  EXPECT_EQ(info.max_degree_per_var[1], 2u);
+}
+
+}  // namespace
+}  // namespace soslock::poly

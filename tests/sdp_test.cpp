@@ -1,0 +1,366 @@
+// Tests for the interior-point SDP solver on problems with known solutions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eigen_sym.hpp"
+#include "sdp/ipm.hpp"
+#include "sdp/problem.hpp"
+#include "sdp/scaling.hpp"
+#include "util/rng.hpp"
+
+namespace soslock::sdp {
+namespace {
+
+using linalg::Matrix;
+
+IpmOptions quiet() {
+  IpmOptions o;
+  o.tolerance = 1e-8;
+  return o;
+}
+
+TEST(SparseSym, DotCountsOffDiagonalTwice) {
+  SparseSym a;
+  a.add(0, 1, 2.0);
+  a.add(1, 1, 3.0);
+  Matrix x = Matrix::from_rows({{1.0, 4.0}, {4.0, 5.0}});
+  // <A, X> = 2*2*4 + 3*5 = 31.
+  EXPECT_DOUBLE_EQ(a.dot(x), 31.0);
+}
+
+TEST(SparseSym, AddMergesDuplicates) {
+  SparseSym a;
+  a.add(0, 1, 2.0);
+  a.add(1, 0, 3.0);  // same slot, transposed order
+  EXPECT_EQ(a.entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.entries[0].v, 5.0);
+}
+
+TEST(SparseSym, TimesDenseMatchesExplicit) {
+  util::Rng rng(3);
+  SparseSym a;
+  a.add(0, 0, 1.5);
+  a.add(0, 2, -2.0);
+  a.add(1, 2, 0.7);
+  Matrix dense(3, 3);
+  a.add_to(dense);
+  Matrix x(3, 3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) x(r, c) = rng.uniform(-1.0, 1.0);
+  Matrix out(3, 3);
+  a.times_dense(x, out);
+  EXPECT_LT(linalg::norm_inf(out - dense * x), 1e-12);
+}
+
+// min x11 + x22 subject to x12 = 1, X PSD (2x2).
+// Optimum: X = [[1,1],[1,1]] with objective 2 (since x11*x22 >= x12^2).
+TEST(Ipm, TinyAnalyticSdp) {
+  Problem p;
+  const std::size_t b = p.add_block(2);
+  Matrix c = Matrix::identity(2);
+  p.set_block_objective(b, c);
+  Row row;
+  SparseSym a;
+  a.add(0, 1, 0.5);  // <A, X> = x12 with the half convention
+  row.blocks[b] = a;
+  row.rhs = 1.0;
+  p.add_row(std::move(row));
+
+  const Solution sol = IpmSolver(quiet()).solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.primal_objective, 2.0, 1e-5);
+  EXPECT_NEAR(sol.x[0](0, 1), 1.0, 1e-5);
+  EXPECT_NEAR(sol.x[0](0, 0) * sol.x[0](1, 1), 1.0, 1e-4);
+}
+
+// Linear programming as diagonal SDP: min -x1 - 2 x2 s.t. x1 + x2 = 1, x >= 0.
+// Optimum x = (0, 1), objective -2.
+TEST(Ipm, DiagonalLp) {
+  Problem p;
+  const std::size_t b1 = p.add_block(1);
+  const std::size_t b2 = p.add_block(1);
+  Matrix c1(1, 1), c2(1, 1);
+  c1(0, 0) = -1.0;
+  c2(0, 0) = -2.0;
+  p.set_block_objective(b1, c1);
+  p.set_block_objective(b2, c2);
+  Row row;
+  SparseSym a1, a2;
+  a1.add(0, 0, 1.0);
+  a2.add(0, 0, 1.0);
+  row.blocks[b1] = a1;
+  row.blocks[b2] = a2;
+  row.rhs = 1.0;
+  p.add_row(std::move(row));
+
+  const Solution sol = IpmSolver(quiet()).solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.primal_objective, -2.0, 1e-5);
+  EXPECT_NEAR(sol.x[0](0, 0), 0.0, 1e-5);
+  EXPECT_NEAR(sol.x[1](0, 0), 1.0, 1e-5);
+}
+
+// Free variables: min w s.t. w - x11 = 0, x11 = 2  =>  w = 2.
+TEST(Ipm, FreeVariableEquality) {
+  Problem p;
+  const std::size_t b = p.add_block(1);
+  const std::size_t w = p.add_free(1.0);
+  {
+    Row row;
+    SparseSym a;
+    a.add(0, 0, -1.0);
+    row.blocks[b] = a;
+    row.free_coeffs[w] = 1.0;
+    row.rhs = 0.0;
+    p.add_row(std::move(row));
+  }
+  {
+    Row row;
+    SparseSym a;
+    a.add(0, 0, 1.0);
+    row.blocks[b] = a;
+    row.rhs = 2.0;
+    p.add_row(std::move(row));
+  }
+  const Solution sol = IpmSolver(quiet()).solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.w[0], 2.0, 1e-5);
+}
+
+// Max eigenvalue bound: the SDP  min t  s.t.  t*I - A = Z >= 0  is expressed
+// in primal form as: min <0,X>... here we instead test: max <A, X> s.t.
+// tr X = 1, X >= 0 whose optimum is lambda_max(A).
+TEST(Ipm, LambdaMaxViaTraceOne) {
+  Matrix a = Matrix::from_rows({{2.0, 1.0, 0.0}, {1.0, 3.0, 1.0}, {0.0, 1.0, 2.0}});
+  Problem p;
+  const std::size_t b = p.add_block(3);
+  Matrix c = a;
+  c.scale(-1.0);  // maximize <A,X> == minimize <-A,X>
+  p.set_block_objective(b, c);
+  Row row;
+  SparseSym tr;
+  for (std::size_t i = 0; i < 3; ++i) tr.add(i, i, 1.0);
+  row.blocks[b] = tr;
+  row.rhs = 1.0;
+  p.add_row(std::move(row));
+
+  const Solution sol = IpmSolver(quiet()).solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  const double lambda_max = linalg::eigen_sym(a).values.back();
+  EXPECT_NEAR(-sol.primal_objective, lambda_max, 1e-5);
+}
+
+// Infeasible: x11 = 1 and x11 = -1 cannot both hold with X >= 0.
+TEST(Ipm, DetectsPrimalInfeasible) {
+  Problem p;
+  const std::size_t b = p.add_block(1);
+  {
+    Row row;
+    SparseSym a;
+    a.add(0, 0, 1.0);
+    row.blocks[b] = a;
+    row.rhs = -1.0;  // x11 = -1 impossible for PSD
+    p.add_row(std::move(row));
+  }
+  IpmOptions o = quiet();
+  o.max_iterations = 80;
+  const Solution sol = IpmSolver(o).solve(p);
+  EXPECT_NE(sol.status, SolveStatus::Optimal);
+}
+
+// Multi-block coupling: two blocks sharing a constraint.
+TEST(Ipm, MultiBlockCoupled) {
+  // min tr(X1) + tr(X2) s.t. x1_11 + x2_11 = 4, x2_12 = 1.
+  Problem p;
+  const std::size_t b1 = p.add_block(1);
+  const std::size_t b2 = p.add_block(2);
+  p.set_block_objective(b1, Matrix::identity(1));
+  p.set_block_objective(b2, Matrix::identity(2));
+  {
+    Row row;
+    SparseSym a1, a2;
+    a1.add(0, 0, 1.0);
+    a2.add(0, 0, 1.0);
+    row.blocks[b1] = a1;
+    row.blocks[b2] = a2;
+    row.rhs = 4.0;
+    p.add_row(std::move(row));
+  }
+  {
+    Row row;
+    SparseSym a2;
+    a2.add(0, 1, 0.5);
+    row.blocks[b2] = a2;
+    row.rhs = 1.0;
+    p.add_row(std::move(row));
+  }
+  const Solution sol = IpmSolver(quiet()).solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  // Objective = x1_11 + x2_11 + x2_22 = (4 - a) + a + c = 4 + c with
+  // a*c >= x2_12^2 = 1 and a <= 4, so c* = 1/4 at a = 4: optimum 4.25.
+  EXPECT_NEAR(sol.x[1](0, 1), 1.0, 1e-5);
+  EXPECT_NEAR(sol.primal_objective, 4.25, 1e-4);
+  EXPECT_NEAR(sol.x[1](0, 0), 4.0, 1e-3);
+}
+
+class RandomFeasibility : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Random feasible equality systems: generate a random PSD X*, random
+// constraint matrices, set b = A(X*). The solver must find some feasible X
+// with small residual and the duality gap must vanish for min-trace.
+TEST_P(RandomFeasibility, SolvesToTolerance) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 4 + rng.index(4);
+  const std::size_t m = 3 + rng.index(5);
+  Matrix g(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) g(r, c) = rng.uniform(-1.0, 1.0);
+  Matrix xstar = linalg::transposed_times(g, g);
+
+  Problem p;
+  const std::size_t b = p.add_block(n);
+  p.set_block_objective(b, Matrix::identity(n));
+  for (std::size_t i = 0; i < m; ++i) {
+    Row row;
+    SparseSym a;
+    for (int k = 0; k < 4; ++k) {
+      const std::size_t r = rng.index(n);
+      const std::size_t c = rng.index(n);
+      a.add(std::min(r, c), std::max(r, c), rng.uniform(-1.0, 1.0));
+    }
+    if (a.empty()) a.add(0, 0, 1.0);
+    Matrix dense(n, n);
+    a.add_to(dense);
+    row.rhs = linalg::dot(dense, xstar);
+    row.blocks[b] = a;
+    p.add_row(std::move(row));
+  }
+  const Solution sol = IpmSolver(quiet()).solve(p);
+  ASSERT_TRUE(sol.status == SolveStatus::Optimal) << to_string(sol.status);
+  EXPECT_LT(sol.primal_residual, 1e-6);
+  EXPECT_LT(sol.gap, 1e-6);
+  // Returned X must be PSD.
+  EXPECT_GT(linalg::min_eigenvalue(sol.x[0]), -1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFeasibility, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Scaling, RowsNormalizedToUnitInfNorm) {
+  Problem p;
+  const std::size_t b = p.add_block(2);
+  Row row;
+  SparseSym a;
+  a.add(0, 0, 1000.0);
+  row.blocks[b] = a;
+  row.rhs = 500.0;
+  p.add_row(std::move(row));
+  const Scaling s = equilibrate_rows(p);
+  EXPECT_DOUBLE_EQ(s.row_scale[0], 1000.0);
+  EXPECT_DOUBLE_EQ(p.rows()[0].blocks.at(b).entries[0].v, 1.0);
+  EXPECT_DOUBLE_EQ(p.rows()[0].rhs, 0.5);
+}
+
+TEST(Scaling, ZeroRowLeftAlone) {
+  Problem p;
+  p.add_block(1);
+  Row row;  // completely empty row with rhs 0
+  p.add_row(std::move(row));
+  const Scaling s = equilibrate_rows(p);
+  EXPECT_DOUBLE_EQ(s.row_scale[0], 1.0);
+}
+
+TEST(Problem, StatsString) {
+  Problem p;
+  p.add_block(3);
+  p.add_free(0.0);
+  Row row;
+  SparseSym a;
+  a.add(0, 0, 1.0);
+  row.blocks[0] = a;
+  p.add_row(std::move(row));
+  const std::string s = p.stats();
+  EXPECT_NE(s.find("1 rows"), std::string::npos);
+  EXPECT_NE(s.find("1 free"), std::string::npos);
+}
+
+// The returned dual (y, Z) must itself certify the optimum: Z = C - sum y_i A_i
+// must be PSD and b'y must equal the primal objective at tolerance. This makes
+// the solver's answer independently checkable, like the SOS-level audit.
+TEST(Ipm, DualCertificateVerifiable) {
+  Problem p;
+  const std::size_t b = p.add_block(2);
+  p.set_block_objective(b, Matrix::identity(2));
+  Row row;
+  SparseSym a;
+  a.add(0, 1, 0.5);
+  row.blocks[b] = a;
+  row.rhs = 1.0;
+  p.add_row(std::move(row));
+
+  const Solution sol = IpmSolver(quiet()).solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  // Rebuild Z from scratch out of the returned multipliers.
+  Matrix z = Matrix::identity(2);
+  Matrix a_dense(2, 2);
+  a.add_to(a_dense);
+  z.axpy(-sol.y[0], a_dense);
+  EXPECT_GT(linalg::min_eigenvalue(z), -1e-7);
+  EXPECT_NEAR(sol.y[0] * 1.0, sol.primal_objective, 1e-5);
+  // Complementarity: <X, Z> ~ 0.
+  EXPECT_NEAR(linalg::dot(sol.x[0], z), 0.0, 1e-5);
+}
+
+TEST(Ipm, SolutionInvariantUnderRowScaling) {
+  // Multiplying a constraint row (and its rhs) by a large factor must not
+  // change the primal solution (the equilibration undoes it).
+  auto build = [](double scale) {
+    Problem p;
+    const std::size_t b = p.add_block(2);
+    p.set_block_objective(b, Matrix::identity(2));
+    Row row;
+    SparseSym a;
+    a.add(0, 1, 0.5 * scale);
+    row.blocks[b] = a;
+    row.rhs = 1.0 * scale;
+    p.add_row(std::move(row));
+    return p;
+  };
+  const Solution s1 = IpmSolver(quiet()).solve(build(1.0));
+  const Solution s2 = IpmSolver(quiet()).solve(build(1e6));
+  ASSERT_EQ(s1.status, SolveStatus::Optimal);
+  ASSERT_EQ(s2.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s1.primal_objective, s2.primal_objective, 1e-5);
+  EXPECT_NEAR(s1.x[0](0, 1), s2.x[0](0, 1), 1e-5);
+  // Dual multipliers differ by exactly the row scale.
+  EXPECT_NEAR(s1.y[0], s2.y[0] * 1e6, 1e-4);
+}
+
+TEST(Ipm, EmptyProblemTrivial) {
+  Problem p;
+  p.add_block(1);
+  const Solution sol = IpmSolver(quiet()).solve(p);
+  EXPECT_TRUE(sol.feasible());
+}
+
+// No predictor-corrector (pure centering path) must still converge.
+TEST(Ipm, PlainCenteringConverges) {
+  Problem p;
+  const std::size_t b = p.add_block(2);
+  p.set_block_objective(b, Matrix::identity(2));
+  Row row;
+  SparseSym a;
+  a.add(0, 1, 0.5);
+  row.blocks[b] = a;
+  row.rhs = 1.0;
+  p.add_row(std::move(row));
+  IpmOptions o = quiet();
+  o.predictor_corrector = false;
+  o.max_iterations = 200;
+  const Solution sol = IpmSolver(o).solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.primal_objective, 2.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace soslock::sdp

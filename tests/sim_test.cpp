@@ -1,0 +1,99 @@
+// Monte-Carlo validation harness tests: certified statements must agree with
+// simulated behaviour of both the reduced and the full event-driven models.
+#include <gtest/gtest.h>
+
+#include "core/level_set.hpp"
+#include "core/lyapunov.hpp"
+#include "pll/models.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace soslock::sim {
+namespace {
+
+core::AttractiveInvariant pll3_invariant(const pll::ReducedModel& m) {
+  core::LyapunovOptions opt;
+  opt.certificate_degree = 2;
+  opt.flow_decrease = core::FlowDecrease::Strict;
+  opt.strict_margin = 1e-4;
+  opt.maximize_region = true;
+  const core::LyapunovResult lyap = core::LyapunovSynthesizer(opt).synthesize(m.system);
+  EXPECT_TRUE(lyap.success);
+  const core::LevelSetResult levels =
+      core::LevelSetMaximizer().maximize(m.system, lyap.certificates);
+  EXPECT_TRUE(levels.success);
+  core::AttractiveInvariant ai;
+  ai.certificates = lyap.certificates;
+  ai.levels = levels.levels;
+  ai.consistent_level = levels.consistent_level;
+  return ai;
+}
+
+TEST(MonteCarlo, FullModelLockStudyThirdOrder) {
+  const pll::FullPllModel model(pll::Params::paper_third_order());
+  LockStudyOptions opt;
+  opt.trials = 40;
+  opt.v_range = 2.0;
+  opt.e_range = 0.8;
+  opt.sim.tau_max = 600.0;
+  const LockStudyResult result = lock_study(model, opt);
+  EXPECT_EQ(result.total, 40u);
+  // The certified claim is inevitability: every randomized start locks.
+  EXPECT_EQ(result.locked, result.total);
+  EXPECT_GT(result.mean_lock_time, 0.0);
+  EXPECT_LE(result.mean_lock_time, result.max_lock_time);
+}
+
+TEST(MonteCarlo, DecreaseStudyAveragedPll3) {
+  const pll::ReducedModel m = pll::make_averaged(pll::Params::paper_third_order());
+  const core::AttractiveInvariant ai = pll3_invariant(m);
+  DecreaseStudyOptions opt;
+  opt.trials = 25;
+  opt.sim.dt = 2e-3;
+  opt.sim.t_max = 5.0;
+  const DecreaseStudyResult result = decrease_study(
+      m.system, ai, {{-8.0, 8.0}, {-8.0, 8.0}, {-1.0, 1.0}}, opt);
+  EXPECT_GT(result.points_checked, 100u);
+  EXPECT_TRUE(result.ok) << "worst V increase " << result.worst_increase;
+}
+
+TEST(MonteCarlo, InvarianceStudyAveragedPll3) {
+  const pll::ReducedModel m = pll::make_averaged(pll::Params::paper_third_order());
+  const core::AttractiveInvariant ai = pll3_invariant(m);
+  DecreaseStudyOptions opt;
+  opt.trials = 25;
+  opt.sim.dt = 2e-3;
+  opt.sim.t_max = 10.0;
+  const InvarianceStudyResult result = invariance_study(
+      m.system, ai, {{-8.0, 8.0}, {-8.0, 8.0}, {-1.0, 1.0}}, opt);
+  EXPECT_GT(result.total, 0u);
+  EXPECT_TRUE(result.ok()) << result.stayed << "/" << result.total;
+}
+
+TEST(MonteCarlo, LockFractionDropsOutsideGardnerLimit) {
+  // Ablation of the documented gain interpretation: at the raw Table-1 gain
+  // the event-driven loop cycle-slips and fails to lock.
+  const pll::FullPllModel hot(pll::Params::paper_third_order(), /*gain_scale=*/1.0);
+  LockStudyOptions opt;
+  opt.trials = 10;
+  opt.v_range = 1.0;
+  opt.e_range = 0.5;
+  opt.sim.tau_max = 150.0;
+  const LockStudyResult result = lock_study(hot, opt);
+  EXPECT_LT(result.lock_fraction(), 0.5);
+  EXPECT_GT(result.trials_with_cycle_slip, 0u);
+}
+
+TEST(MonteCarlo, FourthOrderLockStudy) {
+  const pll::FullPllModel model(pll::Params::paper_fourth_order());
+  LockStudyOptions opt;
+  opt.trials = 8;
+  opt.v_range = 1.0;
+  opt.e_range = 0.5;
+  opt.sim.tau_max = 4000.0;
+  opt.sim.dt = 4e-3;
+  const LockStudyResult result = lock_study(model, opt);
+  EXPECT_GE(result.lock_fraction(), 0.75);
+}
+
+}  // namespace
+}  // namespace soslock::sim

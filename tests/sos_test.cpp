@@ -1,0 +1,271 @@
+// Tests for the SOS programming layer: known SOS / non-SOS polynomials,
+// S-procedure facts, optimization, and the independent certificate checker.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "poly/basis.hpp"
+#include "sos/checker.hpp"
+#include "sos/program.hpp"
+#include "util/rng.hpp"
+
+namespace soslock::sos {
+namespace {
+
+using poly::LinExpr;
+using poly::Monomial;
+using poly::Polynomial;
+using poly::PolyLin;
+
+Polynomial var(std::size_t nvars, std::size_t i) { return Polynomial::variable(nvars, i); }
+
+TEST(Sos, ObviousSosAccepted) {
+  // (x - y)^2 + (x + 2y)^2
+  const Polynomial x = var(2, 0), y = var(2, 1);
+  const Polynomial p = (x - y) * (x - y) + (x + 2.0 * y) * (x + 2.0 * y);
+  EXPECT_TRUE(is_sos_numeric(p));
+}
+
+TEST(Sos, NegativePolynomialRejected) {
+  const Polynomial x = var(1, 0);
+  const Polynomial p = -1.0 * x * x - 1.0;
+  EXPECT_FALSE(is_sos_numeric(p));
+}
+
+TEST(Sos, IndefiniteQuadraticRejected) {
+  const Polynomial x = var(2, 0), y = var(2, 1);
+  EXPECT_FALSE(is_sos_numeric(x * y));
+}
+
+TEST(Sos, MotzkinNotSos) {
+  // x^4 y^2 + x^2 y^4 - 3 x^2 y^2 + 1: nonnegative but famously not SOS.
+  const Polynomial x = var(2, 0), y = var(2, 1);
+  const Polynomial p =
+      x.pow(4) * y.pow(2) + x.pow(2) * y.pow(4) - 3.0 * x.pow(2) * y.pow(2) + 1.0;
+  EXPECT_FALSE(is_sos_numeric(p));
+}
+
+TEST(Sos, MotzkinTimesNormIsSos) {
+  // (x^2 + y^2 + 1) * Motzkin IS a sum of squares (classical fact).
+  const Polynomial x = var(2, 0), y = var(2, 1);
+  const Polynomial motzkin =
+      x.pow(4) * y.pow(2) + x.pow(2) * y.pow(4) - 3.0 * x.pow(2) * y.pow(2) + 1.0;
+  const Polynomial p = (x * x + y * y + 1.0) * motzkin;
+  EXPECT_TRUE(is_sos_numeric(p));
+}
+
+TEST(Sos, ShiftedQuarticBoundary) {
+  // x^4 - 2x^2 + 1 = (x^2 - 1)^2: SOS on the boundary of the cone.
+  const Polynomial x = var(1, 0);
+  const Polynomial p = x.pow(4) - 2.0 * x.pow(2) + 1.0;
+  EXPECT_TRUE(is_sos_numeric(p));
+}
+
+TEST(Sos, SmallNegativeDipRejected) {
+  // x^4 - 2x^2 + 0.9 dips below zero near |x|=1.
+  const Polynomial x = var(1, 0);
+  const Polynomial p = x.pow(4) - 2.0 * x.pow(2) + 0.9;
+  EXPECT_FALSE(is_sos_numeric(p));
+}
+
+class UnivariateNonneg : public ::testing::TestWithParam<double> {};
+
+// Every nonnegative univariate polynomial is SOS: (x^2 - a)^2 + c, c >= 0.
+TEST_P(UnivariateNonneg, IsSos) {
+  const double a = GetParam();
+  const Polynomial x = var(1, 0);
+  const Polynomial p = (x * x - a) * (x * x - a) + 0.1;
+  EXPECT_TRUE(is_sos_numeric(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, UnivariateNonneg, ::testing::Values(0.0, 0.5, 1.0, 2.0, 5.0));
+
+TEST(SosProgram, FeasibilityWithFreePolynomial) {
+  // Find q(x) with x^2 + q(x) ∈ Σ and q(0) = -1 (e.g. q = -1 works only if
+  // x^2 - 1 ∈ Σ, which is false, so q must grow; q = x^2 - 1 won't work
+  // either: 2x^2 - 1 not ≥ 0 ... but q = x^4 - 1 gives x^4 + x^2 - 1, still
+  // negative at 0... any feasible q needs q(0) = -1 and x^2+q ≥ 0, e.g.
+  // q = 2x^2 - 1 + ... no: at x=0 value -1 < 0. Infeasible? No: p(0) =
+  // q(0) = -1 < 0 always, so the program IS infeasible.
+  SosProgram prog(1);
+  const PolyLin q = prog.add_poly(4, 0, "q");
+  prog.add_linear_eq(q.coefficient(Monomial(1)) + LinExpr(1.0), "q(0) = -1");
+  PolyLin target = q;
+  target += PolyLin(var(1, 0) * var(1, 0));
+  prog.add_sos_constraint(target, "x^2 + q in SOS");
+  const SolveResult r = prog.solve();
+  EXPECT_FALSE(r.feasible && audit(prog, r).ok);
+}
+
+TEST(SosProgram, LowerBoundOfQuartic) {
+  // gamma* = min x^4 - 3x^2 + 2 = 2 - 9/4 = -0.25 at x^2 = 3/2.
+  // maximize gamma s.t. p - gamma ∈ Σ (exact for univariate).
+  SosProgram prog(1);
+  const Polynomial x = var(1, 0);
+  const Polynomial p = x.pow(4) - 3.0 * x.pow(2) + 2.0;
+  const LinExpr gamma = prog.add_scalar("gamma");
+  PolyLin expr(p);
+  PolyLin g(1);
+  g.add_term(Monomial(1), gamma);
+  expr -= g;
+  prog.add_sos_constraint(expr, "p - gamma");
+  prog.maximize(gamma);
+  const SolveResult r = prog.solve();
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.objective, -0.25, 1e-4);
+}
+
+TEST(SosProgram, SProcedureIntervalBound) {
+  // Certify min of p(x) = x on [1, 3] is >= 1 - tol:
+  // x - c - sigma*(x-1)(3-x) ∈ Σ with sigma ∈ Σ; maximize c -> 1.
+  SosProgram prog(1);
+  const Polynomial x = var(1, 0);
+  const Polynomial interval = (x - 1.0) * (Polynomial::constant(1, 3.0) - x);
+  const LinExpr c = prog.add_scalar("c");
+  const PolyLin sigma = prog.add_sos_poly(2, 0, "sigma");
+  PolyLin expr(x);
+  PolyLin cterm(1);
+  cterm.add_term(Monomial(1), c);
+  expr -= cterm;
+  expr -= sigma * interval;
+  prog.add_sos_constraint(expr, "bound");
+  prog.maximize(c);
+  const SolveResult r = prog.solve();
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.objective, 1.0, 1e-4);
+}
+
+TEST(SosProgram, LyapunovForStableLinearSystem) {
+  // f = (-x + y, -x - y): find V = quadratic SOS with -V̇ ∈ Σ and V - 0.1|x|^2 ∈ Σ.
+  SosProgram prog(2);
+  const Polynomial x = var(2, 0), y = var(2, 1);
+  const std::vector<Polynomial> f = {-1.0 * x + y, -1.0 * x - y};
+  const PolyLin v = prog.add_poly(poly::monomials_up_to(2, 2, 2), "V");
+  PolyLin pos = v;
+  pos -= PolyLin(0.1 * (x * x + y * y));
+  prog.add_sos_constraint(pos, "V pos");
+  PolyLin dec = -v.lie_derivative(f);
+  dec -= PolyLin(0.01 * (x * x + y * y));
+  prog.add_sos_constraint(dec, "V dec");
+  const SolveResult r = prog.solve();
+  ASSERT_TRUE(r.feasible);
+  const AuditReport a = audit(prog, r);
+  EXPECT_TRUE(a.ok) << (a.failures.empty() ? "" : a.failures.front());
+  // The solved V must actually decrease along f at a sample point.
+  const Polynomial v_num = r.value(v);
+  const Polynomial vdot = v_num.lie_derivative(f);
+  EXPECT_LT(vdot.eval({0.5, -0.3}), 0.0);
+  EXPECT_GT(v_num.eval({0.5, -0.3}), 0.0);
+}
+
+TEST(SosProgram, UnstableLinearSystemHasNoLyapunov) {
+  // f = (x, y) is anti-stable: the same program must be infeasible.
+  SosProgram prog(2);
+  const Polynomial x = var(2, 0), y = var(2, 1);
+  const std::vector<Polynomial> f = {x, y};
+  const PolyLin v = prog.add_poly(poly::monomials_up_to(2, 2, 2), "V");
+  PolyLin pos = v;
+  pos -= PolyLin(0.1 * (x * x + y * y));
+  prog.add_sos_constraint(pos, "V pos");
+  PolyLin dec = -v.lie_derivative(f);
+  dec -= PolyLin(0.01 * (x * x + y * y));
+  prog.add_sos_constraint(dec, "V dec");
+  const SolveResult r = prog.solve();
+  EXPECT_FALSE(r.feasible && audit(prog, r).ok);
+}
+
+TEST(Checker, GramIdentityDetectsCorruption) {
+  const Polynomial x = var(1, 0);
+  const Polynomial p = x * x + 1.0;
+  SosProgram prog(1);
+  prog.add_sos_constraint(p, "p");
+  const SolveResult r = prog.solve();
+  ASSERT_TRUE(r.feasible);
+  GramCertificate cert = r.grams.front();
+  CheckReport ok = check_gram_identity(p, cert);
+  EXPECT_TRUE(ok.ok);
+  // Corrupt the Gram matrix: identity must now fail.
+  cert.gram(0, 0) += 0.5;
+  CheckReport bad = check_gram_identity(p, cert);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_GT(bad.residual, 0.1);
+}
+
+TEST(Checker, PsdViolationDetected) {
+  GramCertificate cert;
+  cert.basis = {Monomial(1), Monomial::variable(1, 0)};
+  cert.gram = linalg::Matrix::from_rows({{1.0, 2.0}, {2.0, 1.0}});  // indefinite
+  // p = basis' G basis = 1 + 4x + x^2; identity holds, PSD fails.
+  const Polynomial x = var(1, 0);
+  const Polynomial p = x * x + 4.0 * x + 1.0;
+  const CheckReport report = check_gram_identity(p, cert);
+  EXPECT_FALSE(report.ok);
+  EXPECT_LT(report.min_eigenvalue, -0.5);
+}
+
+TEST(Checker, SosDecompositionReconstructs) {
+  const Polynomial x = var(2, 0), y = var(2, 1);
+  const Polynomial p = 2.0 * x * x + 2.0 * x * y + y * y + 1.0;
+  SosProgram prog(2);
+  prog.add_sos_constraint(p, "p");
+  const SolveResult r = prog.solve();
+  ASSERT_TRUE(r.feasible);
+  const auto squares = sos_decomposition(r.grams.front(), 2);
+  Polynomial sum(2);
+  for (const Polynomial& q : squares) sum += q * q;
+  EXPECT_LT((sum - p).coeff_norm_inf(), 1e-4);
+}
+
+TEST(Checker, SampleMinimumFindsNegativeRegion)
+{
+  const Polynomial x = var(1, 0);
+  const Polynomial p = x * x - 1.0;  // negative on (-1, 1)
+  util::Rng rng(5);
+  hybrid::SemialgebraicSet all(1);
+  const SampleReport rep = sample_minimum(p, all, {{-2.0, 2.0}}, 500, rng);
+  EXPECT_LT(rep.min_value, -0.8);
+  EXPECT_EQ(rep.inside, 500u);
+}
+
+TEST(SosProgram, LinearInequalityAndEquality) {
+  // max t s.t. t <= 3 (ge) and s == 2t (eq), s <= 10 -> t = 3.
+  SosProgram prog(1);
+  const LinExpr t = prog.add_scalar("t");
+  const LinExpr s = prog.add_scalar("s");
+  prog.add_linear_ge(LinExpr(3.0) - t, "t<=3");
+  prog.add_linear_eq(s - 2.0 * t, "s=2t");
+  prog.add_linear_ge(LinExpr(10.0) - s, "s<=10");
+  prog.add_linear_ge(t, "t>=0");
+  prog.add_linear_ge(s, "s>=0");
+  prog.maximize(t);
+  const SolveResult r = prog.solve();
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.value(t), 3.0, 1e-5);
+  EXPECT_NEAR(r.value(s), 6.0, 1e-4);
+}
+
+TEST(SosProgram, GramBasisPruningReducesSize) {
+  // Even quartic in 2 vars: pruned basis (deg-2 monomials only, 3 entries) vs
+  // full basis (6 entries).
+  const Polynomial x = var(2, 0), y = var(2, 1);
+  const Polynomial p = x.pow(4) + y.pow(4) + x.pow(2) * y.pow(2);
+  SosProgram pruned(2), full(2);
+  pruned.add_sos_constraint(p, "p", true);
+  full.add_sos_constraint(p, "p", false);
+  EXPECT_LT(pruned.gram_blocks().front().basis.size(),
+            full.gram_blocks().front().basis.size());
+  EXPECT_TRUE(pruned.solve().feasible);
+  EXPECT_TRUE(full.solve().feasible);
+}
+
+TEST(SosProgram, CompileShapes) {
+  SosProgram prog(2);
+  const Polynomial x = var(2, 0);
+  prog.add_sos_constraint(x * x + 1.0, "p");
+  const sdp::Problem sdp_problem = prog.compile();
+  EXPECT_GE(sdp_problem.num_blocks(), 1u);
+  EXPECT_GT(sdp_problem.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace soslock::sos

@@ -1,0 +1,221 @@
+// S-procedure "fact library": parameterized checks that the SOS layer
+// certifies (or correctly refuses to certify) a catalogue of elementary
+// semialgebraic positivity facts. These are the atoms every certificate in
+// the pipeline is built from, so each fact is exercised through the same
+// add_sos_poly / add_sos_constraint path the pipeline uses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "poly/basis.hpp"
+#include "sos/checker.hpp"
+#include "sos/program.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "util/rng.hpp"
+
+namespace soslock::sos {
+namespace {
+
+using poly::LinExpr;
+using poly::Monomial;
+using poly::Polynomial;
+using poly::PolyLin;
+
+Polynomial var(std::size_t n, std::size_t i) { return Polynomial::variable(n, i); }
+
+/// Certify min of p on {g >= 0 for g in set} >= bound via one multiplier per
+/// constraint; returns the maximal certified bound.
+double certified_min(const Polynomial& p, const std::vector<Polynomial>& set,
+                     unsigned mult_deg = 2) {
+  SosProgram prog(p.nvars());
+  const LinExpr c = prog.add_scalar("c");
+  PolyLin expr(p);
+  PolyLin cterm(p.nvars());
+  cterm.add_term(Monomial(p.nvars()), c);
+  expr -= cterm;
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    const PolyLin sigma = prog.add_sos_poly(mult_deg, 0, "s" + std::to_string(k));
+    expr -= sigma * set[k];
+  }
+  prog.add_sos_constraint(expr, "bound");
+  prog.maximize(c);
+  const SolveResult r = prog.solve();
+  if (!r.feasible) return -std::numeric_limits<double>::infinity();
+  return r.objective;
+}
+
+struct IntervalCase {
+  double lo, hi;        // domain [lo, hi]
+  double expected_min;  // of the test polynomial below
+};
+
+class QuadraticOnInterval : public ::testing::TestWithParam<IntervalCase> {};
+
+// p(x) = (x-1)^2 + 0.5: global min 0.5 at x=1.
+TEST_P(QuadraticOnInterval, CertifiedMinMatches) {
+  const auto [lo, hi, expected] = GetParam();
+  const Polynomial x = var(1, 0);
+  const Polynomial p = (x - 1.0) * (x - 1.0) + 0.5;
+  const std::vector<Polynomial> interval = {x - lo, Polynomial::constant(1, hi) - x};
+  EXPECT_NEAR(certified_min(p, interval), expected, 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, QuadraticOnInterval,
+                         ::testing::Values(IntervalCase{0.0, 2.0, 0.5},      // min interior
+                                           IntervalCase{2.0, 3.0, 1.5},      // min at lo
+                                           IntervalCase{-2.0, 0.0, 1.5},     // min at hi
+                                           IntervalCase{-1.0, 0.5, 0.75}));  // at hi
+
+TEST(SProcedure, BallConstraintBound) {
+  // min of x + y on the unit disk is -sqrt(2).
+  const Polynomial x = var(2, 0), y = var(2, 1);
+  const Polynomial p = x + y;
+  const Polynomial ball = Polynomial::constant(2, 1.0) - x * x - y * y;
+  EXPECT_NEAR(certified_min(p, {ball}), -std::sqrt(2.0), 2e-3);
+}
+
+TEST(SProcedure, TwoConstraintCorner) {
+  // min of x + y on {x >= 1} ∩ {y >= 2} is 3.
+  const Polynomial x = var(2, 0), y = var(2, 1);
+  EXPECT_NEAR(certified_min(x + y, {x - 1.0, y - 2.0}), 3.0, 2e-3);
+}
+
+TEST(SProcedure, RedundantConstraintHarmless) {
+  const Polynomial x = var(1, 0);
+  const Polynomial p = x * x;
+  const std::vector<Polynomial> set = {x - 1.0, x - 0.5};  // x>=1 implies x>=0.5
+  EXPECT_NEAR(certified_min(p, set), 1.0, 5e-3);
+}
+
+TEST(SProcedure, EmptyDomainIsUnbounded) {
+  // {x >= 1} ∩ {-x >= 0} is empty: every bound is certifiable, so the
+  // maximisation is unbounded and the solver must flag it (dual infeasible)
+  // rather than return a finite "minimum".
+  const Polynomial x = var(1, 0);
+  SosProgram prog(1);
+  const LinExpr c = prog.add_scalar("c");
+  PolyLin expr(x);
+  PolyLin cterm(1);
+  cterm.add_term(Monomial(1), c);
+  expr -= cterm;
+  const PolyLin s1 = prog.add_sos_poly(2, 0, "s1");
+  const PolyLin s2 = prog.add_sos_poly(2, 0, "s2");
+  expr -= s1 * (x - 1.0);
+  expr -= s2 * (-1.0 * x);
+  prog.add_sos_constraint(expr, "bound");
+  prog.maximize(c);
+  sdp::IpmOptions opt;
+  opt.max_iterations = 60;
+  const SolveResult r = prog.solve(opt);
+  // Either flagged unbounded/diverged, or (with caps) a huge value.
+  EXPECT_TRUE(!r.feasible || r.objective > 10.0);
+}
+
+TEST(SProcedure, QuarticNeedsQuarticMultipliers) {
+  // min of x^4 - x^2 on [-1, 1] is -1/4; degree-0/2 multipliers give a valid
+  // but possibly loose bound, degree-4 multipliers should be near-exact.
+  const Polynomial x = var(1, 0);
+  const Polynomial p = x.pow(4) - x * x;
+  const std::vector<Polynomial> interval = {x + 1.0, Polynomial::constant(1, 1.0) - x};
+  const double loose = certified_min(p, interval, 2);
+  const double tight = certified_min(p, interval, 4);
+  EXPECT_LE(loose, -0.25 + 1e-6);  // sound
+  EXPECT_LE(tight, -0.25 + 1e-6);
+  EXPECT_NEAR(tight, -0.25, 2e-3);
+  EXPECT_LE(loose, tight + 1e-9);  // richer multipliers never worse
+}
+
+class RandomQuadraticBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Random convex quadratic on a box: the certified minimum must lower-bound a
+// dense grid evaluation, and be close to it.
+TEST_P(RandomQuadraticBound, SoundAndTight) {
+  util::Rng rng(GetParam());
+  const Polynomial x = var(2, 0), y = var(2, 1);
+  const double a = rng.uniform(0.5, 2.0), b = rng.uniform(0.5, 2.0);
+  const double cx = rng.uniform(-1.0, 1.0), cy = rng.uniform(-1.0, 1.0);
+  const Polynomial p = a * (x - cx) * (x - cx) + b * (y - cy) * (y - cy) +
+                       rng.uniform(-0.3, 0.3) * (x - cx) * (y - cy);
+  const std::vector<Polynomial> box = {x + 1.0, Polynomial::constant(2, 1.0) - x, y + 1.0,
+                                       Polynomial::constant(2, 1.0) - y};
+  const double certified = certified_min(p, box);
+  double grid_min = std::numeric_limits<double>::infinity();
+  for (int i = 0; i <= 40; ++i)
+    for (int j = 0; j <= 40; ++j)
+      grid_min = std::min(grid_min, p.eval({-1.0 + i * 0.05, -1.0 + j * 0.05}));
+  EXPECT_LE(certified, grid_min + 1e-6) << "bound not sound";
+  EXPECT_GE(certified, grid_min - 0.05) << "bound too loose";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomQuadraticBound, ::testing::Range<std::uint64_t>(1, 13));
+
+class SosConeMembership : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Random sums of squares must be accepted; the same polynomial minus a
+// margin beyond its minimum must be rejected.
+TEST_P(SosConeMembership, AcceptAndReject) {
+  util::Rng rng(GetParam() * 97 + 5);
+  const std::size_t nvars = 2 + rng.index(2);
+  Polynomial p(nvars);
+  for (int k = 0; k < 3; ++k) {
+    Polynomial q(nvars);
+    for (const Monomial& m : poly::monomials_up_to(nvars, 2))
+      q.add_term(m, rng.uniform(-1.0, 1.0));
+    p += q * q;
+  }
+  EXPECT_TRUE(is_sos_numeric(p));
+  // p is SOS with p(x*) = min >= 0; subtracting (min + 1) makes it negative
+  // somewhere, hence not SOS. A crude lower estimate of the min: sample.
+  double sample_min = std::numeric_limits<double>::infinity();
+  for (int s = 0; s < 2000; ++s) {
+    linalg::Vector xx = rng.uniform_vector(nvars, -2.0, 2.0);
+    sample_min = std::min(sample_min, p.eval(xx));
+  }
+  const Polynomial shifted = p - (sample_min + 1.0);
+  EXPECT_FALSE(is_sos_numeric(shifted));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SosConeMembership, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(SProcedure, EqualityViaTwoInequalities) {
+  // min of y on {x^2 + y^2 = 1} (as two inequalities) is -1.
+  const Polynomial x = var(2, 0), y = var(2, 1);
+  const Polynomial circle = Polynomial::constant(2, 1.0) - x * x - y * y;
+  EXPECT_NEAR(certified_min(y, {circle, -1.0 * circle}), -1.0, 5e-3);
+}
+
+TEST(SProcedure, PositivstellensatzDegreeGap) {
+  // p = x on {x^3 >= 0} (i.e. x >= 0): the relaxation x - c - sigma*x^3 ∈ Σ
+  // is infeasible for EVERY c at low multiplier degree — any sigma with a
+  // nonzero even term produces an odd leading monomial. This demonstrates
+  // the (well-known) incompleteness of fixed-degree S-procedure relaxations;
+  // the answer "no certificate" is sound, never wrong.
+  const Polynomial x = var(1, 0);
+  const double bound = certified_min(x, {x.pow(3)}, 2);
+  EXPECT_TRUE(std::isinf(bound) && bound < 0.0);
+  // Rewriting the same constraint as {x >= 0} (degree 1) restores exactness.
+  const double exact = certified_min(x, {x}, 2);
+  EXPECT_NEAR(exact, 0.0, 1e-4);
+}
+
+TEST(SProcedure, MultiplierExtraction) {
+  // The multipliers returned in the Gram blocks must themselves be PSD and
+  // reconstruct SOS polynomials.
+  SosProgram prog(1);
+  const Polynomial x = var(1, 0);
+  const PolyLin sigma = prog.add_sos_poly(2, 0, "sigma");
+  PolyLin expr(x * x - 0.5);
+  expr -= sigma * (x - 1.0);
+  prog.add_sos_constraint(expr, "main");
+  const SolveResult r = prog.solve();
+  ASSERT_TRUE(r.feasible);
+  for (const GramCertificate& g : r.grams) {
+    if (g.gram.rows() == 0) continue;
+    EXPECT_GT(linalg::min_eigenvalue(g.gram), -1e-7);
+  }
+  const AuditReport audit_report = audit(prog, r);
+  EXPECT_TRUE(audit_report.ok);
+}
+
+}  // namespace
+}  // namespace soslock::sos

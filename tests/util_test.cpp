@@ -1,0 +1,142 @@
+// Tests for the utility layer: deterministic RNG, timers, CSV, ASCII plots.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace soslock::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(11);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sumsq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 5e-3);
+  EXPECT_NEAR(var, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.normal();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) EXPECT_LT(rng.index(7), 7u);
+  EXPECT_EQ(rng.index(0), 0u);
+}
+
+TEST(Rng, UniformVectorShape) {
+  Rng rng(19);
+  const auto v = rng.uniform_vector(5, 1.0, 2.0);
+  EXPECT_EQ(v.size(), 5u);
+  for (double x : v) {
+    EXPECT_GE(x, 1.0);
+    EXPECT_LT(x, 2.0);
+  }
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  double acc = 0.0;
+  for (int i = 0; i < 100000; ++i) acc += std::sqrt(static_cast<double>(i));
+  volatile double sink = acc;
+  (void)sink;
+  EXPECT_GT(t.seconds(), 0.0);
+  const double before = t.seconds();
+  t.reset();
+  EXPECT_LE(t.seconds(), before + 1.0);
+}
+
+TEST(TimingTable, TotalsAndRendering) {
+  TimingTable table;
+  table.add("step one", 1.5, "note");
+  table.add("step two", 0.5);
+  EXPECT_DOUBLE_EQ(table.total_seconds(), 2.0);
+  const std::string s = table.str("title");
+  EXPECT_NE(s.find("step one"), std::string::npos);
+  EXPECT_NE(s.find("TOTAL"), std::string::npos);
+  EXPECT_NE(s.find("note"), std::string::npos);
+}
+
+TEST(Csv, RoundTripFormatting) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row(std::vector<double>{1.5, -2.0});
+  csv.add_row(std::vector<std::string>{"x", "y"});
+  const std::string s = csv.str();
+  EXPECT_EQ(s, "a,b\n1.5,-2\nx,y\n");
+  EXPECT_EQ(csv.rows(), 2u);
+}
+
+TEST(Csv, WriteToFile) {
+  CsvWriter csv({"h"});
+  csv.add_row(std::vector<double>{42.0});
+  const std::string path = "/tmp/soslock_csv_test.csv";
+  ASSERT_TRUE(csv.write(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+  EXPECT_STREQ(buf, "h\n");
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(AsciiPlot, PointsLandInGrid) {
+  AsciiPlot plot(-1.0, 1.0, -1.0, 1.0, 20, 10);
+  plot.add({"s", '*', {{0.0, 0.0}, {0.9, 0.9}}});
+  const std::string s = plot.str("t", "x", "y");
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find("t"), std::string::npos);
+  EXPECT_NE(s.find("s"), std::string::npos);  // legend
+}
+
+TEST(AsciiPlot, OutOfRangePointsIgnored) {
+  AsciiPlot plot(-1.0, 1.0, -1.0, 1.0, 20, 10);
+  plot.add_point(5.0, 5.0, '#');
+  EXPECT_EQ(plot.str("t", "x", "y").find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soslock::util
