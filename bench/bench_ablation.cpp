@@ -23,7 +23,7 @@ void report(const char* name, const core::LyapunovResult& r, double seconds) {
 
 core::LyapunovResult run(const hybrid::HybridSystem& sys, core::LyapunovOptions opt,
                          double& seconds) {
-  opt.ipm.max_iterations = 80;
+  opt.solver.max_iterations = 80;
   util::Timer t;
   const core::LyapunovResult r = core::LyapunovSynthesizer(opt).synthesize(sys);
   seconds = t.seconds();

@@ -2,7 +2,14 @@
 // CP PLL: verify that phase lock is inevitable from a large initial region,
 // using multiple Lyapunov certificates (P1) + bounded level-set advection
 // (P2), exactly the Sec. 3 methodology.
+//
+// Run with SOSLOCK_BACKEND=ipm|admm|auto to route every SOS query through a
+// different SDP solver backend (the timing table records which one ran).
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "pll/models.hpp"
@@ -31,6 +38,17 @@ int main() {
   opt.advection.gamma = 0.008;
   opt.advection.eps = 0.3;
   opt.max_advection_iterations = 14;
+  if (const char* backend = std::getenv("SOSLOCK_BACKEND")) {
+    const std::vector<std::string> known = sdp::registered_backends();
+    if (std::find(known.begin(), known.end(), backend) == known.end()) {
+      std::fprintf(stderr, "unknown SOSLOCK_BACKEND '%s'; registered:", backend);
+      for (const std::string& name : known) std::fprintf(stderr, " %s", name.c_str());
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    opt.use_backend(backend);
+    std::printf("solver backend: %s\n\n", backend);
+  }
 
   // Initial region: |v| up to ~5 V around the lock voltage, phase error up
   // to 0.9 cycles — the start-up states of the paper's introduction.

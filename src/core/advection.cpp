@@ -16,11 +16,14 @@ using poly::PolyLin;
 AdvectionStepResult AdvectionEngine::step(const Polynomial& b_prev) const {
   double eps = options_.eps;
   AdvectionStepResult last;
+  sos::SolveStats attempts;  // telemetry across the eps/lambda ladder
   for (int attempt = 0; attempt <= options_.eps_retries; ++attempt) {
     // Inner ladder over the constant preimage multiplier of condition (B).
     double lambda = 1.0;
     for (int lam_try = 0; lam_try < 3; ++lam_try) {
       last = step_with_eps(b_prev, eps, lambda);
+      attempts.merge(last.solver);
+      last.solver = attempts;
       if (last.success) break;
       lambda *= std::max(1.5, options_.preimage_multiplier);
     }
@@ -149,13 +152,12 @@ AdvectionStepResult AdvectionEngine::step_with_eps(const Polynomial& b_prev, dou
     prog.maximize(volume_proxy);
   }
 
-  const sos::SolveResult solved = prog.solve(options_.ipm);
+  const sos::SolveResult solved = prog.solve(options_.solver);
+  result.solver.absorb(solved);
   // Audit-based acceptance: only certified-infeasible statuses or large
   // residuals are rejected outright; a stalled-but-valid iterate passes the
   // audit below and yields a sound (merely less tight) step.
-  if (solved.status == sdp::SolveStatus::PrimalInfeasible ||
-      solved.status == sdp::SolveStatus::DualInfeasible ||
-      solved.sdp.primal_residual > 1e-4) {
+  if (sos::solve_hard_failed(solved)) {
     result.message = "advection step infeasible (" + sdp::to_string(solved.status) +
                      ") at eps=" + std::to_string(eps);
     return result;

@@ -49,7 +49,7 @@ struct AdvectionOptions {
   /// preventing unbounded steepening across iterations (the set is
   /// scale-invariant).
   double origin_normalization = 0.5;
-  sdp::IpmOptions ipm;
+  sdp::SolverConfig solver;
 };
 
 struct AdvectionStepResult {
@@ -57,6 +57,7 @@ struct AdvectionStepResult {
   poly::Polynomial next;
   double eps_used = 0.0;
   sos::AuditReport audit;
+  sos::SolveStats solver;  // backend telemetry for Table-2 rows
   std::string message;
 };
 

@@ -97,10 +97,8 @@ BarrierResult BarrierCertifier::certify(const hybrid::HybridSystem& system,
     }
   }
 
-  const sos::SolveResult solved = prog.solve(options_.ipm);
-  if (solved.status == sdp::SolveStatus::PrimalInfeasible ||
-      solved.status == sdp::SolveStatus::DualInfeasible ||
-      solved.sdp.primal_residual > 1e-4) {
+  const sos::SolveResult solved = prog.solve(options_.solver);
+  if (sos::solve_hard_failed(solved)) {
     result.message = "barrier SOS infeasible (" + sdp::to_string(solved.status) + ")";
     return result;
   }

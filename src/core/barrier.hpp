@@ -20,7 +20,7 @@ struct BarrierOptions {
   double unsafe_margin = 1e-3;  // B >= margin on the unsafe set
   bool common_certificate = true;  // single B across modes (else one per mode)
   double trace_regularization = 1e-7;
-  sdp::IpmOptions ipm;
+  sdp::SolverConfig solver;
 };
 
 struct BarrierResult {

@@ -1,6 +1,7 @@
 #include "core/escape.hpp"
 
 #include "core/lyapunov.hpp"
+#include "sos/batch.hpp"
 #include "util/log.hpp"
 
 namespace soslock::core {
@@ -59,10 +60,9 @@ EscapeResult solve_escape(const hybrid::HybridSystem& system,
   }
 
   prog.maximize(rho);
-  const sos::SolveResult solved = prog.solve(options.ipm);
-  if (solved.status == sdp::SolveStatus::PrimalInfeasible ||
-      solved.status == sdp::SolveStatus::DualInfeasible ||
-      solved.sdp.primal_residual > 1e-4) {
+  const sos::SolveResult solved = prog.solve(options.solver);
+  result.solver.absorb(solved);
+  if (sos::solve_hard_failed(solved)) {
     result.message = "escape SOS infeasible (" + sdp::to_string(solved.status) + ")";
     return result;
   }
@@ -107,18 +107,29 @@ EscapeResult EscapeCertifier::certify(const hybrid::HybridSystem& system,
     return solve_escape(system, modes, sets, options_);
   }
 
-  // Independent certificate per mode (mirrors the paper's "2 certificates").
+  // Independent certificate per mode (mirrors the paper's "2 certificates");
+  // the per-mode programs are independent SDPs, solved on the batch pool
+  // (modes after the first failure are skipped).
+  std::vector<EscapeResult> per_mode(modes.size());
+  const sos::BatchSolver batch(options_.threads);
+  const std::size_t failed = batch.run_all_until_failure(modes.size(), [&](std::size_t idx) {
+    per_mode[idx] = solve_escape(system, {modes[idx]}, {sets[idx]}, options_);
+    return per_mode[idx].success;
+  });
+
   EscapeResult combined;
-  combined.success = true;
-  for (std::size_t idx = 0; idx < modes.size(); ++idx) {
-    EscapeResult one = solve_escape(system, {modes[idx]}, {sets[idx]}, options_);
+  for (const EscapeResult& one : per_mode) {
     combined.audit.checked += one.audit.checked;
     combined.audit.failed += one.audit.failed;
-    if (!one.success) {
-      combined.success = false;
-      combined.message = "mode " + std::to_string(modes[idx]) + ": " + one.message;
-      return combined;
-    }
+    combined.solver.merge(one.solver);
+  }
+  if (failed < modes.size()) {
+    combined.message =
+        "mode " + std::to_string(modes[failed]) + ": " + per_mode[failed].message;
+    return combined;
+  }
+  combined.success = true;
+  for (const EscapeResult& one : per_mode) {
     combined.certificates.push_back(one.certificates.front());
     combined.rates.push_back(one.rates.front());
     ++combined.num_certificates;

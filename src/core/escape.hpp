@@ -21,7 +21,10 @@ struct EscapeOptions {
   double coeff_cap = 100.0;         // bound on |E| coefficients (scale fix)
   bool per_mode = true;             // one certificate per mode (as the paper)
   double trace_regularization = 1e-7;
-  sdp::IpmOptions ipm;
+  /// Worker cap for the per-mode certificate solves (independent SDPs when
+  /// per_mode, dispatched through sos::BatchSolver); 0 = hardware concurrency.
+  std::size_t threads = 0;
+  sdp::SolverConfig solver;
 };
 
 struct EscapeResult {
@@ -31,6 +34,7 @@ struct EscapeResult {
   std::vector<double> rates;        // certified rho per mode
   int num_certificates = 0;
   sos::AuditReport audit;
+  sos::SolveStats solver;           // backend telemetry for Table-2 rows
   std::string message;
 };
 

@@ -45,10 +45,9 @@ InclusionResult InclusionChecker::subset_on(const Polynomial& b1, const Polynomi
   }
   prog.add_sos_constraint(expr, "incl");
 
-  const sos::SolveResult solved = prog.solve(options_.ipm);
-  if (solved.status == sdp::SolveStatus::PrimalInfeasible ||
-      solved.status == sdp::SolveStatus::DualInfeasible ||
-      solved.sdp.primal_residual > 1e-4) {
+  const sos::SolveResult solved = prog.solve(options_.solver);
+  result.solver.absorb(solved);
+  if (sos::solve_hard_failed(solved)) {
     result.message = "inclusion SOS infeasible (" + sdp::to_string(solved.status) + ")";
     return result;
   }
@@ -69,6 +68,7 @@ InclusionResult InclusionChecker::subset_of_invariant(
     const InclusionResult one = subset_on(b, outer, system.modes()[q].domain);
     result.audit.checked += one.audit.checked;
     result.audit.failed += one.audit.failed;
+    result.solver.merge(one.solver);
     if (!one.included) {
       result.included = false;
       result.failed_modes.push_back(q);

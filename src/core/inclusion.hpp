@@ -16,12 +16,13 @@ namespace soslock::core {
 struct InclusionOptions {
   unsigned multiplier_degree = 2;
   double trace_regularization = 1e-7;
-  sdp::IpmOptions ipm;
+  sdp::SolverConfig solver;
 };
 
 struct InclusionResult {
   bool included = false;          // certified
   sos::AuditReport audit;
+  sos::SolveStats solver;         // backend telemetry for Table-2 rows
   std::string message;
   /// For per-mode checks: which modes failed (empty when included).
   std::vector<std::size_t> failed_modes;

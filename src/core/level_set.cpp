@@ -1,5 +1,6 @@
 #include "core/level_set.hpp"
 
+#include "sos/batch.hpp"
 #include "sos/checker.hpp"
 
 #include <algorithm>
@@ -69,12 +70,11 @@ LevelSetResult LevelSetMaximizer::maximize_one(const Polynomial& v,
   }
 
   prog.maximize(c);
-  const sos::SolveResult solved = prog.solve(options_.ipm);
+  const sos::SolveResult solved = prog.solve(options_.solver);
+  result.solver.absorb(solved);
   // Audit-based acceptance: a stalled iterate still certifies a (possibly
   // smaller) level; only certified infeasibility or residual blowup fails.
-  if (solved.status == sdp::SolveStatus::PrimalInfeasible ||
-      solved.status == sdp::SolveStatus::DualInfeasible ||
-      solved.sdp.primal_residual > 1e-4) {
+  if (sos::solve_hard_failed(solved)) {
     result.message = "level maximisation failed (" + sdp::to_string(solved.status) + ")";
     return result;
   }
@@ -92,17 +92,28 @@ LevelSetResult LevelSetMaximizer::maximize_one(const Polynomial& v,
 LevelSetResult LevelSetMaximizer::maximize(const hybrid::HybridSystem& system,
                                            const std::vector<Polynomial>& certificates) const {
   LevelSetResult result;
+  const std::size_t num_modes = system.modes().size();
+
+  // The per-mode maximisations are independent SDPs: dispatch them onto the
+  // batch thread pool (modes after the first failure are skipped, keeping
+  // the failure path as cheap as the old sequential early exit).
+  std::vector<LevelSetResult> per_mode(num_modes);
+  const sos::BatchSolver batch(options_.threads);
+  const std::size_t failed = batch.run_all_until_failure(num_modes, [&](std::size_t q) {
+    per_mode[q] = maximize_one(certificates[q], system.modes()[q].domain);
+    return per_mode[q].success;
+  });
+
+  for (std::size_t q = 0; q < num_modes; ++q) result.solver.merge(per_mode[q].solver);
+  if (failed < num_modes) {
+    result.message = "mode " + std::to_string(failed) + ": " + per_mode[failed].message;
+    return result;
+  }
   result.success = true;
-  result.levels.reserve(system.modes().size());
-  for (std::size_t q = 0; q < system.modes().size(); ++q) {
-    const LevelSetResult one = maximize_one(certificates[q], system.modes()[q].domain);
-    if (!one.success) {
-      result.success = false;
-      result.message = "mode " + std::to_string(q) + ": " + one.message;
-      return result;
-    }
-    result.levels.push_back(one.levels.front());
-    util::log_info("level set: mode ", q, " c_max = ", one.levels.front());
+  result.levels.reserve(num_modes);
+  for (std::size_t q = 0; q < num_modes; ++q) {
+    result.levels.push_back(per_mode[q].levels.front());
+    util::log_info("level set: mode ", q, " c_max = ", per_mode[q].levels.front());
   }
   result.consistent_level =
       *std::min_element(result.levels.begin(), result.levels.end());

@@ -16,7 +16,10 @@ namespace soslock::core {
 struct LevelSetOptions {
   unsigned multiplier_degree = 2;
   double level_cap = 1e6;  // upper bound keeping the SDP bounded
-  sdp::IpmOptions ipm;
+  /// Worker cap for the per-mode maximisations (independent SDPs, dispatched
+  /// through sos::BatchSolver); 0 = hardware concurrency.
+  std::size_t threads = 0;
+  sdp::SolverConfig solver;
 };
 
 struct LevelSetResult {
@@ -26,6 +29,7 @@ struct LevelSetResult {
   /// min_q levels[q]: with jump non-increase, the union of {V_q <= c} over
   /// modes at this common level is invariant under both flow and jumps.
   double consistent_level = 0.0;
+  sos::SolveStats solver;  // backend telemetry for Table-2 rows
   std::string message;
 };
 

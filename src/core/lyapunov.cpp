@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "poly/basis.hpp"
+#include "sos/batch.hpp"
 #include "util/log.hpp"
 
 namespace soslock::core {
@@ -36,14 +37,76 @@ namespace {
 void subtract_multipliers(sos::SosProgram& prog, PolyLin& expr,
                           const hybrid::SemialgebraicSet& set, unsigned multiplier_degree,
                           const std::string& label) {
-  const std::size_t nvars = prog.nvars();
   for (std::size_t k = 0; k < set.constraints().size(); ++k) {
     const Polynomial& g = set.constraints()[k];
     const PolyLin sigma =
         prog.add_sos_poly(multiplier_degree, 0, label + ".sigma" + std::to_string(k));
-    (void)nvars;
     expr -= sigma * g;
   }
+}
+
+/// Conditions (a) positivity and (b) flow decrease for one mode; shared by
+/// the joint and the decoupled (mode-parallel) synthesis paths.
+void add_mode_conditions(sos::SosProgram& prog, const PolyLin& v_q, const HybridSystem& system,
+                         std::size_t q, const LyapunovOptions& options,
+                         const Polynomial& x_norm2) {
+  const Mode& mode = system.modes()[q];
+  const std::string tag = "mode" + std::to_string(q);
+  const unsigned deg_sigma = options.multiplier_degree;
+
+  // (a) positivity: V_q - eps*|x|^2 - sum sigma*g ∈ Σ on C_q.
+  {
+    PolyLin expr = v_q - PolyLin(options.positivity_margin * x_norm2);
+    subtract_multipliers(prog, expr, mode.domain, deg_sigma, tag + ".pos");
+    prog.add_sos_constraint(expr, tag + ".positivity");
+  }
+
+  // (b) flow decrease: -V̇_q - [margin*|x|^2] - sum sigma*g - sum sigma*gu ∈ Σ.
+  {
+    PolyLin expr = -v_q.lie_derivative(mode.flow);
+    if (options.flow_decrease == FlowDecrease::Strict) {
+      expr -= PolyLin(options.strict_margin * x_norm2);
+    }
+    subtract_multipliers(prog, expr, mode.domain, deg_sigma, tag + ".flow");
+    subtract_multipliers(prog, expr, system.parameter_set(), deg_sigma, tag + ".flowu");
+    if (options.exclude_ball_radius > 0.0) {
+      // Decrease required only on {||x||^2 >= r^2}.
+      const double r2 = options.exclude_ball_radius * options.exclude_ball_radius;
+      hybrid::SemialgebraicSet outside(prog.nvars());
+      outside.add_constraint(x_norm2 - r2);
+      subtract_multipliers(prog, expr, outside, deg_sigma, tag + ".ball");
+    }
+    prog.add_sos_constraint(expr, tag + ".decrease");
+  }
+}
+
+/// Normalized box-average objective for one mode's certificate (the
+/// maximize_region volume proxy; see the joint path for the rationale).
+poly::LinExpr mode_moment_objective(const PolyLin& v_q,
+                                    const std::vector<std::pair<double, double>>& box,
+                                    std::size_t nstates) {
+  poly::LinExpr objective;
+  for (const auto& [m, coeff] : v_q.terms()) {
+    double moment = 1.0;
+    for (std::size_t i = 0; i < nstates; ++i) {
+      const auto [lo, hi] = box[i];
+      const double p = static_cast<double>(m.exponent(i)) + 1.0;
+      moment *= (std::pow(hi, p) - std::pow(lo, p)) / (p * std::max(hi - lo, 1e-12));
+    }
+    objective += moment * coeff;
+  }
+  return objective;
+}
+
+/// V_to composed with the (numeric) reset map of `jump`.
+Polynomial compose_with_reset(const Polynomial& v_to, const Jump& jump, std::size_t nvars,
+                              std::size_t nstates) {
+  if (jump.is_identity_reset()) return v_to;
+  std::vector<Polynomial> repl;
+  repl.reserve(nvars);
+  for (std::size_t i = 0; i < nstates; ++i) repl.push_back(jump.reset[i]);
+  for (std::size_t i = nstates; i < nvars; ++i) repl.push_back(Polynomial::variable(nvars, i));
+  return v_to.substitute(repl);
 }
 
 }  // namespace
@@ -55,14 +118,29 @@ LyapunovResult LyapunovSynthesizer::synthesize(const HybridSystem& system) const
     result.message = "invalid hybrid system: " + invalid;
     return result;
   }
+  if (options_.certificate_degree < 2 || options_.certificate_degree % 2 != 0) {
+    result.message = "certificate degree must be even and >= 2";
+    return result;
+  }
+
+  if (options_.mode_parallel && !options_.common_certificate && system.modes().size() > 1) {
+    LyapunovResult decoupled = synthesize_decoupled(system);
+    if (decoupled.success) return decoupled;
+    util::log_info("lyapunov: decoupled synthesis not accepted (", decoupled.message,
+                   "); falling back to the joint coupled program");
+    LyapunovResult joint = synthesize_joint(system);
+    joint.solver.merge(decoupled.solver);  // account for the attempted solves
+    return joint;
+  }
+  return synthesize_joint(system);
+}
+
+LyapunovResult LyapunovSynthesizer::synthesize_joint(const HybridSystem& system) const {
+  LyapunovResult result;
   const std::size_t nstates = system.nstates();
   const std::size_t nvars = system.nvars();
   const unsigned deg_v = options_.certificate_degree;
   const unsigned deg_sigma = options_.multiplier_degree;
-  if (deg_v < 2 || deg_v % 2 != 0) {
-    result.message = "certificate degree must be even and >= 2";
-    return result;
-  }
 
   sos::SosProgram prog(nvars);
   prog.set_trace_regularization(options_.trace_regularization);
@@ -83,35 +161,8 @@ LyapunovResult LyapunovSynthesizer::synthesize(const HybridSystem& system) const
 
   const Polynomial x_norm2 = poly::squared_norm(nvars, nstates);
 
-  for (std::size_t q = 0; q < num_modes; ++q) {
-    const Mode& mode = system.modes()[q];
-    const std::string tag = "mode" + std::to_string(q);
-
-    // (a) positivity: V_q - eps*|x|^2 - sum sigma*g ∈ Σ on C_q.
-    {
-      PolyLin expr = v[q] - PolyLin(options_.positivity_margin * x_norm2);
-      subtract_multipliers(prog, expr, mode.domain, deg_sigma, tag + ".pos");
-      prog.add_sos_constraint(expr, tag + ".positivity");
-    }
-
-    // (b) flow decrease: -V̇_q - [margin*|x|^2] - sum sigma*g - sum sigma*gu ∈ Σ.
-    {
-      PolyLin expr = -v[q].lie_derivative(mode.flow);
-      if (options_.flow_decrease == FlowDecrease::Strict) {
-        expr -= PolyLin(options_.strict_margin * x_norm2);
-      }
-      subtract_multipliers(prog, expr, mode.domain, deg_sigma, tag + ".flow");
-      subtract_multipliers(prog, expr, system.parameter_set(), deg_sigma, tag + ".flowu");
-      if (options_.exclude_ball_radius > 0.0) {
-        // Decrease required only on {||x||^2 >= r^2}.
-        const double r2 = options_.exclude_ball_radius * options_.exclude_ball_radius;
-        hybrid::SemialgebraicSet outside(nvars);
-        outside.add_constraint(x_norm2 - r2);
-        subtract_multipliers(prog, expr, outside, deg_sigma, tag + ".ball");
-      }
-      prog.add_sos_constraint(expr, tag + ".decrease");
-    }
-  }
+  for (std::size_t q = 0; q < num_modes; ++q)
+    add_mode_conditions(prog, v[q], system, q, options_, x_norm2);
 
   // (c) jumps: V_to(R(x)) - V_from(x) <= -jump_margin on each guard.
   if (!options_.common_certificate) {
@@ -132,11 +183,8 @@ LyapunovResult LyapunovSynthesizer::synthesize(const HybridSystem& system) const
         for (const auto& [m, coeff] : v[jump.to].terms()) {
           const Polynomial composed_monomial =
               Polynomial::from_monomial(m, 1.0).substitute(repl);
-          PolyLin scaled(composed_monomial);
-          // scaled has numeric coefficients; multiply by the LinExpr coeff.
           for (const auto& [mm, cc] : composed_monomial.terms())
             composed.add_term(mm, cc * coeff);
-          (void)scaled;
         }
         v_to_after = composed;
       }
@@ -151,37 +199,26 @@ LyapunovResult LyapunovSynthesizer::synthesize(const HybridSystem& system) const
   }
 
   if (options_.maximize_region) {
-    // Fatten the eventual level sets: minimize sum_q int_box V_q.
+    // Fatten the eventual level sets: minimize sum_q int_box V_q. Normalized
+    // moments (box averages) keep the objective O(1) per coefficient — raw
+    // moments over wide voltage boxes reach 1e5 and wreck the conditioning.
     const auto box = hybrid::estimate_state_box(system);
     poly::LinExpr objective;
     for (std::size_t q = 0; q < num_modes; ++q) {
-      for (const auto& [m, coeff] : v[q].terms()) {
-        // Normalized moment = average of the monomial over the box; keeps
-        // the objective O(1) per coefficient (raw moments over wide voltage
-        // boxes reach 1e5 and wreck the SDP conditioning).
-        double moment = 1.0;
-        for (std::size_t i = 0; i < nstates; ++i) {
-          const auto [lo, hi] = box[i];
-          const double p = static_cast<double>(m.exponent(i)) + 1.0;
-          moment *= (std::pow(hi, p) - std::pow(lo, p)) / (p * std::max(hi - lo, 1e-12));
-        }
-        objective += moment * coeff;
-      }
+      objective += mode_moment_objective(v[q], box, nstates);
       if (options_.common_certificate) break;
     }
     prog.minimize(objective);
   }
 
-  const sos::SolveResult solved = prog.solve(options_.ipm);
+  const sos::SolveResult solved = prog.solve(options_.solver);
   result.status = solved.status;
+  result.solver.absorb(solved);
   // Acceptance policy: reject certified-infeasible outcomes outright; for
   // anything else (including objective-stalled MaxIterations iterates) the
   // independent audit below is the verdict — a feasible-but-suboptimal
   // iterate still yields sound certificates.
-  const bool hard_fail = solved.status == sdp::SolveStatus::PrimalInfeasible ||
-                         solved.status == sdp::SolveStatus::DualInfeasible ||
-                         solved.sdp.primal_residual > 1e-4;
-  if (hard_fail) {
+  if (sos::solve_hard_failed(solved)) {
     result.message = "SOS program infeasible or unsolved (" + sdp::to_string(solved.status) + ")";
     return result;
   }
@@ -197,7 +234,98 @@ LyapunovResult LyapunovSynthesizer::synthesize(const HybridSystem& system) const
                      (result.audit.failures.empty() ? "?" : result.audit.failures.front());
   }
   util::log_info("lyapunov: status=", sdp::to_string(result.status),
-                 " audit_ok=", result.audit.ok, " worst_residual=", result.audit.worst_residual);
+                 " audit_ok=", result.audit.ok, " worst_residual=", result.audit.worst_residual,
+                 " ", result.solver.str());
+  return result;
+}
+
+LyapunovResult LyapunovSynthesizer::synthesize_decoupled(const HybridSystem& system) const {
+  LyapunovResult result;
+  const std::size_t nstates = system.nstates();
+  const std::size_t nvars = system.nvars();
+  const std::size_t num_modes = system.modes().size();
+  const Polynomial x_norm2 = poly::squared_norm(nvars, nstates);
+  const std::vector<Monomial> v_support =
+      state_monomials(nvars, nstates, options_.certificate_degree, 2);
+
+  // Build one SOS program per mode: conditions (a) and (b) only touch mode q,
+  // and the maximize_region objective separates across modes, so the only
+  // cross-mode coupling is the jump condition (c) — re-audited below.
+  std::vector<sos::SosProgram> progs;
+  std::vector<PolyLin> v;
+  progs.reserve(num_modes);
+  v.reserve(num_modes);
+  const auto box = options_.maximize_region ? hybrid::estimate_state_box(system)
+                                            : std::vector<std::pair<double, double>>{};
+  for (std::size_t q = 0; q < num_modes; ++q) {
+    progs.emplace_back(nvars);
+    progs[q].set_trace_regularization(options_.trace_regularization);
+    v.push_back(progs[q].add_poly(v_support, "V" + std::to_string(q)));
+    add_mode_conditions(progs[q], v[q], system, q, options_, x_norm2);
+    if (options_.maximize_region)
+      progs[q].minimize(mode_moment_objective(v[q], box, nstates));
+  }
+
+  std::vector<const sos::SosProgram*> prog_ptrs;
+  prog_ptrs.reserve(num_modes);
+  for (const sos::SosProgram& p : progs) prog_ptrs.push_back(&p);
+  const sos::BatchSolver batch(options_.threads);
+  const std::vector<sos::SolveResult> solves = batch.solve_all(prog_ptrs, options_.solver);
+
+  result.status = sdp::SolveStatus::Optimal;
+  result.certificates.reserve(num_modes);
+  for (std::size_t q = 0; q < num_modes; ++q) {
+    result.solver.absorb(solves[q]);
+    if (solves[q].status != sdp::SolveStatus::Optimal) result.status = solves[q].status;
+    if (sos::solve_hard_failed(solves[q])) {
+      result.message = "mode " + std::to_string(q) + " SOS program infeasible or unsolved (" +
+                       sdp::to_string(solves[q].status) + ")";
+      return result;
+    }
+    const sos::AuditReport mode_audit = sos::audit(progs[q], solves[q]);
+    result.audit.checked += mode_audit.checked;
+    result.audit.failed += mode_audit.failed;
+    result.audit.worst_residual = std::max(result.audit.worst_residual, mode_audit.worst_residual);
+    result.audit.worst_eigenvalue =
+        std::min(result.audit.worst_eigenvalue, mode_audit.worst_eigenvalue);
+    for (const std::string& f : mode_audit.failures) result.audit.failures.push_back(f);
+    if (!mode_audit.ok) {
+      result.message = "mode " + std::to_string(q) + " certificate audit failed";
+      return result;
+    }
+    result.certificates.push_back(solves[q].value(v[q]).pruned(1e-12));
+  }
+
+  // Jump re-audit: the decoupled certificates must still be non-increasing
+  // across every inter-mode jump (condition (c)); each check is a small SOS
+  // feasibility program in the multipliers only.
+  for (std::size_t l = 0; l < system.jumps().size(); ++l) {
+    const Jump& jump = system.jumps()[l];
+    if (jump.from == jump.to) continue;
+    const Polynomial v_to_after =
+        compose_with_reset(result.certificates[jump.to], jump, nvars, nstates);
+    Polynomial target = result.certificates[jump.from] - v_to_after;
+    if (options_.jump_margin > 0.0) target -= options_.jump_margin * x_norm2;
+
+    sos::SosProgram check(nvars);
+    check.set_trace_regularization(options_.trace_regularization);
+    PolyLin expr(target);
+    subtract_multipliers(check, expr, jump.guard, options_.multiplier_degree,
+                         "jumpcheck" + std::to_string(l));
+    check.add_sos_constraint(expr, "jumpcheck" + std::to_string(l) + ".nonincrease");
+    const sos::SolveResult solved = check.solve(options_.solver);
+    result.solver.absorb(solved);
+    if (sos::solve_hard_failed(solved) || !sos::audit(check, solved).ok) {
+      result.message = "decoupled certificates violate jump " + std::to_string(l) +
+                       " non-increase";
+      return result;
+    }
+  }
+
+  result.audit.ok = result.audit.failed == 0;
+  result.success = true;
+  util::log_info("lyapunov: decoupled synthesis over ", num_modes, " modes accepted, ",
+                 result.solver.str());
   return result;
 }
 

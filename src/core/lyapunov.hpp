@@ -41,7 +41,15 @@ struct LyapunovOptions {
   /// span essentially the whole voltage box (Figs. 2-3).
   bool maximize_region = false;
   double trace_regularization = 1e-7;
-  sdp::IpmOptions ipm;
+  /// Solve the modes as independent per-mode SOS programs on a thread pool
+  /// (sos::BatchSolver) instead of one joint SDP. The only cross-mode
+  /// coupling is the jump non-increase condition (c), so the decoupled
+  /// certificates are re-audited against every jump afterwards; when a jump
+  /// audit fails the synthesizer falls back to the joint coupled solve.
+  bool mode_parallel = false;
+  /// Worker cap for mode_parallel; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  sdp::SolverConfig solver;
 };
 
 struct LyapunovResult {
@@ -50,6 +58,7 @@ struct LyapunovResult {
   std::vector<poly::Polynomial> certificates;
   sos::AuditReport audit;        // independent certificate re-check
   sdp::SolveStatus status = sdp::SolveStatus::NumericalProblem;
+  sos::SolveStats solver;        // backend telemetry for Table-2 rows
   std::string message;
 };
 
@@ -59,11 +68,17 @@ class LyapunovSynthesizer {
 
   /// Synthesize certificates for `system`. States are variables
   /// [0, nstates); parameters enter through system.parameter_set().
+  /// With options.mode_parallel the per-mode programs are solved
+  /// concurrently and the jump coupling is re-audited afterwards (falling
+  /// back to the joint coupled SDP when that audit fails).
   LyapunovResult synthesize(const hybrid::HybridSystem& system) const;
 
   const LyapunovOptions& options() const { return options_; }
 
  private:
+  LyapunovResult synthesize_joint(const hybrid::HybridSystem& system) const;
+  LyapunovResult synthesize_decoupled(const hybrid::HybridSystem& system) const;
+
   LyapunovOptions options_;
 };
 

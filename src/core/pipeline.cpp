@@ -49,7 +49,8 @@ PipelineReport InevitabilityVerifier::verify(const hybrid::HybridSystem& system,
   const LyapunovSynthesizer lyap(options_.lyapunov);
   report.lyapunov = lyap.synthesize(system);
   report.timings.add("Attractive Invariant", timer.seconds(),
-                     "degree " + std::to_string(options_.lyapunov.certificate_degree));
+                     "degree " + std::to_string(options_.lyapunov.certificate_degree) + ", " +
+                         report.lyapunov.solver.str());
   if (!report.lyapunov.success) {
     report.verdict = Verdict::Failed;
     report.message = report.lyapunov.message;
@@ -60,7 +61,7 @@ PipelineReport InevitabilityVerifier::verify(const hybrid::HybridSystem& system,
   timer.reset();
   const LevelSetMaximizer levels(options_.level);
   report.levels = levels.maximize(system, report.lyapunov.certificates);
-  report.timings.add("Max.Level Curves", timer.seconds());
+  report.timings.add("Max.Level Curves", timer.seconds(), report.levels.solver.str());
   if (!report.levels.success) {
     report.verdict = Verdict::Failed;
     report.message = report.levels.message;
@@ -76,12 +77,14 @@ PipelineReport InevitabilityVerifier::verify(const hybrid::HybridSystem& system,
   report.advection_iterates.push_back(b_init);
 
   double advect_time = 0.0, inclusion_time = 0.0;
+  sos::SolveStats advect_stats, inclusion_stats;
   Polynomial current = b_init;
   // Initial set may already be immersed.
   timer.reset();
   InclusionResult incl = inclusion.subset_of_invariant(
       current, system, report.invariant.certificates, report.invariant.consistent_level);
   inclusion_time += timer.seconds();
+  inclusion_stats.merge(incl.solver);
   report.advection_included = incl.included;
 
   while (!report.advection_included &&
@@ -89,6 +92,7 @@ PipelineReport InevitabilityVerifier::verify(const hybrid::HybridSystem& system,
     timer.reset();
     const AdvectionStepResult step = advect.step(current);
     advect_time += timer.seconds();
+    advect_stats.merge(step.solver);
     if (!step.success) {
       report.message = step.message;
       break;
@@ -101,13 +105,15 @@ PipelineReport InevitabilityVerifier::verify(const hybrid::HybridSystem& system,
     incl = inclusion.subset_of_invariant(current, system, report.invariant.certificates,
                                          report.invariant.consistent_level);
     inclusion_time += timer.seconds();
+    inclusion_stats.merge(incl.solver);
     report.advection_included = incl.included;
     util::log_info("pipeline: advection iteration ", report.advection_iterations,
                    incl.included ? " -> immersed" : " -> not yet immersed");
   }
   report.timings.add("Advection", advect_time,
-                     std::to_string(report.advection_iterations) + " iterations");
-  report.timings.add("Checking Set Inclusion", inclusion_time);
+                     std::to_string(report.advection_iterations) + " iterations, " +
+                         advect_stats.str());
+  report.timings.add("Checking Set Inclusion", inclusion_time, inclusion_stats.str());
   report.residual_modes = incl.failed_modes;
 
   if (report.advection_included) {
@@ -123,7 +129,8 @@ PipelineReport InevitabilityVerifier::verify(const hybrid::HybridSystem& system,
         escaper.certify(system, report.residual_modes, current,
                         report.invariant.certificates, report.invariant.consistent_level);
     report.timings.add("Escape Certificate", timer.seconds(),
-                       std::to_string(report.escape.num_certificates) + " certificates");
+                       std::to_string(report.escape.num_certificates) + " certificates, " +
+                           report.escape.solver.str());
     if (report.escape.success) {
       report.verdict = Verdict::VerifiedWithEscape;
       return report;

@@ -36,6 +36,23 @@ struct PipelineOptions {
   InclusionOptions inclusion;
   int max_advection_iterations = 20;  // the paper's bounded N
   bool escape_fallback = true;        // Algorithm 1 lines 13-18
+
+  /// Route every SOS query of the pipeline through one solver backend
+  /// ("ipm" | "admm" | "auto" | any registered name).
+  void use_backend(const std::string& name) {
+    lyapunov.solver.backend = name;
+    level.solver.backend = name;
+    advection.solver.backend = name;
+    escape.solver.backend = name;
+    inclusion.solver.backend = name;
+  }
+
+  /// Worker cap for every batched per-mode stage (0 = hardware concurrency).
+  void use_threads(std::size_t threads) {
+    lyapunov.threads = threads;
+    level.threads = threads;
+    escape.threads = threads;
+  }
 };
 
 struct PipelineReport {

@@ -45,7 +45,7 @@ ScalarBound quadratic_lower(const hybrid::HybridSystem& system, std::size_t q,
   add_set_multipliers(prog, expr, system.modes()[q].domain, options.multiplier_degree, "ql");
   prog.add_sos_constraint(expr, "quadratic lower");
   prog.maximize(t);
-  const sos::SolveResult r = prog.solve(options.ipm);
+  const sos::SolveResult r = prog.solve(options.solver);
   ScalarBound out;
   if (!r.feasible || !sos::audit(prog, r).ok) return out;
   out.success = true;
@@ -69,7 +69,7 @@ ScalarBound quadratic_upper(const hybrid::HybridSystem& system, std::size_t q,
   add_set_multipliers(prog, expr, system.modes()[q].domain, options.multiplier_degree, "qu");
   prog.add_sos_constraint(expr, "quadratic upper");
   prog.minimize(t);
-  const sos::SolveResult r = prog.solve(options.ipm);
+  const sos::SolveResult r = prog.solve(options.solver);
   ScalarBound out;
   if (!r.feasible || !sos::audit(prog, r).ok) return out;
   out.success = true;
@@ -114,10 +114,8 @@ RateResult RateCertifier::certify(const hybrid::HybridSystem& system, std::size_
   prog.add_sos_constraint(expr, "rate");
   prog.maximize(alpha);
 
-  const sos::SolveResult solved = prog.solve(options_.ipm);
-  if (solved.status == sdp::SolveStatus::PrimalInfeasible ||
-      solved.status == sdp::SolveStatus::DualInfeasible ||
-      solved.sdp.primal_residual > 1e-4) {
+  const sos::SolveResult solved = prog.solve(options_.solver);
+  if (sos::solve_hard_failed(solved)) {
     result.message = "rate SOS infeasible (" + sdp::to_string(solved.status) + ")";
     return result;
   }

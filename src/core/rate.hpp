@@ -19,7 +19,7 @@ struct RateOptions {
   unsigned multiplier_degree = 2;
   double alpha_cap = 100.0;   // keeps the maximisation bounded
   double trace_regularization = 1e-7;
-  sdp::IpmOptions ipm;
+  sdp::SolverConfig solver;
 };
 
 struct RateResult {

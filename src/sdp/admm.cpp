@@ -1,0 +1,305 @@
+#include "sdp/admm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "sdp/scaling.hpp"
+#include "util/log.hpp"
+
+namespace soslock::sdp {
+namespace {
+
+using linalg::Cholesky;
+using linalg::Matrix;
+using linalg::Vector;
+
+class Admm {
+ public:
+  Admm(const Problem& p, const AdmmOptions& opt, SolveContext& ctx)
+      : p_(p), opt_(opt), ctx_(ctx) {
+    m_ = p_.num_rows();
+    nf_ = p_.num_free();
+    nblocks_ = p_.num_blocks();
+    total_dim_ = p_.total_psd_dim();
+    rows_touching_block_.assign(nblocks_, {});
+    for (std::size_t i = 0; i < m_; ++i)
+      for (const auto& [j, a] : p_.rows()[i].blocks) rows_touching_block_[j].push_back(i);
+    data_norm_ = 1.0;
+    for (std::size_t i = 0; i < m_; ++i) data_norm_ = std::max(data_norm_, std::fabs(p_.rhs(i)));
+    c_norm_ = 1.0;
+    for (std::size_t j = 0; j < nblocks_; ++j)
+      c_norm_ = std::max(c_norm_, linalg::norm_inf(p_.block_objective(j)));
+    for (double fi : p_.free_objective()) c_norm_ = std::max(c_norm_, std::fabs(fi));
+  }
+
+  Solution run() {
+    Solution out;
+    rho_ = std::max(opt_.rho, 1e-8);
+    const int rho_interval = std::max(opt_.rho_update_interval, 1);
+
+    // The y-update normal matrix M = A A* + B B' is iteration-independent:
+    // factor it once. M_ik = sum_j <A_ij, A_kj> + sum_v B_iv B_kv.
+    std::optional<Cholesky> chol_m;
+    if (m_ > 0) {
+      Matrix normal(m_, m_);
+      for (std::size_t j = 0; j < nblocks_; ++j) {
+        const auto& touching = rows_touching_block_[j];
+        for (std::size_t a = 0; a < touching.size(); ++a) {
+          const std::size_t i = touching[a];
+          const SparseSym& ai = p_.rows()[i].blocks.at(j);
+          for (std::size_t bnd = a; bnd < touching.size(); ++bnd) {
+            const std::size_t k = touching[bnd];
+            const SparseSym& ak = p_.rows()[k].blocks.at(j);
+            const double v = sparse_dot(ai, ak);
+            normal(i, k) += v;
+            if (i != k) normal(k, i) += v;
+          }
+        }
+      }
+      for (std::size_t i = 0; i < m_; ++i) {
+        for (const auto& [v, ci] : p_.rows()[i].free_coeffs) {
+          for (std::size_t k = i; k < m_; ++k) {
+            const auto it = p_.rows()[k].free_coeffs.find(v);
+            if (it == p_.rows()[k].free_coeffs.end()) continue;
+            normal(i, k) += ci * it->second;
+            if (i != k) normal(k, i) += ci * it->second;
+          }
+        }
+      }
+      chol_m = Cholesky::factor_shifted(normal, 1e-12);
+    }
+
+    // State: primal (X, w), dual (y, S). X stays exactly PSD by construction.
+    std::vector<Matrix> x, s;
+    x.reserve(nblocks_);
+    s.reserve(nblocks_);
+    for (std::size_t j = 0; j < nblocks_; ++j) {
+      const std::size_t n = p_.block_size(j);
+      x.emplace_back(n, n);
+      s.emplace_back(n, n);
+    }
+    Vector y(m_, 0.0), w(nf_, 0.0);
+
+    // Iteration-invariant part of the y-update rhs: A_i(C) + B_i'f.
+    Vector rhs0(m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const Row& row = p_.rows()[i];
+      for (const auto& [j, a] : row.blocks) rhs0[i] += a.dot(p_.block_objective(j));
+      for (const auto& [v, c] : row.free_coeffs) rhs0[i] += c * p_.free_objective()[v];
+    }
+
+    double pres = 1.0, dres = 1.0, gap = 1.0;
+    // Best-iterate tracking: first-order iterates oscillate, and on
+    // degenerate objectives the merit can plateau far from tolerance — in
+    // both cases the caller gets the best iterate seen, and a long plateau
+    // stops early instead of burning the remaining budget.
+    Solution best;
+    double best_merit = std::numeric_limits<double>::infinity();
+    int stagnant_iterations = 0;
+    constexpr int kStagnationWindow = 1000;
+    int iter = 0;
+    for (; iter < opt_.max_iterations; ++iter) {
+      // --- y-update: M y = (b - A(X) - B w)/rho + A(C - S) + B f.
+      if (m_ > 0) {
+        Vector rhs(m_, 0.0);
+        for (std::size_t i = 0; i < m_; ++i) {
+          const Row& row = p_.rows()[i];
+          double ax = 0.0;
+          for (const auto& [j, a] : row.blocks) ax += a.dot(x[j]);
+          for (const auto& [v, c] : row.free_coeffs) ax += c * w[v];
+          rhs[i] = (p_.rhs(i) - ax) / rho_ + rhs0[i];
+          for (const auto& [j, a] : row.blocks) rhs[i] -= a.dot(s[j]);
+        }
+        y = chol_m->solve(rhs);
+      }
+
+      // --- (S, X)-update: one eigendecomposition per block splits
+      // U_j = C_j - A*_j y - X_j/rho into S_j = U_j^+ and X_j = rho U_j^-.
+      dres = 0.0;
+      for (std::size_t j = 0; j < nblocks_; ++j) {
+        const std::size_t n = p_.block_size(j);
+        Matrix u = p_.block_objective(j);
+        for (std::size_t i : rows_touching_block_[j])
+          p_.rows()[i].blocks.at(j).add_to(u, -y[i]);
+        u.axpy(-1.0 / rho_, x[j]);
+        u.symmetrize();
+        const linalg::EigenSym eig = linalg::eigen_sym(u);
+        Matrix splus(n, n), sminus(n, n);
+        for (std::size_t r = 0; r < n; ++r) {
+          const double lam = eig.values[r];
+          // Rank-1 accumulate lam * q q' into the positive or negative part.
+          Matrix& target = lam >= 0.0 ? splus : sminus;
+          const double mag = std::fabs(lam);
+          if (mag == 0.0) continue;
+          for (std::size_t a = 0; a < n; ++a) {
+            const double qa = eig.vectors(a, r) * mag;
+            if (qa == 0.0) continue;
+            for (std::size_t bnd = 0; bnd < n; ++bnd)
+              target(a, bnd) += qa * eig.vectors(bnd, r);
+          }
+        }
+        s[j] = std::move(splus);
+        sminus.scale(rho_);  // new X_j
+        // ADMM dual residual: the multiplier step ||X_new - X_old|| / rho.
+        Matrix diff = sminus;
+        diff -= x[j];
+        dres = std::max(dres, linalg::norm_inf(diff) / (rho_ * (1.0 + c_norm_)));
+        x[j] = std::move(sminus);
+      }
+
+      // --- w-update (multiplier ascent on B'y = f).
+      if (nf_ > 0) {
+        Vector bty(nf_, 0.0);
+        for (std::size_t i = 0; i < m_; ++i) {
+          if (y[i] == 0.0) continue;
+          for (const auto& [v, c] : p_.rows()[i].free_coeffs) bty[v] += c * y[i];
+        }
+        for (std::size_t v = 0; v < nf_; ++v) {
+          const double viol = bty[v] - p_.free_objective()[v];
+          w[v] += rho_ * viol;
+          dres = std::max(dres, std::fabs(viol) / (1.0 + c_norm_));
+        }
+      }
+
+      // --- residuals / stopping.
+      pres = 0.0;
+      for (std::size_t i = 0; i < m_; ++i) {
+        const Row& row = p_.rows()[i];
+        double ax = 0.0;
+        for (const auto& [j, a] : row.blocks) ax += a.dot(x[j]);
+        for (const auto& [v, c] : row.free_coeffs) ax += c * w[v];
+        pres = std::max(pres, std::fabs(p_.rhs(i) - ax));
+      }
+      pres /= 1.0 + data_norm_;
+      const double pobj = primal_objective(x, w);
+      const double dobj = dual_objective(y);
+      gap = std::fabs(pobj - dobj) / (1.0 + std::fabs(pobj) + std::fabs(dobj));
+
+      IterationInfo info;
+      info.iteration = iter;
+      info.primal_residual = pres;
+      info.dual_residual = dres;
+      info.gap = gap;
+      ctx_.notify(info);
+
+      if (opt_.verbose && iter % 100 == 0) {
+        std::fprintf(stderr, "  admm %5d  rho=%8.2e  rp=%9.2e  rd=%9.2e  gap=%9.2e\n", iter,
+                     rho_, pres, dres, gap);
+      }
+
+      const double merit = pres + dres + gap;
+      if (merit < 0.99 * best_merit) {
+        stagnant_iterations = 0;
+      } else if (++stagnant_iterations > kStagnationWindow) {
+        best.status = SolveStatus::MaxIterations;
+        return best;
+      }
+      if (merit < best_merit) {
+        best_merit = merit;
+        fill(best, x, s, y, w, pres, dres, gap, iter);
+      }
+
+      if (pres < opt_.tolerance && dres < opt_.tolerance && gap < opt_.tolerance) {
+        fill(out, x, s, y, w, pres, dres, gap, iter);
+        out.status = SolveStatus::Optimal;
+        return out;
+      }
+      if (ctx_.interrupted()) {
+        if (best_merit == std::numeric_limits<double>::infinity())
+          fill(best, x, s, y, w, pres, dres, gap, iter);
+        best.status = SolveStatus::Interrupted;
+        return best;
+      }
+
+      // --- residual balancing (Boyd et al. sec. 3.4.1, mapped to the dual
+      // splitting: dres is the penalized constraint, pres the multiplier).
+      if (opt_.adaptive_rho && iter > 0 && iter % rho_interval == 0) {
+        if (dres > opt_.residual_balance * pres) {
+          rho_ = std::min(rho_ * opt_.rho_scale, 1e8);
+        } else if (pres > opt_.residual_balance * dres) {
+          rho_ = std::max(rho_ / opt_.rho_scale, 1e-8);
+        }
+      }
+    }
+    if (best_merit == std::numeric_limits<double>::infinity())
+      fill(best, x, s, y, w, pres, dres, gap, iter - 1);
+    best.status = SolveStatus::MaxIterations;
+    return best;
+  }
+
+ private:
+  static double sparse_dot(const SparseSym& a, const SparseSym& b) {
+    // <A, B> for two upper-triplet symmetric matrices: off-diagonal pairs
+    // count twice. Both triplet lists are tiny (SOS rows touch few entries).
+    double acc = 0.0;
+    for (const Triplet& ta : a.entries) {
+      for (const Triplet& tb : b.entries) {
+        if (ta.r == tb.r && ta.c == tb.c)
+          acc += ta.v * tb.v * (ta.r == ta.c ? 1.0 : 2.0);
+      }
+    }
+    return acc;
+  }
+
+  double primal_objective(const std::vector<Matrix>& x, const Vector& w) const {
+    double obj = linalg::dot(p_.free_objective(), w);
+    for (std::size_t j = 0; j < nblocks_; ++j) obj += linalg::dot(p_.block_objective(j), x[j]);
+    return obj;
+  }
+
+  double dual_objective(const Vector& y) const {
+    double obj = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) obj += p_.rhs(i) * y[i];
+    return obj;
+  }
+
+  void fill(Solution& out, const std::vector<Matrix>& x, const std::vector<Matrix>& s,
+            const Vector& y, const Vector& w, double pres, double dres, double gap,
+            int iter) const {
+    out.x = x;
+    out.z = s;
+    out.y = y;
+    out.w = w;
+    out.primal_objective = primal_objective(x, w);
+    out.dual_objective = dual_objective(y);
+    double mu = 0.0;
+    for (std::size_t j = 0; j < nblocks_; ++j) mu += linalg::dot(x[j], s[j]);
+    out.mu = total_dim_ > 0 ? mu / static_cast<double>(total_dim_) : 0.0;
+    out.primal_residual = pres;
+    out.dual_residual = dres;
+    out.gap = gap;
+    out.iterations = iter;
+  }
+
+  const Problem& p_;
+  const AdmmOptions& opt_;
+  SolveContext& ctx_;
+  std::size_t m_ = 0, nf_ = 0, nblocks_ = 0, total_dim_ = 0;
+  std::vector<std::vector<std::size_t>> rows_touching_block_;
+  double data_norm_ = 1.0, c_norm_ = 1.0;
+  double rho_ = 1.0;
+};
+
+}  // namespace
+
+Solution AdmmSolver::solve(const Problem& problem, SolveContext& context) const {
+  const util::Timer timer;
+  Problem scaled = problem;
+  const Scaling scaling = equilibrate_rows(scaled);
+  Admm admm(scaled, options_, context);
+  Solution sol = admm.run();
+  for (std::size_t i = 0; i < sol.y.size(); ++i) {
+    if (scaling.row_scale[i] != 0.0) sol.y[i] /= scaling.row_scale[i];
+  }
+  sol.backend = name();
+  sol.solve_seconds = timer.seconds();
+  util::log_debug("admm: ", to_string(sol.status), " after ", sol.iterations,
+                  " iters, gap=", sol.gap, ", rp=", sol.primal_residual);
+  return sol;
+}
+
+}  // namespace soslock::sdp

@@ -77,7 +77,8 @@ struct Residuals {
 
 class Ipm {
  public:
-  Ipm(const Problem& p, const IpmOptions& opt) : p_(p), opt_(opt) {
+  Ipm(const Problem& p, const IpmOptions& opt, SolveContext& ctx)
+      : p_(p), opt_(opt), ctx_(ctx) {
     m_ = p_.num_rows();
     nf_ = p_.num_free();
     nblocks_ = p_.num_blocks();
@@ -105,6 +106,14 @@ class Ipm {
       const double mu = complementarity(s);
       const double gap = relative_gap(s);
 
+      IterationInfo info;
+      info.iteration = iter;
+      info.mu = mu;
+      info.primal_residual = res.rp_rel;
+      info.dual_residual = std::max(res.rd_rel, res.rf_rel);
+      info.gap = gap;
+      ctx_.notify(info);
+
       if (opt_.verbose) {
         std::fprintf(stderr, "  ipm %3d  mu=%9.2e  rp=%9.2e  rd=%9.2e  rf=%9.2e  gap=%9.2e\n",
                      iter, mu, res.rp_rel, res.rd_rel, res.rf_rel, gap);
@@ -128,6 +137,13 @@ class Ipm {
           res.rf_rel < opt_.tolerance && gap < opt_.tolerance) {
         fill_solution(s, res, gap, mu, iter, best);
         best.status = SolveStatus::Optimal;
+        return best;
+      }
+
+      // After the convergence test and best-iterate update, so an interrupt
+      // landing on a converged iteration still reports Optimal.
+      if (ctx_.interrupted()) {
+        best.status = SolveStatus::Interrupted;
         return best;
       }
 
@@ -484,6 +500,7 @@ class Ipm {
 
   const Problem& p_;
   const IpmOptions& opt_;
+  SolveContext& ctx_;
   std::size_t m_ = 0, nf_ = 0, nblocks_ = 0, total_dim_ = 0;
   std::vector<std::vector<std::size_t>> rows_touching_block_;
   double data_norm_ = 1.0, c_norm_ = 1.0;
@@ -491,15 +508,18 @@ class Ipm {
 
 }  // namespace
 
-Solution IpmSolver::solve(const Problem& problem) const {
+Solution IpmSolver::solve(const Problem& problem, SolveContext& context) const {
+  const util::Timer timer;
   Problem scaled = problem;
   const Scaling scaling = equilibrate_rows(scaled);
-  Ipm ipm(scaled, options_);
+  Ipm ipm(scaled, options_, context);
   Solution sol = ipm.run();
   // Un-scale the dual multipliers so they certify the *original* rows.
   for (std::size_t i = 0; i < sol.y.size(); ++i) {
     if (scaling.row_scale[i] != 0.0) sol.y[i] /= scaling.row_scale[i];
   }
+  sol.backend = name();
+  sol.solve_seconds = timer.seconds();
   util::log_debug("ipm: ", to_string(sol.status), " after ", sol.iterations,
                   " iters, gap=", sol.gap, ", rp=", sol.primal_residual);
   return sol;

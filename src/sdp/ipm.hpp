@@ -4,28 +4,30 @@
 // predictor-corrector; free variables are handled exactly via block
 // elimination on the Schur complement.
 //
-// This is the workhorse behind every SOS feasibility/optimization query in
-// the verification pipeline.
+// The second-order, high-accuracy SolverBackend ("ipm" in the registry); the
+// workhorse behind every SOS feasibility/optimization query in the
+// verification pipeline.
+#include "sdp/options.hpp"
 #include "sdp/problem.hpp"
+#include "sdp/solver.hpp"
 
 namespace soslock::sdp {
 
-struct IpmOptions {
-  double tolerance = 1e-7;        // relative gap + feasibility target
-  int max_iterations = 120;
-  double step_fraction = 0.98;    // fraction of the distance to the boundary
-  bool predictor_corrector = true;
-  double free_var_regularization = 1e-10;  // delta on the free-var Schur block
-  double infeasibility_threshold = 1e8;    // ||y|| blowup => infeasibility cert
-  bool verbose = false;
-};
-
-class IpmSolver {
+class IpmSolver : public SolverBackend {
  public:
   explicit IpmSolver(IpmOptions options = {}) : options_(options) {}
 
+  using SolverBackend::solve;
   /// Solve (a copy of) the problem; row equilibration is applied internally.
-  Solution solve(const Problem& problem) const;
+  Solution solve(const Problem& problem, SolveContext& context) const override;
+
+  std::string name() const override { return "ipm"; }
+  Capabilities capabilities() const override {
+    Capabilities caps;
+    caps.detects_infeasibility = true;
+    caps.high_accuracy = true;
+    return caps;
+  }
 
   const IpmOptions& options() const { return options_; }
 

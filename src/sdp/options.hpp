@@ -1,0 +1,33 @@
+#pragma once
+// Per-backend tuning knobs for the SDP solver backends (see sdp/solver.hpp
+// for the backend interface and the shared SolverConfig that embeds these).
+namespace soslock::sdp {
+
+/// Interior-point (HKM predictor-corrector) tuning.
+struct IpmOptions {
+  double tolerance = 1e-7;        // relative gap + feasibility target
+  int max_iterations = 120;
+  double step_fraction = 0.98;    // fraction of the distance to the boundary
+  bool predictor_corrector = true;
+  double free_var_regularization = 1e-10;  // delta on the free-var Schur block
+  double infeasibility_threshold = 1e8;    // ||y|| blowup => infeasibility cert
+  bool verbose = false;
+};
+
+/// First-order operator-splitting (ADMM on the dual) tuning. The per-iteration
+/// cost is one cached m x m triangular solve plus one eigendecomposition per
+/// PSD block, so large Gram blocks are much cheaper per iteration than the
+/// IPM's Schur assembly — at the price of many more iterations and lower
+/// final accuracy.
+struct AdmmOptions {
+  double tolerance = 1e-6;        // max of primal/dual residual and gap
+  int max_iterations = 20000;
+  double rho = 1.0;               // initial augmented-Lagrangian penalty
+  bool adaptive_rho = true;       // residual-balancing penalty updates
+  double rho_scale = 2.0;         // multiplicative rho step
+  double residual_balance = 10.0; // trigger ratio for an update
+  int rho_update_interval = 50;   // iterations between update checks
+  bool verbose = false;
+};
+
+}  // namespace soslock::sdp

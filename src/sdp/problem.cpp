@@ -112,6 +112,7 @@ std::string to_string(SolveStatus status) {
     case SolveStatus::PrimalInfeasible: return "PrimalInfeasible";
     case SolveStatus::DualInfeasible: return "DualInfeasible";
     case SolveStatus::NumericalProblem: return "NumericalProblem";
+    case SolveStatus::Interrupted: return "Interrupted";
   }
   return "?";
 }

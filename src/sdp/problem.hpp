@@ -92,6 +92,7 @@ enum class SolveStatus {
   PrimalInfeasible,   // heuristic certificate of primal infeasibility
   DualInfeasible,     // heuristic certificate of dual infeasibility / unbounded primal
   NumericalProblem,   // linear algebra failed to make progress
+  Interrupted,        // stopped by cancellation or wall-clock budget
 };
 
 std::string to_string(SolveStatus status);
@@ -109,6 +110,11 @@ struct Solution {
   double dual_residual = 0.0;     // relative
   double gap = 0.0;               // relative duality gap
   int iterations = 0;
+  std::string backend;            // name of the backend that produced this
+  double solve_seconds = 0.0;     // wall-clock time inside the backend
+  /// The solve ran its course and returned a best iterate. An Interrupted
+  /// solve may have stopped before the first step, so it makes no such
+  /// claim — check the residuals before accepting its iterate.
   bool feasible() const {
     return status == SolveStatus::Optimal || status == SolveStatus::MaxIterations;
   }

@@ -1,0 +1,138 @@
+#pragma once
+// Pluggable SDP solver-backend API. Every SOS query in the verification
+// pipeline routes through this interface, so solvers can be swapped (or
+// auto-selected per problem) without touching the SOS or core layers:
+//
+//   auto solver = sdp::make_solver("admm");       // or "ipm", "auto", ...
+//   sdp::SolveContext ctx;
+//   ctx.time_budget_seconds = 5.0;
+//   sdp::Solution sol = solver->solve(problem, ctx);
+//
+// Backends register themselves in a process-wide registry under a string
+// name; "auto" is a meta-backend that picks per problem by block size (large
+// Gram blocks favor the first-order backend, whose per-iteration cost is an
+// eigendecomposition instead of a Schur-complement assembly).
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sdp/options.hpp"
+#include "sdp/problem.hpp"
+#include "util/timer.hpp"
+
+namespace soslock::sdp {
+
+/// Per-iteration progress snapshot delivered to SolveContext::on_iteration.
+struct IterationInfo {
+  int iteration = 0;
+  double mu = 0.0;               // complementarity (0 for first-order backends)
+  double primal_residual = 0.0;  // relative
+  double dual_residual = 0.0;    // relative
+  double gap = 0.0;              // relative duality gap
+};
+
+/// Runtime controls threaded through a solve: wall-clock budget, cooperative
+/// cancellation, and telemetry. Backends poll interrupted() once per
+/// iteration and return their best iterate (status Interrupted) when it
+/// fires. The budget clock starts at construction; call arm() to restart it
+/// when reusing one context across solves.
+class SolveContext {
+ public:
+  /// Wall-clock budget in seconds; <= 0 disables the budget.
+  double time_budget_seconds = 0.0;
+  /// Cooperative cancellation flag owned by the caller (may be null).
+  std::atomic<bool>* cancel = nullptr;
+  /// Invoked once per iteration from the solving thread (may be empty).
+  std::function<void(const IterationInfo&)> on_iteration;
+
+  /// Restart the budget clock.
+  void arm() { timer_.reset(); }
+  double elapsed_seconds() const { return timer_.seconds(); }
+  bool cancelled() const {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+  bool out_of_budget() const {
+    return time_budget_seconds > 0.0 && timer_.seconds() > time_budget_seconds;
+  }
+  /// True when the backend should stop and return its best iterate.
+  bool interrupted() const { return cancelled() || out_of_budget(); }
+  void notify(const IterationInfo& info) const {
+    if (on_iteration) on_iteration(info);
+  }
+
+ private:
+  util::Timer timer_;
+};
+
+/// What a backend can do; consulted by the auto-selection heuristic and
+/// by callers that need e.g. certified infeasibility detection.
+struct Capabilities {
+  bool detects_infeasibility = false;  // can return Primal/DualInfeasible
+  bool high_accuracy = false;          // tolerances ~1e-8 are realistic
+  bool cheap_large_blocks = false;     // first-order per-iteration cost
+};
+
+class SolverBackend {
+ public:
+  virtual ~SolverBackend() = default;
+
+  /// Solve (a copy of) the problem under the given runtime context. The
+  /// returned Solution carries the backend name and wall-clock telemetry.
+  virtual Solution solve(const Problem& problem, SolveContext& context) const = 0;
+
+  virtual std::string name() const = 0;
+  virtual Capabilities capabilities() const = 0;
+
+  /// Convenience: solve with a fresh default context.
+  Solution solve(const Problem& problem) const {
+    SolveContext context;
+    return solve(problem, context);
+  }
+};
+
+/// Shared solver configuration carried by every options struct in the core
+/// verification layer. `backend` selects from the registry; the shared
+/// tolerance/verbose fields override the per-backend ones, and
+/// max_iterations = 0 keeps each backend's own default (the sensible budgets
+/// differ by two orders of magnitude between second- and first-order
+/// methods).
+struct SolverConfig {
+  std::string backend = "auto";   // "ipm" | "admm" | "auto" | registered name
+  double tolerance = 0.0;         // 0 = backend default
+  int max_iterations = 0;         // 0 = backend default
+  bool verbose = false;
+  double time_budget_seconds = 0.0;  // per-solve wall-clock budget (0 = none)
+  /// "auto": smallest max-block-size at which the first-order backend wins.
+  std::size_t auto_block_threshold = 80;
+
+  IpmOptions ipm;    // backend-specific tuning (shared fields above win)
+  AdmmOptions admm;
+
+  /// Backend options with the shared overrides applied.
+  IpmOptions resolved_ipm() const;
+  AdmmOptions resolved_admm() const;
+};
+
+using BackendFactory =
+    std::function<std::unique_ptr<SolverBackend>(const SolverConfig&)>;
+
+/// Register a backend factory under `name`; returns false (and leaves the
+/// registry unchanged) when the name is already taken.
+bool register_backend(const std::string& name, BackendFactory factory);
+
+/// Names available to make_solver, sorted ("auto" included).
+std::vector<std::string> registered_backends();
+
+/// Build a backend by name. Throws std::invalid_argument on unknown names.
+std::unique_ptr<SolverBackend> make_solver(const std::string& name,
+                                           const SolverConfig& config = {});
+/// Build the backend named by config.backend.
+std::unique_ptr<SolverBackend> make_solver(const SolverConfig& config);
+
+/// The backend "auto" would delegate to for this problem (exposed so the
+/// heuristic itself is testable without running a solve).
+std::string auto_backend_for(const Problem& problem, const SolverConfig& config);
+
+}  // namespace soslock::sdp

@@ -1,0 +1,45 @@
+#pragma once
+// Batched parallel SOS solving. Per-mode SOS programs in the verification
+// pipeline (level-curve maximisation, escape certificates, decoupled
+// Lyapunov synthesis) are independent SDPs, so they can be dispatched onto a
+// thread pool instead of being solved one after another. All SDP data is
+// built per task and the backends are stateless, so the only shared state is
+// the result slots (one per task, disjoint).
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sos/program.hpp"
+
+namespace soslock::sos {
+
+class BatchSolver {
+ public:
+  /// `threads` = worker cap; 0 uses std::thread::hardware_concurrency().
+  explicit BatchSolver(std::size_t threads = 0);
+
+  /// Worker cap after resolving 0 to the hardware count.
+  std::size_t threads() const { return threads_; }
+
+  /// Run `count` independent tasks, task(i) for i in [0, count); blocks until
+  /// all complete. Tasks run on up to threads() workers (inline when the cap
+  /// or count is 1). The first task exception, if any, is rethrown here.
+  void run_all(std::size_t count, const std::function<void(std::size_t)>& task) const;
+
+  /// run_all with early abort: a task returning false skips every task that
+  /// has not yet started (in-flight tasks complete), keeping failure paths as
+  /// cheap as a sequential early exit. Returns the lowest failed index, or
+  /// `count` when every executed task succeeded.
+  std::size_t run_all_until_failure(std::size_t count,
+                                    const std::function<bool(std::size_t)>& task) const;
+
+  /// Solve independent programs concurrently; results in input order. Each
+  /// solve gets its own backend instance built from `config`.
+  std::vector<SolveResult> solve_all(const std::vector<const SosProgram*>& programs,
+                                     const sdp::SolverConfig& config = {}) const;
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace soslock::sos

@@ -47,9 +47,10 @@ bool is_sos_numeric(const Polynomial& p, double tolerance) {
   SosProgram prog(p.nvars());
   prog.set_trace_regularization(1e-8);
   prog.add_sos_constraint(p, "is_sos");
-  sdp::IpmOptions options;
-  options.tolerance = tolerance;
-  const SolveResult result = prog.solve(options);
+  sdp::SolverConfig config;
+  config.backend = "ipm";  // the audit needs second-order accuracy
+  config.tolerance = tolerance;
+  const SolveResult result = prog.solve(config);
   if (!result.feasible) return false;
   // Audit the returned certificate rather than trusting the solver status.
   const CheckReport report = check_gram_identity(p, result.grams.front(), {});

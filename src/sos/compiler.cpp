@@ -2,6 +2,8 @@
 // end-to-end solve() that extracts certificates from the solver iterate.
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <memory>
 
 #include "sos/program.hpp"
 #include "util/log.hpp"
@@ -105,11 +107,18 @@ void SosProgram::prob_add_gram_coeff(sdp::Row& row, const GramRef& g, double coe
   }
 }
 
-SolveResult SosProgram::solve(const sdp::IpmOptions& options) const {
+SolveResult SosProgram::solve(const sdp::SolverConfig& config) const {
+  const std::unique_ptr<sdp::SolverBackend> backend = sdp::make_solver(config);
+  sdp::SolveContext context;
+  context.time_budget_seconds = config.time_budget_seconds;
+  return solve(*backend, context);
+}
+
+SolveResult SosProgram::solve(const sdp::SolverBackend& backend,
+                              sdp::SolveContext& context) const {
   const sdp::Problem prob = compile();
   util::log_info("sos: solving ", prob.stats());
-  const sdp::IpmSolver solver(options);
-  sdp::Solution sol = solver.solve(prob);
+  sdp::Solution sol = backend.solve(prob, context);
 
   SolveResult result;
   result.status = sol.status;
@@ -121,8 +130,9 @@ SolveResult SosProgram::solve(const sdp::IpmOptions& options) const {
   // suboptimal in the objective.
   result.feasible =
       sol.status == sdp::SolveStatus::Optimal ||
-      (sol.status == sdp::SolveStatus::MaxIterations && sol.primal_residual < 1e-5 &&
-       sol.gap < 5e-3 && sol.dual_residual < 1e-4);
+      ((sol.status == sdp::SolveStatus::MaxIterations ||
+        sol.status == sdp::SolveStatus::Interrupted) &&
+       sol.primal_residual < 1e-5 && sol.gap < 5e-3 && sol.dual_residual < 1e-4);
 
   // Assemble the full decision-variable vector.
   result.decision_values.assign(var_is_free_.size(), 0.0);
@@ -148,6 +158,43 @@ SolveResult SosProgram::solve(const sdp::IpmOptions& options) const {
   const double min_value = objective_.eval(result.decision_values);
   result.objective = objective_is_max_ ? -min_value : min_value;
   return result;
+}
+
+bool solve_hard_failed(const SolveResult& result) {
+  return result.status == sdp::SolveStatus::PrimalInfeasible ||
+         result.status == sdp::SolveStatus::DualInfeasible ||
+         result.sdp.primal_residual > 1e-4;
+}
+
+void SolveStats::absorb(const SolveResult& result) {
+  if (backend.empty()) {
+    backend = result.sdp.backend;
+  } else if (backend != result.sdp.backend && !result.sdp.backend.empty()) {
+    backend = "mixed";
+  }
+  ++solves;
+  iterations += result.sdp.iterations;
+  seconds += result.sdp.solve_seconds;
+}
+
+void SolveStats::merge(const SolveStats& other) {
+  if (other.solves == 0) return;
+  if (backend.empty()) {
+    backend = other.backend;
+  } else if (backend != other.backend) {
+    backend = "mixed";
+  }
+  solves += other.solves;
+  iterations += other.iterations;
+  seconds += other.seconds;
+}
+
+std::string SolveStats::str() const {
+  if (solves == 0) return {};
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "backend=%s solves=%d iters=%d (%.2fs)",
+                backend.empty() ? "?" : backend.c_str(), solves, iterations, seconds);
+  return buf;
 }
 
 }  // namespace soslock::sos

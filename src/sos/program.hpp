@@ -12,8 +12,8 @@
 
 #include "poly/basis.hpp"
 #include "poly/poly_lin.hpp"
-#include "sdp/ipm.hpp"
 #include "sdp/problem.hpp"
+#include "sdp/solver.hpp"
 
 namespace soslock::sos {
 
@@ -79,7 +79,12 @@ class SosProgram {
 
   // --- Solve ----------------------------------------------------------------
 
-  SolveResult solve(const sdp::IpmOptions& options = {}) const;
+  /// Compile and solve with the backend selected by `config` (registry name
+  /// "ipm" / "admm" / "auto"; see sdp/solver.hpp).
+  SolveResult solve(const sdp::SolverConfig& config = {}) const;
+  /// Compile and solve with a caller-owned backend and runtime context
+  /// (wall-clock budget, cancellation, per-iteration telemetry).
+  SolveResult solve(const sdp::SolverBackend& backend, sdp::SolveContext& context) const;
 
   /// Compile to the underlying SDP (exposed for tests and benchmarks).
   sdp::Problem compile() const;
@@ -156,11 +161,34 @@ struct SolveResult {
   std::vector<GramCertificate> grams;      // one per Gram block, program order
   double objective = 0.0;                  // value of the user objective
   sdp::Solution sdp;                       // raw solver output
+                                           // (sdp.backend / sdp.solve_seconds
+                                           // carry the per-solve telemetry)
 
   double value(const poly::LinExpr& e) const { return e.eval(decision_values); }
   poly::Polynomial value(const poly::PolyLin& p) const {
     return p.eval_decision(decision_values);
   }
+};
+
+/// Shared acceptance policy for pipeline verification steps: certified
+/// infeasibility or a residual blowup rejects the iterate outright; anything
+/// else (objective-stalled MaxIterations, budget-interrupted) goes to the
+/// independent certificate audit, which gives the soundness verdict.
+bool solve_hard_failed(const SolveResult& result);
+
+/// Aggregated solver telemetry across the SDP solves behind one verification
+/// step; surfaced in PipelineReport timing rows so regenerated Table-2
+/// numbers record which backend produced them.
+struct SolveStats {
+  std::string backend;       // "ipm", "admm", or "mixed"
+  int solves = 0;
+  int iterations = 0;        // summed over solves
+  double seconds = 0.0;      // summed wall clock inside backends
+
+  void absorb(const SolveResult& result);
+  void merge(const SolveStats& other);
+  /// e.g. "backend=ipm solves=3 iters=112 (1.24s)"; empty when no solves.
+  std::string str() const;
 };
 
 }  // namespace soslock::sos

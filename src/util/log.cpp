@@ -1,5 +1,6 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,7 +19,7 @@ LogLevel level_from_env() {
   return LogLevel::Warn;
 }
 
-LogLevel g_level = level_from_env();
+std::atomic<LogLevel> g_level{level_from_env()};
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -33,10 +34,11 @@ const char* tag(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& msg) {
+  // One fprintf call per line: atomic enough for interleaved worker output.
   std::fprintf(stderr, "[soslock %s] %s\n", tag(level), msg.c_str());
 }
 

@@ -12,7 +12,7 @@ enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3, Trace = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one log line (thread-unsafe by design: the library is single-threaded).
+/// Emit one log line (safe to call from batch-solver worker threads).
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {

@@ -4,24 +4,46 @@
 
 namespace soslock::util {
 
+TimingTable& TimingTable::operator=(const TimingTable& other) {
+  if (this == &other) return *this;
+  std::vector<Entry> snapshot = other.entries();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_ = std::move(snapshot);
+  return *this;
+}
+
+void TimingTable::add(std::string name, double seconds, std::string note) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back({std::move(name), seconds, std::move(note)});
+}
+
+std::vector<TimingTable::Entry> TimingTable::entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
 double TimingTable::total_seconds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   double total = 0.0;
   for (const Entry& e : entries_) total += e.seconds;
   return total;
 }
 
 std::string TimingTable::str(const std::string& title) const {
+  const std::vector<Entry> rows = entries();
   std::string out = title + "\n";
   std::size_t width = 24;
-  for (const Entry& e : entries_) width = std::max(width, e.name.size() + 2);
+  for (const Entry& e : rows) width = std::max(width, e.name.size() + 2);
   char line[256];
-  for (const Entry& e : entries_) {
+  double total = 0.0;
+  for (const Entry& e : rows) {
+    total += e.seconds;
     std::snprintf(line, sizeof(line), "  %-*s %10.3f s   %s\n", static_cast<int>(width),
                   e.name.c_str(), e.seconds, e.note.c_str());
     out += line;
   }
   std::snprintf(line, sizeof(line), "  %-*s %10.3f s\n", static_cast<int>(width), "TOTAL",
-                total_seconds());
+                total);
   out += line;
   return out;
 }

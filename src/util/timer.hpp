@@ -2,6 +2,7 @@
 // Wall-clock timing helpers used by the pipeline to regenerate the paper's
 // Table 2 (per-step verification times).
 #include <chrono>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,8 @@ class Timer {
 };
 
 /// Accumulates named timing entries (one row per verification step).
+/// Accumulation is thread-safe so concurrent batch solves can report into
+/// one shared table; readers get snapshots.
 class TimingTable {
  public:
   struct Entry {
@@ -31,15 +34,19 @@ class TimingTable {
     std::string note;
   };
 
-  void add(std::string name, double seconds, std::string note = {}) {
-    entries_.push_back({std::move(name), seconds, std::move(note)});
-  }
-  const std::vector<Entry>& entries() const { return entries_; }
+  TimingTable() = default;
+  TimingTable(const TimingTable& other) : entries_(other.entries()) {}
+  TimingTable& operator=(const TimingTable& other);
+
+  void add(std::string name, double seconds, std::string note = {});
+  /// Snapshot of the rows added so far.
+  std::vector<Entry> entries() const;
   double total_seconds() const;
   /// Render as an aligned text table.
   std::string str(const std::string& title) const;
 
  private:
+  mutable std::mutex mutex_;
   std::vector<Entry> entries_;
 };
 

@@ -99,7 +99,7 @@ TEST(Inclusion, NonSubsetRejected) {
   const Polynomial b1 = var(2, 0) * var(2, 0) + var(2, 1) * var(2, 1) - 1.0;
   const Polynomial b2 = var(2, 0) * var(2, 0) + var(2, 1) * var(2, 1) - 0.5;
   InclusionOptions opt;
-  opt.ipm.max_iterations = 50;
+  opt.solver.max_iterations = 50;
   const InclusionResult r = InclusionChecker(opt).subset(b1, b2);
   EXPECT_FALSE(r.included);
 }
@@ -117,7 +117,7 @@ TEST(Inclusion, DomainRestrictionMatters) {
   const Polynomial b1 = var(1, 0) - 1.0;
   const Polynomial b2 = var(1, 0) * var(1, 0) - 4.0;
   InclusionOptions opt;
-  opt.ipm.max_iterations = 50;
+  opt.solver.max_iterations = 50;
   EXPECT_FALSE(InclusionChecker(opt).subset(b1, b2).included);
   SemialgebraicSet half(1);
   half.add_constraint(var(1, 0));
@@ -228,7 +228,7 @@ TEST(Escape, NoEscapeFromInvariantRegion) {
   t.add_interval(0, -1.0, 1.0);
   EscapeOptions opt;
   opt.certificate_degree = 4;
-  opt.ipm.max_iterations = 50;
+  opt.solver.max_iterations = 50;
   const EscapeResult r = EscapeCertifier(opt).certify_set(sys, 0, t);
   EXPECT_FALSE(r.success);
 }

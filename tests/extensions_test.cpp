@@ -119,7 +119,7 @@ TEST(Barrier, InfeasibleWhenUnsafeReachable) {
   xu.add_interval(0, 1.5, 2.0);
   BarrierOptions opt;
   opt.certificate_degree = 4;
-  opt.ipm.max_iterations = 60;
+  opt.solver.max_iterations = 60;
   const BarrierResult r = BarrierCertifier(opt).certify(sys, x0, xu);
   EXPECT_FALSE(r.success);
 }

@@ -155,7 +155,7 @@ TEST(Lyapunov, HybridPll3FatGuardAbstractionHasNoCertificate) {
   opt.certificate_degree = 4;
   opt.common_certificate = true;
   opt.flow_decrease = FlowDecrease::NonStrict;
-  opt.ipm.max_iterations = 60;
+  opt.solver.max_iterations = 60;
   const LyapunovResult r = LyapunovSynthesizer(opt).synthesize(m.system);
   EXPECT_FALSE(r.success);
 }
@@ -195,7 +195,7 @@ TEST(Lyapunov, AveragedPll3RippleNeedsBallExclusion) {
   strict.certificate_degree = 2;
   strict.flow_decrease = FlowDecrease::Strict;
   strict.strict_margin = 1e-3;
-  strict.ipm.max_iterations = 60;
+  strict.solver.max_iterations = 60;
   EXPECT_FALSE(LyapunovSynthesizer(strict).synthesize(m.system).success);
 
   LyapunovOptions ball = strict;
@@ -243,6 +243,72 @@ TEST(Lyapunov, AveragedPll4Quadratic) {
   ASSERT_TRUE(r.success) << r.message;
 }
 
+TEST(Lyapunov, ModeParallelNoJumpsSolvesDecoupled) {
+  // Two stable modes with no jumps: the decoupled path has nothing to
+  // re-audit and must accept without falling back to the joint SDP, so the
+  // telemetry records exactly one solve per mode.
+  HybridSystem sys(2, 0);
+  const Polynomial x = Polynomial::variable(2, 0);
+  const Polynomial y = Polynomial::variable(2, 1);
+  for (double k : {0.5, 1.5}) {
+    Mode m;
+    m.flow = {-k * x + y, -1.0 * x - k * y};
+    m.domain = SemialgebraicSet(2);
+    m.domain.add_interval(0, -2.0, 2.0);
+    m.domain.add_interval(1, -2.0, 2.0);
+    m.contains_equilibrium = true;
+    sys.add_mode(std::move(m));
+  }
+  LyapunovOptions opt;
+  opt.certificate_degree = 2;
+  opt.flow_decrease = FlowDecrease::Strict;
+  opt.strict_margin = 1e-3;
+  opt.mode_parallel = true;
+  opt.threads = 2;
+  const LyapunovResult r = LyapunovSynthesizer(opt).synthesize(sys);
+  ASSERT_TRUE(r.success) << r.message;
+  ASSERT_EQ(r.certificates.size(), 2u);
+  EXPECT_EQ(r.solver.solves, 2);  // no jump checks, no joint fallback
+  EXPECT_TRUE(r.audit.ok);
+}
+
+TEST(Lyapunov, ModeParallelWithJumpsStillSound) {
+  // Surface-guard switched system: the decoupled certificates must pass the
+  // jump re-audit or the synthesizer must fall back to the joint coupled
+  // solve — either way the result is a sound set of certificates.
+  LyapunovOptions opt;
+  opt.certificate_degree = 2;
+  opt.flow_decrease = FlowDecrease::Strict;
+  opt.strict_margin = 1e-3;
+  opt.mode_parallel = true;
+  const LyapunovResult r =
+      LyapunovSynthesizer(opt).synthesize(switched_linear_surface_guards());
+  ASSERT_TRUE(r.success) << r.message;
+  ASSERT_EQ(r.certificates.size(), 2u);
+  EXPECT_TRUE(r.audit.ok);
+  // Certificates decrease along their own mode's flow regardless of path.
+  const Polynomial x = Polynomial::variable(2, 0);
+  const Polynomial y = Polynomial::variable(2, 1);
+  EXPECT_LT(r.certificates[0]
+                .lie_derivative({-0.5 * x + y, -1.0 * x - 0.5 * y})
+                .eval({0.5, 0.5}),
+            0.0);
+}
+
+TEST(Lyapunov, ModeParallelInfeasibleSystemStillRejected) {
+  // The fat-guard 3-mode reduction has no certificate (see
+  // HybridPll3FatGuardAbstractionHasNoCertificate): the decoupled path must
+  // not manufacture one — the jump re-audit or fallback must reject.
+  const pll::ReducedModel m = pll::make_reduced(pll::Params::paper_third_order());
+  LyapunovOptions opt;
+  opt.certificate_degree = 4;
+  opt.flow_decrease = FlowDecrease::NonStrict;
+  opt.mode_parallel = true;
+  opt.solver.max_iterations = 60;
+  const LyapunovResult r = LyapunovSynthesizer(opt).synthesize(m.system);
+  EXPECT_FALSE(r.success);
+}
+
 TEST(Lyapunov, HybridPll3StrictIdleInfeasible) {
   // DESIGN.md rigor note, demonstrated: strict decrease in the idle mode is
   // impossible (v1 = v2 = v2*, e != 0 are flow equilibria).
@@ -252,7 +318,7 @@ TEST(Lyapunov, HybridPll3StrictIdleInfeasible) {
   opt.common_certificate = true;
   opt.flow_decrease = FlowDecrease::Strict;
   opt.strict_margin = 1e-3;
-  opt.ipm.max_iterations = 60;
+  opt.solver.max_iterations = 60;
   const LyapunovResult r = LyapunovSynthesizer(opt).synthesize(m.system);
   EXPECT_FALSE(r.success);
 }

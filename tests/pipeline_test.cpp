@@ -90,7 +90,7 @@ TEST(Pipeline, FailsOnUnstableSystem) {
   PipelineOptions opt;
   opt.lyapunov.certificate_degree = 2;
   opt.lyapunov.flow_decrease = FlowDecrease::Strict;
-  opt.lyapunov.ipm.max_iterations = 50;
+  opt.lyapunov.solver.max_iterations = 50;
   const Polynomial b_init = ellipsoid(1, {0.5});
   const PipelineReport report = InevitabilityVerifier(opt).verify(sys, b_init);
   EXPECT_EQ(report.verdict, Verdict::Failed);

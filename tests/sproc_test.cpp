@@ -104,7 +104,7 @@ TEST(SProcedure, EmptyDomainIsUnbounded) {
   expr -= s2 * (-1.0 * x);
   prog.add_sos_constraint(expr, "bound");
   prog.maximize(c);
-  sdp::IpmOptions opt;
+  sdp::SolverConfig opt;
   opt.max_iterations = 60;
   const SolveResult r = prog.solve(opt);
   // Either flagged unbounded/diverged, or (with caps) a huge value.
