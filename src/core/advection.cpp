@@ -152,7 +152,12 @@ AdvectionStepResult AdvectionEngine::step_with_eps(const Polynomial& b_prev, dou
     prog.maximize(volume_proxy);
   }
 
-  const sos::SolveResult solved = prog.solve(options_.solver);
+  const bool reuse = options_.solver.warm_start;
+  const sos::SolveResult solved =
+      prog.solve(options_.solver, reuse && !warm_cache_.empty() ? &warm_cache_ : nullptr);
+  // An infeasible attempt exports no blob; keep the previous one for the
+  // next rung of the ladder instead of clearing the cache.
+  if (reuse && !solved.warm.empty()) warm_cache_ = solved.warm;
   result.solver.absorb(solved);
   // Audit-based acceptance: only certified-infeasible statuses or large
   // residuals are rejected outright; a stalled-but-valid iterate passes the

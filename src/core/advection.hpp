@@ -77,6 +77,12 @@ class AdvectionEngine {
 
   const hybrid::HybridSystem& system_;
   AdvectionOptions options_;
+  /// Iterate of the most recent SDP solve, replayed into the next attempt
+  /// when the compiled structure matches (the eps/lambda retry ladder and
+  /// successive advection steps share one program shape, so nearly every
+  /// solve after the first starts warm). Gated by options.solver.warm_start;
+  /// the engine is driven sequentially, so no synchronization is needed.
+  mutable sdp::WarmStart warm_cache_;
 };
 
 }  // namespace soslock::core

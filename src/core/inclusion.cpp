@@ -16,7 +16,9 @@ InclusionResult InclusionChecker::subset(const Polynomial& b1, const Polynomial&
 }
 
 InclusionResult InclusionChecker::subset_on(const Polynomial& b1, const Polynomial& b2,
-                                            const SemialgebraicSet& domain) const {
+                                            const SemialgebraicSet& domain,
+                                            const sdp::WarmStart* warm,
+                                            sdp::WarmStart* warm_out) const {
   InclusionResult result;
   const std::size_t nvars = b1.nvars();
 
@@ -45,7 +47,10 @@ InclusionResult InclusionChecker::subset_on(const Polynomial& b1, const Polynomi
   }
   prog.add_sos_constraint(expr, "incl");
 
-  const sos::SolveResult solved = prog.solve(options_.solver);
+  const sos::SolveResult solved = prog.solve(options_.solver, warm);
+  // Infeasible outcomes (a not-yet-immersed iterate) export no blob; keep
+  // the caller's previous one rather than clearing its cache.
+  if (warm_out != nullptr && !solved.warm.empty()) *warm_out = solved.warm;
   result.solver.absorb(solved);
   if (sos::solve_hard_failed(solved)) {
     result.message = "inclusion SOS infeasible (" + sdp::to_string(solved.status) + ")";
@@ -62,10 +67,14 @@ InclusionResult InclusionChecker::subset_of_invariant(
     const std::vector<Polynomial>& certificates, double level) const {
   InclusionResult result;
   result.included = true;
+  const bool reuse = options_.solver.warm_start;
   for (std::size_t q = 0; q < system.modes().size(); ++q) {
     // S(b) ∩ C_q ⊆ {V_q <= level}: treat V_q - level as the outer set.
     const Polynomial outer = certificates[q] - level;
-    const InclusionResult one = subset_on(b, outer, system.modes()[q].domain);
+    sdp::WarmStart& cache = mode_warm_cache_[q];
+    const InclusionResult one =
+        subset_on(b, outer, system.modes()[q].domain,
+                  reuse && !cache.empty() ? &cache : nullptr, reuse ? &cache : nullptr);
     result.audit.checked += one.audit.checked;
     result.audit.failed += one.audit.failed;
     result.solver.merge(one.solver);

@@ -4,6 +4,7 @@
 //   sigma * b1 - b2 ∈ Σ.
 // Used by Algorithm 1 to decide when an advected level set has immersed into
 // the attractive invariant.
+#include <map>
 #include <vector>
 
 #include "core/level_set.hpp"
@@ -35,9 +36,13 @@ class InclusionChecker {
   /// Certify S(b1) ⊆ S(b2) globally.
   InclusionResult subset(const poly::Polynomial& b1, const poly::Polynomial& b2) const;
 
-  /// Certify S(b1) ⊆ S(b2) restricted to a semialgebraic domain.
+  /// Certify S(b1) ⊆ S(b2) restricted to a semialgebraic domain. `warm`
+  /// optionally replays a structurally matching previous iterate; `warm_out`
+  /// receives this solve's iterate for chaining (see SosProgram::solve).
   InclusionResult subset_on(const poly::Polynomial& b1, const poly::Polynomial& b2,
-                            const hybrid::SemialgebraicSet& domain) const;
+                            const hybrid::SemialgebraicSet& domain,
+                            const sdp::WarmStart* warm = nullptr,
+                            sdp::WarmStart* warm_out = nullptr) const;
 
   /// The hybrid immersion check of Algorithm 1: for every mode q,
   ///   x ∈ S(b) ∩ C_q  =>  V_q(x) <= level,
@@ -50,6 +55,11 @@ class InclusionChecker {
 
  private:
   InclusionOptions options_;
+  /// Per-mode warm-start blobs chained across the repeated immersion checks
+  /// of the advection loop (the mode-q program shape is identical from one
+  /// advection iterate to the next). Gated by options.solver.warm_start; the
+  /// checker is driven sequentially by the pipeline, so no synchronization.
+  mutable std::map<std::size_t, sdp::WarmStart> mode_warm_cache_;
 };
 
 }  // namespace soslock::core

@@ -30,7 +30,9 @@ bool AttractiveInvariant::contains_consistent(const linalg::Vector& x_full) cons
 }
 
 LevelSetResult LevelSetMaximizer::maximize_one(const Polynomial& v,
-                                               const SemialgebraicSet& domain) const {
+                                               const SemialgebraicSet& domain,
+                                               const sdp::WarmStart* warm,
+                                               sdp::WarmStart* warm_out) const {
   LevelSetResult result;
   const std::size_t nvars = v.nvars();
 
@@ -70,7 +72,8 @@ LevelSetResult LevelSetMaximizer::maximize_one(const Polynomial& v,
   }
 
   prog.maximize(c);
-  const sos::SolveResult solved = prog.solve(options_.solver);
+  const sos::SolveResult solved = prog.solve(options_.solver, warm);
+  if (warm_out != nullptr && !solved.warm.empty()) *warm_out = solved.warm;
   result.solver.absorb(solved);
   // Audit-based acceptance: a stalled iterate still certifies a (possibly
   // smaller) level; only certified infeasibility or residual blowup fails.
@@ -96,13 +99,34 @@ LevelSetResult LevelSetMaximizer::maximize(const hybrid::HybridSystem& system,
 
   // The per-mode maximisations are independent SDPs: dispatch them onto the
   // batch thread pool (modes after the first failure are skipped, keeping
-  // the failure path as cheap as the old sequential early exit).
+  // the failure path as cheap as the old sequential early exit). With warm
+  // starts on, mode 0 solves first and seeds the remaining modes — their
+  // programs are structurally identical (same domain shape, same multiplier
+  // degrees), so the previous iterate is a close starting point.
   std::vector<LevelSetResult> per_mode(num_modes);
   const sos::BatchSolver batch(options_.threads);
-  const std::size_t failed = batch.run_all_until_failure(num_modes, [&](std::size_t q) {
-    per_mode[q] = maximize_one(certificates[q], system.modes()[q].domain);
-    return per_mode[q].success;
-  });
+  const bool reuse = options_.solver.warm_start && num_modes > 1;
+  sdp::WarmStart seed;
+  std::size_t failed = num_modes;
+  if (reuse) {
+    per_mode[0] = maximize_one(certificates[0], system.modes()[0].domain, nullptr, &seed);
+    if (!per_mode[0].success) {
+      failed = 0;
+    } else {
+      const std::size_t rest = batch.run_all_until_failure(num_modes - 1, [&](std::size_t i) {
+        const std::size_t q = i + 1;
+        per_mode[q] = maximize_one(certificates[q], system.modes()[q].domain,
+                                   seed.empty() ? nullptr : &seed);
+        return per_mode[q].success;
+      });
+      if (rest < num_modes - 1) failed = rest + 1;
+    }
+  } else {
+    failed = batch.run_all_until_failure(num_modes, [&](std::size_t q) {
+      per_mode[q] = maximize_one(certificates[q], system.modes()[q].domain);
+      return per_mode[q].success;
+    });
+  }
 
   for (std::size_t q = 0; q < num_modes; ++q) result.solver.merge(per_mode[q].solver);
   if (failed < num_modes) {

@@ -49,11 +49,19 @@ class LevelSetMaximizer {
  public:
   explicit LevelSetMaximizer(LevelSetOptions options = {}) : options_(options) {}
 
-  /// Maximize the level of `v` inside `domain` (one mode).
+  /// Maximize the level of `v` inside `domain` (one mode). `warm` optionally
+  /// replays a structurally matching previous iterate (see
+  /// SosProgram::solve); `warm_out`, when non-null, receives this solve's
+  /// iterate for chaining.
   LevelSetResult maximize_one(const poly::Polynomial& v,
-                              const hybrid::SemialgebraicSet& domain) const;
+                              const hybrid::SemialgebraicSet& domain,
+                              const sdp::WarmStart* warm = nullptr,
+                              sdp::WarmStart* warm_out = nullptr) const;
 
   /// All modes of a system; returns per-mode levels + the consistent level.
+  /// With options.solver.warm_start the first mode's iterate warm-starts the
+  /// remaining modes (PLL mode programs are structurally identical, so this
+  /// costs one sequential solve and accelerates the parallel rest).
   LevelSetResult maximize(const hybrid::HybridSystem& system,
                           const std::vector<poly::Polynomial>& certificates) const;
 

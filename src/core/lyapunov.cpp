@@ -266,11 +266,22 @@ LyapunovResult LyapunovSynthesizer::synthesize_decoupled(const HybridSystem& sys
       progs[q].minimize(mode_moment_objective(v[q], box, nstates));
   }
 
-  std::vector<const sos::SosProgram*> prog_ptrs;
-  prog_ptrs.reserve(num_modes);
-  for (const sos::SosProgram& p : progs) prog_ptrs.push_back(&p);
+  // With warm starts on, mode 0 solves first and its iterate seeds the
+  // remaining (structurally identical) mode programs on the pool.
   const sos::BatchSolver batch(options_.threads);
-  const std::vector<sos::SolveResult> solves = batch.solve_all(prog_ptrs, options_.solver);
+  std::vector<sos::SolveResult> solves(num_modes);
+  if (options_.solver.warm_start && num_modes > 1) {
+    solves[0] = progs[0].solve(options_.solver);
+    const sdp::WarmStart& seed = solves[0].warm;
+    batch.run_all(num_modes - 1, [&](std::size_t i) {
+      solves[i + 1] = progs[i + 1].solve(options_.solver, seed.empty() ? nullptr : &seed);
+    });
+  } else {
+    std::vector<const sos::SosProgram*> prog_ptrs;
+    prog_ptrs.reserve(num_modes);
+    for (const sos::SosProgram& p : progs) prog_ptrs.push_back(&p);
+    solves = batch.solve_all(prog_ptrs, options_.solver);
+  }
 
   result.status = sdp::SolveStatus::Optimal;
   result.certificates.reserve(num_modes);
@@ -298,7 +309,10 @@ LyapunovResult LyapunovSynthesizer::synthesize_decoupled(const HybridSystem& sys
 
   // Jump re-audit: the decoupled certificates must still be non-increasing
   // across every inter-mode jump (condition (c)); each check is a small SOS
-  // feasibility program in the multipliers only.
+  // feasibility program in the multipliers only. Consecutive checks share
+  // one shape (PLL guards are congruent boxes), so each warm-starts from the
+  // previous one.
+  sdp::WarmStart jump_seed;
   for (std::size_t l = 0; l < system.jumps().size(); ++l) {
     const Jump& jump = system.jumps()[l];
     if (jump.from == jump.to) continue;
@@ -313,7 +327,10 @@ LyapunovResult LyapunovSynthesizer::synthesize_decoupled(const HybridSystem& sys
     subtract_multipliers(check, expr, jump.guard, options_.multiplier_degree,
                          "jumpcheck" + std::to_string(l));
     check.add_sos_constraint(expr, "jumpcheck" + std::to_string(l) + ".nonincrease");
-    const sos::SolveResult solved = check.solve(options_.solver);
+    const bool reuse = options_.solver.warm_start;
+    const sos::SolveResult solved =
+        check.solve(options_.solver, reuse && !jump_seed.empty() ? &jump_seed : nullptr);
+    if (reuse && !solved.warm.empty()) jump_seed = solved.warm;
     result.solver.absorb(solved);
     if (sos::solve_hard_failed(solved) || !sos::audit(check, solved).ok) {
       result.message = "decoupled certificates violate jump " + std::to_string(l) +

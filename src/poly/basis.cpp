@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <map>
 
 namespace soslock::poly {
 namespace {
@@ -17,6 +19,85 @@ void enumerate(std::size_t nvars, unsigned max_deg, std::size_t var, unsigned us
     enumerate(nvars, max_deg, var + 1, used + e, current, out);
   }
   current[var] = 0;
+}
+
+/// Phase-1 dense simplex deciding feasibility of { V lambda = t, 1'lambda = 1,
+/// lambda >= 0 }: minimize the sum of artificial variables with Bland's rule
+/// (no cycling). Rows = nvars + 1, columns = #support + artificials — tiny for
+/// SOS supports, so a dense tableau is the simplest exact method available.
+bool convex_combination_exists(const std::vector<double>& target,
+                               const std::vector<std::vector<double>>& points) {
+  const std::size_t rows = target.size() + 1;        // V lambda = t and 1'lambda = 1
+  const std::size_t npts = points.size();
+  const std::size_t cols = npts + rows;              // lambda block + artificial block
+  constexpr double kEps = 1e-9;
+
+  // Tableau [A | b] with artificial basis; flip row signs so b >= 0.
+  std::vector<std::vector<double>> tab(rows, std::vector<double>(cols + 1, 0.0));
+  for (std::size_t r = 0; r < rows; ++r) {
+    double b = r < target.size() ? target[r] : 1.0;
+    const double sign = b < 0.0 ? -1.0 : 1.0;
+    for (std::size_t c = 0; c < npts; ++c) {
+      const double a = r < target.size() ? points[c][r] : 1.0;
+      tab[r][c] = sign * a;
+    }
+    tab[r][npts + r] = 1.0;
+    tab[r][cols] = sign * b;
+  }
+  std::vector<std::size_t> basis(rows);
+  for (std::size_t r = 0; r < rows; ++r) basis[r] = npts + r;
+
+  // Phase-1 objective row: minimize sum of artificials == maximize -sum.
+  // Reduced costs: z_c = sum over rows of tab[r][c] (artificials in basis).
+  std::vector<double> z(cols + 1, 0.0);
+  for (std::size_t c = 0; c <= cols; ++c)
+    for (std::size_t r = 0; r < rows; ++r) z[c] += tab[r][c];
+
+  // If the pivot cap is ever hit the LP is *undecided*; the caller treats
+  // that as "inside" (keep the monomial), which is the sound direction —
+  // over-pruning could cut a monomial a feasible certificate needs.
+  const std::size_t max_pivots = 50 * (cols + rows);
+  bool optimal = false;
+  for (std::size_t pivot = 0; pivot < max_pivots; ++pivot) {
+    // Bland: entering = lowest-index non-artificial column with z > eps.
+    std::size_t enter = cols;
+    for (std::size_t c = 0; c < npts; ++c) {
+      if (z[c] > kEps) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter == cols) {
+      optimal = true;
+      break;
+    }
+    // Ratio test, Bland tie-break on the leaving basis index.
+    std::size_t leave = rows;
+    double best_ratio = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (tab[r][enter] <= kEps) continue;
+      const double ratio = tab[r][cols] / tab[r][enter];
+      if (leave == rows || ratio < best_ratio - kEps ||
+          (ratio < best_ratio + kEps && basis[r] < basis[leave])) {
+        leave = r;
+        best_ratio = ratio;
+      }
+    }
+    if (leave == rows) break;  // unbounded (cannot happen in phase 1); undecided
+    // Pivot.
+    const double piv = tab[leave][enter];
+    for (std::size_t c = 0; c <= cols; ++c) tab[leave][c] /= piv;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == leave || tab[r][enter] == 0.0) continue;
+      const double f = tab[r][enter];
+      for (std::size_t c = 0; c <= cols; ++c) tab[r][c] -= f * tab[leave][c];
+    }
+    const double fz = z[enter];
+    for (std::size_t c = 0; c <= cols; ++c) z[c] -= fz * tab[leave][c];
+    basis[leave] = enter;
+  }
+  if (!optimal) return true;  // undecided: conservatively report membership
+  return z[cols] < 1e-7;      // phase-1 optimum ~0 <=> feasible
 }
 
 }  // namespace
@@ -47,9 +128,12 @@ SupportInfo support_info(const Polynomial& p) {
   info.max_degree = p.degree();
   info.min_degree = p.min_degree();
   info.max_degree_per_var.assign(p.nvars(), 0);
-  for (const auto& [m, c] : p.terms())
+  info.support.reserve(p.terms().size());
+  for (const auto& [m, c] : p.terms()) {
+    info.support.push_back(m);
     for (std::size_t i = 0; i < p.nvars(); ++i)
       info.max_degree_per_var[i] = std::max(info.max_degree_per_var[i], m.exponent(i));
+  }
   return info;
 }
 
@@ -57,7 +141,9 @@ SupportInfo support_info(const PolyLin& p) {
   SupportInfo info;
   info.min_degree = ~0u;
   info.max_degree_per_var.assign(p.nvars(), 0);
+  info.support.reserve(p.terms().size());
   for (const auto& [m, e] : p.terms()) {
+    info.support.push_back(m);
     info.max_degree = std::max(info.max_degree, m.degree());
     info.min_degree = std::min(info.min_degree, m.degree());
     for (std::size_t i = 0; i < p.nvars(); ++i)
@@ -67,11 +153,67 @@ SupportInfo support_info(const PolyLin& p) {
   return info;
 }
 
-std::vector<Monomial> gram_basis(std::size_t nvars, const SupportInfo& info, bool prune) {
+bool in_half_newton_polytope(const Monomial& m, const std::vector<Monomial>& supp) {
+  assert(!supp.empty());
+  const std::size_t nvars = m.nvars();
+  // 2m equal to a support point is membership without an LP.
+  const Monomial m2 = m.squared();
+  for (const Monomial& v : supp) {
+    if (v == m2) return true;
+  }
+  std::vector<double> target(nvars);
+  for (std::size_t i = 0; i < nvars; ++i) target[i] = 2.0 * m.exponent(i);
+  std::vector<std::vector<double>> points;
+  points.reserve(supp.size());
+  for (const Monomial& v : supp) {
+    std::vector<double> pt(nvars);
+    for (std::size_t i = 0; i < nvars; ++i) pt[i] = v.exponent(i);
+    points.push_back(std::move(pt));
+  }
+  return convex_combination_exists(target, points);
+}
+
+std::vector<Monomial> diagonal_consistency_prune(std::vector<Monomial> basis,
+                                                 const std::vector<Monomial>& supp) {
+  // Any feasible Gram matrix G satisfies, for each basis monomial m with
+  // square 2m outside supp(p): coeff of 2m in basis' G basis = 0. When no
+  // pair b1 != b2 of surviving basis monomials also sums to 2m, that equation
+  // reads G_mm = 0, so PSD-ness kills row m entirely — drop m and iterate
+  // (dropping m can orphan other squares, hence the fixpoint).
+  std::vector<Monomial> supp_sorted = supp;
+  std::sort(supp_sorted.begin(), supp_sorted.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Count how many distinct pairs b1 < b2 produce each even monomial.
+    std::map<Monomial, int> pair_products;
+    for (std::size_t i = 0; i < basis.size(); ++i)
+      for (std::size_t j = i + 1; j < basis.size(); ++j)
+        ++pair_products[basis[i] * basis[j]];
+    std::vector<Monomial> kept;
+    kept.reserve(basis.size());
+    for (const Monomial& m : basis) {
+      const Monomial m2 = m.squared();
+      const bool in_supp =
+          std::binary_search(supp_sorted.begin(), supp_sorted.end(), m2);
+      if (in_supp || pair_products.count(m2) > 0) {
+        kept.push_back(m);
+      } else {
+        changed = true;
+      }
+    }
+    basis = std::move(kept);
+  }
+  return basis;
+}
+
+std::vector<Monomial> gram_basis(std::size_t nvars, const SupportInfo& info, GramPrune prune) {
+  if (prune == GramPrune::Newton && info.support.empty()) prune = GramPrune::Box;
   const unsigned lo = (info.min_degree + 1) / 2;  // ceil(min/2)
   const unsigned hi = info.max_degree / 2;        // floor(max/2)
-  std::vector<Monomial> base = monomials_up_to(nvars, hi, prune ? lo : 0);
-  if (!prune) return base;
+  std::vector<Monomial> base = monomials_up_to(nvars, hi, prune != GramPrune::None ? lo : 0);
+  if (prune == GramPrune::None) return base;
+  // Bounding-box prefilter (implied by the polytope test, but much cheaper).
   std::vector<Monomial> out;
   out.reserve(base.size());
   for (const Monomial& m : base) {
@@ -81,7 +223,19 @@ std::vector<Monomial> gram_basis(std::size_t nvars, const SupportInfo& info, boo
     }
     if (keep) out.push_back(m);
   }
-  return out;
+  if (prune == GramPrune::Box) return out;
+  std::vector<Monomial> newton;
+  newton.reserve(out.size());
+  for (const Monomial& m : out) {
+    if (in_half_newton_polytope(m, info.support)) newton.push_back(m);
+  }
+  return diagonal_consistency_prune(std::move(newton), info.support);
+}
+
+std::vector<Monomial> gram_basis(std::size_t nvars, const SupportInfo& info, bool prune) {
+  if (!prune) return gram_basis(nvars, info, GramPrune::None);
+  return gram_basis(nvars, info,
+                    info.support.empty() ? GramPrune::Box : GramPrune::Newton);
 }
 
 }  // namespace soslock::poly

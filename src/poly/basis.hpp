@@ -1,8 +1,14 @@
 #pragma once
-// Monomial basis construction for Gram (SOS) parametrizations, including the
-// sound degree/box pruning derived from the Newton polytope property:
-// if p = sum q_k^2 then every monomial of q_k lies in (1/2) Newton(p), hence
-//   mindeg(p)/2 <= deg(m) <= deg(p)/2  and  2*deg_{x_i}(m) <= deg_{x_i}(p).
+// Monomial basis construction for Gram (SOS) parametrizations, with sound
+// support-based pruning. If p = sum q_k^2 then every monomial of every q_k
+// lies in (1/2) Newton(p) (Reznick), which implies the cheap bounds
+//   mindeg(p)/2 <= deg(m) <= deg(p)/2  and  2*deg_{x_i}(m) <= deg_{x_i}(p)
+// (the bounding-box prune) and the exact test 2m ∈ conv(supp(p)) (the
+// Newton-polytope prune, decided here by a small phase-1 simplex over the
+// support exponent vectors). On top of either, the diagonal-consistency
+// fixpoint removes basis monomials m whose square 2m is matched by no support
+// monomial and no other basis pair: the coefficient equation for 2m then
+// forces G_mm = 0, and PSD-ness zeroes the whole row, so m is dead weight.
 #include <vector>
 
 #include "poly/monomial.hpp"
@@ -23,16 +29,41 @@ struct SupportInfo {
   unsigned max_degree = 0;
   unsigned min_degree = 0;
   std::vector<unsigned> max_degree_per_var;  // size nvars
+  /// Exact support monomials (union over possibly-active terms for a
+  /// PolyLin). Needed by the Newton-polytope and diagonal-consistency
+  /// prunes; the box prune only uses the degree bounds above.
+  std::vector<Monomial> support;
 };
 
 SupportInfo support_info(const Polynomial& p);
 /// For a PolyLin, the support is the union over all (possibly active) terms.
 SupportInfo support_info(const PolyLin& p);
 
+/// How aggressively gram_basis prunes. Every level is sound (never cuts a
+/// monomial some SOS decomposition needs); each is a subset of the previous.
+enum class GramPrune {
+  None,    // full degree-range basis
+  Box,     // degree window + per-variable bounding box
+  Newton,  // exact half-Newton-polytope + diagonal-consistency fixpoint
+};
+
+/// Is 2m inside conv(supp) (the Newton-polytope membership test)? `supp`
+/// must be non-empty. Exposed for tests.
+bool in_half_newton_polytope(const Monomial& m, const std::vector<Monomial>& supp);
+
+/// Diagonal-consistency fixpoint: repeatedly drop basis monomials m with
+/// 2m ∉ supp and no pair b1 != b2 in the surviving basis with b1+b2 = 2m.
+/// Exposed for tests; gram_basis applies it after the Newton prune.
+std::vector<Monomial> diagonal_consistency_prune(std::vector<Monomial> basis,
+                                                 const std::vector<Monomial>& supp);
+
 /// Gram basis for an SOS representation of a polynomial with the given
-/// support: monomials m with mindeg/2 <= deg(m) <= maxdeg/2 (ceil/floor) and
-/// per-variable exponents at most floor(deg_{x_i}/2). Sound per the Newton
-/// polytope bounding box; `prune=false` keeps the full degree-range basis.
+/// support. GramPrune::Newton needs info.support; when it is empty the box
+/// prune is used instead.
+std::vector<Monomial> gram_basis(std::size_t nvars, const SupportInfo& info, GramPrune prune);
+
+/// Back-compatible overload: prune=true selects the strongest prune the
+/// SupportInfo allows (Newton when info.support is populated, else Box).
 std::vector<Monomial> gram_basis(std::size_t nvars, const SupportInfo& info, bool prune = true);
 
 }  // namespace soslock::poly

@@ -4,10 +4,11 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <optional>
 
 #include "linalg/cholesky.hpp"
 #include "linalg/eigen_sym.hpp"
-#include "sdp/scaling.hpp"
+#include "sdp/structure.hpp"
 #include "util/log.hpp"
 
 namespace soslock::sdp {
@@ -19,15 +20,14 @@ using linalg::Vector;
 
 class Admm {
  public:
-  Admm(const Problem& p, const AdmmOptions& opt, SolveContext& ctx)
-      : p_(p), opt_(opt), ctx_(ctx) {
+  Admm(const Problem& p, const AdmmOptions& opt, SolveContext& ctx,
+       std::shared_ptr<const ProblemStructure> structure)
+      : p_(p), opt_(opt), ctx_(ctx), structure_(std::move(structure)) {
     m_ = p_.num_rows();
     nf_ = p_.num_free();
     nblocks_ = p_.num_blocks();
     total_dim_ = p_.total_psd_dim();
-    rows_touching_block_.assign(nblocks_, {});
-    for (std::size_t i = 0; i < m_; ++i)
-      for (const auto& [j, a] : p_.rows()[i].blocks) rows_touching_block_[j].push_back(i);
+    views_ = build_block_row_views(p_, *structure_);
     data_norm_ = 1.0;
     for (std::size_t i = 0; i < m_; ++i) data_norm_ = std::max(data_norm_, std::fabs(p_.rhs(i)));
     c_norm_ = 1.0;
@@ -40,21 +40,20 @@ class Admm {
     Solution out;
     rho_ = std::max(opt_.rho, 1e-8);
     const int rho_interval = std::max(opt_.rho_update_interval, 1);
+    const double alpha = std::clamp(opt_.over_relaxation, 1.0, 1.95);
 
     // The y-update normal matrix M = A A* + B B' is iteration-independent:
     // factor it once. M_ik = sum_j <A_ij, A_kj> + sum_v B_iv B_kv.
-    std::optional<Cholesky> chol_m;
     if (m_ > 0) {
       Matrix normal(m_, m_);
       for (std::size_t j = 0; j < nblocks_; ++j) {
-        const auto& touching = rows_touching_block_[j];
+        const auto& touching = views_[j];
         for (std::size_t a = 0; a < touching.size(); ++a) {
-          const std::size_t i = touching[a];
-          const SparseSym& ai = p_.rows()[i].blocks.at(j);
+          const SparseSym& ai = *touching[a].coeff;
           for (std::size_t bnd = a; bnd < touching.size(); ++bnd) {
-            const std::size_t k = touching[bnd];
-            const SparseSym& ak = p_.rows()[k].blocks.at(j);
+            const SparseSym& ak = *touching[bnd].coeff;
             const double v = sparse_dot(ai, ak);
+            const std::size_t i = touching[a].row, k = touching[bnd].row;
             normal(i, k) += v;
             if (i != k) normal(k, i) += v;
           }
@@ -70,26 +69,58 @@ class Admm {
           }
         }
       }
-      chol_m = Cholesky::factor_shifted(normal, 1e-12);
+      chol_m_.emplace(Cholesky::factor_shifted(normal, 1e-12));
     }
 
     // State: primal (X, w), dual (y, S). X stays exactly PSD by construction.
-    std::vector<Matrix> x, s;
-    x.reserve(nblocks_);
-    s.reserve(nblocks_);
-    for (std::size_t j = 0; j < nblocks_; ++j) {
-      const std::size_t n = p_.block_size(j);
-      x.emplace_back(n, n);
-      s.emplace_back(n, n);
+    if (const WarmStart* ws = ctx_.warm_start; ws != nullptr && ws->fits(p_)) {
+      // First-order iterates need no interior margin: restore the raw state.
+      x_ = ws->x;
+      s_ = ws->z;
+      y_ = ws->y;
+      w_ = ws->w;
+      for (std::size_t j = 0; j < nblocks_; ++j) {
+        x_[j].symmetrize();
+        s_[j].symmetrize();
+      }
+    } else {
+      // Cold start from fat identity iterates (the SDPT3-style magnitudes
+      // the IPM uses) rather than zero: X = 0 is the most rank-deficient
+      // point of the cone, and an interior start gives every eigendirection
+      // initial mass. (This matters for basin quality, not for the
+      // degenerate-drift lock below, which forms mid-descent regardless of
+      // the start.)
+      double xi = 10.0, eta = 10.0;
+      for (std::size_t i = 0; i < m_; ++i) {
+        double arow = 1.0;
+        for (const auto& [j, a] : p_.rows()[i].blocks)
+          arow = std::max(arow, a.frobenius_norm());
+        xi = std::max(xi, (1.0 + std::fabs(p_.rhs(i))) / arow);
+      }
+      eta = std::max(eta, 1.0 + c_norm_);
+      x_.clear();
+      s_.clear();
+      x_.reserve(nblocks_);
+      s_.reserve(nblocks_);
+      for (std::size_t j = 0; j < nblocks_; ++j) {
+        const std::size_t n = p_.block_size(j);
+        Matrix xj = Matrix::identity(n);
+        xj.scale(xi);
+        Matrix sj = Matrix::identity(n);
+        sj.scale(eta);
+        x_.push_back(std::move(xj));
+        s_.push_back(std::move(sj));
+      }
+      y_.assign(m_, 0.0);
+      w_.assign(nf_, 0.0);
     }
-    Vector y(m_, 0.0), w(nf_, 0.0);
 
     // Iteration-invariant part of the y-update rhs: A_i(C) + B_i'f.
-    Vector rhs0(m_, 0.0);
+    rhs0_.assign(m_, 0.0);
     for (std::size_t i = 0; i < m_; ++i) {
       const Row& row = p_.rows()[i];
-      for (const auto& [j, a] : row.blocks) rhs0[i] += a.dot(p_.block_objective(j));
-      for (const auto& [v, c] : row.free_coeffs) rhs0[i] += c * p_.free_objective()[v];
+      for (const auto& [j, a] : row.blocks) rhs0_[i] += a.dot(p_.block_objective(j));
+      for (const auto& [v, c] : row.free_coeffs) rhs0_[i] += c * p_.free_objective()[v];
     }
 
     double pres = 1.0, dres = 1.0, gap = 1.0;
@@ -103,81 +134,7 @@ class Admm {
     constexpr int kStagnationWindow = 1000;
     int iter = 0;
     for (; iter < opt_.max_iterations; ++iter) {
-      // --- y-update: M y = (b - A(X) - B w)/rho + A(C - S) + B f.
-      if (m_ > 0) {
-        Vector rhs(m_, 0.0);
-        for (std::size_t i = 0; i < m_; ++i) {
-          const Row& row = p_.rows()[i];
-          double ax = 0.0;
-          for (const auto& [j, a] : row.blocks) ax += a.dot(x[j]);
-          for (const auto& [v, c] : row.free_coeffs) ax += c * w[v];
-          rhs[i] = (p_.rhs(i) - ax) / rho_ + rhs0[i];
-          for (const auto& [j, a] : row.blocks) rhs[i] -= a.dot(s[j]);
-        }
-        y = chol_m->solve(rhs);
-      }
-
-      // --- (S, X)-update: one eigendecomposition per block splits
-      // U_j = C_j - A*_j y - X_j/rho into S_j = U_j^+ and X_j = rho U_j^-.
-      dres = 0.0;
-      for (std::size_t j = 0; j < nblocks_; ++j) {
-        const std::size_t n = p_.block_size(j);
-        Matrix u = p_.block_objective(j);
-        for (std::size_t i : rows_touching_block_[j])
-          p_.rows()[i].blocks.at(j).add_to(u, -y[i]);
-        u.axpy(-1.0 / rho_, x[j]);
-        u.symmetrize();
-        const linalg::EigenSym eig = linalg::eigen_sym(u);
-        Matrix splus(n, n), sminus(n, n);
-        for (std::size_t r = 0; r < n; ++r) {
-          const double lam = eig.values[r];
-          // Rank-1 accumulate lam * q q' into the positive or negative part.
-          Matrix& target = lam >= 0.0 ? splus : sminus;
-          const double mag = std::fabs(lam);
-          if (mag == 0.0) continue;
-          for (std::size_t a = 0; a < n; ++a) {
-            const double qa = eig.vectors(a, r) * mag;
-            if (qa == 0.0) continue;
-            for (std::size_t bnd = 0; bnd < n; ++bnd)
-              target(a, bnd) += qa * eig.vectors(bnd, r);
-          }
-        }
-        s[j] = std::move(splus);
-        sminus.scale(rho_);  // new X_j
-        // ADMM dual residual: the multiplier step ||X_new - X_old|| / rho.
-        Matrix diff = sminus;
-        diff -= x[j];
-        dres = std::max(dres, linalg::norm_inf(diff) / (rho_ * (1.0 + c_norm_)));
-        x[j] = std::move(sminus);
-      }
-
-      // --- w-update (multiplier ascent on B'y = f).
-      if (nf_ > 0) {
-        Vector bty(nf_, 0.0);
-        for (std::size_t i = 0; i < m_; ++i) {
-          if (y[i] == 0.0) continue;
-          for (const auto& [v, c] : p_.rows()[i].free_coeffs) bty[v] += c * y[i];
-        }
-        for (std::size_t v = 0; v < nf_; ++v) {
-          const double viol = bty[v] - p_.free_objective()[v];
-          w[v] += rho_ * viol;
-          dres = std::max(dres, std::fabs(viol) / (1.0 + c_norm_));
-        }
-      }
-
-      // --- residuals / stopping.
-      pres = 0.0;
-      for (std::size_t i = 0; i < m_; ++i) {
-        const Row& row = p_.rows()[i];
-        double ax = 0.0;
-        for (const auto& [j, a] : row.blocks) ax += a.dot(x[j]);
-        for (const auto& [v, c] : row.free_coeffs) ax += c * w[v];
-        pres = std::max(pres, std::fabs(p_.rhs(i) - ax));
-      }
-      pres /= 1.0 + data_norm_;
-      const double pobj = primal_objective(x, w);
-      const double dobj = dual_objective(y);
-      gap = std::fabs(pobj - dobj) / (1.0 + std::fabs(pobj) + std::fabs(dobj));
+      step_once(alpha, pres, dres, gap);
 
       IterationInfo info;
       info.iteration = iter;
@@ -194,44 +151,182 @@ class Admm {
       const double merit = pres + dres + gap;
       if (merit < 0.99 * best_merit) {
         stagnant_iterations = 0;
-      } else if (++stagnant_iterations > kStagnationWindow) {
-        best.status = SolveStatus::MaxIterations;
-        return best;
+      } else {
+        ++stagnant_iterations;
       }
       if (merit < best_merit) {
         best_merit = merit;
-        fill(best, x, s, y, w, pres, dres, gap, iter);
+        fill(best, x_, s_, y_, w_, pres, dres, gap, iter);
       }
 
       if (pres < opt_.tolerance && dres < opt_.tolerance && gap < opt_.tolerance) {
-        fill(out, x, s, y, w, pres, dres, gap, iter);
+        fill(out, x_, s_, y_, w_, pres, dres, gap, iter);
         out.status = SolveStatus::Optimal;
         return out;
       }
       if (ctx_.interrupted()) {
         if (best_merit == std::numeric_limits<double>::infinity())
-          fill(best, x, s, y, w, pres, dres, gap, iter);
+          fill(best, x_, s_, y_, w_, pres, dres, gap, iter);
         best.status = SolveStatus::Interrupted;
         return best;
       }
 
-      // --- residual balancing (Boyd et al. sec. 3.4.1, mapped to the dual
-      // splitting: dres is the penalized constraint, pres the multiplier).
-      if (opt_.adaptive_rho && iter > 0 && iter % rho_interval == 0) {
-        if (dres > opt_.residual_balance * pres) {
-          rho_ = std::min(rho_ * opt_.rho_scale, 1e8);
-        } else if (pres > opt_.residual_balance * dres) {
-          rho_ = std::max(rho_ / opt_.rho_scale, 1e-8);
+      // --- degenerate-drift classification. On non-strictly-complementary
+      // optima (the maximize_region Lyapunov objective is the canonical
+      // in-tree case) the projection splitting locks its eigenspace split:
+      // dres collapses to machine noise while pres freezes and b'y crawls
+      // along a nearly flat dual direction at a constant per-iteration
+      // delta. No penalty schedule moves that floor (rho scans, restarts,
+      // over-relaxation and exact inner ALM solves were all tried) — the
+      // honest move is to classify early and hand the caller the best
+      // iterate plus its warm-start state, instead of burning the remaining
+      // budget "stalled". The "auto" policy backend then recovers by
+      // re-solving on the second-order backend from this very iterate.
+      const bool drift_locked = stagnant_iterations > 300 && dres < 1e-3 * pres &&
+                                pres > 10.0 * opt_.tolerance;
+      if (drift_locked || stagnant_iterations > kStagnationWindow) {
+        if (drift_locked) {
+          util::log_debug("admm: degenerate-drift lock classified at iter ", iter,
+                          " (rp=", pres, ", rd=", dres, "); returning best iterate");
+        }
+        best.status = SolveStatus::MaxIterations;
+        return best;
+      }
+
+      // --- residual balancing (Boyd et al. sec. 3.4.1 mapped to the dual
+      // splitting: dres is the penalized constraint, pres the multiplier),
+      // made proportional — rescale by sqrt(ratio) toward balance, clamped
+      // to one rho_scale step per update. The PR 1 stall came from the
+      // unguarded branch below: when dres collapses to machine noise the
+      // ratio says nothing about rho (the degenerate-drift regime handled
+      // above), yet the old rule kept halving rho until the multiplier steps
+      // were too small to ever move pres again. Guard: leave rho alone once
+      // dres is noise-level.
+      if (opt_.adaptive_rho && iter > 0 && iter % rho_interval == 0 &&
+          dres > 1e-10 && pres > 0.0) {
+        const double ratio = dres / pres;
+        if (ratio > opt_.residual_balance || ratio < 1.0 / opt_.residual_balance) {
+          const double factor =
+              std::clamp(std::sqrt(ratio), 1.0 / opt_.rho_scale, opt_.rho_scale);
+          rho_ = std::clamp(rho_ * factor, 1e-6, 1e6);
         }
       }
     }
     if (best_merit == std::numeric_limits<double>::infinity())
-      fill(best, x, s, y, w, pres, dres, gap, iter - 1);
+      fill(best, x_, s_, y_, w_, pres, dres, gap, iter - 1);
     best.status = SolveStatus::MaxIterations;
     return best;
   }
 
  private:
+  /// One full splitting iteration (y, then (S, X), then w) plus the scaled
+  /// residuals/gap of the resulting iterate.
+  void step_once(double alpha, double& pres, double& dres, double& gap) {
+    y_update();
+    dres = sx_update(alpha);
+    dres = std::max(dres, w_update(alpha));
+    pres = primal_residual_inf() / (1.0 + data_norm_);
+    const double pobj = primal_objective(x_, w_);
+    const double dobj = dual_objective(y_);
+    gap = std::fabs(pobj - dobj) / (1.0 + std::fabs(pobj) + std::fabs(dobj));
+  }
+
+  /// y-update: M y = (b - A(X) - B w)/rho + A(C - S) + B f.
+  void y_update() {
+    if (m_ == 0) return;
+    Vector rhs(m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const Row& row = p_.rows()[i];
+      double ax = 0.0;
+      for (const auto& [j, a] : row.blocks) ax += a.dot(x_[j]);
+      for (const auto& [v, c] : row.free_coeffs) ax += c * w_[v];
+      rhs[i] = (p_.rhs(i) - ax) / rho_ + rhs0_[i];
+      for (const auto& [j, a] : row.blocks) rhs[i] -= a.dot(s_[j]);
+    }
+    y_ = chol_m_->solve(rhs);
+  }
+
+  /// (S, X)-update: one eigendecomposition per block splits
+  /// U_j = C_j - A*_j y - X_j/rho into S_j = U_j^+ and X_j = -rho U_j^-.
+  /// Over-relaxation (alpha in (1, 2)) blends the fresh y-image with the
+  /// previous slack, U_j = alpha (C_j - A*_j y) + (1-alpha) S_j - X_j/rho,
+  /// which keeps X_j exactly PSD and exactly complementary to S_j while
+  /// damping the tail oscillation of the plain splitting. Returns the dual
+  /// residual max_j ||X_new - X_old||_inf / (rho (1 + ||C||)).
+  double sx_update(double alpha) {
+    double dres = 0.0;
+    for (std::size_t j = 0; j < nblocks_; ++j) {
+      Matrix u = p_.block_objective(j);
+      for (const BlockRowView& v : views_[j]) v.coeff->add_to(u, -y_[v.row]);
+      if (alpha != 1.0) {
+        u.scale(alpha);
+        u.axpy(1.0 - alpha, s_[j]);
+      }
+      u.axpy(-1.0 / rho_, x_[j]);
+      u.symmetrize();
+      Matrix splus, xnew;
+      split_psd(u, splus, xnew);
+      Matrix diff = xnew;
+      diff -= x_[j];
+      dres = std::max(dres, linalg::norm_inf(diff) / (rho_ * (1.0 + c_norm_)));
+      s_[j] = std::move(splus);
+      x_[j] = std::move(xnew);
+    }
+    return dres;
+  }
+
+  /// Eigensplit of U into S = U^+ and X = -rho U^- (both PSD, complementary).
+  void split_psd(const Matrix& u, Matrix& splus_out, Matrix& xnew_out) const {
+    const std::size_t n = u.rows();
+    const linalg::EigenSym eig = linalg::eigen_sym(u);
+    Matrix splus(n, n), sminus(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double lam = eig.values[r];
+      // Rank-1 accumulate lam * q q' into the positive or negative part.
+      Matrix& target = lam >= 0.0 ? splus : sminus;
+      const double mag = std::fabs(lam);
+      if (mag == 0.0) continue;
+      for (std::size_t a = 0; a < n; ++a) {
+        const double qa = eig.vectors(a, r) * mag;
+        if (qa == 0.0) continue;
+        for (std::size_t bnd = 0; bnd < n; ++bnd) target(a, bnd) += qa * eig.vectors(bnd, r);
+      }
+    }
+    sminus.scale(rho_);
+    splus_out = std::move(splus);
+    xnew_out = std::move(sminus);
+  }
+
+  /// w-update (multiplier ascent on B'y = f, over-relaxed step). Returns the
+  /// free-variable dual residual.
+  double w_update(double alpha) {
+    if (nf_ == 0) return 0.0;
+    double dres = 0.0;
+    Vector bty(nf_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (y_[i] == 0.0) continue;
+      for (const auto& [v, c] : p_.rows()[i].free_coeffs) bty[v] += c * y_[i];
+    }
+    for (std::size_t v = 0; v < nf_; ++v) {
+      const double viol = bty[v] - p_.free_objective()[v];
+      w_[v] += alpha * rho_ * viol;
+      dres = std::max(dres, std::fabs(viol) / (1.0 + c_norm_));
+    }
+    return dres;
+  }
+
+  double primal_residual_inf() const {
+    double pres = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const Row& row = p_.rows()[i];
+      double ax = 0.0;
+      for (const auto& [j, a] : row.blocks) ax += a.dot(x_[j]);
+      for (const auto& [v, c] : row.free_coeffs) ax += c * w_[v];
+      pres = std::max(pres, std::fabs(p_.rhs(i) - ax));
+    }
+    return pres;
+  }
+
   static double sparse_dot(const SparseSym& a, const SparseSym& b) {
     // <A, B> for two upper-triplet symmetric matrices: off-diagonal pairs
     // count twice. Both triplet lists are tiny (SOS rows touch few entries).
@@ -278,8 +373,12 @@ class Admm {
   const Problem& p_;
   const AdmmOptions& opt_;
   SolveContext& ctx_;
+  std::shared_ptr<const ProblemStructure> structure_;
+  std::vector<std::vector<BlockRowView>> views_;
+  std::optional<Cholesky> chol_m_;
+  std::vector<Matrix> x_, s_;
+  Vector y_, w_, rhs0_;
   std::size_t m_ = 0, nf_ = 0, nblocks_ = 0, total_dim_ = 0;
-  std::vector<std::vector<std::size_t>> rows_touching_block_;
   double data_norm_ = 1.0, c_norm_ = 1.0;
   double rho_ = 1.0;
 };
@@ -287,14 +386,11 @@ class Admm {
 }  // namespace
 
 Solution AdmmSolver::solve(const Problem& problem, SolveContext& context) const {
+  // Row equilibration is the caller's job (SosProgram::solve applies it to
+  // every compiled program); see IpmSolver::solve for the warm-start rationale.
   const util::Timer timer;
-  Problem scaled = problem;
-  const Scaling scaling = equilibrate_rows(scaled);
-  Admm admm(scaled, options_, context);
+  Admm admm(problem, options_, context, StructureCache::global().get(problem));
   Solution sol = admm.run();
-  for (std::size_t i = 0; i < sol.y.size(); ++i) {
-    if (scaling.row_scale[i] != 0.0) sol.y[i] /= scaling.row_scale[i];
-  }
   sol.backend = name();
   sol.solve_seconds = timer.seconds();
   util::log_debug("admm: ", to_string(sol.status), " after ", sol.iterations,

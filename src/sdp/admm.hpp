@@ -28,6 +28,7 @@ class AdmmSolver : public SolverBackend {
   Capabilities capabilities() const override {
     Capabilities caps;
     caps.cheap_large_blocks = true;
+    caps.warm_startable = true;
     return caps;
   }
 

@@ -7,7 +7,7 @@
 
 #include "linalg/cholesky.hpp"
 #include "linalg/eigen_sym.hpp"
-#include "sdp/scaling.hpp"
+#include "sdp/structure.hpp"
 #include "util/log.hpp"
 
 namespace soslock::sdp {
@@ -77,16 +77,18 @@ struct Residuals {
 
 class Ipm {
  public:
-  Ipm(const Problem& p, const IpmOptions& opt, SolveContext& ctx)
-      : p_(p), opt_(opt), ctx_(ctx) {
+  Ipm(const Problem& p, const IpmOptions& opt, SolveContext& ctx,
+      std::shared_ptr<const ProblemStructure> structure)
+      : p_(p), opt_(opt), ctx_(ctx), structure_(std::move(structure)) {
     m_ = p_.num_rows();
     nf_ = p_.num_free();
     nblocks_ = p_.num_blocks();
     total_dim_ = p_.total_psd_dim();
-    // Row -> blocks incidence for Schur assembly.
-    rows_touching_block_.assign(nblocks_, {});
-    for (std::size_t i = 0; i < m_; ++i)
-      for (const auto& [j, a] : p_.rows()[i].blocks) rows_touching_block_[j].push_back(i);
+    // Row -> block incidence comes from the (possibly cached) structure; the
+    // flat per-row coefficient views are rebuilt per solve (they point into
+    // this problem instance) but reuse the cached pattern, so the hot loops
+    // below never consult the per-row std::map.
+    views_ = build_block_row_views(p_, *structure_);
     data_norm_ = 1.0;
     for (std::size_t i = 0; i < m_; ++i) data_norm_ = std::max(data_norm_, std::fabs(p_.rhs(i)));
     c_norm_ = 1.0;
@@ -167,6 +169,9 @@ class Ipm {
 
  private:
   State initial_state() const {
+    if (const WarmStart* ws = ctx_.warm_start; ws != nullptr && ws->fits(p_)) {
+      return restored_state(*ws);
+    }
     State s;
     // SDPT3-style magnitude heuristics keep the first iterations sane.
     double xi = 10.0, eta = 10.0;
@@ -189,6 +194,35 @@ class Ipm {
     }
     s.y.assign(m_, 0.0);
     s.w.assign(nf_, 0.0);
+    return s;
+  }
+
+  /// Shifted-feasible restore of a warm start: an interior-point iterate must
+  /// be strictly inside the cone, but a converged previous solution sits on
+  /// its boundary (and the problem data may have moved, so "previous optimal"
+  /// is merely near-optimal here). Pushing X and Z back into the interior by
+  /// a small spectral shift re-centers the iterate just enough for the
+  /// Cholesky-based steps while keeping the Newton direction short.
+  State restored_state(const WarmStart& ws) const {
+    State s;
+    s.x = ws.x;
+    s.z = ws.z;
+    s.y = ws.y;  // sizes guaranteed by WarmStart::fits at the call site
+    s.w = ws.w;
+    for (std::size_t j = 0; j < nblocks_; ++j) {
+      const std::size_t n = p_.block_size(j);
+      if (n == 0) continue;
+      for (Matrix* mat : {&s.x[j], &s.z[j]}) {
+        mat->symmetrize();
+        const double scale = std::max(1.0, linalg::norm_inf(*mat));
+        const double lambda_min = linalg::min_eigenvalue(*mat);
+        const double margin = std::max(opt_.warm_start_margin, 1e-10) * scale;
+        if (lambda_min < margin) {
+          const double shift = margin - lambda_min;
+          for (std::size_t d = 0; d < n; ++d) (*mat)(d, d) += shift;
+        }
+      }
+    }
     return s;
   }
 
@@ -232,10 +266,7 @@ class Ipm {
     for (std::size_t j = 0; j < nblocks_; ++j) {
       Matrix rd = p_.block_objective(j);
       rd -= s.z[j];
-      for (std::size_t i : rows_touching_block_[j]) {
-        const auto it = p_.rows()[i].blocks.find(j);
-        it->second.add_to(rd, -s.y[i]);
-      }
+      for (const BlockRowView& v : views_[j]) v.coeff->add_to(rd, -s.y[v.row]);
       rd_norm = std::max(rd_norm, linalg::norm_inf(rd));
       r.rd[j] = std::move(rd);
     }
@@ -287,25 +318,23 @@ class Ipm {
     Matrix schur(m_, m_);
     Matrix work_ax, work_w;
     for (std::size_t j = 0; j < nblocks_; ++j) {
-      const auto& touching = rows_touching_block_[j];
+      const auto& touching = views_[j];
       if (touching.empty()) continue;
       const std::size_t n = p_.block_size(j);
       work_ax = Matrix(n, n);
-      for (std::size_t i : touching) {
-        const SparseSym& ai = p_.rows()[i].blocks.at(j);
-        ai.times_dense(s.x[j], work_ax);       // A_i X
+      for (const BlockRowView& vi : touching) {
+        vi.coeff->times_dense(s.x[j], work_ax);          // A_i X
         work_w = solve_all_columns(chol_z[j], work_ax);  // Z^{-1} A_i X
-        for (std::size_t k : touching) {
-          const SparseSym& ak = p_.rows()[k].blocks.at(j);
+        for (const BlockRowView& vk : touching) {
           // <A_k, W> using symmetry of A_k (W is not symmetric; the
           // symmetrized HKM direction uses (W + W^T)/2, and
           // <A_k,(W+W^T)/2> = sum over triplets of both orientations).
           double acc = 0.0;
-          for (const Triplet& t : ak.entries) {
+          for (const Triplet& t : vk.coeff->entries) {
             acc += t.v * 0.5 * (work_w(t.r, t.c) + work_w(t.c, t.r));
             if (t.r != t.c) acc += t.v * 0.5 * (work_w(t.c, t.r) + work_w(t.r, t.c));
           }
-          schur(i, k) += acc;
+          schur(vi.row, vk.row) += acc;
         }
       }
     }
@@ -367,7 +396,7 @@ class Ipm {
     auto build_r1 = [&](double nu, const std::vector<Matrix>* corr) {
       Vector r1 = res.rp;
       for (std::size_t j = 0; j < nblocks_; ++j) {
-        const auto& touching = rows_touching_block_[j];
+        const auto& touching = views_[j];
         if (touching.empty()) continue;
         const std::size_t n = p_.block_size(j);
         // E_j = nu Z^{-1} - X - Z^{-1} Rd X (+ corrector term).
@@ -383,7 +412,7 @@ class Ipm {
         const Matrix zrdx = solve_all_columns(chol_z[j], rdx);
         e -= zrdx;
         e.symmetrize();
-        for (std::size_t i : touching) r1[i] -= p_.rows()[i].blocks.at(j).dot(e);
+        for (const BlockRowView& v : touching) r1[v.row] -= v.coeff->dot(e);
       }
       return r1;
     };
@@ -395,8 +424,7 @@ class Ipm {
       for (std::size_t j = 0; j < nblocks_; ++j) {
         const std::size_t n = p_.block_size(j);
         Matrix dzj = res.rd[j];
-        for (std::size_t i : rows_touching_block_[j])
-          p_.rows()[i].blocks.at(j).add_to(dzj, -dy[i]);
+        for (const BlockRowView& v : views_[j]) v.coeff->add_to(dzj, -dy[v.row]);
         // dX = nu Z^{-1} - X - Z^{-1} (dZ X + Corr), symmetrized.
         Matrix rhs = dzj * s.x[j];
         if (corr != nullptr) rhs += (*corr)[j];
@@ -501,23 +529,21 @@ class Ipm {
   const Problem& p_;
   const IpmOptions& opt_;
   SolveContext& ctx_;
+  std::shared_ptr<const ProblemStructure> structure_;
+  std::vector<std::vector<BlockRowView>> views_;
   std::size_t m_ = 0, nf_ = 0, nblocks_ = 0, total_dim_ = 0;
-  std::vector<std::vector<std::size_t>> rows_touching_block_;
   double data_norm_ = 1.0, c_norm_ = 1.0;
 };
 
 }  // namespace
 
 Solution IpmSolver::solve(const Problem& problem, SolveContext& context) const {
+  // Row equilibration is the caller's job (SosProgram::solve applies it to
+  // every compiled program); doing it here would invalidate the warm-start
+  // contract that y lives in the row space of the problem as passed in.
   const util::Timer timer;
-  Problem scaled = problem;
-  const Scaling scaling = equilibrate_rows(scaled);
-  Ipm ipm(scaled, options_, context);
+  Ipm ipm(problem, options_, context, StructureCache::global().get(problem));
   Solution sol = ipm.run();
-  // Un-scale the dual multipliers so they certify the *original* rows.
-  for (std::size_t i = 0; i < sol.y.size(); ++i) {
-    if (scaling.row_scale[i] != 0.0) sol.y[i] /= scaling.row_scale[i];
-  }
   sol.backend = name();
   sol.solve_seconds = timer.seconds();
   util::log_debug("ipm: ", to_string(sol.status), " after ", sol.iterations,

@@ -18,7 +18,9 @@ class IpmSolver : public SolverBackend {
   explicit IpmSolver(IpmOptions options = {}) : options_(options) {}
 
   using SolverBackend::solve;
-  /// Solve (a copy of) the problem; row equilibration is applied internally.
+  /// Solve the problem as given (equilibrate rows first for SOS-scale data;
+  /// SosProgram::solve does). A fitting SolveContext::warm_start is restored
+  /// with a shifted-feasible interior push.
   Solution solve(const Problem& problem, SolveContext& context) const override;
 
   std::string name() const override { return "ipm"; }
@@ -26,6 +28,7 @@ class IpmSolver : public SolverBackend {
     Capabilities caps;
     caps.detects_infeasibility = true;
     caps.high_accuracy = true;
+    caps.warm_startable = true;
     return caps;
   }
 

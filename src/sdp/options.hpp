@@ -11,6 +11,11 @@ struct IpmOptions {
   bool predictor_corrector = true;
   double free_var_regularization = 1e-10;  // delta on the free-var Schur block
   double infeasibility_threshold = 1e8;    // ||y|| blowup => infeasibility cert
+  /// Warm-start restore: X and Z are spectrally shifted so lambda_min >=
+  /// warm_start_margin * (block scale). Too small leaves the iterate pinned
+  /// to the previous active set (slow steps when the data moved); too large
+  /// throws the previous solution away.
+  double warm_start_margin = 0.15;
   bool verbose = false;
 };
 
@@ -24,9 +29,12 @@ struct AdmmOptions {
   int max_iterations = 20000;
   double rho = 1.0;               // initial augmented-Lagrangian penalty
   bool adaptive_rho = true;       // residual-balancing penalty updates
-  double rho_scale = 2.0;         // multiplicative rho step
+  double rho_scale = 2.0;         // multiplicative rho step (clamp per update)
   double residual_balance = 10.0; // trigger ratio for an update
   int rho_update_interval = 50;   // iterations between update checks
+  /// Over-relaxation factor alpha in [1, 1.95]; ~1.6 damps the tail
+  /// oscillation of the splitting on well-posed problems.
+  double over_relaxation = 1.6;
   bool verbose = false;
 };
 

@@ -13,6 +13,7 @@
 // Gram blocks favor the first-order backend, whose per-iteration cost is an
 // eigendecomposition instead of a Schur-complement assembly).
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -23,6 +24,29 @@
 #include "util/timer.hpp"
 
 namespace soslock::sdp {
+
+/// Exported solver state for warm-starting a structurally identical solve
+/// (same structure_fingerprint — see sdp/structure.hpp; coefficient *values*
+/// may differ, which is exactly the advection/level-curve retry pattern).
+/// The iterate lives in the original (unequilibrated) row space: y is the
+/// multiplier of the rows as compiled, so a blob can be replayed against a
+/// re-compiled problem with different row scales.
+struct WarmStart {
+  std::uint64_t fingerprint = 0;   // structure_fingerprint of the source
+  std::vector<linalg::Matrix> x;   // primal PSD blocks
+  std::vector<linalg::Matrix> z;   // dual slacks
+  linalg::Vector y;                // equality multipliers (original row space)
+  linalg::Vector w;                // free variables
+
+  bool empty() const { return x.empty() && y.empty(); }
+  /// Does the blob's shape fit `problem`? (Block sizes and counts; callers
+  /// that track fingerprints should also compare those.)
+  bool fits(const Problem& problem) const;
+};
+
+/// Snapshot the iterate of a finished solve (any status that carries state,
+/// including Interrupted and MaxIterations best iterates).
+WarmStart make_warm_start(const Solution& solution, std::uint64_t fingerprint);
 
 /// Per-iteration progress snapshot delivered to SolveContext::on_iteration.
 struct IterationInfo {
@@ -46,6 +70,12 @@ class SolveContext {
   std::atomic<bool>* cancel = nullptr;
   /// Invoked once per iteration from the solving thread (may be empty).
   std::function<void(const IterationInfo&)> on_iteration;
+  /// Optional warm start (caller-owned, must outlive the solve). Backends
+  /// with Capabilities::warm_startable restore it when it fits the problem;
+  /// an ill-fitting blob is silently ignored (cold start). The caller is
+  /// responsible for only passing blobs whose structure fingerprint matches
+  /// the problem being solved.
+  const WarmStart* warm_start = nullptr;
 
   /// Restart the budget clock.
   void arm() { timer_.reset(); }
@@ -72,6 +102,7 @@ struct Capabilities {
   bool detects_infeasibility = false;  // can return Primal/DualInfeasible
   bool high_accuracy = false;          // tolerances ~1e-8 are realistic
   bool cheap_large_blocks = false;     // first-order per-iteration cost
+  bool warm_startable = false;         // honors SolveContext::warm_start
 };
 
 class SolverBackend {
@@ -104,6 +135,10 @@ struct SolverConfig {
   int max_iterations = 0;         // 0 = backend default
   bool verbose = false;
   double time_budget_seconds = 0.0;  // per-solve wall-clock budget (0 = none)
+  /// Let the retry/sweep loops in the core verification steps replay the
+  /// previous iterate into the next structurally identical solve (see
+  /// WarmStart). Off = every solve starts cold (the bench A/B switch).
+  bool warm_start = true;
   /// "auto": smallest max-block-size at which the first-order backend wins.
   std::size_t auto_block_threshold = 80;
 

@@ -1,0 +1,99 @@
+#include "sdp/structure.hpp"
+
+namespace soslock::sdp {
+namespace {
+
+/// FNV-1a, 64-bit.
+struct Hasher {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t structure_fingerprint(const Problem& p) {
+  Hasher hash;
+  hash.mix(p.num_blocks());
+  for (std::size_t j = 0; j < p.num_blocks(); ++j) hash.mix(p.block_size(j));
+  hash.mix(p.num_free());
+  hash.mix(p.num_rows());
+  for (const Row& row : p.rows()) {
+    hash.mix(0x526f77ull);  // row marker
+    for (const auto& [j, a] : row.blocks) {
+      hash.mix(j);
+      hash.mix(a.entries.size());
+      for (const Triplet& t : a.entries) {
+        hash.mix(t.r);
+        hash.mix(t.c);
+      }
+    }
+    hash.mix(0x46726565ull);  // free marker
+    for (const auto& [v, c] : row.free_coeffs) hash.mix(v);
+  }
+  return hash.h;
+}
+
+ProblemStructure build_structure(const Problem& p) {
+  ProblemStructure s;
+  s.fingerprint = structure_fingerprint(p);
+  s.rows_touching_block.assign(p.num_blocks(), {});
+  for (std::size_t i = 0; i < p.num_rows(); ++i)
+    for (const auto& [j, a] : p.rows()[i].blocks) s.rows_touching_block[j].push_back(i);
+  return s;
+}
+
+std::shared_ptr<const ProblemStructure> StructureCache::get(const Problem& p) const {
+  const std::uint64_t fp = structure_fingerprint(p);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i]->fingerprint == fp) {
+        auto hit = slots_[i];
+        slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
+        slots_.insert(slots_.begin(), hit);
+        ++hits_;
+        return hit;
+      }
+    }
+  }
+  auto fresh = std::make_shared<const ProblemStructure>(build_structure(p));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Re-check under the lock: batch workers miss simultaneously on first use
+  // of a shared shape, and duplicate slots would evict live patterns.
+  for (const auto& slot : slots_) {
+    if (slot->fingerprint == fp) return slot;
+  }
+  slots_.insert(slots_.begin(), fresh);
+  if (slots_.size() > capacity_) slots_.resize(capacity_);
+  return fresh;
+}
+
+std::size_t StructureCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+StructureCache& StructureCache::global() {
+  static StructureCache* cache = new StructureCache(16);
+  return *cache;
+}
+
+std::vector<std::vector<BlockRowView>> build_block_row_views(
+    const Problem& p, const ProblemStructure& structure) {
+  std::vector<std::vector<BlockRowView>> views(p.num_blocks());
+  for (std::size_t j = 0; j < p.num_blocks(); ++j) {
+    const auto& touching = structure.rows_touching_block[j];
+    views[j].reserve(touching.size());
+    for (const std::size_t i : touching) {
+      views[j].push_back({i, &p.rows()[i].blocks.at(j)});
+    }
+  }
+  return views;
+}
+
+}  // namespace soslock::sdp

@@ -1,0 +1,78 @@
+#pragma once
+// Structural identity and cached sparsity patterns for SDP problems.
+//
+// The verification pipeline solves long chains of SDPs that share one
+// compiled *structure* (block sizes, row sparsity, free-variable incidence)
+// and differ only in coefficient values (an advection eps/lambda retry, a
+// level maximisation per mode, a warm-started re-solve). Two facilities
+// exploit that:
+//
+//  - structure_fingerprint(): a 64-bit hash of everything value-independent,
+//    used to decide whether a WarmStart blob or a cached pattern applies.
+//  - StructureCache: a small fingerprint-keyed store for the row→block
+//    incidence that both backends otherwise rediscover on every solve.
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sdp/problem.hpp"
+
+namespace soslock::sdp {
+
+/// Hash of the value-independent structure of `p`: block sizes, free count,
+/// and per row the touched blocks, triplet positions and free indices (not
+/// their values). Two problems with equal fingerprints accept each other's
+/// solver state as a warm start and share sparsity caches.
+std::uint64_t structure_fingerprint(const Problem& p);
+
+/// Value-independent sparsity pattern shared by structurally equal problems.
+struct ProblemStructure {
+  std::uint64_t fingerprint = 0;
+  /// For each block, the rows whose coefficient touches it (ascending).
+  std::vector<std::vector<std::size_t>> rows_touching_block;
+};
+
+/// Build the pattern from scratch (also records the fingerprint).
+ProblemStructure build_structure(const Problem& p);
+
+/// Small fingerprint-keyed LRU cache for ProblemStructure; thread-safe.
+/// Both backends consult the process-wide instance (global()), so the
+/// pipeline's repeated structurally equal solves skip the pattern rebuild
+/// even though a fresh backend object is constructed per solve.
+class StructureCache {
+ public:
+  explicit StructureCache(std::size_t capacity = 16) : capacity_(capacity) {}
+
+  /// Return the cached structure when the fingerprint matches, else build,
+  /// store (evicting least-recently-used) and return a fresh one.
+  std::shared_ptr<const ProblemStructure> get(const Problem& p) const;
+
+  /// Cache hits since construction (telemetry for tests/benches).
+  std::size_t hits() const;
+
+  /// The process-wide cache used by the built-in backends.
+  static StructureCache& global();
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  mutable std::size_t hits_ = 0;
+  /// Most-recently-used first.
+  mutable std::vector<std::shared_ptr<const ProblemStructure>> slots_;
+};
+
+/// Per-solve flat view of the row coefficients of one block: pointers into a
+/// specific Problem instance, laid out for the hot Schur/residual loops (no
+/// std::map lookups). Rebuilt per solve (the pointers die with the problem
+/// copy); the loop ordering comes from the cached incidence.
+struct BlockRowView {
+  std::size_t row = 0;
+  const SparseSym* coeff = nullptr;
+};
+
+/// views[j] lists (row, A_ij) for every row touching block j, in row order.
+std::vector<std::vector<BlockRowView>> build_block_row_views(
+    const Problem& p, const ProblemStructure& structure);
+
+}  // namespace soslock::sdp

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "sdp/scaling.hpp"
+#include "sdp/structure.hpp"
 #include "sos/program.hpp"
 #include "util/log.hpp"
 
@@ -107,41 +109,85 @@ void SosProgram::prob_add_gram_coeff(sdp::Row& row, const GramRef& g, double coe
   }
 }
 
-SolveResult SosProgram::solve(const sdp::SolverConfig& config) const {
+SolveResult SosProgram::solve(const sdp::SolverConfig& config,
+                              const sdp::WarmStart* warm) const {
   const std::unique_ptr<sdp::SolverBackend> backend = sdp::make_solver(config);
   sdp::SolveContext context;
   context.time_budget_seconds = config.time_budget_seconds;
+  context.warm_start = warm;
   return solve(*backend, context);
 }
 
 SolveResult SosProgram::solve(const sdp::SolverBackend& backend,
                               sdp::SolveContext& context) const {
-  const sdp::Problem prob = compile();
+  sdp::Problem prob = compile();
   util::log_info("sos: solving ", prob.stats());
-  sdp::Solution sol = backend.solve(prob, context);
+
+  // SOS coefficient-matching rows mix monomial scales spanning orders of
+  // magnitude: equilibrate ahead of the backend and translate the dual
+  // multipliers (and any warm-start iterate, which lives in the original row
+  // space) across the scaling.
+  const std::uint64_t fingerprint = sdp::structure_fingerprint(prob);
+  const sdp::Scaling scaling = sdp::equilibrate_rows(prob);
+
+  // A warm start applies only when the compiled structure matches; an
+  // ill-matching blob solves cold. The y-multipliers of the blob are scaled
+  // into the equilibrated row space the backend sees. The caller's pointer
+  // is restored even if the backend throws — scaled_warm dies with this
+  // frame, and the caller-owned context must never keep a pointer to it.
+  const sdp::WarmStart* caller_warm = context.warm_start;
+  sdp::WarmStart scaled_warm;
+  context.warm_start = nullptr;
+  if (caller_warm != nullptr && !caller_warm->empty() &&
+      caller_warm->fingerprint == fingerprint && caller_warm->fits(prob)) {
+    scaled_warm = *caller_warm;
+    for (std::size_t i = 0; i < scaled_warm.y.size(); ++i)
+      scaled_warm.y[i] *= scaling.row_scale[i];
+    context.warm_start = &scaled_warm;
+  }
+  sdp::Solution sol;
+  try {
+    sol = backend.solve(prob, context);
+  } catch (...) {
+    context.warm_start = caller_warm;
+    throw;
+  }
+  context.warm_start = caller_warm;
+  // Divergence test for the warm-start export below, taken in the
+  // equilibrated space the solver worked in (the unscaled duals can be
+  // legitimately huge when a row scale is tiny).
+  const double y_scale = sol.y.empty() ? 0.0 : linalg::norm_inf(sol.y);
+  // Un-scale the dual multipliers so they certify the *original* rows (the
+  // audit and solution.value() consumers never see the equilibrated system).
+  for (std::size_t i = 0; i < sol.y.size(); ++i) {
+    if (scaling.row_scale[i] != 0.0) sol.y[i] /= scaling.row_scale[i];
+  }
 
   SolveResult result;
   result.status = sol.status;
-  result.sdp = sol;
+  result.sdp = std::move(sol);  // the iterate is read from result.sdp below
   // "feasible" = the iterate satisfies the constraints to working tolerance.
   // Callers that extract certificates must still pass them through
   // sos::audit, which is the actual soundness verdict; a stalled-but-valid
   // iterate (small residual, mediocre gap) is acceptable there, merely
   // suboptimal in the objective.
   result.feasible =
-      sol.status == sdp::SolveStatus::Optimal ||
-      ((sol.status == sdp::SolveStatus::MaxIterations ||
-        sol.status == sdp::SolveStatus::Interrupted) &&
-       sol.primal_residual < 1e-5 && sol.gap < 5e-3 && sol.dual_residual < 1e-4);
+      result.status == sdp::SolveStatus::Optimal ||
+      ((result.status == sdp::SolveStatus::MaxIterations ||
+        result.status == sdp::SolveStatus::Interrupted) &&
+       result.sdp.primal_residual < 1e-5 && result.sdp.gap < 5e-3 &&
+       result.sdp.dual_residual < 1e-4);
 
   // Assemble the full decision-variable vector.
   result.decision_values.assign(var_is_free_.size(), 0.0);
   for (std::size_t v = 0; v < var_is_free_.size(); ++v) {
     if (var_is_free_[v]) {
-      result.decision_values[v] = sol.w.empty() ? 0.0 : sol.w[var_free_index_[v]];
+      result.decision_values[v] =
+          result.sdp.w.empty() ? 0.0 : result.sdp.w[var_free_index_[v]];
     } else {
       const GramRef& g = var_gram_ref_[v];
-      if (g.block < sol.x.size()) result.decision_values[v] = sol.x[g.block](g.r, g.c);
+      if (g.block < result.sdp.x.size())
+        result.decision_values[v] = result.sdp.x[g.block](g.r, g.c);
     }
   }
 
@@ -151,12 +197,26 @@ SolveResult SosProgram::solve(const sdp::SolverBackend& backend,
     GramCertificate cert;
     cert.basis = gram_blocks_[j].basis;
     cert.label = gram_blocks_[j].label;
-    if (j < sol.x.size()) cert.gram = sol.x[j];
+    if (j < result.sdp.x.size()) cert.gram = result.sdp.x[j];
     result.grams.push_back(std::move(cert));
   }
 
   const double min_value = objective_.eval(result.decision_values);
   result.objective = objective_is_max_ ? -min_value : min_value;
+  // Export the iterate for the next structurally identical solve, including
+  // from Interrupted/stalled best iterates (what a retry loop resumes from)
+  // and from infeasible-classified solves (whose iterate is the natural
+  // seed for the next attempt in a sequence of infeasible checks, e.g. the
+  // not-yet-immersed inclusion chain). The exception is a *divergent*
+  // iterate — replaying a divergence ray poisons whatever solve it seeds —
+  // detected by magnitude in the equilibrated space (computed above). The
+  // 1e8 cutoff is a fixed heuristic chosen above the largest legitimate
+  // stalled duals seen in the pipeline (~1e7 on the advection programs); it
+  // is deliberately not tied to any backend option, since this layer cannot
+  // see which backend (or threshold) produced the iterate.
+  if (std::isfinite(y_scale) && y_scale < 1e8) {
+    result.warm = sdp::make_warm_start(result.sdp, fingerprint);
+  }
   return result;
 }
 

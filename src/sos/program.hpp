@@ -80,10 +80,16 @@ class SosProgram {
   // --- Solve ----------------------------------------------------------------
 
   /// Compile and solve with the backend selected by `config` (registry name
-  /// "ipm" / "admm" / "auto"; see sdp/solver.hpp).
-  SolveResult solve(const sdp::SolverConfig& config = {}) const;
+  /// "ipm" / "admm" / "auto"; see sdp/solver.hpp). `warm` optionally replays
+  /// a previous solve's iterate (SolveResult::warm): it is restored when its
+  /// structure fingerprint matches the compiled program and ignored
+  /// otherwise, so callers can pass the blob unconditionally across retry
+  /// loops whose program shape may drift.
+  SolveResult solve(const sdp::SolverConfig& config = {},
+                    const sdp::WarmStart* warm = nullptr) const;
   /// Compile and solve with a caller-owned backend and runtime context
-  /// (wall-clock budget, cancellation, per-iteration telemetry).
+  /// (wall-clock budget, cancellation, per-iteration telemetry,
+  /// context.warm_start — fingerprint-checked here like `warm` above).
   SolveResult solve(const sdp::SolverBackend& backend, sdp::SolveContext& context) const;
 
   /// Compile to the underlying SDP (exposed for tests and benchmarks).
@@ -163,6 +169,12 @@ struct SolveResult {
   sdp::Solution sdp;                       // raw solver output
                                            // (sdp.backend / sdp.solve_seconds
                                            // carry the per-solve telemetry)
+  /// Solver iterate + structure fingerprint for warm-starting the next
+  /// structurally identical solve. Populated for every outcome that carries
+  /// state — including Interrupted and stalled MaxIterations iterates, so
+  /// retry loops never re-derive what the aborted solve already knew. The
+  /// dual y is in the original (unequilibrated) row space.
+  sdp::WarmStart warm;
 
   double value(const poly::LinExpr& e) const { return e.eval(decision_values); }
   poly::Polynomial value(const poly::PolyLin& p) const {

@@ -295,6 +295,65 @@ TEST(Basis, NoPruneKeepsFullRange) {
   EXPECT_EQ(full.size(), 3u);  // {1, x, y}
 }
 
+TEST(Basis, NewtonPolytopeMembership) {
+  // supp = {(0,0), (4,2), (2,4)} (Motzkin without the middle term): the
+  // half-polytope is the triangle conv{(0,0), (2,1), (1,2)}.
+  const Monomial c0(2);
+  std::vector<Monomial> supp = {c0, Monomial({4, 2}), Monomial({2, 4})};
+  EXPECT_TRUE(in_half_newton_polytope(Monomial({1, 1}), supp));   // (2,2) inside
+  EXPECT_TRUE(in_half_newton_polytope(Monomial({2, 1}), supp));   // vertex
+  EXPECT_FALSE(in_half_newton_polytope(Monomial({2, 0}), supp));  // (4,0) outside
+  EXPECT_FALSE(in_half_newton_polytope(Monomial({0, 1}), supp));  // (0,2) outside
+}
+
+TEST(Basis, NewtonPruneNeverLargerThanBoxAndExactOnMotzkin) {
+  // Motzkin: x^4 y^2 + x^2 y^4 - 3 x^2 y^2 + 1. Box prune keeps every
+  // monomial with per-variable degree <= 2 and total degree <= 3; the exact
+  // Newton prune keeps only {1, xy, x^2 y, x y^2}.
+  const Polynomial x = Polynomial::variable(2, 0);
+  const Polynomial y = Polynomial::variable(2, 1);
+  const Polynomial motzkin =
+      x.pow(4) * y.pow(2) + x.pow(2) * y.pow(4) - 3.0 * x.pow(2) * y.pow(2) + 1.0;
+  const SupportInfo info = support_info(motzkin);
+  const auto box = gram_basis(2, info, GramPrune::Box);
+  const auto newton = gram_basis(2, info, GramPrune::Newton);
+  EXPECT_LE(newton.size(), box.size());
+  ASSERT_EQ(newton.size(), 4u);
+  EXPECT_EQ(newton[0], Monomial(2));           // 1
+  EXPECT_EQ(newton[1], Monomial({1, 1}));      // xy
+  EXPECT_EQ(newton[2], Monomial({1, 2}));      // x y^2 (graded-lex order)
+  EXPECT_EQ(newton[3], Monomial({2, 1}));      // x^2 y
+  // Every Newton monomial must also survive the (weaker) box prune.
+  for (const Monomial& m : newton)
+    EXPECT_NE(std::find(box.begin(), box.end(), m), box.end());
+}
+
+TEST(Basis, DiagonalConsistencyFixpoint) {
+  // basis {1, x}, supp {x^2}: the square of 1 is matched by no support
+  // monomial and no pair, so 1 is dropped; x survives (x^2 in supp).
+  const Monomial one(1);
+  const Monomial x = Monomial::variable(1, 0);
+  const std::vector<Monomial> supp = {Monomial::variable(1, 0, 2)};
+  const auto pruned = diagonal_consistency_prune({one, x}, supp);
+  ASSERT_EQ(pruned.size(), 1u);
+  EXPECT_EQ(pruned[0], x);
+}
+
+TEST(Basis, HomogeneousQuarticNewtonBasisIsHomogeneous) {
+  // p = (x^2 + y)^2 = x^4 + 2 x^2 y + y^2: supp is collinear on x + 2y = 4,
+  // so the Newton basis is exactly {x^2, y} — the true decomposition — while
+  // the box prune would also keep x and xy.
+  const Polynomial x = Polynomial::variable(2, 0);
+  const Polynomial y = Polynomial::variable(2, 1);
+  const Polynomial p = (x * x + y) * (x * x + y);
+  const SupportInfo info = support_info(p);
+  const auto newton = gram_basis(2, info, GramPrune::Newton);
+  ASSERT_EQ(newton.size(), 2u);
+  EXPECT_EQ(newton[0], Monomial({0, 1}));  // y
+  EXPECT_EQ(newton[1], Monomial({2, 0}));  // x^2
+  EXPECT_LT(newton.size(), gram_basis(2, info, GramPrune::Box).size());
+}
+
 TEST(Basis, SupportInfoOfPolyLin) {
   PolyLin q(2);
   q.add_term(Monomial::variable(2, 0, 4), LinExpr::variable(0));
