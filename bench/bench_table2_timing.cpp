@@ -16,9 +16,12 @@
 // is what CI keys on.
 #include <cstdio>
 
+#include <algorithm>
+
 #include "bench_common.hpp"
 #include "core/escape.hpp"
 #include "poly/basis.hpp"
+#include "poly/sparsity.hpp"
 #include "util/timer.hpp"
 
 using namespace soslock;
@@ -74,7 +77,10 @@ struct LoopCost {
   int total() const { return level_iters + advect_iters + inclusion_iters; }
 };
 
-LoopCost run_incremental_loops(bool warm) {
+LoopCost run_incremental_loops(bool warm,
+                               sdp::SparsityOptions sparsity = sdp::SparsityOptions::Off,
+                               std::size_t* level_cone = nullptr,
+                               std::size_t* inclusion_cone = nullptr) {
   const pll::Params params = pll::Params::paper_third_order();
   const util::Timer timer;
   LoopCost cost;
@@ -87,6 +93,7 @@ LoopCost run_incremental_loops(bool warm) {
     const core::LyapunovResult lyap = core::LyapunovSynthesizer(lopt).synthesize(model.system);
     core::LevelSetOptions levopt;
     levopt.solver.warm_start = warm;
+    levopt.solver.sparsity = sparsity;
     const core::LevelSetResult lev =
         core::LevelSetMaximizer(levopt).maximize(model.system, lyap.certificates);
     cost.level_iters = lev.solver.iterations;
@@ -102,14 +109,18 @@ LoopCost run_incremental_loops(bool warm) {
     const core::LyapunovResult lyap = core::LyapunovSynthesizer(lopt).synthesize(model.system);
     core::LevelSetOptions levopt;
     levopt.solver.warm_start = warm;
+    levopt.solver.sparsity = sparsity;
     const core::LevelSetResult lev =
         core::LevelSetMaximizer(levopt).maximize(model.system, lyap.certificates);
+    if (level_cone != nullptr) *level_cone = lev.solver.max_cone;
 
     core::AdvectionOptions aopt = bench::pll_advection_options(3);
     aopt.solver.warm_start = warm;
+    aopt.solver.sparsity = sparsity;
     const core::AdvectionEngine engine(model.system, aopt);
     core::InclusionOptions iopt;
     iopt.solver.warm_start = warm;
+    iopt.solver.sparsity = sparsity;
     const core::InclusionChecker inclusion(iopt);
     poly::Polynomial b = bench::ellipsoid(model.system.nvars(), {5.0, 4.2, 0.9});
     sos::SolveStats advect_stats, inclusion_stats;
@@ -124,39 +135,61 @@ LoopCost run_incremental_loops(bool warm) {
     }
     cost.advect_iters = advect_stats.iterations;
     cost.inclusion_iters = inclusion_stats.iterations;
+    if (inclusion_cone != nullptr) *inclusion_cone = inclusion_stats.max_cone;
   }
   cost.seconds = timer.seconds();
   return cost;
 }
 
-/// Total Gram dimension of the joint maximize_region Lyapunov program on the
-/// pump-vertex model — the pruning regression gate (the Newton-polytope +
-/// diagonal-consistency prune lands at kPrunedGramBudget; box is larger).
-int pump_vertex_gram_total() {
+/// Gram geometry of the joint maximize_region Lyapunov program on the
+/// pump-vertex model, compiled dense or with the correlative clique split —
+/// the pruning/clique regression gates (the Newton-polytope +
+/// diagonal-consistency prune lands the dense program at kPrunedGramBudget;
+/// box is larger; the clique split must never grow a block past the dense
+/// maximum).
+struct GramGeometry {
+  int total = 0;      // sum of Gram block dimensions
+  int max_block = 0;  // largest Gram block (== largest PSD cone compiled)
+};
+
+GramGeometry pump_vertex_gram(sdp::SparsityOptions sparsity) {
   const pll::ReducedModel model = pll::make_averaged_vertices(pll::Params::paper_third_order());
   const hybrid::HybridSystem& system = model.system;
   const std::size_t nvars = system.nvars();
   const std::size_t nstates = system.nstates();
   sos::SosProgram prog(nvars);
+  sdp::SolverConfig config;
+  config.sparsity = sparsity;
+  prog.set_sparsity(config);
+  poly::MultiplierSparsity csp(nvars, sparsity != sdp::SparsityOptions::Off);
   const auto v_support = core::state_monomials(nvars, nstates, 2, 2);
   const poly::Polynomial x_norm2 = poly::squared_norm(nvars, nstates);
   std::vector<poly::PolyLin> v;
   for (std::size_t q = 0; q < system.modes().size(); ++q)
     v.push_back(prog.add_poly(v_support, "V" + std::to_string(q)));
+  // Couple every mode's data before the first multiplier basis is drawn.
+  for (std::size_t q = 0; q < system.modes().size(); ++q) {
+    csp.couple(v[q] - poly::PolyLin(1e-2 * x_norm2));
+    csp.couple(-v[q].lie_derivative(system.modes()[q].flow));
+  }
   for (std::size_t q = 0; q < system.modes().size(); ++q) {
     const auto& mode = system.modes()[q];
     poly::PolyLin pos = v[q] - poly::PolyLin(1e-2 * x_norm2);
     poly::PolyLin dec = -v[q].lie_derivative(mode.flow);
     for (std::size_t k = 0; k < mode.domain.constraints().size(); ++k) {
-      pos -= prog.add_sos_poly(2u, 0u, "p") * mode.domain.constraints()[k];
-      dec -= prog.add_sos_poly(2u, 0u, "d") * mode.domain.constraints()[k];
+      const poly::Polynomial& g = mode.domain.constraints()[k];
+      pos -= prog.add_sos_poly(csp.multiplier_basis(g, 2u), "p") * g;
+      dec -= prog.add_sos_poly(csp.multiplier_basis(g, 2u), "d") * g;
     }
     prog.add_sos_constraint(pos, "pos" + std::to_string(q));
     prog.add_sos_constraint(dec, "dec" + std::to_string(q));
   }
-  int total = 0;
-  for (const auto& g : prog.gram_blocks()) total += static_cast<int>(g.basis.size());
-  return total;
+  GramGeometry geometry;
+  for (const auto& g : prog.gram_blocks()) {
+    geometry.total += static_cast<int>(g.basis.size());
+    geometry.max_block = std::max(geometry.max_block, static_cast<int>(g.basis.size()));
+  }
+  return geometry;
 }
 
 }  // namespace
@@ -214,8 +247,12 @@ int main() {
 
   // --- incremental solve path: cold vs warm ---------------------------------
   std::printf("\n=== Incremental solves: cold vs warm (3rd-order loops) ===\n");
+  std::size_t level_cone_dense = 0, incl_cone_dense = 0;
   const LoopCost cold = run_incremental_loops(false);
-  const LoopCost warm = run_incremental_loops(true);
+  // The warm dense run doubles as the dense baseline of the clique
+  // comparison below (same configuration; only the cone telemetry is new).
+  const LoopCost warm = run_incremental_loops(true, sdp::SparsityOptions::Off,
+                                              &level_cone_dense, &incl_cone_dense);
   const double ratio =
       warm.total() > 0 ? static_cast<double>(cold.total()) / warm.total() : 0.0;
   std::printf("%-26s %10s %10s\n", "", "cold", "warm");
@@ -227,13 +264,46 @@ int main() {
               warm.total(), ratio);
   std::printf("%-26s %9.2fs %9.2fs\n", "wall", cold.seconds, warm.seconds);
 
-  // --- Gram-basis pruning gate ----------------------------------------------
-  // Newton-polytope + diagonal-consistency pruning lands the pump-vertex
-  // Lyapunov program at this total Gram dimension; the box prune is larger.
+  // --- dense vs clique: cone sizes and iterations ---------------------------
+  // The same warm-started loops with SparsityOptions::Chordal: correlative
+  // Gram clique splitting + csp-restricted multiplier bases (+ the SDP-level
+  // chordal conversion for any remaining large block). On the averaged
+  // 3rd-order model the level/inclusion programs never touch the parameter
+  // variable, so its monomials drop from every multiplier cone; the
+  // advection program couples everything (the flow's state-parameter
+  // product) and stays dense — which is the honest shape of this model.
+  std::printf("\n=== Dense vs clique (SparsityOptions::Chordal, warm loops) ===\n");
+  std::size_t level_cone_clique = 0, incl_cone_clique = 0;
+  const LoopCost& dense_loops = warm;  // measured above, identical config
+  const LoopCost clique_loops = run_incremental_loops(true, sdp::SparsityOptions::Chordal,
+                                                      &level_cone_clique, &incl_cone_clique);
+  std::printf("%-26s %10s %10s\n", "", "dense", "clique");
+  std::printf("%-26s %10zu %10zu\n", "level max cone", level_cone_dense, level_cone_clique);
+  std::printf("%-26s %10zu %10zu\n", "inclusion max cone", incl_cone_dense,
+              incl_cone_clique);
+  std::printf("%-26s %10d %10d\n", "level iters", dense_loops.level_iters,
+              clique_loops.level_iters);
+  std::printf("%-26s %10d %10d\n", "advection iters", dense_loops.advect_iters,
+              clique_loops.advect_iters);
+  std::printf("%-26s %10d %10d\n", "inclusion iters", dense_loops.inclusion_iters,
+              clique_loops.inclusion_iters);
+  std::printf("%-26s %9.2fs %9.2fs\n", "wall", dense_loops.seconds, clique_loops.seconds);
+
+  // --- Gram-basis pruning + clique gates ------------------------------------
+  // Newton-polytope + diagonal-consistency pruning lands the dense
+  // pump-vertex Lyapunov program at this total Gram dimension; the box prune
+  // is larger. The pump-vertex model couples all three states in every
+  // constraint (its csp graph is complete), so the clique split must
+  // reproduce the dense geometry exactly — its gate is "no block ever grows
+  // past the dense maximum, no monomial is duplicated".
   constexpr int kPrunedGramBudget = 112;
-  const int gram_total = pump_vertex_gram_total();
-  std::printf("\npump-vertex gram_total=%d (budget %d)\n", gram_total,
-              kPrunedGramBudget);
+  constexpr int kMaxCliqueBudget = 4;  // largest clique cone of the dense program
+  const GramGeometry dense_gram = pump_vertex_gram(sdp::SparsityOptions::Off);
+  const GramGeometry clique_gram = pump_vertex_gram(sdp::SparsityOptions::Chordal);
+  std::printf("\npump-vertex gram: dense total=%d max=%d | clique total=%d max=%d "
+              "(budgets: total %d, max clique %d)\n",
+              dense_gram.total, dense_gram.max_block, clique_gram.total,
+              clique_gram.max_block, kPrunedGramBudget, kMaxCliqueBudget);
 
   int failures = 0;
   // Current ratio is ~1.53x; the gate sits below it so cross-platform
@@ -243,9 +313,40 @@ int main() {
     std::printf("FAIL: warm starts give %.2fx < 1.35x iteration reduction\n", ratio);
     ++failures;
   }
-  if (gram_total > kPrunedGramBudget) {
+  if (dense_gram.total > kPrunedGramBudget) {
     std::printf("FAIL: gram basis regressed above the pruned baseline (%d > %d)\n",
-                gram_total, kPrunedGramBudget);
+                dense_gram.total, kPrunedGramBudget);
+    ++failures;
+  }
+  if (clique_gram.max_block > kMaxCliqueBudget) {
+    std::printf("FAIL: pump-vertex max clique cone regressed (%d > %d)\n",
+                clique_gram.max_block, kMaxCliqueBudget);
+    ++failures;
+  }
+  if (clique_gram.total > kPrunedGramBudget) {
+    std::printf("FAIL: clique split grew the pump-vertex gram total (%d > %d)\n",
+                clique_gram.total, kPrunedGramBudget);
+    ++failures;
+  }
+  // The level-program cone must genuinely shrink under the clique split (the
+  // parameter variable drops from the multiplier cones), and the clique
+  // loops must not regress wall-clock beyond CI noise.
+  if (level_cone_clique >= level_cone_dense) {
+    std::printf("FAIL: clique split did not shrink the level-program cone (%zu >= %zu)\n",
+                level_cone_clique, level_cone_dense);
+    ++failures;
+  }
+  if (incl_cone_clique > incl_cone_dense) {
+    std::printf("FAIL: clique split grew the inclusion-program cone (%zu > %zu)\n",
+                incl_cone_clique, incl_cone_dense);
+    ++failures;
+  }
+  // Generous relative + absolute slack: the loops run ~1.5s, so a tight
+  // ratio gate would trip on shared-runner load noise; a real regression
+  // (clique machinery adding solver work) blows well past 2x + 2s.
+  if (clique_loops.seconds > 2.0 * dense_loops.seconds + 2.0) {
+    std::printf("FAIL: clique loops regressed wall-clock (%.2fs vs %.2fs dense)\n",
+                clique_loops.seconds, dense_loops.seconds);
     ++failures;
   }
   return failures == 0 ? 0 : 1;

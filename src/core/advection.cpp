@@ -4,6 +4,7 @@
 
 #include "core/lyapunov.hpp"
 #include "poly/basis.hpp"
+#include "poly/sparsity.hpp"
 #include "util/log.hpp"
 
 namespace soslock::core {
@@ -52,6 +53,7 @@ AdvectionStepResult AdvectionEngine::step_with_eps(const Polynomial& b_prev, dou
 
   sos::SosProgram prog(nvars);
   prog.set_trace_regularization(options_.trace_regularization);
+  prog.set_sparsity(options_.solver);
 
   // Unknown advected polynomial over the states (constant term included).
   const std::vector<Monomial> support =
@@ -69,22 +71,31 @@ AdvectionStepResult AdvectionEngine::step_with_eps(const Polynomial& b_prev, dou
     prog.add_linear_ge(coeff + poly::LinExpr(options_.coeff_cap), "coeff cap-");
   }
 
+  poly::MultiplierSparsity csp = sos::multiplier_plan(nvars, options_.solver);
   auto add_domain_multipliers = [&](PolyLin& expr, const SemialgebraicSet& dom,
                                     const std::string& tag) {
     for (std::size_t k = 0; k < dom.constraints().size(); ++k) {
-      const PolyLin s = prog.add_sos_poly(options_.multiplier_degree, 0,
-                                          tag + ".g" + std::to_string(k));
+      const PolyLin s = prog.add_sos_poly(
+          csp.multiplier_basis(dom.constraints()[k], options_.multiplier_degree),
+          tag + ".g" + std::to_string(k));
       expr -= s * dom.constraints()[k];
     }
   };
 
+  // Advection data per mode, built up front so the csp plan couples *every*
+  // mode's target before the first multiplier basis is drawn from it
+  // (clique bases must come from the full csp graph, not an
+  // order-dependent prefix).
+  std::vector<PolyLin> tb_all, r_all;
+  tb_all.reserve(system_.modes().size());
+  r_all.reserve(system_.modes().size());
+  csp.couple(PolyLin(b_prev));
   for (std::size_t q = 0; q < system_.modes().size(); ++q) {
     const auto& mode = system_.modes()[q];
-    const std::string tag = "adv.m" + std::to_string(q);
 
     // First-order Taylor expansion of the backward advection
     // (E_{-h} b)(x) = b(Phi_h(x)) ~ b + h * grad(b)·f_q.
-    const PolyLin tb = b_next + h * b_next.lie_derivative(mode.flow);
+    PolyLin tb = b_next + h * b_next.lie_derivative(mode.flow);
 
     // Second-order term of b(Phi_h(x)):
     // R = (h^2/2) * (f' Hess(b) f + grad(b)·(Jf f)).
@@ -100,6 +111,17 @@ AdvectionStepResult AdvectionEngine::step_with_eps(const Polynomial& b_prev, dou
       if (!fi_dot.is_zero()) r += di * fi_dot;
     }
     r *= 0.5 * h * h;
+    csp.couple(tb);
+    csp.couple(r);
+    tb_all.push_back(std::move(tb));
+    r_all.push_back(std::move(r));
+  }
+
+  for (std::size_t q = 0; q < system_.modes().size(); ++q) {
+    const auto& mode = system_.modes()[q];
+    const std::string tag = "adv.m" + std::to_string(q);
+    const PolyLin& tb = tb_all[q];
+    const PolyLin& r = r_all[q];
 
     // (A) progress: on C_q x U, b_prev <= 0 => T b + gamma <= 0.
     {

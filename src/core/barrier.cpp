@@ -1,6 +1,7 @@
 #include "core/barrier.hpp"
 
 #include "core/lyapunov.hpp"
+#include "poly/sparsity.hpp"
 #include "util/log.hpp"
 
 namespace soslock::core {
@@ -13,9 +14,11 @@ using poly::PolyLin;
 namespace {
 
 void add_set_multipliers(sos::SosProgram& prog, PolyLin& expr, const SemialgebraicSet& set,
-                         unsigned degree, const std::string& tag) {
+                         unsigned degree, const std::string& tag,
+                         const poly::MultiplierSparsity& csp) {
   for (std::size_t k = 0; k < set.constraints().size(); ++k) {
-    const PolyLin sigma = prog.add_sos_poly(degree, 0, tag + std::to_string(k));
+    const PolyLin sigma = prog.add_sos_poly(
+        csp.multiplier_basis(set.constraints()[k], degree), tag + std::to_string(k));
     expr -= sigma * set.constraints()[k];
   }
 }
@@ -32,6 +35,7 @@ BarrierResult BarrierCertifier::certify(const hybrid::HybridSystem& system,
 
   sos::SosProgram prog(nvars);
   prog.set_trace_regularization(options_.trace_regularization);
+  prog.set_sparsity(options_.solver);
 
   // Barrier polynomials over the states (constant term included: the zero
   // level surface separates X0 from Xu).
@@ -45,27 +49,38 @@ BarrierResult BarrierCertifier::certify(const hybrid::HybridSystem& system,
       b.push_back(prog.add_poly(support, "B" + std::to_string(q)));
   }
 
+  // Pre-couple every mode's (and jump's) data before the first multiplier
+  // is created: clique bases must come from the full csp graph, not an
+  // order-dependent prefix of it.
+  poly::MultiplierSparsity csp = sos::multiplier_plan(nvars, options_.solver);
+  for (std::size_t q = 0; q < num_modes; ++q) {
+    csp.couple(b[q]);
+    csp.couple(-b[q].lie_derivative(system.modes()[q].flow));
+  }
+  if (!options_.common_certificate) {
+    for (const auto& jump : system.jumps()) couple_jump_reset(csp, jump, nvars, nstates);
+  }
   for (std::size_t q = 0; q < num_modes; ++q) {
     const std::string tag = "barrier.m" + std::to_string(q);
     // (i) B <= 0 on X0: -B - sigmas*g ∈ Σ.
     {
       PolyLin expr = -b[q];
-      add_set_multipliers(prog, expr, initial, options_.multiplier_degree, tag + ".x0.");
+      add_set_multipliers(prog, expr, initial, options_.multiplier_degree, tag + ".x0.", csp);
       prog.add_sos_constraint(expr, tag + ".initial");
     }
     // (ii) B >= margin on Xu: B - margin - sigmas*g ∈ Σ.
     {
       PolyLin expr = b[q] - PolyLin(Polynomial::constant(nvars, options_.unsafe_margin));
-      add_set_multipliers(prog, expr, unsafe, options_.multiplier_degree, tag + ".xu.");
+      add_set_multipliers(prog, expr, unsafe, options_.multiplier_degree, tag + ".xu.", csp);
       prog.add_sos_constraint(expr, tag + ".unsafe");
     }
     // (iii) dB/dx·f_q <= 0 on C_q x U: -LieB - sigmas*g ∈ Σ.
     {
       PolyLin expr = -b[q].lie_derivative(system.modes()[q].flow);
       add_set_multipliers(prog, expr, system.modes()[q].domain, options_.multiplier_degree,
-                          tag + ".flow.");
+                          tag + ".flow.", csp);
       add_set_multipliers(prog, expr, system.parameter_set(), options_.multiplier_degree,
-                          tag + ".u.");
+                          tag + ".u.", csp);
       prog.add_sos_constraint(expr, tag + ".decrease");
     }
   }
@@ -92,12 +107,18 @@ BarrierResult BarrierCertifier::certify(const hybrid::HybridSystem& system,
       }
       PolyLin expr = b[jump.from] - b_after;
       add_set_multipliers(prog, expr, jump.guard, options_.multiplier_degree,
-                          "barrier.j" + std::to_string(l) + ".");
+                          "barrier.j" + std::to_string(l) + ".", csp);
       prog.add_sos_constraint(expr, "barrier.jump" + std::to_string(l));
     }
   }
 
-  const sos::SolveResult solved = prog.solve(options_.solver);
+  // Repeated-structure warm start: successive certify() calls (margin or
+  // degree sweeps, per-scenario safety checks) share one compiled shape.
+  const bool reuse = options_.solver.warm_start;
+  const sos::SolveResult solved =
+      prog.solve(options_.solver, reuse && !warm_cache_.empty() ? &warm_cache_ : nullptr);
+  if (reuse && !solved.warm.empty()) warm_cache_ = solved.warm;
+  result.solver.absorb(solved);
   if (sos::solve_hard_failed(solved)) {
     result.message = "barrier SOS infeasible (" + sdp::to_string(solved.status) + ")";
     return result;

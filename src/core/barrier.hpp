@@ -27,6 +27,7 @@ struct BarrierResult {
   bool success = false;
   std::vector<poly::Polynomial> certificates;  // per mode
   sos::AuditReport audit;
+  sos::SolveStats solver;  // backend telemetry
   std::string message;
 };
 
@@ -42,6 +43,11 @@ class BarrierCertifier {
 
  private:
   BarrierOptions options_;
+  /// Iterate of the most recent solve, replayed into the next certify()
+  /// call — margin/degree sweeps re-certify one compiled shape over and
+  /// over (a mismatched blob is rejected by its fingerprint and solves
+  /// cold). Gated by options.solver.warm_start; driven sequentially.
+  mutable sdp::WarmStart warm_cache_;
 };
 
 }  // namespace soslock::core

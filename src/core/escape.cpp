@@ -1,6 +1,7 @@
 #include "core/escape.hpp"
 
 #include "core/lyapunov.hpp"
+#include "poly/sparsity.hpp"
 #include "sos/batch.hpp"
 #include "util/log.hpp"
 
@@ -15,17 +16,23 @@ using poly::PolyLin;
 namespace {
 
 /// Build and solve one escape program: E over `modes` (shared E when several
-/// modes are passed), each restricted to its own semialgebraic set.
+/// modes are passed), each restricted to its own semialgebraic set. `warm`
+/// optionally replays a structurally identical previous iterate (the
+/// per-mode programs share one shape, so mode 0 seeds the rest);
+/// `warm_out` receives this solve's exported blob.
 EscapeResult solve_escape(const hybrid::HybridSystem& system,
                           const std::vector<std::size_t>& modes,
                           const std::vector<SemialgebraicSet>& sets,
-                          const EscapeOptions& options) {
+                          const EscapeOptions& options,
+                          const sdp::WarmStart* warm = nullptr,
+                          sdp::WarmStart* warm_out = nullptr) {
   EscapeResult result;
   const std::size_t nstates = system.nstates();
   const std::size_t nvars = system.nvars();
 
   sos::SosProgram prog(nvars);
   prog.set_trace_regularization(options.trace_regularization);
+  prog.set_sparsity(options.solver);
 
   // E: states only, degrees 1..d (the constant shifts nothing).
   const PolyLin e_poly =
@@ -38,29 +45,44 @@ EscapeResult solve_escape(const hybrid::HybridSystem& system,
     prog.add_linear_ge(coeff + LinExpr(options.coeff_cap), "E cap-");
   }
 
-  for (std::size_t idx = 0; idx < modes.size(); ++idx) {
-    const std::size_t q = modes[idx];
-    const std::string tag = "esc.m" + std::to_string(q);
+  // Two-phase: couple every mode's target before the first multiplier is
+  // created, so the clique bases come from the full csp graph regardless of
+  // mode order.
+  poly::MultiplierSparsity csp = sos::multiplier_plan(nvars, options.solver);
+  std::vector<PolyLin> exprs;
+  exprs.reserve(modes.size());
+  for (const std::size_t q : modes) {
     // -dE/dx·f_q - rho - sum sigma*g ∈ Σ on the set.
     PolyLin expr = -e_poly.lie_derivative(system.modes()[q].flow);
     PolyLin rho_term(nvars);
     rho_term.add_term(Monomial(nvars), rho);
     expr -= rho_term;
+    csp.couple(expr);
+    exprs.push_back(std::move(expr));
+  }
+  for (std::size_t idx = 0; idx < modes.size(); ++idx) {
+    const std::size_t q = modes[idx];
+    const std::string tag = "esc.m" + std::to_string(q);
+    PolyLin expr = std::move(exprs[idx]);
     for (std::size_t k = 0; k < sets[idx].constraints().size(); ++k) {
-      const PolyLin s = prog.add_sos_poly(options.multiplier_degree, 0,
-                                          tag + ".g" + std::to_string(k));
+      const PolyLin s = prog.add_sos_poly(
+          csp.multiplier_basis(sets[idx].constraints()[k], options.multiplier_degree),
+          tag + ".g" + std::to_string(k));
       expr -= s * sets[idx].constraints()[k];
     }
     for (std::size_t k = 0; k < system.parameter_set().constraints().size(); ++k) {
-      const PolyLin s = prog.add_sos_poly(options.multiplier_degree, 0,
-                                          tag + ".u" + std::to_string(k));
+      const PolyLin s = prog.add_sos_poly(
+          csp.multiplier_basis(system.parameter_set().constraints()[k],
+                               options.multiplier_degree),
+          tag + ".u" + std::to_string(k));
       expr -= s * system.parameter_set().constraints()[k];
     }
     prog.add_sos_constraint(expr, tag + ".escape");
   }
 
   prog.maximize(rho);
-  const sos::SolveResult solved = prog.solve(options.solver);
+  const sos::SolveResult solved = prog.solve(options.solver, warm);
+  if (warm_out != nullptr && !solved.warm.empty()) *warm_out = solved.warm;
   result.solver.absorb(solved);
   if (sos::solve_hard_failed(solved)) {
     result.message = "escape SOS infeasible (" + sdp::to_string(solved.status) + ")";
@@ -109,13 +131,35 @@ EscapeResult EscapeCertifier::certify(const hybrid::HybridSystem& system,
 
   // Independent certificate per mode (mirrors the paper's "2 certificates");
   // the per-mode programs are independent SDPs, solved on the batch pool
-  // (modes after the first failure are skipped).
+  // (modes after the first failure are skipped). With warm starts on, mode 0
+  // solves first and its iterate seeds the remaining modes — the per-mode
+  // programs are structurally identical whenever the mode sets have the same
+  // shape (a mismatch is rejected by the blob's fingerprint and solves cold).
   std::vector<EscapeResult> per_mode(modes.size());
   const sos::BatchSolver batch(options_.threads);
-  const std::size_t failed = batch.run_all_until_failure(modes.size(), [&](std::size_t idx) {
-    per_mode[idx] = solve_escape(system, {modes[idx]}, {sets[idx]}, options_);
-    return per_mode[idx].success;
-  });
+  const bool reuse = options_.solver.warm_start && modes.size() > 1;
+  std::size_t failed = modes.size();
+  if (reuse) {
+    sdp::WarmStart seed;
+    per_mode[0] = solve_escape(system, {modes[0]}, {sets[0]}, options_, nullptr, &seed);
+    if (!per_mode[0].success) {
+      failed = 0;
+    } else {
+      const std::size_t rest =
+          batch.run_all_until_failure(modes.size() - 1, [&](std::size_t i) {
+            const std::size_t idx = i + 1;
+            per_mode[idx] = solve_escape(system, {modes[idx]}, {sets[idx]}, options_,
+                                         seed.empty() ? nullptr : &seed);
+            return per_mode[idx].success;
+          });
+      if (rest < modes.size() - 1) failed = rest + 1;
+    }
+  } else {
+    failed = batch.run_all_until_failure(modes.size(), [&](std::size_t idx) {
+      per_mode[idx] = solve_escape(system, {modes[idx]}, {sets[idx]}, options_);
+      return per_mode[idx].success;
+    });
+  }
 
   EscapeResult combined;
   for (const EscapeResult& one : per_mode) {

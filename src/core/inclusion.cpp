@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "poly/sparsity.hpp"
 #include "util/log.hpp"
 
 namespace soslock::core {
@@ -36,14 +37,24 @@ InclusionResult InclusionChecker::subset_on(const Polynomial& b1, const Polynomi
 
   sos::SosProgram prog(nvars);
   prog.set_trace_regularization(options_.trace_regularization);
+  prog.set_sparsity(options_.solver);
 
-  // sigma * b1 - b2 - sum sigma_k g_k ∈ Σ on the domain.
-  const PolyLin sigma = prog.add_sos_poly(options_.multiplier_degree, 0, "incl.sigma");
+  // sigma * b1 - b2 - sum sigma_k g_k ∈ Σ on the domain. The multiplier
+  // bases are restricted to the csp cliques of the (scaled) set data; the
+  // inclusion sets live on the states, so parameter monomials drop out of
+  // every multiplier (lossless — the data never couples them).
+  poly::MultiplierSparsity csp = sos::multiplier_plan(nvars, options_.solver);
+  csp.couple(b1s);
+  csp.couple(b2s);
+  const PolyLin sigma = prog.add_sos_poly(
+      csp.multiplier_basis(b1s, options_.multiplier_degree), "incl.sigma");
   PolyLin expr = sigma * b1s - PolyLin(b2s);
   for (std::size_t k = 0; k < domain.constraints().size(); ++k) {
-    const PolyLin sg = prog.add_sos_poly(options_.multiplier_degree, 0,
-                                         "incl.dom" + std::to_string(k));
-    expr -= sg * domain.constraints()[k].substitute(scale_map);
+    const Polynomial gk = domain.constraints()[k].substitute(scale_map);
+    const PolyLin sg = prog.add_sos_poly(
+        csp.multiplier_basis(gk, options_.multiplier_degree),
+        "incl.dom" + std::to_string(k));
+    expr -= sg * gk;
   }
   prog.add_sos_constraint(expr, "incl");
 

@@ -1,5 +1,6 @@
 #include "core/level_set.hpp"
 
+#include "poly/sparsity.hpp"
 #include "sos/batch.hpp"
 #include "sos/checker.hpp"
 
@@ -52,14 +53,21 @@ LevelSetResult LevelSetMaximizer::maximize_one(const Polynomial& v,
     domain_scaled.add_constraint(g.substitute(scale_map));
 
   sos::SosProgram prog(nvars);
+  prog.set_sparsity(options_.solver);
 
   const LinExpr c = prog.add_scalar("c");
   prog.add_linear_ge(c, "c >= 0");
   prog.add_linear_ge(LinExpr(options_.level_cap) - c, "c cap");
 
+  // Multiplier bases restricted to the csp clique of V's variables: the
+  // level program never touches the parameters, so their monomials are dead
+  // weight in every dense multiplier (a provably lossless restriction).
+  poly::MultiplierSparsity csp = sos::multiplier_plan(nvars, options_.solver);
+  csp.couple(v_scaled);
+
   for (std::size_t k = 0; k < domain_scaled.constraints().size(); ++k) {
     const Polynomial& g = domain_scaled.constraints()[k];
-    const PolyLin sigma = prog.add_sos_poly(options_.multiplier_degree, 0,
+    const PolyLin sigma = prog.add_sos_poly(csp.multiplier_basis(g, options_.multiplier_degree),
                                             "lvl.sigma" + std::to_string(k));
     // V - c + sigma * g ∈ Σ  (Lemma 1 with unit multiplier on V - c).
     PolyLin expr = PolyLin(v_scaled);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "poly/basis.hpp"
+#include "poly/sparsity.hpp"
 #include "sos/batch.hpp"
 #include "util/log.hpp"
 
@@ -29,27 +30,44 @@ std::vector<Monomial> state_monomials(std::size_t nvars, std::size_t nstates, un
   return out;
 }
 
+void couple_jump_reset(poly::MultiplierSparsity& csp, const Jump& jump,
+                       std::size_t nvars, std::size_t nstates) {
+  if (jump.from == jump.to || jump.is_identity_reset()) return;
+  Monomial coupled(nvars);
+  for (std::size_t i = 0; i < nstates; ++i) coupled.set_exponent(i, 1);
+  for (std::size_t i = 0; i < nstates; ++i) {
+    for (const auto& [m, c] : jump.reset[i].terms()) {
+      for (std::size_t var = 0; var < nvars; ++var) {
+        if (m.exponent(var) > 0) coupled.set_exponent(var, 1);
+      }
+    }
+  }
+  csp.couple(std::vector<Monomial>{coupled});
+}
+
 namespace {
 
 /// Add S-procedure multipliers for every constraint of `set`, subtracting
-/// sigma_k * g_k from `expr`. Multiplier Gram bases run over the listed
-/// variable support.
+/// sigma_k * g_k from `expr`. With sparsity enabled, each multiplier's Gram
+/// basis is restricted to the csp clique covering vars(g_k) (see
+/// poly::MultiplierSparsity); otherwise it runs over all variables.
 void subtract_multipliers(sos::SosProgram& prog, PolyLin& expr,
                           const hybrid::SemialgebraicSet& set, unsigned multiplier_degree,
-                          const std::string& label) {
+                          const std::string& label, const poly::MultiplierSparsity& csp) {
   for (std::size_t k = 0; k < set.constraints().size(); ++k) {
     const Polynomial& g = set.constraints()[k];
-    const PolyLin sigma =
-        prog.add_sos_poly(multiplier_degree, 0, label + ".sigma" + std::to_string(k));
+    const PolyLin sigma = prog.add_sos_poly(csp.multiplier_basis(g, multiplier_degree),
+                                            label + ".sigma" + std::to_string(k));
     expr -= sigma * g;
   }
 }
+
 
 /// Conditions (a) positivity and (b) flow decrease for one mode; shared by
 /// the joint and the decoupled (mode-parallel) synthesis paths.
 void add_mode_conditions(sos::SosProgram& prog, const PolyLin& v_q, const HybridSystem& system,
                          std::size_t q, const LyapunovOptions& options,
-                         const Polynomial& x_norm2) {
+                         const Polynomial& x_norm2, poly::MultiplierSparsity& csp) {
   const Mode& mode = system.modes()[q];
   const std::string tag = "mode" + std::to_string(q);
   const unsigned deg_sigma = options.multiplier_degree;
@@ -57,7 +75,8 @@ void add_mode_conditions(sos::SosProgram& prog, const PolyLin& v_q, const Hybrid
   // (a) positivity: V_q - eps*|x|^2 - sum sigma*g ∈ Σ on C_q.
   {
     PolyLin expr = v_q - PolyLin(options.positivity_margin * x_norm2);
-    subtract_multipliers(prog, expr, mode.domain, deg_sigma, tag + ".pos");
+    csp.couple(expr);
+    subtract_multipliers(prog, expr, mode.domain, deg_sigma, tag + ".pos", csp);
     prog.add_sos_constraint(expr, tag + ".positivity");
   }
 
@@ -67,14 +86,15 @@ void add_mode_conditions(sos::SosProgram& prog, const PolyLin& v_q, const Hybrid
     if (options.flow_decrease == FlowDecrease::Strict) {
       expr -= PolyLin(options.strict_margin * x_norm2);
     }
-    subtract_multipliers(prog, expr, mode.domain, deg_sigma, tag + ".flow");
-    subtract_multipliers(prog, expr, system.parameter_set(), deg_sigma, tag + ".flowu");
+    csp.couple(expr);
+    subtract_multipliers(prog, expr, mode.domain, deg_sigma, tag + ".flow", csp);
+    subtract_multipliers(prog, expr, system.parameter_set(), deg_sigma, tag + ".flowu", csp);
     if (options.exclude_ball_radius > 0.0) {
       // Decrease required only on {||x||^2 >= r^2}.
       const double r2 = options.exclude_ball_radius * options.exclude_ball_radius;
       hybrid::SemialgebraicSet outside(prog.nvars());
       outside.add_constraint(x_norm2 - r2);
-      subtract_multipliers(prog, expr, outside, deg_sigma, tag + ".ball");
+      subtract_multipliers(prog, expr, outside, deg_sigma, tag + ".ball", csp);
     }
     prog.add_sos_constraint(expr, tag + ".decrease");
   }
@@ -144,6 +164,7 @@ LyapunovResult LyapunovSynthesizer::synthesize_joint(const HybridSystem& system)
 
   sos::SosProgram prog(nvars);
   prog.set_trace_regularization(options_.trace_regularization);
+  prog.set_sparsity(options_.solver);
 
   // Unknown certificates: monomials of degree 2..deg_v in the states only
   // (V(0) = 0 by construction; no linear terms so the origin can be a local
@@ -161,8 +182,20 @@ LyapunovResult LyapunovSynthesizer::synthesize_joint(const HybridSystem& system)
 
   const Polynomial x_norm2 = poly::squared_norm(nvars, nstates);
 
+  // Pre-couple the data of *every* mode and jump before the first
+  // multiplier is created: clique bases must come from the full csp graph,
+  // not the prefix built so far (an order-dependent under-coupled basis
+  // would be a stricter restriction than the Waki relaxation intends).
+  poly::MultiplierSparsity csp = sos::multiplier_plan(nvars, options_.solver);
+  for (std::size_t q = 0; q < num_modes; ++q) {
+    csp.couple(v[q] - PolyLin(options_.positivity_margin * x_norm2));
+    csp.couple(-v[q].lie_derivative(system.modes()[q].flow));
+  }
+  if (!options_.common_certificate) {
+    for (const Jump& jump : system.jumps()) couple_jump_reset(csp, jump, nvars, nstates);
+  }
   for (std::size_t q = 0; q < num_modes; ++q)
-    add_mode_conditions(prog, v[q], system, q, options_, x_norm2);
+    add_mode_conditions(prog, v[q], system, q, options_, x_norm2, csp);
 
   // (c) jumps: V_to(R(x)) - V_from(x) <= -jump_margin on each guard.
   if (!options_.common_certificate) {
@@ -193,7 +226,8 @@ LyapunovResult LyapunovSynthesizer::synthesize_joint(const HybridSystem& system)
         expr -= PolyLin(options_.jump_margin * x_norm2);
       }
       const std::string tag = "jump" + std::to_string(l);
-      subtract_multipliers(prog, expr, jump.guard, deg_sigma, tag);
+      csp.couple(expr);
+      subtract_multipliers(prog, expr, jump.guard, deg_sigma, tag, csp);
       prog.add_sos_constraint(expr, tag + ".nonincrease");
     }
   }
@@ -260,8 +294,15 @@ LyapunovResult LyapunovSynthesizer::synthesize_decoupled(const HybridSystem& sys
   for (std::size_t q = 0; q < num_modes; ++q) {
     progs.emplace_back(nvars);
     progs[q].set_trace_regularization(options_.trace_regularization);
+    progs[q].set_sparsity(options_.solver);
     v.push_back(progs[q].add_poly(v_support, "V" + std::to_string(q)));
-    add_mode_conditions(progs[q], v[q], system, q, options_, x_norm2);
+    // Pre-couple both of the mode's targets before the first multiplier is
+    // drawn (same invariant as the joint path: clique bases come from the
+    // full per-program csp graph, not an order-dependent prefix).
+    poly::MultiplierSparsity csp = sos::multiplier_plan(nvars, options_.solver);
+    csp.couple(v[q] - PolyLin(options_.positivity_margin * x_norm2));
+    csp.couple(-v[q].lie_derivative(system.modes()[q].flow));
+    add_mode_conditions(progs[q], v[q], system, q, options_, x_norm2, csp);
     if (options_.maximize_region)
       progs[q].minimize(mode_moment_objective(v[q], box, nstates));
   }
@@ -323,9 +364,12 @@ LyapunovResult LyapunovSynthesizer::synthesize_decoupled(const HybridSystem& sys
 
     sos::SosProgram check(nvars);
     check.set_trace_regularization(options_.trace_regularization);
+    check.set_sparsity(options_.solver);
     PolyLin expr(target);
+    poly::MultiplierSparsity jump_csp = sos::multiplier_plan(nvars, options_.solver);
+    jump_csp.couple(expr);
     subtract_multipliers(check, expr, jump.guard, options_.multiplier_degree,
-                         "jumpcheck" + std::to_string(l));
+                         "jumpcheck" + std::to_string(l), jump_csp);
     check.add_sos_constraint(expr, "jumpcheck" + std::to_string(l) + ".nonincrease");
     const bool reuse = options_.solver.warm_start;
     const sos::SolveResult solved =

@@ -87,4 +87,13 @@ class LyapunovSynthesizer {
 std::vector<poly::Monomial> state_monomials(std::size_t nvars, std::size_t nstates,
                                             unsigned max_deg, unsigned min_deg);
 
+/// Couple the variables a jump's reset map entangles into a csp multiplier
+/// plan: a certificate composed with the reset couples, within one monomial,
+/// the union of every reset component's variables plus the states —
+/// over-approximated soundly by a single monomial over all of them.
+/// Identity resets add nothing. Shared by the Lyapunov and barrier
+/// certifiers (both pre-couple every jump before drawing multiplier bases).
+void couple_jump_reset(poly::MultiplierSparsity& csp, const hybrid::Jump& jump,
+                       std::size_t nvars, std::size_t nstates);
+
 }  // namespace soslock::core

@@ -53,6 +53,17 @@ struct PipelineOptions {
     level.threads = threads;
     escape.threads = threads;
   }
+
+  /// Sparsity exploitation of every SOS query in the pipeline: Correlative
+  /// splits Gram bases along csp-graph cliques, Chordal additionally
+  /// decomposes remaining large PSD blocks at the SDP level (sdp/chordal).
+  void use_sparsity(sdp::SparsityOptions sparsity) {
+    lyapunov.solver.sparsity = sparsity;
+    level.solver.sparsity = sparsity;
+    advection.solver.sparsity = sparsity;
+    escape.solver.sparsity = sparsity;
+    inclusion.solver.sparsity = sparsity;
+  }
 };
 
 struct PipelineReport {

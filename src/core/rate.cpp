@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "poly/sparsity.hpp"
 #include "util/log.hpp"
 
 namespace soslock::core {
@@ -15,9 +16,11 @@ using poly::PolyLin;
 namespace {
 
 void add_set_multipliers(sos::SosProgram& prog, PolyLin& expr, const SemialgebraicSet& set,
-                         unsigned degree, const std::string& tag) {
+                         unsigned degree, const std::string& tag,
+                         const poly::MultiplierSparsity& csp) {
   for (std::size_t k = 0; k < set.constraints().size(); ++k) {
-    const PolyLin sigma = prog.add_sos_poly(degree, 0, tag + std::to_string(k));
+    const PolyLin sigma = prog.add_sos_poly(
+        csp.multiplier_basis(set.constraints()[k], degree), tag + std::to_string(k));
     expr -= sigma * set.constraints()[k];
   }
 }
@@ -27,13 +30,16 @@ void add_set_multipliers(sos::SosProgram& prog, PolyLin& expr, const Semialgebra
 struct ScalarBound {
   bool success = false;
   double value = 0.0;
+  sos::SolveStats solver;
 };
 
 /// maximize t s.t. v - t*|x|^2 - sigmas*g ∈ Σ      (lower quadratic bound)
 ScalarBound quadratic_lower(const hybrid::HybridSystem& system, std::size_t q,
-                            const Polynomial& v, const RateOptions& options) {
+                            const Polynomial& v, const RateOptions& options,
+                            const sdp::WarmStart* warm, sdp::WarmStart* warm_out) {
   sos::SosProgram prog(system.nvars());
   prog.set_trace_regularization(options.trace_regularization);
+  prog.set_sparsity(options.solver);
   const LinExpr t = prog.add_scalar("m");
   prog.add_linear_ge(t, "m >= 0");
   prog.add_linear_ge(LinExpr(options.alpha_cap) - t, "m cap");
@@ -42,11 +48,16 @@ ScalarBound quadratic_lower(const hybrid::HybridSystem& system, std::size_t q,
   const Polynomial n2 = poly::squared_norm(system.nvars(), system.nstates());
   for (const auto& [m, c] : n2.terms()) tn.add_term(m, c * t);
   expr -= tn;
-  add_set_multipliers(prog, expr, system.modes()[q].domain, options.multiplier_degree, "ql");
+  poly::MultiplierSparsity csp = sos::multiplier_plan(system.nvars(), options.solver);
+  csp.couple(expr);
+  add_set_multipliers(prog, expr, system.modes()[q].domain, options.multiplier_degree, "ql",
+                      csp);
   prog.add_sos_constraint(expr, "quadratic lower");
   prog.maximize(t);
-  const sos::SolveResult r = prog.solve(options.solver);
+  const sos::SolveResult r = prog.solve(options.solver, warm);
+  if (warm_out != nullptr && !r.warm.empty()) *warm_out = r.warm;
   ScalarBound out;
+  out.solver.absorb(r);
   if (!r.feasible || !sos::audit(prog, r).ok) return out;
   out.success = true;
   out.value = r.value(t);
@@ -55,9 +66,11 @@ ScalarBound quadratic_lower(const hybrid::HybridSystem& system, std::size_t q,
 
 /// minimize T s.t. T*|x|^2 - v - sigmas*g ∈ Σ      (upper quadratic bound)
 ScalarBound quadratic_upper(const hybrid::HybridSystem& system, std::size_t q,
-                            const Polynomial& v, const RateOptions& options) {
+                            const Polynomial& v, const RateOptions& options,
+                            const sdp::WarmStart* warm, sdp::WarmStart* warm_out) {
   sos::SosProgram prog(system.nvars());
   prog.set_trace_regularization(options.trace_regularization);
+  prog.set_sparsity(options.solver);
   const LinExpr t = prog.add_scalar("M");
   prog.add_linear_ge(t, "M >= 0");
   prog.add_linear_ge(LinExpr(1e6) - t, "M cap");
@@ -66,11 +79,16 @@ ScalarBound quadratic_upper(const hybrid::HybridSystem& system, std::size_t q,
   const Polynomial n2 = poly::squared_norm(system.nvars(), system.nstates());
   for (const auto& [m, c] : n2.terms()) tn.add_term(m, c * t);
   expr += tn;
-  add_set_multipliers(prog, expr, system.modes()[q].domain, options.multiplier_degree, "qu");
+  poly::MultiplierSparsity csp = sos::multiplier_plan(system.nvars(), options.solver);
+  csp.couple(expr);
+  add_set_multipliers(prog, expr, system.modes()[q].domain, options.multiplier_degree, "qu",
+                      csp);
   prog.add_sos_constraint(expr, "quadratic upper");
   prog.minimize(t);
-  const sos::SolveResult r = prog.solve(options.solver);
+  const sos::SolveResult r = prog.solve(options.solver, warm);
+  if (warm_out != nullptr && !r.warm.empty()) *warm_out = r.warm;
   ScalarBound out;
+  out.solver.absorb(r);
   if (!r.feasible || !sos::audit(prog, r).ok) return out;
   out.success = true;
   out.value = r.value(t);
@@ -99,6 +117,7 @@ RateResult RateCertifier::certify(const hybrid::HybridSystem& system, std::size_
   // alpha enters -V̇ - alpha*V affinely since V is numeric here.
   sos::SosProgram prog(system.nvars());
   prog.set_trace_regularization(options_.trace_regularization);
+  prog.set_sparsity(options_.solver);
   const LinExpr alpha = prog.add_scalar("alpha");
   prog.add_linear_ge(alpha, "alpha >= 0");
   prog.add_linear_ge(LinExpr(options_.alpha_cap) - alpha, "alpha cap");
@@ -107,14 +126,23 @@ RateResult RateCertifier::certify(const hybrid::HybridSystem& system, std::size_
   PolyLin alpha_v(system.nvars());
   for (const auto& [m, c] : v.terms()) alpha_v.add_term(m, c * alpha);
   expr -= alpha_v;
+  poly::MultiplierSparsity csp = sos::multiplier_plan(system.nvars(), options_.solver);
+  csp.couple(expr);
   add_set_multipliers(prog, expr, system.modes()[q].domain, options_.multiplier_degree,
-                      "rate.dom");
+                      "rate.dom", csp);
   add_set_multipliers(prog, expr, system.parameter_set(), options_.multiplier_degree,
-                      "rate.u");
+                      "rate.u", csp);
   prog.add_sos_constraint(expr, "rate");
   prog.maximize(alpha);
 
-  const sos::SolveResult solved = prog.solve(options_.solver);
+  // Repeated-structure warm start: per-mode rate certifications share one
+  // compiled shape, so each solve replays the previous iterate (the blob's
+  // fingerprint rejects it when the shape drifted).
+  const bool reuse = options_.solver.warm_start;
+  const sos::SolveResult solved =
+      prog.solve(options_.solver, reuse && !rate_warm_.empty() ? &rate_warm_ : nullptr);
+  if (reuse && !solved.warm.empty()) rate_warm_ = solved.warm;
+  result.solver.absorb(solved);
   if (sos::solve_hard_failed(solved)) {
     result.message = "rate SOS infeasible (" + sdp::to_string(solved.status) + ")";
     return result;
@@ -127,8 +155,20 @@ RateResult RateCertifier::certify(const hybrid::HybridSystem& system, std::size_
   result.alpha = solved.value(alpha);
   result.success = result.alpha > 0.0;
 
-  const ScalarBound lower = quadratic_lower(system, q, v, options_);
-  const ScalarBound upper = quadratic_upper(system, q, v, options_);
+  const ScalarBound lower =
+      quadratic_lower(system, q, v, options_,
+                      reuse && !lower_warm_.empty() ? &lower_warm_ : nullptr,
+                      reuse ? &lower_warm_ : nullptr);
+  // The upper envelope shares the lower's compiled *structure* but runs the
+  // opposite objective, so the lower's optimum is the worst possible seed
+  // for it (the fingerprint cannot tell them apart — it hashes structure,
+  // not objective values). Each family therefore keeps its own cache.
+  const ScalarBound upper =
+      quadratic_upper(system, q, v, options_,
+                      reuse && !upper_warm_.empty() ? &upper_warm_ : nullptr,
+                      reuse ? &upper_warm_ : nullptr);
+  result.solver.merge(lower.solver);
+  result.solver.merge(upper.solver);
   if (lower.success) result.lower_quadratic = lower.value;
   if (upper.success) result.upper_quadratic = upper.value;
   util::log_info("rate: alpha=", result.alpha, " m=", result.lower_quadratic,

@@ -30,6 +30,7 @@ struct RateResult {
   double lower_quadratic = 0.0;   // m
   double upper_quadratic = 0.0;   // M
   sos::AuditReport audit;
+  sos::SolveStats solver;          // backend telemetry (all three programs)
   std::string message;
 
   /// Upper bound on the time for ||x|| to fall below `radius` starting from
@@ -47,6 +48,12 @@ class RateCertifier {
 
  private:
   RateOptions options_;
+  /// Iterates of the most recent rate / quadratic-envelope solves, replayed
+  /// into the next certify() call (per-mode certification loops share one
+  /// compiled shape per program family; a mismatched blob is rejected by its
+  /// fingerprint and solves cold). Gated by options.solver.warm_start; the
+  /// certifier is driven sequentially, so no synchronization is needed.
+  mutable sdp::WarmStart rate_warm_, lower_warm_, upper_warm_;
 };
 
 }  // namespace soslock::core

@@ -1,0 +1,203 @@
+#include "poly/sparsity.hpp"
+
+#include <algorithm>
+
+namespace soslock::poly {
+
+std::size_t GramCliqueSplit::max_basis_size() const {
+  std::size_t mx = 0;
+  for (const auto& b : bases) mx = std::max(mx, b.size());
+  return mx;
+}
+
+namespace {
+
+/// Mark the pairwise co-occurrence edges of one monomial; returns whether
+/// any bit actually flipped (callers use that to keep clique caches valid).
+bool mark_cooccurrence(util::Adjacency& adj, const Monomial& m, std::size_t nvars) {
+  bool changed = false;
+  for (std::size_t a = 0; a < nvars; ++a) {
+    if (m.exponent(a) == 0) continue;
+    for (std::size_t b = a + 1; b < nvars; ++b) {
+      if (m.exponent(b) == 0 || adj[a][b]) continue;
+      adj[a][b] = true;
+      adj[b][a] = true;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+util::Adjacency correlative_adjacency(std::size_t nvars,
+                                      const std::vector<Monomial>& support) {
+  util::Adjacency adj(nvars, std::vector<bool>(nvars, false));
+  for (const Monomial& m : support) mark_cooccurrence(adj, m, nvars);
+  return adj;
+}
+
+GramCliqueSplit split_gram_basis(std::size_t nvars, const SupportInfo& info,
+                                 GramPrune prune) {
+  return split_gram_basis(nvars, info, gram_basis(nvars, info, prune));
+}
+
+GramCliqueSplit split_gram_basis(std::size_t nvars, const SupportInfo& info,
+                                 std::vector<Monomial> dense) {
+  GramCliqueSplit split;
+  split.dense_size = dense.size();
+  if (dense.empty()) return split;
+  if (info.support.empty()) {
+    // No exact support (degree-window-only SupportInfo): no csp graph to
+    // exploit, keep the dense block.
+    split.cliques.push_back({});
+    split.bases.push_back(std::move(dense));
+    return split;
+  }
+
+  // Cliques over the *active* variables only; inactive ones would surface as
+  // singleton cliques whose basis is pure redundancy (only the constant
+  // monomial could land there, and it lands in every clique anyway).
+  std::vector<std::size_t> active;
+  std::vector<bool> is_active(nvars, false);
+  for (const Monomial& m : info.support) {
+    for (std::size_t v = 0; v < nvars; ++v) {
+      if (m.exponent(v) > 0 && !is_active[v]) {
+        is_active[v] = true;
+        active.push_back(v);
+      }
+    }
+  }
+  std::sort(active.begin(), active.end());
+  if (active.empty()) {
+    split.cliques.push_back({});
+    split.bases.push_back(std::move(dense));
+    return split;
+  }
+
+  const util::Adjacency full = correlative_adjacency(nvars, info.support);
+  util::Adjacency sub(active.size(), std::vector<bool>(active.size(), false));
+  for (std::size_t a = 0; a < active.size(); ++a)
+    for (std::size_t b = 0; b < active.size(); ++b) sub[a][b] = full[active[a]][active[b]];
+  const util::CliqueForest forest = util::chordal_cliques(active.size(), sub);
+
+  std::vector<std::vector<std::size_t>> cliques;
+  cliques.reserve(forest.cliques.size());
+  for (const auto& c : forest.cliques) {
+    std::vector<std::size_t> vars;
+    vars.reserve(c.size());
+    for (const std::size_t local : c) vars.push_back(active[local]);
+    std::sort(vars.begin(), vars.end());
+    cliques.push_back(std::move(vars));
+  }
+
+  // Assign each dense basis monomial to every clique containing its variable
+  // set (a monomial over a clique intersection belongs to all of them — the
+  // standard Waki split; restricting shared monomials to one clique would cut
+  // representations the sparse relaxation is entitled to).
+  std::vector<std::vector<Monomial>> bases(cliques.size());
+  for (const Monomial& m : dense) {
+    bool covered = false;
+    for (std::size_t k = 0; k < cliques.size(); ++k) {
+      bool inside = true;
+      for (std::size_t v = 0; v < nvars && inside; ++v) {
+        if (m.exponent(v) > 0 &&
+            !std::binary_search(cliques[k].begin(), cliques[k].end(), v)) {
+          inside = false;
+        }
+      }
+      if (inside) {
+        bases[k].push_back(m);
+        covered = true;
+      }
+    }
+    if (!covered) ++split.dropped;
+  }
+
+  for (std::size_t k = 0; k < cliques.size(); ++k) {
+    if (bases[k].empty()) continue;
+    split.cliques.push_back(std::move(cliques[k]));
+    split.bases.push_back(std::move(bases[k]));
+  }
+  if (split.bases.empty()) {
+    // Everything was cross-clique (cannot happen with a sound chordal cover,
+    // but stay safe): fall back to the dense block.
+    split.dropped = 0;
+    split.cliques.assign(1, {});
+    split.bases.assign(1, std::move(dense));
+  }
+  return split;
+}
+
+MultiplierSparsity::MultiplierSparsity(std::size_t nvars, bool enabled)
+    : nvars_(nvars), enabled_(enabled) {
+  if (enabled_) adj_.assign(nvars, std::vector<bool>(nvars, false));
+}
+
+void MultiplierSparsity::couple(const std::vector<Monomial>& support) {
+  if (!enabled_) return;
+  // Only invalidate the lazily-built clique cache when an edge actually
+  // flipped — re-coupling already-known data (the certifiers couple per
+  // constraint) must not force an O(n^3) chordal recomputation each time.
+  for (const Monomial& m : support) {
+    if (mark_cooccurrence(adj_, m, nvars_)) finalized_ = false;
+  }
+}
+
+void MultiplierSparsity::couple(const Polynomial& p) { couple(support_info(p).support); }
+
+void MultiplierSparsity::couple(const PolyLin& p) { couple(support_info(p).support); }
+
+void MultiplierSparsity::finalize() const {
+  if (finalized_) return;
+  // Cliques over *all* variables: data-inactive ones surface as singleton
+  // cliques, which is what lets a parameter-only constraint get a univariate
+  // multiplier.
+  const util::CliqueForest forest = util::chordal_cliques(nvars_, adj_);
+  cliques_ = forest.cliques;
+  std::stable_sort(cliques_.begin(), cliques_.end(),
+                   [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  finalized_ = true;
+}
+
+std::vector<Monomial> MultiplierSparsity::multiplier_basis(const Polynomial& g,
+                                                           unsigned max_deg) const {
+  const unsigned half = max_deg / 2;
+  if (!enabled_) return monomials_up_to(nvars_, half, 0);
+  std::vector<std::size_t> vars;
+  for (std::size_t v = 0; v < nvars_; ++v) {
+    for (const auto& [m, c] : g.terms()) {
+      if (m.exponent(v) > 0) {
+        vars.push_back(v);
+        break;
+      }
+    }
+  }
+  if (vars.empty()) return monomials_up_to(nvars_, half, 0);
+  finalize();
+  for (const auto& clique : cliques_) {
+    bool covered = true;
+    for (const std::size_t v : vars) {
+      if (!std::binary_search(clique.begin(), clique.end(), v)) {
+        covered = false;
+        break;
+      }
+    }
+    if (!covered) continue;
+    // Monomials over the clique variables only, remapped to full width.
+    const std::vector<Monomial> local = monomials_up_to(clique.size(), half, 0);
+    std::vector<Monomial> out;
+    out.reserve(local.size());
+    for (const Monomial& lm : local) {
+      Monomial m(nvars_);
+      for (std::size_t a = 0; a < clique.size(); ++a)
+        m.set_exponent(clique[a], lm.exponent(a));
+      out.push_back(std::move(m));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  return monomials_up_to(nvars_, half, 0);
+}
+
+}  // namespace soslock::poly

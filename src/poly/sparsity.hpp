@@ -1,0 +1,94 @@
+#pragma once
+// Correlative sparsity for Gram (SOS) parametrizations (Waki et al., sparse
+// SOS relaxations). The csp graph of a constraint's support couples two
+// indeterminates iff they co-occur in some support monomial; a chordal
+// extension of that graph yields variable cliques, and the dense Gram basis
+// splits into per-clique bases
+//
+//   basis_k = { m in dense basis : vars(m) ⊆ C_k },
+//
+// replacing the single dense Gram block by one block per clique with
+//   p = sum_k basis_k' G_k basis_k.
+//
+// This is a sound restriction of the dense SOS test: any solution gives a
+// dense PSD Gram by scatter-summing the clique Grams (Agler), so certificate
+// auditing is unchanged. Dense monomials covered by no clique are dropped —
+// exactly the sparse-relaxation restriction; the split composes with the
+// Newton-polytope prune, which shrinks the dense basis first.
+#include <cstddef>
+#include <vector>
+
+#include "poly/basis.hpp"
+#include "util/chordal.hpp"
+
+namespace soslock::poly {
+
+/// Result of splitting one constraint's Gram basis along the csp cliques.
+struct GramCliqueSplit {
+  /// Variable cliques of the chordal extension (RIP preorder, vars sorted).
+  /// Aligned with `bases`; cliques whose basis came out empty are removed.
+  std::vector<std::vector<std::size_t>> cliques;
+  std::vector<std::vector<Monomial>> bases;
+  std::size_t dense_size = 0;  // size of the unsplit (pruned) basis
+  std::size_t dropped = 0;     // dense monomials covered by no clique
+  /// A trivial split (<= 1 clique) gains nothing over the dense block.
+  bool trivial() const { return bases.size() <= 1; }
+  std::size_t max_basis_size() const;
+};
+
+/// Correlative-sparsity pattern graph of a support: vertices are the `nvars`
+/// indeterminates, with an edge between two iff they co-occur in a support
+/// monomial. Variables absent from the support stay isolated.
+util::Adjacency correlative_adjacency(std::size_t nvars,
+                                      const std::vector<Monomial>& support);
+
+/// Split the pruned Gram basis of `info` along the maximal cliques of the
+/// chordal extension of its csp graph. Falls back to a single dense clique
+/// when the support is empty or the graph is (close to) complete.
+GramCliqueSplit split_gram_basis(std::size_t nvars, const SupportInfo& info,
+                                 GramPrune prune);
+/// Same, with the pruned dense basis already computed by the caller (the SOS
+/// compiler computes it once and reuses it on a trivial split — the
+/// Newton-polytope prune is the expensive part).
+GramCliqueSplit split_gram_basis(std::size_t nvars, const SupportInfo& info,
+                                 std::vector<Monomial> dense);
+
+/// Csp-clique-restricted S-procedure multiplier bases (the constrained half
+/// of Waki's sparse relaxation). The certifier records the couplings of its
+/// *data* polynomials (targets, flows, set constraints — everything except
+/// the multipliers themselves); each multiplier of a constraint g then gets
+/// the monomials of the smallest chordal-extension clique covering vars(g)
+/// instead of the full variable set. Variables inactive in the data become
+/// singleton cliques, so e.g. a parameter the target never touches is
+/// dropped from every state-constraint multiplier — a provably lossless
+/// restriction (substituting the inactive variable by 0 maps any dense
+/// solution to a restricted one). Genuine cross-clique restrictions are the
+/// standard sparse-relaxation trade: sound, possibly conservative.
+class MultiplierSparsity {
+ public:
+  MultiplierSparsity(std::size_t nvars, bool enabled);
+
+  void couple(const std::vector<Monomial>& support);
+  void couple(const Polynomial& p);
+  void couple(const PolyLin& p);
+
+  /// Gram basis for a multiplier of `g` at SOS degree `max_deg` (matching
+  /// SosProgram::add_sos_poly(max_deg, 0): monomials of degree <=
+  /// max_deg/2), restricted to the smallest clique covering vars(g). Returns
+  /// the full-variable basis when disabled, when g is constant, or when no
+  /// clique covers vars(g).
+  std::vector<Monomial> multiplier_basis(const Polynomial& g, unsigned max_deg) const;
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  void finalize() const;
+
+  std::size_t nvars_ = 0;
+  bool enabled_ = false;
+  util::Adjacency adj_;
+  mutable bool finalized_ = false;
+  mutable std::vector<std::vector<std::size_t>> cliques_;  // sorted by size
+};
+
+}  // namespace soslock::poly

@@ -1,0 +1,363 @@
+#include "sdp/chordal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen_sym.hpp"
+#include "util/log.hpp"
+
+namespace soslock::sdp {
+namespace {
+
+using linalg::Matrix;
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// Moore–Penrose pseudo-inverse of a (nearly) PSD matrix via the symmetric
+/// eigendecomposition; eigenvalues below a relative cutoff are treated as 0.
+Matrix pinv_psd(const Matrix& a) {
+  const std::size_t n = a.rows();
+  Matrix out(n, n);
+  if (n == 0) return out;
+  const linalg::EigenSym eig = linalg::eigen_sym(a);
+  double scale = 0.0;
+  for (const double v : eig.values) scale = std::max(scale, std::fabs(v));
+  const double cutoff = 1e-10 * std::max(1.0, scale);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (eig.values[k] <= cutoff) continue;
+    const double inv = 1.0 / eig.values[k];
+    for (std::size_t r = 0; r < n; ++r) {
+      const double vr = eig.vectors(r, k) * inv;
+      if (vr == 0.0) continue;
+      for (std::size_t c = 0; c < n; ++c) out(r, c) += vr * eig.vectors(c, k);
+    }
+  }
+  return out;
+}
+
+/// Aggregate sparsity adjacency of block `j`: an edge wherever an
+/// off-diagonal entry of C_j or of any A_ij is structurally nonzero.
+util::Adjacency aggregate_adjacency(const Problem& p, std::size_t j) {
+  const std::size_t n = p.block_size(j);
+  util::Adjacency adj(n, std::vector<bool>(n, false));
+  auto mark = [&](std::size_t r, std::size_t c) {
+    if (r == c) return;
+    adj[r][c] = true;
+    adj[c][r] = true;
+  };
+  for (const Row& row : p.rows()) {
+    const auto it = row.blocks.find(j);
+    if (it == row.blocks.end()) continue;
+    for (const Triplet& t : it->second.entries) mark(t.r, t.c);
+  }
+  const Matrix& c = p.block_objective(j);
+  if (c.rows() == n) {
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t cc = r + 1; cc < n; ++cc)
+        if (c(r, cc) != 0.0 || c(cc, r) != 0.0) mark(r, cc);
+  }
+  return adj;
+}
+
+/// Per-block conversion bookkeeping: canonical clique of every pattern entry
+/// and global->local index maps per clique.
+struct BlockIndex {
+  std::size_t n = 0;
+  std::vector<std::size_t> entry_clique;            // n*n, kNone off-pattern
+  std::vector<std::vector<std::size_t>> local;      // per clique: global -> local
+};
+
+BlockIndex index_block(const util::CliqueForest& forest, std::size_t n) {
+  BlockIndex idx;
+  idx.n = n;
+  idx.entry_clique.assign(n * n, kNone);
+  idx.local.resize(forest.cliques.size());
+  for (std::size_t k = 0; k < forest.cliques.size(); ++k) {
+    idx.local[k].assign(n, kNone);
+    const auto& clique = forest.cliques[k];
+    for (std::size_t a = 0; a < clique.size(); ++a) idx.local[k][clique[a]] = a;
+    for (std::size_t a = 0; a < clique.size(); ++a) {
+      for (std::size_t b = a; b < clique.size(); ++b) {
+        const std::size_t r = clique[a], c = clique[b];
+        if (idx.entry_clique[r * n + c] == kNone) {
+          idx.entry_clique[r * n + c] = k;
+          idx.entry_clique[c * n + r] = k;
+        }
+      }
+    }
+  }
+  return idx;
+}
+
+}  // namespace
+
+std::size_t ChordalMap::max_clique_size() const {
+  std::size_t mx = 0;
+  for (const BlockPlan& plan : plans) mx = std::max(mx, plan.forest.max_clique_size());
+  return mx;
+}
+
+ChordalMap chordal_decompose(Problem& p, const ChordalOptions& options) {
+  ChordalMap map;
+  map.original_rows = p.num_rows();
+  map.original_block_sizes = p.block_sizes();
+  map.block_map.assign(p.num_blocks(), ChordalMap::kNotMapped);
+
+  // Plan: which blocks split, and along which cliques.
+  std::vector<util::CliqueForest> forests(p.num_blocks());
+  std::vector<bool> split(p.num_blocks(), false);
+  bool any = false;
+  for (std::size_t j = 0; j < p.num_blocks(); ++j) {
+    const std::size_t n = p.block_size(j);
+    if (n < options.min_block_size) continue;
+    const util::Adjacency adj = aggregate_adjacency(p, j);
+    // Complete patterns (every SOS-compiled Gram block: each entry pair has
+    // a coefficient-matching row) have exactly one clique — skip the O(n^3)
+    // elimination outright.
+    std::size_t edges = 0;
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = r + 1; c < n; ++c) edges += adj[r][c] ? 1 : 0;
+    if (edges == n * (n - 1) / 2) continue;
+    util::CliqueForest forest = util::chordal_cliques(n, adj);
+    if (forest.cliques.size() <= 1 || !forest.covers(n)) continue;
+    if (static_cast<double>(forest.max_clique_size()) >
+        options.max_clique_fraction * static_cast<double>(n)) {
+      continue;
+    }
+    forests[j] = std::move(forest);
+    split[j] = true;
+    any = true;
+  }
+  if (!any) return map;
+
+  // Converted problem: clique blocks replace split blocks in place (order of
+  // kept blocks is preserved), original rows keep their indices, overlap
+  // rows follow.
+  Problem conv;
+  std::vector<BlockIndex> indices(p.num_blocks());
+  for (std::size_t j = 0; j < p.num_blocks(); ++j) {
+    const std::size_t n = p.block_size(j);
+    if (!split[j]) {
+      map.block_map[j] = conv.add_block(n);
+      conv.set_block_objective(map.block_map[j], p.block_objective(j));
+      continue;
+    }
+    BlockPlan plan;
+    plan.original_block = j;
+    plan.original_size = n;
+    plan.forest = forests[j];
+    indices[j] = index_block(plan.forest, n);
+    std::vector<Matrix> clique_obj;
+    clique_obj.reserve(plan.forest.cliques.size());
+    for (const auto& clique : plan.forest.cliques) {
+      plan.converted_block.push_back(conv.add_block(clique.size()));
+      clique_obj.emplace_back(clique.size(), clique.size());
+    }
+    // Objective entries land on their canonical clique.
+    const Matrix& c = p.block_objective(j);
+    if (c.rows() == n) {
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t cc = r; cc < n; ++cc) {
+          if (c(r, cc) == 0.0 && c(cc, r) == 0.0) continue;
+          const std::size_t k = indices[j].entry_clique[r * n + cc];
+          const std::size_t lr = indices[j].local[k][r], lc = indices[j].local[k][cc];
+          clique_obj[k](lr, lc) += c(r, cc);
+          if (lr != lc) clique_obj[k](lc, lr) += c(cc, r);
+        }
+      }
+    }
+    for (std::size_t k = 0; k < plan.converted_block.size(); ++k)
+      conv.set_block_objective(plan.converted_block[k], std::move(clique_obj[k]));
+    map.plans.push_back(std::move(plan));
+  }
+
+  for (std::size_t v = 0; v < p.num_free(); ++v) conv.add_free(p.free_objective()[v]);
+
+  for (const Row& row : p.rows()) {
+    Row nr;
+    nr.rhs = row.rhs;
+    nr.label = row.label;
+    nr.free_coeffs = row.free_coeffs;
+    for (const auto& [j, a] : row.blocks) {
+      if (!split[j]) {
+        nr.blocks[map.block_map[j]] = a;
+        continue;
+      }
+      const BlockIndex& idx = indices[j];
+      const BlockPlan* plan = nullptr;
+      for (const BlockPlan& candidate : map.plans) {
+        if (candidate.original_block == j) {
+          plan = &candidate;
+          break;
+        }
+      }
+      for (const Triplet& t : a.entries) {
+        const std::size_t k = idx.entry_clique[t.r * idx.n + t.c];
+        nr.blocks[plan->converted_block[k]].add(idx.local[k][t.r], idx.local[k][t.c], t.v);
+      }
+    }
+    conv.add_row(std::move(nr));
+  }
+
+  // Overlap-consistency rows: along each clique-tree edge, tie every shared
+  // entry of the child to the parent's copy. The RIP guarantees tree-edge
+  // ties chain every copy of an entry together.
+  std::size_t overlap_rows = 0;
+  for (const BlockPlan& plan : map.plans) {
+    const BlockIndex& idx = indices[plan.original_block];
+    for (std::size_t k = 0; k < plan.forest.cliques.size(); ++k) {
+      const std::size_t parent = plan.forest.parent[k];
+      if (parent == k) continue;
+      std::vector<std::size_t> sep;
+      for (const std::size_t v : plan.forest.cliques[k]) {
+        if (idx.local[parent][v] != kNone) sep.push_back(v);
+      }
+      for (std::size_t a = 0; a < sep.size(); ++a) {
+        for (std::size_t b = a; b < sep.size(); ++b) {
+          const std::size_t r = sep[a], c = sep[b];
+          // <A, X> doubles off-diagonal triplets, so 0.5 ties the entries 1:1.
+          const double w = r == c ? 1.0 : 0.5;
+          Row orow;
+          orow.label = "chordal.ov.b" + std::to_string(plan.original_block) + ".c" +
+                       std::to_string(k);
+          SparseSym child;
+          child.add(idx.local[k][r], idx.local[k][c], w);
+          SparseSym par;
+          par.add(idx.local[parent][r], idx.local[parent][c], -w);
+          orow.blocks[plan.converted_block[k]] = std::move(child);
+          orow.blocks[plan.converted_block[parent]] = std::move(par);
+          conv.add_row(std::move(orow));
+          ++overlap_rows;
+        }
+      }
+    }
+  }
+
+  util::log_debug("chordal: decomposed ", map.plans.size(), " block(s), max clique ",
+                  map.max_clique_size(), ", +", overlap_rows, " overlap rows");
+  p = std::move(conv);
+  return map;
+}
+
+namespace {
+
+/// Clique-tree PSD completion (Grone et al.): walk the cliques in RIP
+/// preorder; each clique contributes its own entries, and the unknown block
+/// between its residual R and the previously placed vertices completes as
+/// X[T,R] = X[T,S] X[S,S]^+ X[S,R] through the separator S, which keeps the
+/// assembled matrix PSD (up to the solver tolerance already present in the
+/// clique blocks).
+Matrix complete_block(const BlockPlan& plan, const std::vector<Matrix>& converted_x) {
+  const std::size_t n = plan.original_size;
+  Matrix x(n, n);
+  std::vector<bool> placed(n, false);
+  std::vector<std::size_t> placed_list;
+  for (std::size_t k = 0; k < plan.forest.cliques.size(); ++k) {
+    const auto& clique = plan.forest.cliques[k];
+    const std::size_t cb = plan.converted_block[k];
+    if (cb >= converted_x.size() || converted_x[cb].rows() != clique.size()) continue;
+    Matrix xk = converted_x[cb];
+    xk.symmetrize();
+
+    std::vector<std::size_t> sep_local, res_local;
+    for (std::size_t a = 0; a < clique.size(); ++a)
+      (placed[clique[a]] ? sep_local : res_local).push_back(a);
+
+    // The clique's own entries; pairs already placed keep the earlier copy
+    // (equal to the overlap-row residual tolerance anyway).
+    for (std::size_t a = 0; a < clique.size(); ++a) {
+      for (std::size_t b = a; b < clique.size(); ++b) {
+        if (placed[clique[a]] && placed[clique[b]]) continue;
+        x(clique[a], clique[b]) = xk(a, b);
+        x(clique[b], clique[a]) = xk(a, b);
+      }
+    }
+
+    // Completion of the block between the residual and the vertices placed
+    // before this clique but outside its separator.
+    std::vector<std::size_t> outside;
+    for (const std::size_t g : placed_list) {
+      if (std::find(clique.begin(), clique.end(), g) == clique.end()) outside.push_back(g);
+    }
+    if (!sep_local.empty() && !res_local.empty() && !outside.empty()) {
+      const std::size_t s = sep_local.size(), r = res_local.size(), t = outside.size();
+      Matrix xss(s, s);
+      for (std::size_t a = 0; a < s; ++a)
+        for (std::size_t b = 0; b < s; ++b)
+          xss(a, b) = x(clique[sep_local[a]], clique[sep_local[b]]);
+      const Matrix pinv = pinv_psd(xss);
+      Matrix xts(t, s);
+      for (std::size_t a = 0; a < t; ++a)
+        for (std::size_t b = 0; b < s; ++b) xts(a, b) = x(outside[a], clique[sep_local[b]]);
+      Matrix xsr(s, r);
+      for (std::size_t a = 0; a < s; ++a)
+        for (std::size_t b = 0; b < r; ++b) xsr(a, b) = xk(sep_local[a], res_local[b]);
+      const Matrix fill = (xts * pinv) * xsr;
+      for (std::size_t a = 0; a < t; ++a) {
+        for (std::size_t b = 0; b < r; ++b) {
+          x(outside[a], clique[res_local[b]]) = fill(a, b);
+          x(clique[res_local[b]], outside[a]) = fill(a, b);
+        }
+      }
+    }
+    for (const std::size_t a : res_local) {
+      placed[clique[a]] = true;
+      placed_list.push_back(clique[a]);
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+Solution recover_original(const Solution& converted, const ChordalMap& map) {
+  if (map.identity()) return converted;
+  Solution out;
+  out.status = converted.status;
+  out.primal_objective = converted.primal_objective;
+  out.dual_objective = converted.dual_objective;
+  out.mu = converted.mu;
+  out.primal_residual = converted.primal_residual;
+  out.dual_residual = converted.dual_residual;
+  out.gap = converted.gap;
+  out.iterations = converted.iterations;
+  out.backend = converted.backend;
+  out.solve_seconds = converted.solve_seconds;
+  out.max_cone = converted.max_cone;
+  out.w = converted.w;
+  out.y.assign(converted.y.begin(),
+               converted.y.begin() +
+                   static_cast<std::ptrdiff_t>(
+                       std::min(map.original_rows, converted.y.size())));
+
+  const std::size_t nblocks = map.original_block_sizes.size();
+  out.x.assign(nblocks, Matrix());
+  out.z.assign(nblocks, Matrix());
+  for (std::size_t j = 0; j < nblocks; ++j) {
+    const std::size_t cb = map.block_map[j];
+    if (cb == ChordalMap::kNotMapped) continue;
+    if (cb < converted.x.size()) out.x[j] = converted.x[cb];
+    if (cb < converted.z.size()) out.z[j] = converted.z[cb];
+  }
+  for (const BlockPlan& plan : map.plans) {
+    const std::size_t n = plan.original_size;
+    // Primal: clique-tree PSD completion of the partial matrix.
+    out.x[plan.original_block] = complete_block(plan, converted.x);
+    // Dual slack: scatter-add (Agler) — the overlap-row multipliers cancel
+    // in +/- pairs, so the sum satisfies C - sum_i y_i A_i = Z exactly and
+    // is PSD as a sum of padded PSD blocks.
+    Matrix z(n, n);
+    for (std::size_t k = 0; k < plan.forest.cliques.size(); ++k) {
+      const std::size_t cb = plan.converted_block[k];
+      const auto& clique = plan.forest.cliques[k];
+      if (cb >= converted.z.size() || converted.z[cb].rows() != clique.size()) continue;
+      for (std::size_t a = 0; a < clique.size(); ++a)
+        for (std::size_t b = 0; b < clique.size(); ++b)
+          z(clique[a], clique[b]) += converted.z[cb](a, b);
+    }
+    out.z[plan.original_block] = std::move(z);
+  }
+  return out;
+}
+
+}  // namespace soslock::sdp

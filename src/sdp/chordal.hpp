@@ -1,0 +1,76 @@
+#pragma once
+// Chordal decomposition of large PSD blocks (Vandenberghe–Andersen / the
+// Fukuda–Kojima "domain-space" conversion method). A block X_j enters the
+// data only through its *aggregate sparsity pattern* — the union of the
+// nonzero positions of C_j and of every row coefficient A_ij. When that
+// pattern (chordally extended) has maximal cliques C_1..C_K, Grone's
+// completion theorem makes
+//
+//   X_j ⪰ 0   ⟺   X_j|C_k ⪰ 0 for all k   (+ a PSD completion off-pattern)
+//
+// so the conversion replaces the size-n block by K clique-sized blocks,
+// re-targets every data entry at its canonical clique, and adds
+// overlap-consistency rows tying the copies of entries shared along the
+// clique tree.
+//
+// Scope note: a Gram block emitted by the SOS compiler always has a
+// *complete* aggregate pattern (every entry pair b_r*b_c is matched by a
+// coefficient row), so this pass never fires on SOS-compiled blocks — the
+// compile-time correlative split (poly/sparsity) is what decomposes those.
+// The conversion serves directly-built sdp::Problems (banded/arrow
+// structures, external workloads); complete patterns are detected and
+// skipped without running the elimination.
+//
+// The converted problem is *equivalent* (not a relaxation or a
+// restriction): recover_original maps its solution back, recombining the
+// dual slacks by scatter-add (Agler) and completing the primal clique blocks
+// into one dense PSD matrix by clique-tree completion, so certificate
+// auditing is unchanged.
+#include <vector>
+
+#include "sdp/options.hpp"
+#include "sdp/problem.hpp"
+#include "util/chordal.hpp"
+
+namespace soslock::sdp {
+
+/// Decomposition plan of one original block.
+struct BlockPlan {
+  std::size_t original_block = 0;
+  std::size_t original_size = 0;
+  /// Cliques over the original block's indices (RIP preorder — see
+  /// util/chordal.hpp); the completion in recover_original walks this order.
+  util::CliqueForest forest;
+  /// Converted-problem block index of each clique.
+  std::vector<std::size_t> converted_block;
+};
+
+/// How a converted problem maps back onto the original shape.
+struct ChordalMap {
+  std::size_t original_rows = 0;
+  std::vector<std::size_t> original_block_sizes;
+  /// original block -> converted block; kNotMapped for decomposed blocks.
+  static constexpr std::size_t kNotMapped = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> block_map;
+  std::vector<BlockPlan> plans;
+
+  bool identity() const { return plans.empty(); }
+  /// Largest clique over all decomposed blocks (0 when identity).
+  std::size_t max_clique_size() const;
+};
+
+/// Decompose every block of `p` that is at least `options.min_block_size`
+/// wide and whose chordal aggregate pattern splits into genuinely smaller
+/// cliques. `p` is rewritten in place (original rows keep their indices;
+/// overlap-consistency rows are appended after them). When nothing
+/// qualifies, `p` is untouched and the returned map is the identity.
+ChordalMap chordal_decompose(Problem& p, const ChordalOptions& options);
+
+/// Map a converted-space solution back onto the original problem shape.
+/// Overlap-row multipliers are dropped from y, dual slacks scatter-add into
+/// dense blocks (exactly dual-feasible, PSD as a sum of padded PSDs), and
+/// primal clique blocks are completed into a dense PSD matrix along the
+/// clique tree. Telemetry and residual scalars carry over unchanged.
+Solution recover_original(const Solution& converted, const ChordalMap& map);
+
+}  // namespace soslock::sdp

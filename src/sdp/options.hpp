@@ -1,7 +1,32 @@
 #pragma once
 // Per-backend tuning knobs for the SDP solver backends (see sdp/solver.hpp
-// for the backend interface and the shared SolverConfig that embeds these).
+// for the backend interface and the shared SolverConfig that embeds these),
+// plus the structure-exploitation knob shared by the SOS compiler and the
+// SDP conversion layer.
+#include <cstddef>
+
 namespace soslock::sdp {
+
+/// How aggressively the pipeline exploits sparsity when compiling and
+/// solving SOS programs. Threaded through sdp::SolverConfig (and with it
+/// through every core options struct and PipelineOptions).
+enum class SparsityOptions {
+  Off,          // one dense Gram block per SOS constraint (the PR 2 baseline)
+  Correlative,  // split each Gram basis along the csp-graph cliques (poly/sparsity)
+  Chordal,      // Correlative + chordal conversion of any remaining large PSD
+                // block at the SDP level (sdp/chordal)
+};
+
+/// Tuning for the SDP-level chordal conversion pass (SparsityOptions::Chordal).
+struct ChordalOptions {
+  /// Only blocks at least this large are considered for decomposition (the
+  /// conversion adds overlap-consistency rows, which is a bad trade for
+  /// small cones).
+  std::size_t min_block_size = 24;
+  /// Skip the decomposition of a block when the largest clique still covers
+  /// more than this fraction of it (nothing to win, rows to lose).
+  double max_clique_fraction = 0.9;
+};
 
 /// Interior-point (HKM predictor-corrector) tuning.
 struct IpmOptions {

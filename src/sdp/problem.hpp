@@ -112,6 +112,11 @@ struct Solution {
   int iterations = 0;
   std::string backend;            // name of the backend that produced this
   double solve_seconds = 0.0;     // wall-clock time inside the backend
+  /// Largest PSD cone the backend actually worked on. Set by
+  /// SosProgram::solve from the compiled (and, under SparsityOptions::
+  /// Chordal, converted) problem — the cone-size telemetry behind the
+  /// dense-vs-clique benches; 0 when the producer did not record it.
+  std::size_t max_cone = 0;
   /// The solve ran its course and returned a best iterate. An Interrupted
   /// solve may have stopped before the first step, so it makes no such
   /// claim — check the residuals before accepting its iterate.

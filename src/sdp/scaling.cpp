@@ -15,7 +15,13 @@ Scaling equilibrate_rows(Problem& p) {
       for (const Triplet& t : a.entries) mx = std::max(mx, std::fabs(t.v));
     for (const auto& [v, c] : row.free_coeffs) mx = std::max(mx, std::fabs(c));
     mx = std::max(mx, std::fabs(row.rhs));
-    if (mx <= 0.0 || !std::isfinite(mx)) continue;
+    // Degenerate rows stay unscaled: an all-zero row has nothing to
+    // normalize, and a near-zero one (e.g. a constraint whose coefficients
+    // an aggressive Gram prune cancelled down to roundoff) would be blown up
+    // to unit norm — amplifying noise into an O(1) constraint and, for
+    // denormal norms, overflowing 1/mx to inf, which then poisons the
+    // warm-start dual rescale (y_orig = y/scale) with inf/NaN.
+    if (mx <= kMinRowNorm || !std::isfinite(mx)) continue;
     const double inv = 1.0 / mx;
     for (auto& [j, a] : row.blocks) a.scale(inv);
     for (auto& [v, c] : row.free_coeffs) c *= inv;

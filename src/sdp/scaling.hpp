@@ -11,9 +11,16 @@ struct Scaling {
   linalg::Vector row_scale;  // original_row = row_scale[i] * scaled_row
 };
 
+/// Rows whose infinity norm is at or below this are treated as degenerate
+/// (all-zero up to roundoff, e.g. after aggressive Gram pruning) and left
+/// unscaled — normalizing them would amplify noise to O(1) and can produce
+/// inf/NaN scale factors that poison the warm-start dual rescale.
+inline constexpr double kMinRowNorm = 1e-12;
+
 /// Scale rows of `p` in place to unit infinity norm; returns the scaling
 /// applied. Dual variables y of the scaled problem relate to the original by
 /// y_orig = y_scaled / row_scale (the primal solution is unchanged).
+/// Degenerate rows (norm <= kMinRowNorm) keep scale 1.
 Scaling equilibrate_rows(Problem& p);
 
 }  // namespace soslock::sdp

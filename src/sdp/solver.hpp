@@ -141,6 +141,11 @@ struct SolverConfig {
   bool warm_start = true;
   /// "auto": smallest max-block-size at which the first-order backend wins.
   std::size_t auto_block_threshold = 80;
+  /// Sparsity exploitation of the SOS compiler / SDP conversion layer. The
+  /// core certifiers forward this to SosProgram::set_sparsity before adding
+  /// constraints (Gram clique splitting happens at constraint-add time).
+  SparsityOptions sparsity = SparsityOptions::Off;
+  ChordalOptions chordal;
 
   IpmOptions ipm;    // backend-specific tuning (shared fields above win)
   AdmmOptions admm;

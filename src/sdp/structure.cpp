@@ -41,6 +41,7 @@ std::uint64_t structure_fingerprint(const Problem& p) {
 ProblemStructure build_structure(const Problem& p) {
   ProblemStructure s;
   s.fingerprint = structure_fingerprint(p);
+  s.num_rows = p.num_rows();
   s.rows_touching_block.assign(p.num_blocks(), {});
   for (std::size_t i = 0; i < p.num_rows(); ++i)
     for (const auto& [j, a] : p.rows()[i].blocks) s.rows_touching_block[j].push_back(i);
@@ -52,21 +53,32 @@ std::shared_ptr<const ProblemStructure> StructureCache::get(const Problem& p) co
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t i = 0; i < slots_.size(); ++i) {
-      if (slots_[i]->fingerprint == fp) {
-        auto hit = slots_[i];
+      if (slots_[i]->fingerprint != fp) continue;
+      if (!slots_[i]->compatible_with(p)) {
+        // Fingerprint collision: serving this slot would hand the backend
+        // row indices into a different problem. Drop it and rebuild below.
         slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
-        slots_.insert(slots_.begin(), hit);
-        ++hits_;
-        return hit;
+        break;
       }
+      auto hit = slots_[i];
+      slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
+      slots_.insert(slots_.begin(), hit);
+      ++hits_;
+      return hit;
     }
   }
   auto fresh = std::make_shared<const ProblemStructure>(build_structure(p));
   const std::lock_guard<std::mutex> lock(mutex_);
   // Re-check under the lock: batch workers miss simultaneously on first use
-  // of a shared shape, and duplicate slots would evict live patterns.
-  for (const auto& slot : slots_) {
-    if (slot->fingerprint == fp) return slot;
+  // of a shared shape, and duplicate slots would evict live patterns. The
+  // winner's slot is promoted and counted like any other hit.
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i]->fingerprint != fp || !slots_[i]->compatible_with(p)) continue;
+    auto slot = slots_[i];
+    slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
+    slots_.insert(slots_.begin(), slot);
+    ++hits_;
+    return slot;
   }
   slots_.insert(slots_.begin(), fresh);
   if (slots_.size() > capacity_) slots_.resize(capacity_);

@@ -29,8 +29,16 @@ std::uint64_t structure_fingerprint(const Problem& p);
 /// Value-independent sparsity pattern shared by structurally equal problems.
 struct ProblemStructure {
   std::uint64_t fingerprint = 0;
+  std::size_t num_rows = 0;  // of the source problem (collision guard)
   /// For each block, the rows whose coefficient touches it (ascending).
   std::vector<std::vector<std::size_t>> rows_touching_block;
+
+  /// Cheap shape check against a problem about to consume this pattern: a
+  /// 64-bit fingerprint collision would otherwise hand the backends row
+  /// indices into a different problem (out-of-bounds in the hot loops).
+  bool compatible_with(const Problem& p) const {
+    return rows_touching_block.size() == p.num_blocks() && num_rows == p.num_rows();
+  }
 };
 
 /// Build the pattern from scratch (also records the fingerprint).
@@ -39,7 +47,20 @@ ProblemStructure build_structure(const Problem& p);
 /// Small fingerprint-keyed LRU cache for ProblemStructure; thread-safe.
 /// Both backends consult the process-wide instance (global()), so the
 /// pipeline's repeated structurally equal solves skip the pattern rebuild
-/// even though a fresh backend object is constructed per solve.
+/// even though a fresh backend object is constructed per solve — including
+/// from sos::BatchSolver worker threads, which hit it concurrently.
+///
+/// Concurrency contract (exercised by the warmstart_test stress test):
+///  * every access to `slots_`/`hits_` happens under `mutex_` — the LRU
+///    move-to-front erase/insert can never invalidate another thread's
+///    iteration because no thread iterates without the lock;
+///  * the expensive pattern build runs *outside* the lock; the insert
+///    re-checks under the lock so two simultaneous first misses of one
+///    shape keep a single slot (duplicate slots would evict live patterns);
+///  * entries are returned as shared_ptr<const ...>, so an evicted pattern
+///    stays alive for the solves still holding it;
+///  * a fingerprint-collision hit (same hash, different shape) is detected
+///    via ProblemStructure::compatible_with and replaced instead of served.
 class StructureCache {
  public:
   explicit StructureCache(std::size_t capacity = 16) : capacity_(capacity) {}

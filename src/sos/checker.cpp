@@ -1,5 +1,6 @@
 #include "sos/checker.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "linalg/eigen_sym.hpp"
@@ -40,6 +41,35 @@ CheckReport check_gram_identity(const Polynomial& p, const GramCertificate& cert
   if (!identity_ok) report.detail += "identity residual too large; ";
   if (!psd_ok) report.detail += "gram not PSD within tolerance; ";
   return report;
+}
+
+GramCertificate recombine_cliques(const std::vector<GramCertificate>& parts) {
+  GramCertificate out;
+  if (parts.empty()) return out;
+  out.label = parts.front().label;
+  const std::string::size_type cut = out.label.rfind(".clique");
+  if (cut != std::string::npos) out.label.resize(cut);
+  for (const GramCertificate& part : parts) {
+    out.basis.insert(out.basis.end(), part.basis.begin(), part.basis.end());
+  }
+  std::sort(out.basis.begin(), out.basis.end());
+  out.basis.erase(std::unique(out.basis.begin(), out.basis.end()), out.basis.end());
+  for (const GramCertificate& part : parts) {
+    if (part.gram.rows() != part.basis.size()) return out;  // empty gram: unverifiable
+  }
+  out.gram = linalg::Matrix(out.basis.size(), out.basis.size());
+  for (const GramCertificate& part : parts) {
+    std::vector<std::size_t> pos(part.basis.size());
+    for (std::size_t i = 0; i < part.basis.size(); ++i) {
+      pos[i] = static_cast<std::size_t>(
+          std::lower_bound(out.basis.begin(), out.basis.end(), part.basis[i]) -
+          out.basis.begin());
+    }
+    for (std::size_t r = 0; r < part.basis.size(); ++r)
+      for (std::size_t c = 0; c < part.basis.size(); ++c)
+        out.gram(pos[r], pos[c]) += part.gram(r, c);
+  }
+  return out;
 }
 
 bool is_sos_numeric(const Polynomial& p, double tolerance) {
@@ -99,12 +129,22 @@ AuditReport audit(const SosProgram& program, const SolveResult& result,
   AuditReport report;
   report.worst_eigenvalue = std::numeric_limits<double>::infinity();
 
-  // (a) every explicit SOS constraint: identity + PSD.
+  // (a) every explicit SOS constraint: identity + PSD. A sparse constraint
+  // owns one Gram block per clique; they recombine into the dense
+  // certificate the identity/PSD check was written for, so the soundness
+  // verdict is decided in exactly the same terms as a dense solve.
   for (const auto& record : program.sos_records()) {
     ++report.checked;
     const Polynomial target = result.value(record.target);
-    const CheckReport check =
-        check_gram_identity(target, result.grams[record.gram_index], options);
+    CheckReport check;
+    if (record.gram_indices.size() == 1) {
+      check = check_gram_identity(target, result.grams[record.gram_indices.front()], options);
+    } else {
+      std::vector<GramCertificate> parts;
+      parts.reserve(record.gram_indices.size());
+      for (const std::size_t g : record.gram_indices) parts.push_back(result.grams[g]);
+      check = check_gram_identity(target, recombine_cliques(parts), options);
+    }
     report.worst_residual = std::max(report.worst_residual, check.residual);
     report.worst_eigenvalue = std::min(report.worst_eigenvalue, check.min_eigenvalue);
     if (!check.ok) {

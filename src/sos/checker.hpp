@@ -32,6 +32,14 @@ struct CheckReport {
 CheckReport check_gram_identity(const poly::Polynomial& p, const GramCertificate& cert,
                                 const CheckOptions& options = {});
 
+/// Scatter-sum the clique Gram certificates of one correlative-sparsity SOS
+/// constraint into a single dense certificate over the union basis. The
+/// result is PSD whenever every clique Gram is (a sum of padded PSD blocks —
+/// Agler) and represents the same polynomial, so the dense audit applies
+/// unchanged to sparse solves. Returns an empty-gram certificate when any
+/// part's Gram does not match its basis (which the audit then rejects).
+GramCertificate recombine_cliques(const std::vector<GramCertificate>& parts);
+
 /// Decide numerically whether `p` is SOS by solving a fresh Gram SDP.
 bool is_sos_numeric(const poly::Polynomial& p, double tolerance = 1e-7);
 

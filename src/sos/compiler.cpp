@@ -1,10 +1,12 @@
 // Compilation of an SosProgram to the block SDP of sdp/problem.hpp, and the
 // end-to-end solve() that extracts certificates from the solver iterate.
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <memory>
 
+#include "sdp/chordal.hpp"
 #include "sdp/scaling.hpp"
 #include "sdp/structure.hpp"
 #include "sos/program.hpp"
@@ -123,11 +125,27 @@ SolveResult SosProgram::solve(const sdp::SolverBackend& backend,
   sdp::Problem prob = compile();
   util::log_info("sos: solving ", prob.stats());
 
+  // Chordal conversion pass: any remaining large PSD block is decomposed
+  // along its aggregate-sparsity chordal extension, so the backend solves
+  // clique-sized cones. Everything below (fingerprint, equilibration, the
+  // warm-start blob) lives in the *converted* space — blobs replay across
+  // structurally identical converted solves; the solution is mapped back to
+  // the original shape before certificates are extracted.
+  sdp::ChordalMap chordal;
+  if (sparsity_ == sdp::SparsityOptions::Chordal) {
+    chordal = sdp::chordal_decompose(prob, chordal_);
+    if (!chordal.identity()) util::log_info("sos: chordal conversion -> ", prob.stats());
+  }
+
   // SOS coefficient-matching rows mix monomial scales spanning orders of
   // magnitude: equilibrate ahead of the backend and translate the dual
   // multipliers (and any warm-start iterate, which lives in the original row
-  // space) across the scaling.
-  const std::uint64_t fingerprint = sdp::structure_fingerprint(prob);
+  // space) across the scaling. The sparsity mode is mixed into the
+  // fingerprint so a blob from one mode is never replayed into another (the
+  // iterate spaces differ even when the block list happens to coincide).
+  const std::uint64_t fingerprint =
+      sdp::structure_fingerprint(prob) ^
+      (0x5350'4152'5349'5459ull * (static_cast<std::uint64_t>(sparsity_) + 1));
   const sdp::Scaling scaling = sdp::equilibrate_rows(prob);
 
   // A warm start applies only when the compiled structure matches; an
@@ -153,6 +171,10 @@ SolveResult SosProgram::solve(const sdp::SolverBackend& backend,
     throw;
   }
   context.warm_start = caller_warm;
+  // Cone-size telemetry: the largest PSD block the backend worked on (the
+  // converted problem's, when the chordal pass ran).
+  for (std::size_t j = 0; j < prob.num_blocks(); ++j)
+    sol.max_cone = std::max(sol.max_cone, prob.block_size(j));
   // Divergence test for the warm-start export below, taken in the
   // equilibrated space the solver worked in (the unscaled duals can be
   // legitimately huge when a row scale is tiny).
@@ -163,8 +185,19 @@ SolveResult SosProgram::solve(const sdp::SolverBackend& backend,
     if (scaling.row_scale[i] != 0.0) sol.y[i] /= scaling.row_scale[i];
   }
 
+  // Export the converted-space iterate for warm starts *before* recovery
+  // (the blob must fit the converted problem the next solve compiles), then
+  // map the solution back onto the original block/row shape so decision
+  // values and Gram certificates extract exactly as in the dense path.
+  sdp::WarmStart warm_blob;
+  if (std::isfinite(y_scale) && y_scale < 1e8) {
+    warm_blob = sdp::make_warm_start(sol, fingerprint);
+  }
+  if (!chordal.identity()) sol = sdp::recover_original(sol, chordal);
+
   SolveResult result;
   result.status = sol.status;
+  result.warm = std::move(warm_blob);
   result.sdp = std::move(sol);  // the iterate is read from result.sdp below
   // "feasible" = the iterate satisfies the constraints to working tolerance.
   // Callers that extract certificates must still pass them through
@@ -203,20 +236,18 @@ SolveResult SosProgram::solve(const sdp::SolverBackend& backend,
 
   const double min_value = objective_.eval(result.decision_values);
   result.objective = objective_is_max_ ? -min_value : min_value;
-  // Export the iterate for the next structurally identical solve, including
-  // from Interrupted/stalled best iterates (what a retry loop resumes from)
-  // and from infeasible-classified solves (whose iterate is the natural
-  // seed for the next attempt in a sequence of infeasible checks, e.g. the
+  // result.warm was exported above (pre-recovery, converted space) for the
+  // next structurally identical solve, including from Interrupted/stalled
+  // best iterates (what a retry loop resumes from) and from
+  // infeasible-classified solves (whose iterate is the natural seed for the
+  // next attempt in a sequence of infeasible checks, e.g. the
   // not-yet-immersed inclusion chain). The exception is a *divergent*
   // iterate — replaying a divergence ray poisons whatever solve it seeds —
-  // detected by magnitude in the equilibrated space (computed above). The
-  // 1e8 cutoff is a fixed heuristic chosen above the largest legitimate
-  // stalled duals seen in the pipeline (~1e7 on the advection programs); it
-  // is deliberately not tied to any backend option, since this layer cannot
-  // see which backend (or threshold) produced the iterate.
-  if (std::isfinite(y_scale) && y_scale < 1e8) {
-    result.warm = sdp::make_warm_start(result.sdp, fingerprint);
-  }
+  // detected by magnitude in the equilibrated space. The 1e8 cutoff is a
+  // fixed heuristic chosen above the largest legitimate stalled duals seen
+  // in the pipeline (~1e7 on the advection programs); it is deliberately not
+  // tied to any backend option, since this layer cannot see which backend
+  // (or threshold) produced the iterate.
   return result;
 }
 
@@ -235,6 +266,7 @@ void SolveStats::absorb(const SolveResult& result) {
   ++solves;
   iterations += result.sdp.iterations;
   seconds += result.sdp.solve_seconds;
+  max_cone = std::max(max_cone, result.sdp.max_cone);
 }
 
 void SolveStats::merge(const SolveStats& other) {
@@ -247,6 +279,7 @@ void SolveStats::merge(const SolveStats& other) {
   solves += other.solves;
   iterations += other.iterations;
   seconds += other.seconds;
+  max_cone = std::max(max_cone, other.max_cone);
 }
 
 std::string SolveStats::str() const {

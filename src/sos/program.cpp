@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "poly/sparsity.hpp"
 #include "util/log.hpp"
 
 namespace soslock::sos {
@@ -83,7 +84,31 @@ void SosProgram::add_eq_zero(const PolyLin& p, const std::string& label) {
 
 void SosProgram::add_sos_constraint(const PolyLin& p, const std::string& label, bool prune) {
   const poly::SupportInfo info = poly::support_info(p);
-  std::vector<Monomial> basis = poly::gram_basis(nvars_, info, prune);
+  const poly::GramPrune prune_level =
+      !prune ? poly::GramPrune::None
+             : (info.support.empty() ? poly::GramPrune::Box : poly::GramPrune::Newton);
+  std::vector<Monomial> basis = poly::gram_basis(nvars_, info, prune_level);
+
+  // Correlative-sparsity split: one Gram block per csp clique, the sum of
+  // the clique Gram polynomials matched against p. A trivial split (single
+  // clique) degenerates to the dense path below, reusing the pruned basis
+  // computed above (the Newton prune is the expensive part).
+  if (sparsity_ != sdp::SparsityOptions::Off) {
+    const poly::GramCliqueSplit split = poly::split_gram_basis(nvars_, info, basis);
+    if (!split.trivial()) {
+      const std::string base = label.empty() ? "sos" : label;
+      std::vector<std::size_t> gram_indices;
+      gram_indices.reserve(split.bases.size());
+      PolyLin total(nvars_);
+      for (std::size_t k = 0; k < split.bases.size(); ++k) {
+        gram_indices.push_back(gram_blocks_.size());
+        total += add_sos_poly(split.bases[k], base + ".clique" + std::to_string(k));
+      }
+      add_eq_zero(p - total, label);
+      sos_records_.push_back({p, std::move(gram_indices), label});
+      return;
+    }
+  }
   if (basis.empty()) {
     // p must be identically zero for the constraint to hold.
     util::log_warn("sos: empty Gram basis for constraint '", label, "'; forcing p == 0");
@@ -93,7 +118,7 @@ void SosProgram::add_sos_constraint(const PolyLin& p, const std::string& label, 
   const std::size_t gram_index = gram_blocks_.size();
   const PolyLin gram_poly = add_sos_poly(basis, label.empty() ? "sos" : label);
   add_eq_zero(p - gram_poly, label);
-  sos_records_.push_back({p, gram_index, label});
+  sos_records_.push_back({p, {gram_index}, label});
 }
 
 void SosProgram::add_linear_eq(const LinExpr& e, const std::string& label) {

@@ -12,10 +12,20 @@
 
 #include "poly/basis.hpp"
 #include "poly/poly_lin.hpp"
+#include "poly/sparsity.hpp"
 #include "sdp/problem.hpp"
 #include "sdp/solver.hpp"
 
 namespace soslock::sos {
+
+/// Fresh csp multiplier plan for a certifier program — the single policy
+/// point deciding whether a SolverConfig's sparsity mode restricts
+/// S-procedure multiplier bases. Callers couple() their data polynomials
+/// before drawing the first multiplier basis (see poly::MultiplierSparsity).
+inline poly::MultiplierSparsity multiplier_plan(std::size_t nvars,
+                                                const sdp::SolverConfig& config) {
+  return poly::MultiplierSparsity(nvars, config.sparsity != sdp::SparsityOptions::Off);
+}
 
 /// A PSD Gram block: the polynomial it represents is basis' * G * basis.
 struct GramBlock {
@@ -77,6 +87,23 @@ class SosProgram {
   /// well inside the cone).
   void set_trace_regularization(double weight) { trace_reg_ = weight; }
 
+  /// Sparsity exploitation. Must be set *before* SOS constraints are added:
+  /// Correlative (and Chordal) split each constraint's Gram basis along the
+  /// csp-graph cliques at add_sos_constraint time; Chordal additionally runs
+  /// the SDP-level chordal conversion pass inside solve(). The mode is mixed
+  /// into the structure fingerprint, so WarmStart blobs never leak between
+  /// sparsity modes. The core certifiers forward options.solver.sparsity.
+  void set_sparsity(sdp::SparsityOptions sparsity) { sparsity_ = sparsity; }
+  sdp::SparsityOptions sparsity() const { return sparsity_; }
+  /// Tuning for the Chordal conversion pass (block-size threshold etc).
+  void set_chordal_options(const sdp::ChordalOptions& options) { chordal_ = options; }
+  /// Convenience for the core certifiers: adopt the sparsity fields of the
+  /// shared solver config (call before adding SOS constraints).
+  void set_sparsity(const sdp::SolverConfig& config) {
+    sparsity_ = config.sparsity;
+    chordal_ = config.chordal;
+  }
+
   // --- Solve ----------------------------------------------------------------
 
   /// Compile and solve with the backend selected by `config` (registry name
@@ -100,10 +127,12 @@ class SosProgram {
   std::size_t num_constraints() const { return eq_rows_.size() + linear_rows_.size(); }
 
   /// Record of one `p ∈ Σ` constraint, kept so solved certificates can be
-  /// independently re-audited (see sos/checker.hpp).
+  /// independently re-audited (see sos/checker.hpp). With sparsity enabled a
+  /// constraint owns one Gram block per csp clique; the audit recombines
+  /// them into one dense certificate (sos::recombine_cliques).
   struct SosConstraintRecord {
     poly::PolyLin target;       // the constrained polynomial (decision-linear)
-    std::size_t gram_index = 0; // Gram block allocated for it
+    std::vector<std::size_t> gram_indices;  // Gram block(s) allocated for it
     std::string label;
   };
   const std::vector<SosConstraintRecord>& sos_records() const { return sos_records_; }
@@ -146,6 +175,8 @@ class SosProgram {
   poly::LinExpr objective_;      // always stored in minimization form
   bool objective_is_max_ = false;
   double trace_reg_ = 0.0;
+  sdp::SparsityOptions sparsity_ = sdp::SparsityOptions::Off;
+  sdp::ChordalOptions chordal_;
   std::vector<SosConstraintRecord> sos_records_;
 };
 
@@ -196,6 +227,7 @@ struct SolveStats {
   int solves = 0;
   int iterations = 0;        // summed over solves
   double seconds = 0.0;      // summed wall clock inside backends
+  std::size_t max_cone = 0;  // largest PSD cone any backend worked on
 
   void absorb(const SolveResult& result);
   void merge(const SolveStats& other);

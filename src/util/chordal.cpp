@@ -1,0 +1,159 @@
+#include "util/chordal.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace soslock::util {
+
+std::size_t CliqueForest::max_clique_size() const {
+  std::size_t mx = 0;
+  for (const auto& c : cliques) mx = std::max(mx, c.size());
+  return mx;
+}
+
+std::size_t CliqueForest::total_size() const {
+  std::size_t total = 0;
+  for (const auto& c : cliques) total += c.size();
+  return total;
+}
+
+bool CliqueForest::covers(std::size_t n) const {
+  std::vector<bool> seen(n, false);
+  for (const auto& c : cliques)
+    for (const std::size_t v : c)
+      if (v < n) seen[v] = true;
+  for (std::size_t v = 0; v < n; ++v)
+    if (!seen[v]) return false;
+  return true;
+}
+
+CliqueForest chordal_cliques(std::size_t n, const Adjacency& adj) {
+  CliqueForest forest;
+  if (n == 0) return forest;
+
+  // Symmetrized working copy (diagonal cleared); fill-in is added here.
+  std::vector<std::vector<bool>> g(n, std::vector<bool>(n, false));
+  for (std::size_t r = 0; r < n && r < adj.size(); ++r) {
+    for (std::size_t c = 0; c < n && c < adj[r].size(); ++c) {
+      if (r != c && adj[r][c]) {
+        g[r][c] = true;
+        g[c][r] = true;
+      }
+    }
+  }
+
+  // Greedy minimum-degree elimination; each eliminated vertex records its
+  // elimination clique {v} ∪ N(v) and completes N(v) (the fill-in). Ties
+  // break on the lowest vertex index so the extension — and everything
+  // derived from it, structure fingerprints included — is deterministic.
+  std::vector<bool> eliminated(n, false);
+  std::vector<std::vector<std::size_t>> candidates;
+  candidates.reserve(n);
+  for (std::size_t round = 0; round < n; ++round) {
+    std::size_t best = n, best_deg = n + 1;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (eliminated[v]) continue;
+      std::size_t deg = 0;
+      for (std::size_t u = 0; u < n; ++u)
+        if (!eliminated[u] && g[v][u]) ++deg;
+      if (deg < best_deg) {
+        best = v;
+        best_deg = deg;
+      }
+    }
+    assert(best < n);
+    std::vector<std::size_t> clique;
+    clique.reserve(best_deg + 1);
+    clique.push_back(best);
+    for (std::size_t u = 0; u < n; ++u)
+      if (!eliminated[u] && u != best && g[best][u]) clique.push_back(u);
+    for (std::size_t a = 1; a < clique.size(); ++a) {
+      for (std::size_t b = a + 1; b < clique.size(); ++b) {
+        g[clique[a]][clique[b]] = true;
+        g[clique[b]][clique[a]] = true;
+      }
+    }
+    std::sort(clique.begin(), clique.end());
+    candidates.push_back(std::move(clique));
+    eliminated[best] = true;
+  }
+
+  // Keep the maximal candidates only (an elimination clique may be contained
+  // in an earlier vertex's clique). Subset tests over membership bitmaps.
+  std::vector<std::vector<bool>> member(candidates.size(), std::vector<bool>(n, false));
+  for (std::size_t k = 0; k < candidates.size(); ++k)
+    for (const std::size_t v : candidates[k]) member[k][v] = true;
+  std::vector<std::vector<std::size_t>> maximal;
+  std::vector<std::vector<bool>> maximal_member;
+  // Larger cliques first so a containing clique is always kept before any of
+  // its subsets is examined.
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return candidates[a].size() > candidates[b].size();
+  });
+  for (const std::size_t k : order) {
+    bool contained = false;
+    for (const auto& kept : maximal_member) {
+      bool subset = true;
+      for (const std::size_t v : candidates[k]) {
+        if (!kept[v]) {
+          subset = false;
+          break;
+        }
+      }
+      if (subset) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) {
+      maximal.push_back(candidates[k]);
+      maximal_member.push_back(member[k]);
+    }
+  }
+
+  // Clique forest: Prim over the complete clique graph with weights
+  // |C_i ∩ C_j|. For a chordal graph a maximum-weight spanning tree is a
+  // junction tree, and Prim's emission order adds every clique attached to an
+  // already-emitted one, so the emitted order is a forest preorder and the
+  // attachment edge realizes the running-intersection property. Zero-weight
+  // edges only bridge graph components (empty separators), which is harmless.
+  const std::size_t nc = maximal.size();
+  std::vector<bool> placed(nc, false);
+  std::vector<std::size_t> out_index(nc, 0);
+  forest.cliques.reserve(nc);
+  forest.parent.reserve(nc);
+  for (std::size_t emitted = 0; emitted < nc; ++emitted) {
+    std::size_t best = nc, best_attach = nc;
+    long best_weight = -1;
+    for (std::size_t k = 0; k < nc; ++k) {
+      if (placed[k]) continue;
+      long weight = 0;
+      std::size_t attach = nc;
+      for (std::size_t j = 0; j < nc; ++j) {
+        if (!placed[j]) continue;
+        long inter = 0;
+        for (const std::size_t v : maximal[k])
+          if (maximal_member[j][v]) ++inter;
+        if (attach == nc || inter > weight) {
+          weight = inter;
+          attach = j;
+        }
+      }
+      if (best == nc || weight > best_weight) {
+        best = k;
+        best_weight = weight;
+        best_attach = attach;
+      }
+    }
+    placed[best] = true;
+    out_index[best] = forest.cliques.size();
+    forest.parent.push_back(best_attach == nc ? forest.cliques.size()
+                                              : out_index[best_attach]);
+    forest.cliques.push_back(maximal[best]);
+  }
+  return forest;
+}
+
+}  // namespace soslock::util

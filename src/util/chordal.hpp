@@ -1,0 +1,43 @@
+#pragma once
+// Chordal-graph machinery shared by the sparsity exploits of the poly and sdp
+// layers: greedy minimum-degree chordal extension of an undirected graph and
+// the maximal cliques of that extension, arranged as a clique forest whose
+// preorder satisfies the running-intersection property (RIP),
+//
+//   C_k ∩ (C_1 ∪ ... ∪ C_{k-1})  ⊆  C_parent(k)   for every k > 0,
+//
+// which is exactly what both consumers need: the correlative-sparsity Gram
+// split (poly/sparsity) and the clique-tree PSD conversion/completion of
+// large SDP blocks (sdp/chordal).
+#include <cstddef>
+#include <vector>
+
+namespace soslock::util {
+
+/// Symmetric adjacency on n vertices (diagonal ignored).
+using Adjacency = std::vector<std::vector<bool>>;
+
+/// Maximal cliques of a chordal extension of a graph, in an order whose
+/// parents realize the running-intersection property.
+struct CliqueForest {
+  /// Maximal cliques (each sorted ascending), preordered along the forest so
+  /// that cliques[k] ∩ (cliques[0] ∪ .. ∪ cliques[k-1]) ⊆ cliques[parent[k]].
+  std::vector<std::vector<std::size_t>> cliques;
+  /// Parent clique index in the forest; parent[k] == k for roots.
+  std::vector<std::size_t> parent;
+
+  std::size_t max_clique_size() const;
+  /// Sum of clique sizes (total decomposed dimension; >= n on overlaps).
+  std::size_t total_size() const;
+  /// Every vertex of [0, n) appears in at least one clique (isolated vertices
+  /// become singleton cliques), so this is a cover of the vertex set.
+  bool covers(std::size_t n) const;
+};
+
+/// Chordal extension of `adj` by greedy minimum-degree elimination (fill-in
+/// added as vertices are eliminated), then the maximal cliques of the
+/// extension in a RIP preorder. Isolated vertices yield singleton cliques; a
+/// complete graph yields the single clique {0..n-1}.
+CliqueForest chordal_cliques(std::size_t n, const Adjacency& adj);
+
+}  // namespace soslock::util

@@ -270,6 +270,56 @@ TEST(Scaling, ZeroRowLeftAlone) {
   EXPECT_DOUBLE_EQ(s.row_scale[0], 1.0);
 }
 
+TEST(Scaling, NearZeroRowLeftAloneSoDualRescaleStaysFinite) {
+  // A degenerate constraint whose coefficients an aggressive Gram prune
+  // cancelled down to roundoff (or a denormal) must not be equilibrated:
+  // 1/norm would amplify the noise to O(1) — and overflow to inf for
+  // denormal norms — which then poisons y_orig = y / row_scale with
+  // inf/NaN in the warm-start dual rescale.
+  Problem p;
+  const std::size_t b = p.add_block(1);
+  {
+    Row row;
+    SparseSym a;
+    a.add(0, 0, 1e-300);  // far below kMinRowNorm, 1/x still finite
+    row.blocks[b] = a;
+    row.rhs = 1e-320;  // denormal: 1/x overflows to inf
+    p.add_row(std::move(row));
+  }
+  {
+    Row row;
+    SparseSym a;
+    a.add(0, 0, 1e-13);  // roundoff-level residual coefficients
+    row.blocks[b] = a;
+    p.add_row(std::move(row));
+  }
+  const Scaling s = equilibrate_rows(p);
+  for (std::size_t i = 0; i < p.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(s.row_scale[i], 1.0) << "row " << i;
+    ASSERT_TRUE(std::isfinite(s.row_scale[i]));
+    // The (un)rescale of warm-start duals across this scaling stays finite.
+    const double y = 3.5;
+    EXPECT_TRUE(std::isfinite(y * s.row_scale[i]));
+    EXPECT_TRUE(std::isfinite(y / s.row_scale[i]));
+  }
+  for (const Row& row : p.rows())
+    for (const auto& [j, a] : row.blocks)
+      for (const auto& t : a.entries) EXPECT_TRUE(std::isfinite(t.v));
+}
+
+TEST(Scaling, BarelyAboveThresholdStillScales) {
+  Problem p;
+  const std::size_t b = p.add_block(1);
+  Row row;
+  SparseSym a;
+  a.add(0, 0, 1e-9);  // tiny but meaningful: still normalized
+  row.blocks[b] = a;
+  p.add_row(std::move(row));
+  const Scaling s = equilibrate_rows(p);
+  EXPECT_DOUBLE_EQ(s.row_scale[0], 1e-9);
+  EXPECT_DOUBLE_EQ(p.rows()[0].blocks.at(b).entries[0].v, 1.0);
+}
+
 TEST(Problem, StatsString) {
   Problem p;
   p.add_block(3);

@@ -5,11 +5,17 @@
 // the first-order backend, recovery through the "auto" policy backend).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "core/advection.hpp"
+#include "core/barrier.hpp"
+#include "core/escape.hpp"
 #include "core/level_set.hpp"
 #include "core/lyapunov.hpp"
+#include "core/rate.hpp"
 #include "pll/models.hpp"
 #include "pll/params.hpp"
 #include "sdp/admm.hpp"
@@ -93,6 +99,59 @@ TEST(StructureCache, RepeatedStructurallyEqualProblemsHit) {
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(first.get(), second.get());
   EXPECT_EQ(first->rows_touching_block.size(), p.num_blocks());
+}
+
+TEST(StructureCache, ConcurrentMixedShapeStress) {
+  // ThreadSanitizer-style stress of the process-wide pattern cache as
+  // sos::BatchSolver workers drive it: many threads, more distinct shapes
+  // than slots (every insert evicts), every get() validated against a
+  // from-scratch rebuild. Run under -fsanitize=thread this doubles as a
+  // data-race detector; without it, it still catches iterator invalidation
+  // (crash), duplicate-slot eviction bugs (wrong pattern served), and lost
+  // or bogus structures.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kShapes = 6;
+  constexpr int kIters = 200;
+  sdp::StructureCache cache(2);  // much smaller than the working set
+
+  std::vector<Problem> problems;
+  std::vector<sdp::ProblemStructure> expected;
+  for (std::size_t s = 0; s < kShapes; ++s) {
+    // Distinct structures: vary block size and row count.
+    problems.push_back(random_feasible_sdp(100 + s, 4 + s, 6 + s));
+    expected.push_back(sdp::build_structure(problems.back()));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t s = (t * 31 + static_cast<std::size_t>(i) * 7) % kShapes;
+        const auto structure = cache.get(problems[s]);
+        if (structure->fingerprint != expected[s].fingerprint ||
+            structure->num_rows != expected[s].num_rows ||
+            structure->rows_touching_block != expected[s].rows_touching_block) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Shared shapes were revisited constantly: the cache must have served hits.
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST(StructureCache, IncompatibleShapeIsNeverServedForAFingerprint) {
+  // compatible_with is the collision guard: equal fingerprints with a
+  // different shape must not be accepted (a served collision would hand the
+  // backends out-of-range row indices).
+  const Problem a = random_feasible_sdp(11, 5, 7);
+  const Problem b = random_feasible_sdp(12, 6, 9);
+  const sdp::ProblemStructure sa = sdp::build_structure(a);
+  EXPECT_TRUE(sa.compatible_with(a));
+  EXPECT_FALSE(sa.compatible_with(b));
 }
 
 TEST(WarmStart, FitsChecksShapes) {
@@ -285,6 +344,98 @@ TEST(WarmStartLoops, LevelCurvesWarmSeedMatchesColdLevels) {
     EXPECT_NEAR(cold.levels[q], warm.levels[q], 1e-4 * (1.0 + std::fabs(cold.levels[q])));
   }
   EXPECT_LT(warm.solver.iterations, cold.solver.iterations);
+}
+
+// --- warm-start coverage: escape / rate / barrier ---------------------------
+
+TEST(WarmStartLoops, EscapePerModeSeedingSucceedsWithFewerOrEqualIterations) {
+  // The per-mode escape programs share one compiled shape on the pump-vertex
+  // model: with warm starts on, mode 0 seeds mode 1.
+  const pll::ReducedModel model =
+      pll::make_averaged_vertices(pll::Params::paper_third_order());
+  const core::LyapunovResult lyap =
+      core::LyapunovSynthesizer(third_order_lyapunov_options()).synthesize(model.system);
+  ASSERT_TRUE(lyap.success);
+
+  const poly::Polynomial region = ellipsoid(model.system.nvars(), {6.0, 6.0, 1.0});
+  auto run = [&](bool warm) {
+    core::EscapeOptions opt;
+    opt.certificate_degree = 2;
+    opt.solver.warm_start = warm;
+    const core::EscapeCertifier certifier(opt);
+    return certifier.certify(model.system, {0, 1}, region, lyap.certificates, 0.05);
+  };
+  const core::EscapeResult cold = run(false);
+  const core::EscapeResult warm = run(true);
+  ASSERT_EQ(cold.success, warm.success);
+  if (cold.success) {
+    ASSERT_EQ(cold.rates.size(), warm.rates.size());
+    for (std::size_t i = 0; i < cold.rates.size(); ++i)
+      EXPECT_NEAR(cold.rates[i], warm.rates[i], 1e-3 * (1.0 + std::fabs(cold.rates[i])));
+  }
+  EXPECT_LE(warm.solver.iterations, cold.solver.iterations);
+}
+
+TEST(WarmStartLoops, RateRepeatedCertifyReusesIterates) {
+  // Certifying rates for several modes of one system re-solves one compiled
+  // shape per program family (rate / lower envelope / upper envelope); the
+  // second certify() call must replay the first call's iterates.
+  const pll::ReducedModel model =
+      pll::make_averaged_vertices(pll::Params::paper_third_order());
+  const core::LyapunovResult lyap =
+      core::LyapunovSynthesizer(third_order_lyapunov_options()).synthesize(model.system);
+  ASSERT_TRUE(lyap.success);
+
+  core::RateOptions warm_opt;
+  warm_opt.solver.warm_start = true;
+  const core::RateCertifier warm_certifier(warm_opt);
+  const core::RateResult first = warm_certifier.certify(model.system, 0, lyap.certificates[0]);
+  const core::RateResult second = warm_certifier.certify(model.system, 1, lyap.certificates[1]);
+
+  core::RateOptions cold_opt;
+  cold_opt.solver.warm_start = false;
+  const core::RateCertifier cold_certifier(cold_opt);
+  const core::RateResult cold0 = cold_certifier.certify(model.system, 0, lyap.certificates[0]);
+  const core::RateResult cold1 = cold_certifier.certify(model.system, 1, lyap.certificates[1]);
+
+  EXPECT_EQ(first.success, cold0.success);
+  EXPECT_EQ(second.success, cold1.success);
+  if (second.success && cold1.success) {
+    EXPECT_NEAR(second.alpha, cold1.alpha, 1e-2 * (1.0 + std::fabs(cold1.alpha)));
+  }
+  // The warmed second call must not exceed the cold one's iteration bill.
+  EXPECT_LE(second.solver.iterations, cold1.solver.iterations);
+}
+
+TEST(WarmStartLoops, BarrierRepeatedCertifyReusesIterates) {
+  // A margin sweep re-certifies one compiled barrier shape; the second
+  // certify() call warm-starts from the first.
+  const pll::ReducedModel model = pll::make_averaged(pll::Params::paper_third_order());
+  hybrid::SemialgebraicSet initial(model.system.nvars());
+  initial.add_interval(0, -1.0, 1.0);
+  initial.add_interval(1, -1.0, 1.0);
+  initial.add_interval(2, -0.5, 0.5);
+  hybrid::SemialgebraicSet unsafe(model.system.nvars());
+  unsafe.add_interval(2, 0.9, 1.5);
+
+  core::BarrierOptions warm_opt;
+  warm_opt.certificate_degree = 2;
+  warm_opt.solver.warm_start = true;
+  const core::BarrierCertifier warm_certifier(warm_opt);
+  const core::BarrierResult first = warm_certifier.certify(model.system, initial, unsafe);
+  const core::BarrierResult second = warm_certifier.certify(model.system, initial, unsafe);
+
+  core::BarrierOptions cold_opt = warm_opt;
+  cold_opt.solver.warm_start = false;
+  const core::BarrierCertifier cold_certifier(cold_opt);
+  const core::BarrierResult cold = cold_certifier.certify(model.system, initial, unsafe);
+
+  EXPECT_EQ(first.success, cold.success);
+  EXPECT_EQ(second.success, cold.success);
+  if (cold.success) {
+    // The replayed solve converges strictly faster than the cold one.
+    EXPECT_LT(second.solver.iterations, cold.solver.iterations);
+  }
 }
 
 // --- maximize_region ADMM stall regression ---------------------------------
