@@ -95,6 +95,13 @@ class Ipm {
     for (std::size_t j = 0; j < nblocks_; ++j)
       c_norm_ = std::max(c_norm_, linalg::norm_inf(p_.block_objective(j)));
     for (double fi : p_.free_objective()) c_norm_ = std::max(c_norm_, std::fabs(fi));
+    // Free-variable coupling B (m x nf) is iteration-invariant: build it once
+    // here instead of on every predictor-corrector step.
+    bmat_ = Matrix(m_, std::max<std::size_t>(nf_, 1));
+    if (nf_ > 0) {
+      for (std::size_t i = 0; i < m_; ++i)
+        for (const auto& [v, c] : p_.rows()[i].free_coeffs) bmat_(i, v) = c;
+    }
   }
 
   Solution run() {
@@ -326,13 +333,17 @@ class Ipm {
         vi.coeff->times_dense(s.x[j], work_ax);          // A_i X
         work_w = solve_all_columns(chol_z[j], work_ax);  // Z^{-1} A_i X
         for (const BlockRowView& vk : touching) {
-          // <A_k, W> using symmetry of A_k (W is not symmetric; the
-          // symmetrized HKM direction uses (W + W^T)/2, and
-          // <A_k,(W+W^T)/2> = sum over triplets of both orientations).
+          // HKM symmetrization convention (the single place it is spelled
+          // out): W = Z^{-1} A_i X is not symmetric, the symmetrized HKM
+          // direction uses (W + W^T)/2, so M_ik = <A_k, (W + W^T)/2>. A_k is
+          // stored as upper triplets with the (c, r) mirror implicit, and
+          // both mirror entries read the *same* symmetrized quantity
+          // 0.5 * (W_rc + W_cr) — one fused accumulation weighted 2x for
+          // off-diagonal triplets, not two branches re-reading it.
           double acc = 0.0;
           for (const Triplet& t : vk.coeff->entries) {
-            acc += t.v * 0.5 * (work_w(t.r, t.c) + work_w(t.c, t.r));
-            if (t.r != t.c) acc += t.v * 0.5 * (work_w(t.c, t.r) + work_w(t.r, t.c));
+            const double sym = 0.5 * (work_w(t.r, t.c) + work_w(t.c, t.r));
+            acc += (t.r == t.c ? 1.0 : 2.0) * t.v * sym;
           }
           schur(vi.row, vk.row) += acc;
         }
@@ -342,12 +353,8 @@ class Ipm {
 
     const Cholesky chol_m = Cholesky::factor_shifted(schur, 1e-13);
 
-    // Free-variable coupling B (m x nf).
-    Matrix bmat(m_, std::max<std::size_t>(nf_, 1));
-    if (nf_ > 0) {
-      for (std::size_t i = 0; i < m_; ++i)
-        for (const auto& [v, c] : p_.rows()[i].free_coeffs) bmat(i, v) = c;
-    }
+    // Free-variable coupling B (m x nf), built once at solver setup.
+    const Matrix& bmat = bmat_;
     Matrix w_free, s_free;
     std::optional<Cholesky> chol_s;
     if (nf_ > 0) {
@@ -531,6 +538,7 @@ class Ipm {
   SolveContext& ctx_;
   std::shared_ptr<const ProblemStructure> structure_;
   std::vector<std::vector<BlockRowView>> views_;
+  Matrix bmat_;  // free-variable coupling B (m x nf); iteration-invariant
   std::size_t m_ = 0, nf_ = 0, nblocks_ = 0, total_dim_ = 0;
   double data_norm_ = 1.0, c_norm_ = 1.0;
 };
