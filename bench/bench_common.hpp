@@ -92,6 +92,93 @@ inline bool env_flag(const char* name) {
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
+/// Minimal machine-readable bench output: one flat JSON object per section,
+/// {"section": {"field": value, ...}, ...}. `fresh` truncates the file (the
+/// first bench of a CI run); otherwise sections written by earlier benches
+/// are kept and a section with the same name is *replaced*, so re-running
+/// any single bench is idempotent. Only files this helper wrote (its fixed
+/// two-space formatting) are parsed; anything else starts fresh.
+inline void write_bench_json(const std::string& path, const std::string& section,
+                             const std::vector<std::pair<std::string, double>>& fields,
+                             bool fresh) {
+  // Recover (name, body-lines) of previously written sections.
+  std::vector<std::pair<std::string, std::string>> sections;
+  if (!fresh) {
+    std::string existing;
+    if (std::FILE* in = std::fopen(path.c_str(), "rb")) {
+      char buf[4096];
+      std::size_t got;
+      while ((got = std::fread(buf, 1, sizeof(buf), in)) > 0) existing.append(buf, got);
+      std::fclose(in);
+    }
+    std::string name, body;
+    bool inside = false;
+    std::size_t pos = 0;
+    while (pos < existing.size()) {
+      std::size_t eol = existing.find('\n', pos);
+      if (eol == std::string::npos) eol = existing.size();
+      const std::string line = existing.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (!inside && line.size() > 4 && line.compare(0, 3, "  \"") == 0 &&
+          line.back() == '{') {
+        const std::size_t close = line.find('"', 3);
+        if (close == std::string::npos) continue;
+        name = line.substr(3, close - 3);
+        body.clear();
+        inside = true;
+      } else if (inside && (line == "  }" || line == "  },")) {
+        sections.emplace_back(name, body);
+        inside = false;
+      } else if (inside) {
+        // Strip any trailing comma; it is re-added on write.
+        std::string entry = line;
+        if (!entry.empty() && entry.back() == ',') entry.pop_back();
+        body += entry + "\n";
+      }
+    }
+  }
+  // Replace or append this bench's section.
+  std::string body;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "    \"%s\": %.6g\n", fields[i].first.c_str(),
+                  fields[i].second);
+    body += line;
+  }
+  bool replaced = false;
+  for (auto& [existing_name, existing_body] : sections) {
+    if (existing_name == section) {
+      existing_body = body;
+      replaced = true;
+    }
+  }
+  if (!replaced) sections.emplace_back(section, body);
+
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n");
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    std::fprintf(out, "  \"%s\": {\n", sections[s].first.c_str());
+    // Re-add the per-field commas (every line but the last).
+    const std::string& b = sections[s].second;
+    std::size_t pos = 0;
+    while (pos < b.size()) {
+      std::size_t eol = b.find('\n', pos);
+      if (eol == std::string::npos) eol = b.size();
+      const bool last = b.find('\n', eol + 1) == std::string::npos && eol + 1 >= b.size();
+      std::fprintf(out, "%.*s%s\n", static_cast<int>(eol - pos), b.c_str() + pos,
+                   last ? "" : ",");
+      pos = eol + 1;
+    }
+    std::fprintf(out, "  }%s\n", s + 1 < sections.size() ? "," : "");
+  }
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+}
+
 inline void print_series_plot(const std::string& title,
                               const std::vector<util::Series>& series, double extent_x,
                               double extent_y, const std::string& xlabel,

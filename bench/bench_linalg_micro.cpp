@@ -1,0 +1,115 @@
+// Tiny kernel-level micro-bench: eigensolver / Cholesky / GEMM across sizes
+// 8..256, so a linalg kernel regression is caught in seconds without running
+// a full certify. Prints per-size timings, checks each kernel's result (the
+// timing loop doubles as a correctness sweep), and gates the one relation
+// the PR 4 overhaul guarantees at kernel level: tridiagonal-QL beats the
+// Jacobi reference on mid-size symmetric matrices.
+#include <cmath>
+#include <cstdio>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace soslock;
+using linalg::Matrix;
+
+namespace {
+
+Matrix random_sym(std::size_t n, util::Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  a.symmetrize();
+  return a;
+}
+
+Matrix random_spd(std::size_t n, util::Rng& rng) {
+  const Matrix g = random_sym(n, rng);
+  Matrix s = linalg::times_transposed(g, g);
+  for (std::size_t i = 0; i < n; ++i) s(i, i) += 0.5;
+  return s;
+}
+
+/// Repeat `fn` until ~50ms of wall clock; returns seconds per call.
+template <typename Fn>
+double time_kernel(const Fn& fn) {
+  const util::Timer total;
+  int calls = 0;
+  do {
+    fn();
+    ++calls;
+  } while (total.seconds() < 0.05);
+  return total.seconds() / calls;
+}
+
+}  // namespace
+
+int main() {
+  int failures = 0;
+  std::printf("%6s %12s %12s %12s %12s %12s\n", "n", "eig-ql", "eig-jacobi", "eig-values",
+              "cholesky", "gemm");
+  double ql64 = 0.0, jac64 = 0.0;
+  for (std::size_t n : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    util::Rng rng(n * 7 + 1);
+    const Matrix sym = random_sym(n, rng);
+    const Matrix spd = random_spd(n, rng);
+    const Matrix b = random_sym(n, rng);
+
+    // Timing loop measures the bare eigensolver; the reconstruction check
+    // runs once outside it (a GEMM regression must not skew the eig gate).
+    const double t_ql = time_kernel([&] { linalg::eigen_sym(sym); });
+    {
+      const linalg::EigenSym es = linalg::eigen_sym(sym);
+      const Matrix rec = es.vectors * Matrix::diag(es.values) * es.vectors.transposed();
+      const double resid = linalg::norm_inf(rec - sym);
+      if (resid > 1e-8 * std::max(1.0, linalg::norm_inf(sym))) {
+        std::printf("FAIL: eigen_sym reconstruction residual %.2e at n=%zu\n", resid, n);
+        ++failures;
+      }
+    }
+    // The Jacobi reference is quadratic-in-practice in sweeps: keep the
+    // largest sizes out of its timing loop (the ratio gate uses n=64).
+    const double t_jac = n <= 64 ? time_kernel([&] { linalg::eigen_sym_jacobi(sym); }) : -1.0;
+    const double t_vals = time_kernel([&] { linalg::eigen_values_sym(sym); });
+    if (n == 64) {
+      ql64 = t_ql;
+      jac64 = t_jac;
+    }
+
+    const double t_chol = time_kernel([&] { linalg::Cholesky::factor(spd); });
+    {
+      const auto chol = linalg::Cholesky::factor(spd);
+      const double chol_resid =
+          chol.has_value()
+              ? linalg::norm_inf(linalg::times_transposed(chol->lower(), chol->lower()) - spd)
+              : 1.0;
+      if (chol_resid > 1e-8 * std::max(1.0, linalg::norm_inf(spd))) {
+        std::printf("FAIL: Cholesky residual %.2e at n=%zu\n", chol_resid, n);
+        ++failures;
+      }
+    }
+
+    const double t_gemm = time_kernel([&] {
+      const Matrix c = sym * b;
+      (void)c;
+    });
+
+    char jac_buf[16];
+    std::snprintf(jac_buf, sizeof(jac_buf), t_jac < 0 ? "-" : "%.3e", t_jac);
+    std::printf("%6zu %11.3es %12s %11.3es %11.3es %11.3es\n", n, t_ql, jac_buf, t_vals,
+                t_chol, t_gemm);
+  }
+
+  // Kernel-level gate: QL must clearly beat the Jacobi reference at n=64
+  // (measured ~5x; gate at 2x for noise slack).
+  const double speedup = jac64 / std::max(1e-12, ql64);
+  std::printf("\neigen n=64: ql=%.3es jacobi=%.3es speedup=%.2fx\n", ql64, jac64, speedup);
+  if (speedup < 2.0) {
+    std::printf("FAIL: QL eigensolver speedup %.2fx < 2x over Jacobi at n=64\n", speedup);
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}

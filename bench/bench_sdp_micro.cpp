@@ -1,10 +1,29 @@
-// Micro-benchmarks of the interior-point SDP solver: scaling with block size
-// and constraint count, and the value of the Mehrotra predictor-corrector.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks of the SDP solver hot paths, with the PR 4 kernel gates:
+//
+//  * IPM scaling with block size / constraint count, and the value of the
+//    Mehrotra predictor-corrector (informational).
+//  * ADMM PSD-projection-dominated solve with the tridiagonal-QL production
+//    eigensolver vs the cyclic-Jacobi reference (AdmmOptions::use_jacobi_eig)
+//    — the eigensolver-swap speedup, gated.
+//  * IPM Schur assembly, fast sparse-panel upper-triangle path vs the
+//    pre-overhaul reference (IpmOptions::reference_schur) on a random SDP
+//    (informational here; the pump-vertex model gate lives in
+//    bench_table2_timing).
+//
+// Speedups are measured per iteration from the backends' per-phase timers
+// (sdp::Solution::phase), so they are self-relative on the current machine:
+// immune to absolute-speed noise between CI runners. Results are written to
+// BENCH_PR4.json (this bench truncates; bench_table2_timing appends) and a
+// regression beyond the noise slack exits nonzero, which is what CI keys on.
+#include <algorithm>
+#include <cstdio>
 
+#include "bench_common.hpp"
 #include "linalg/matrix.hpp"
+#include "sdp/admm.hpp"
 #include "sdp/ipm.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 using namespace soslock;
 
@@ -38,44 +57,101 @@ sdp::Problem random_sdp(std::size_t n, std::size_t m, std::uint64_t seed) {
   return p;
 }
 
-void BM_IpmSolveBlockSize(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const sdp::Problem p = random_sdp(n, 2 * n, 7);
-  const sdp::IpmSolver solver;
-  for (auto _ : state) {
-    const sdp::Solution sol = solver.solve(p);
-    benchmark::DoNotOptimize(sol.primal_objective);
-  }
+double per_iter(double seconds, int iterations) {
+  return seconds / std::max(1, iterations);
 }
-BENCHMARK(BM_IpmSolveBlockSize)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
-
-void BM_IpmSolveConstraints(benchmark::State& state) {
-  const auto m = static_cast<std::size_t>(state.range(0));
-  const sdp::Problem p = random_sdp(12, m, 11);
-  const sdp::IpmSolver solver;
-  for (auto _ : state) {
-    const sdp::Solution sol = solver.solve(p);
-    benchmark::DoNotOptimize(sol.iterations);
-  }
-}
-BENCHMARK(BM_IpmSolveConstraints)->Arg(10)->Arg(40)->Arg(120);
-
-void BM_IpmPredictorCorrector(benchmark::State& state) {
-  const bool use_pc = state.range(0) != 0;
-  const sdp::Problem p = random_sdp(16, 40, 13);
-  sdp::IpmOptions options;
-  options.predictor_corrector = use_pc;
-  const sdp::IpmSolver solver(options);
-  int iterations = 0;
-  for (auto _ : state) {
-    const sdp::Solution sol = solver.solve(p);
-    iterations = sol.iterations;
-    benchmark::DoNotOptimize(sol.mu);
-  }
-  state.counters["iterations"] = iterations;
-}
-BENCHMARK(BM_IpmPredictorCorrector)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  std::printf("=== IPM scaling (informational) ===\n");
+  std::printf("%-26s %10s %10s %8s\n", "", "wall", "schur/it", "iters");
+  for (std::size_t n : {5u, 10u, 20u, 40u}) {
+    const sdp::Problem p = random_sdp(n, 2 * n, 7);
+    const util::Timer t;
+    const sdp::Solution sol = sdp::IpmSolver().solve(p);
+    std::printf("block n=%-17zu %9.3fs %9.2es %8d\n", n, t.seconds(),
+                per_iter(sol.phase.schur, sol.iterations), sol.iterations);
+  }
+  for (std::size_t m : {10u, 40u, 120u}) {
+    const sdp::Problem p = random_sdp(12, m, 11);
+    const util::Timer t;
+    const sdp::Solution sol = sdp::IpmSolver().solve(p);
+    std::printf("constraints m=%-11zu %9.3fs %9.2es %8d\n", m, t.seconds(),
+                per_iter(sol.phase.schur, sol.iterations), sol.iterations);
+  }
+  {
+    sdp::IpmOptions no_pc;
+    no_pc.predictor_corrector = false;
+    const sdp::Problem p = random_sdp(16, 40, 13);
+    const sdp::Solution with_pc = sdp::IpmSolver().solve(p);
+    const sdp::Solution without = sdp::IpmSolver(no_pc).solve(p);
+    std::printf("predictor-corrector: %d iters with, %d without\n", with_pc.iterations,
+                without.iterations);
+  }
+
+  // --- ADMM eigensolver swap: QL vs Jacobi on projection-dominated solves ---
+  // One large Gram-sized block: per-iteration cost is the block
+  // eigendecomposition, i.e. exactly what the tridiagonal-QL swap targets.
+  std::printf("\n=== ADMM PSD projection: tridiagonal-QL vs Jacobi reference ===\n");
+  const sdp::Problem big = random_sdp(120, 48, 17);
+  sdp::AdmmOptions aopt;
+  aopt.max_iterations = 80;  // timing window; convergence is not the point
+  const sdp::Solution ql = sdp::AdmmSolver(aopt).solve(big);
+  sdp::AdmmOptions jopt = aopt;
+  jopt.use_jacobi_eig = true;
+  const sdp::Solution jac = sdp::AdmmSolver(jopt).solve(big);
+  const double ql_eig = per_iter(ql.phase.eig, ql.iterations);
+  const double jac_eig = per_iter(jac.phase.eig, jac.iterations);
+  const double eig_speedup = jac_eig / std::max(1e-12, ql_eig);
+  std::printf("%-26s %12.4es/it (%d iters)\n", "QL projection", ql_eig, ql.iterations);
+  std::printf("%-26s %12.4es/it (%d iters)\n", "Jacobi projection", jac_eig, jac.iterations);
+  std::printf("%-26s %12.2fx\n", "eigensolver swap speedup", eig_speedup);
+
+  // --- IPM Schur assembly: sparse panels vs reference -----------------------
+  std::printf("\n=== IPM Schur assembly: fast vs reference (random SDP) ===\n");
+  const sdp::Problem mid = random_sdp(40, 80, 19);
+  const sdp::Solution fast = sdp::IpmSolver().solve(mid);
+  sdp::IpmOptions ref_opt;
+  ref_opt.reference_schur = true;
+  const sdp::Solution ref = sdp::IpmSolver(ref_opt).solve(mid);
+  const double fast_schur = per_iter(fast.phase.schur, fast.iterations);
+  const double ref_schur = per_iter(ref.phase.schur, ref.iterations);
+  const double schur_speedup = ref_schur / std::max(1e-12, fast_schur);
+  std::printf("%-26s %12.4es/it (%d iters, %s)\n", "fast assembly", fast_schur,
+              fast.iterations, fast.backend.c_str());
+  std::printf("%-26s %12.4es/it (%d iters)\n", "reference assembly", ref_schur,
+              ref.iterations);
+  std::printf("%-26s %12.2fx\n", "schur assembly speedup", schur_speedup);
+
+  bench::write_bench_json("BENCH_PR4.json", "sdp_micro",
+                          {{"admm_eig_per_iter_ql", ql_eig},
+                           {"admm_eig_per_iter_jacobi", jac_eig},
+                           {"admm_eig_speedup", eig_speedup},
+                           {"ipm_schur_per_iter_fast", fast_schur},
+                           {"ipm_schur_per_iter_reference", ref_schur},
+                           {"ipm_schur_speedup_random", schur_speedup}},
+                          /*fresh=*/true);
+  std::printf("\nwrote BENCH_PR4.json (sdp_micro)\n");
+
+  int failures = 0;
+  // Target is >= 2x (measured ~5x); the gate sits at 1.6x so shared-runner
+  // noise cannot trip CI while a real eigensolver regression still fails.
+  if (eig_speedup < 1.6) {
+    std::printf("FAIL: ADMM eigensolver swap speedup %.2fx < 1.6x\n", eig_speedup);
+    ++failures;
+  }
+  // The solves must agree: same status, matching objectives.
+  if (ql.status != jac.status) {
+    std::printf("FAIL: QL vs Jacobi ADMM status diverged (%s vs %s)\n",
+                sdp::to_string(ql.status).c_str(), sdp::to_string(jac.status).c_str());
+    ++failures;
+  }
+  if (fast.status != ref.status ||
+      std::fabs(fast.primal_objective - ref.primal_objective) >
+          1e-4 * (1.0 + std::fabs(ref.primal_objective))) {
+    std::printf("FAIL: fast vs reference IPM solves diverged\n");
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -152,7 +152,10 @@ struct GramGeometry {
   int max_block = 0;  // largest Gram block (== largest PSD cone compiled)
 };
 
-GramGeometry pump_vertex_gram(sdp::SparsityOptions sparsity) {
+/// The joint maximize_region-shaped Lyapunov feasibility program on the
+/// pump-vertex model — the Gram-geometry gate input and the Schur-assembly
+/// bench workload.
+sos::SosProgram build_pump_vertex_lyapunov(sdp::SparsityOptions sparsity) {
   const pll::ReducedModel model = pll::make_averaged_vertices(pll::Params::paper_third_order());
   const hybrid::HybridSystem& system = model.system;
   const std::size_t nvars = system.nvars();
@@ -184,12 +187,45 @@ GramGeometry pump_vertex_gram(sdp::SparsityOptions sparsity) {
     prog.add_sos_constraint(pos, "pos" + std::to_string(q));
     prog.add_sos_constraint(dec, "dec" + std::to_string(q));
   }
+  return prog;
+}
+
+GramGeometry pump_vertex_gram(sdp::SparsityOptions sparsity) {
+  const sos::SosProgram prog = build_pump_vertex_lyapunov(sparsity);
   GramGeometry geometry;
   for (const auto& g : prog.gram_blocks()) {
     geometry.total += static_cast<int>(g.basis.size());
     geometry.max_block = std::max(geometry.max_block, static_cast<int>(g.basis.size()));
   }
   return geometry;
+}
+
+/// IPM Schur-assembly speedup on the pump-vertex model: the fast sparse-panel
+/// upper-triangle assembly vs the pre-overhaul reference
+/// (IpmOptions::reference_schur), measured per iteration from the backend's
+/// phase timers so the comparison is self-relative on this machine.
+struct SchurBench {
+  double fast_per_iter = 0.0, ref_per_iter = 0.0, speedup = 0.0;
+  int iters_fast = 0, iters_ref = 0;
+  bool verdict_parity = false;
+};
+
+SchurBench bench_pump_vertex_schur() {
+  const sos::SosProgram prog = build_pump_vertex_lyapunov(sdp::SparsityOptions::Off);
+  sdp::SolverConfig config;
+  config.backend = "ipm";
+  config.warm_start = false;
+  const sos::SolveResult fast = prog.solve(config);
+  config.ipm.reference_schur = true;
+  const sos::SolveResult ref = prog.solve(config);
+  SchurBench out;
+  out.iters_fast = fast.sdp.iterations;
+  out.iters_ref = ref.sdp.iterations;
+  out.fast_per_iter = fast.sdp.phase.schur / std::max(1, fast.sdp.iterations);
+  out.ref_per_iter = ref.sdp.phase.schur / std::max(1, ref.sdp.iterations);
+  out.speedup = out.ref_per_iter / std::max(1e-12, out.fast_per_iter);
+  out.verdict_parity = fast.status == ref.status && fast.feasible == ref.feasible;
+  return out;
 }
 
 }  // namespace
@@ -305,7 +341,39 @@ int main() {
               dense_gram.total, dense_gram.max_block, clique_gram.total,
               clique_gram.max_block, kPrunedGramBudget, kMaxCliqueBudget);
 
+  // --- IPM Schur-assembly speedup gate (PR 4 kernel overhaul) ---------------
+  std::printf("\n=== IPM Schur assembly on the pump-vertex model ===\n");
+  const SchurBench schur = bench_pump_vertex_schur();
+  std::printf("%-26s %12.4es/it (%d iters)\n", "fast assembly", schur.fast_per_iter,
+              schur.iters_fast);
+  std::printf("%-26s %12.4es/it (%d iters)\n", "reference assembly", schur.ref_per_iter,
+              schur.iters_ref);
+  std::printf("%-26s %12.2fx (verdict parity: %s)\n", "speedup", schur.speedup,
+              schur.verdict_parity ? "yes" : "NO");
+
+  bench::write_bench_json("BENCH_PR4.json", "table2",
+                          {{"schur_per_iter_fast", schur.fast_per_iter},
+                           {"schur_per_iter_reference", schur.ref_per_iter},
+                           {"schur_speedup_pump_vertex", schur.speedup},
+                           {"warm_iteration_ratio", ratio},
+                           {"wall_cold_seconds", cold.seconds},
+                           {"wall_warm_seconds", warm.seconds},
+                           {"wall_clique_seconds", clique_loops.seconds}},
+                          /*fresh=*/false);
+  std::printf("wrote BENCH_PR4.json (table2)\n");
+
   int failures = 0;
+  // Target is >= 1.5x (measured well above); the gate sits at 1.25x so
+  // shared-runner noise cannot trip CI while a real Schur-assembly
+  // regression still fails loudly.
+  if (schur.speedup < 1.25) {
+    std::printf("FAIL: pump-vertex Schur assembly speedup %.2fx < 1.25x\n", schur.speedup);
+    ++failures;
+  }
+  if (!schur.verdict_parity) {
+    std::printf("FAIL: fast vs reference Schur assembly changed the verdict\n");
+    ++failures;
+  }
   // Current ratio is ~1.53x; the gate sits below it so cross-platform
   // iteration-count jitter cannot trip CI, while a real warm-start
   // regression (ratio -> 1.0) still fails loudly.

@@ -138,6 +138,11 @@ EscapeResult EscapeCertifier::certify(const hybrid::HybridSystem& system,
   std::vector<EscapeResult> per_mode(modes.size());
   const sos::BatchSolver batch(options_.threads);
   const bool reuse = options_.solver.warm_start && modes.size() > 1;
+  // Concurrent per-mode solves share the backend thread budget (the same
+  // anti-oversubscription division BatchSolver::solve_all applies).
+  EscapeOptions batched_options = options_;
+  batched_options.solver =
+      batch.effective_config(options_.solver, reuse ? modes.size() - 1 : modes.size());
   std::size_t failed = modes.size();
   if (reuse) {
     sdp::WarmStart seed;
@@ -148,7 +153,7 @@ EscapeResult EscapeCertifier::certify(const hybrid::HybridSystem& system,
       const std::size_t rest =
           batch.run_all_until_failure(modes.size() - 1, [&](std::size_t i) {
             const std::size_t idx = i + 1;
-            per_mode[idx] = solve_escape(system, {modes[idx]}, {sets[idx]}, options_,
+            per_mode[idx] = solve_escape(system, {modes[idx]}, {sets[idx]}, batched_options,
                                          seed.empty() ? nullptr : &seed);
             return per_mode[idx].success;
           });
@@ -156,7 +161,7 @@ EscapeResult EscapeCertifier::certify(const hybrid::HybridSystem& system,
     }
   } else {
     failed = batch.run_all_until_failure(modes.size(), [&](std::size_t idx) {
-      per_mode[idx] = solve_escape(system, {modes[idx]}, {sets[idx]}, options_);
+      per_mode[idx] = solve_escape(system, {modes[idx]}, {sets[idx]}, batched_options);
       return per_mode[idx].success;
     });
   }

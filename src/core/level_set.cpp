@@ -33,7 +33,8 @@ bool AttractiveInvariant::contains_consistent(const linalg::Vector& x_full) cons
 LevelSetResult LevelSetMaximizer::maximize_one(const Polynomial& v,
                                                const SemialgebraicSet& domain,
                                                const sdp::WarmStart* warm,
-                                               sdp::WarmStart* warm_out) const {
+                                               sdp::WarmStart* warm_out,
+                                               const sdp::SolverConfig* config) const {
   LevelSetResult result;
   const std::size_t nvars = v.nvars();
 
@@ -80,7 +81,8 @@ LevelSetResult LevelSetMaximizer::maximize_one(const Polynomial& v,
   }
 
   prog.maximize(c);
-  const sos::SolveResult solved = prog.solve(options_.solver, warm);
+  const sos::SolveResult solved =
+      prog.solve(config != nullptr ? *config : options_.solver, warm);
   if (warm_out != nullptr && !solved.warm.empty()) *warm_out = solved.warm;
   result.solver.absorb(solved);
   // Audit-based acceptance: a stalled iterate still certifies a (possibly
@@ -114,6 +116,10 @@ LevelSetResult LevelSetMaximizer::maximize(const hybrid::HybridSystem& system,
   std::vector<LevelSetResult> per_mode(num_modes);
   const sos::BatchSolver batch(options_.threads);
   const bool reuse = options_.solver.warm_start && num_modes > 1;
+  // Concurrent per-mode solves share the backend thread budget (the same
+  // anti-oversubscription division BatchSolver::solve_all applies).
+  const sdp::SolverConfig batched_cfg =
+      batch.effective_config(options_.solver, reuse ? num_modes - 1 : num_modes);
   sdp::WarmStart seed;
   std::size_t failed = num_modes;
   if (reuse) {
@@ -124,14 +130,15 @@ LevelSetResult LevelSetMaximizer::maximize(const hybrid::HybridSystem& system,
       const std::size_t rest = batch.run_all_until_failure(num_modes - 1, [&](std::size_t i) {
         const std::size_t q = i + 1;
         per_mode[q] = maximize_one(certificates[q], system.modes()[q].domain,
-                                   seed.empty() ? nullptr : &seed);
+                                   seed.empty() ? nullptr : &seed, nullptr, &batched_cfg);
         return per_mode[q].success;
       });
       if (rest < num_modes - 1) failed = rest + 1;
     }
   } else {
     failed = batch.run_all_until_failure(num_modes, [&](std::size_t q) {
-      per_mode[q] = maximize_one(certificates[q], system.modes()[q].domain);
+      per_mode[q] = maximize_one(certificates[q], system.modes()[q].domain, nullptr, nullptr,
+                                 &batched_cfg);
       return per_mode[q].success;
     });
   }

@@ -52,11 +52,13 @@ class LevelSetMaximizer {
   /// Maximize the level of `v` inside `domain` (one mode). `warm` optionally
   /// replays a structurally matching previous iterate (see
   /// SosProgram::solve); `warm_out`, when non-null, receives this solve's
-  /// iterate for chaining.
+  /// iterate for chaining. `config` overrides options.solver for this solve
+  /// (maximize() passes a thread-rebalanced copy to its concurrent calls).
   LevelSetResult maximize_one(const poly::Polynomial& v,
                               const hybrid::SemialgebraicSet& domain,
                               const sdp::WarmStart* warm = nullptr,
-                              sdp::WarmStart* warm_out = nullptr) const;
+                              sdp::WarmStart* warm_out = nullptr,
+                              const sdp::SolverConfig* config = nullptr) const;
 
   /// All modes of a system; returns per-mode levels + the consistent level.
   /// With options.solver.warm_start the first mode's iterate warm-starts the

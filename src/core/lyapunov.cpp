@@ -314,8 +314,11 @@ LyapunovResult LyapunovSynthesizer::synthesize_decoupled(const HybridSystem& sys
   if (options_.solver.warm_start && num_modes > 1) {
     solves[0] = progs[0].solve(options_.solver);
     const sdp::WarmStart& seed = solves[0].warm;
+    // Mode 0 ran alone (full thread budget); the concurrent rest share it.
+    const sdp::SolverConfig batched_cfg =
+        batch.effective_config(options_.solver, num_modes - 1);
     batch.run_all(num_modes - 1, [&](std::size_t i) {
-      solves[i + 1] = progs[i + 1].solve(options_.solver, seed.empty() ? nullptr : &seed);
+      solves[i + 1] = progs[i + 1].solve(batched_cfg, seed.empty() ? nullptr : &seed);
     });
   } else {
     std::vector<const sos::SosProgram*> prog_ptrs;

@@ -7,23 +7,69 @@
 namespace soslock::linalg {
 namespace {
 
+/// Panel width of the blocked factorization. Each round factors a kB x kB
+/// diagonal block, solves the panel below it, and applies one syrk-style
+/// rank-kB update to the trailing matrix — the update runs on contiguous
+/// row segments, so the working set per round stays cache-resident instead
+/// of streaming the whole matrix per column as the unblocked loop does.
+constexpr std::size_t kPanel = 48;
+
 /// In-place attempt; returns false when a non-positive pivot appears.
+/// Blocked right-looking factorization: the factor is built in the lower
+/// triangle of a working copy of `a` (plus `shift` on the diagonal); the
+/// strictly-upper part is zeroed on success.
 bool try_factor(const Matrix& a, double shift, Matrix& l) {
   const std::size_t n = a.rows();
-  l = Matrix(n, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    double d = a(j, j) + shift;
-    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
-    if (!(d > 0.0) || !std::isfinite(d)) return false;
-    const double ljj = std::sqrt(d);
-    l(j, j) = ljj;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double s = a(i, j);
-      const double* li = l.row_ptr(i);
+  l = a;
+  if (shift != 0.0) {
+    for (std::size_t i = 0; i < n; ++i) l(i, i) += shift;
+  }
+  for (std::size_t k0 = 0; k0 < n; k0 += kPanel) {
+    const std::size_t kb = std::min(kPanel, n - k0);
+    const std::size_t t0 = k0 + kb;  // first trailing row
+    // 1. Unblocked factor of the diagonal block (columns < k0 were already
+    //    folded in by the trailing updates of previous rounds).
+    for (std::size_t j = k0; j < t0; ++j) {
       const double* lj = l.row_ptr(j);
-      for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
-      l(i, j) = s / ljj;
+      double d = lj[j];
+      for (std::size_t k = k0; k < j; ++k) d -= lj[k] * lj[k];
+      if (!(d > 0.0) || !std::isfinite(d)) return false;
+      const double ljj = std::sqrt(d);
+      l(j, j) = ljj;
+      const double inv = 1.0 / ljj;
+      for (std::size_t i = j + 1; i < t0; ++i) {
+        double* li = l.row_ptr(i);
+        double s = li[j];
+        for (std::size_t k = k0; k < j; ++k) s -= li[k] * lj[k];
+        li[j] = s * inv;
+      }
     }
+    // 2. Panel solve: L21 = A21 * L11^{-T} row by row.
+    for (std::size_t i = t0; i < n; ++i) {
+      double* li = l.row_ptr(i);
+      for (std::size_t j = k0; j < t0; ++j) {
+        const double* lj = l.row_ptr(j);
+        double s = li[j];
+        for (std::size_t k = k0; k < j; ++k) s -= li[k] * lj[k];
+        li[j] = s / lj[j];
+      }
+    }
+    // 3. Trailing syrk update A22 -= L21 * L21^T, lower triangle only.
+    //    Row pairs are contiguous length-kb segments starting at column k0.
+    for (std::size_t i = t0; i < n; ++i) {
+      const double* pi = l.row_ptr(i) + k0;
+      double* li = l.row_ptr(i);
+      for (std::size_t j = t0; j <= i; ++j) {
+        const double* pj = l.row_ptr(j) + k0;
+        double s = 0.0;
+        for (std::size_t k = 0; k < kb; ++k) s += pi[k] * pj[k];
+        li[j] -= s;
+      }
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    double* lr = l.row_ptr(r);
+    for (std::size_t c = r + 1; c < n; ++c) lr[c] = 0.0;
   }
   return true;
 }
@@ -104,6 +150,43 @@ Matrix Cholesky::solve(const Matrix& b) const {
     const Vector sol = solve(col);
     for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
   }
+  return x;
+}
+
+Matrix Cholesky::inverse() const {
+  // A^{-1} = L^{-T} L^{-1}. First J = L^{-1} by forward substitution per
+  // column (the identity right-hand side is sparse: column j starts at row
+  // j, so the forward pass is triangular in cost); then X = L^{-T} J by back
+  // substitution. Work runs on whole rows of the output, not per-column
+  // vector copies.
+  const std::size_t n = l_.rows();
+  Matrix x(n, n);
+  // Forward: J(i, j) for i >= j, built column-major logically but stored
+  // row-major; iterate rows outer so writes stay contiguous.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = l_.row_ptr(i);
+    double* xi = x.row_ptr(i);
+    const double inv = 1.0 / li[i];
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = (i == j) ? 1.0 : 0.0;
+      for (std::size_t k = j; k < i; ++k) s -= li[k] * x(k, j);
+      xi[j] = s * inv;
+    }
+  }
+  // Backward: X <- L^{-T} X, rows from the bottom; row i of the result needs
+  // rows > i of the intermediate, so in-place back substitution is safe.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double* xi = x.row_ptr(ii);
+    const double inv = 1.0 / l_(ii, ii);
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = xi[j];
+      for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x(k, j);
+      xi[j] = s * inv;
+    }
+  }
+  // Clean up roundoff asymmetry so downstream symmetric kernels see an
+  // exactly symmetric inverse.
+  x.symmetrize();
   return x;
 }
 

@@ -28,6 +28,11 @@ class Cholesky {
   /// Solve L^T x = y (back substitution).
   Vector solve_lower_transposed(const Vector& y) const;
 
+  /// Explicit (A + shift I)^{-1} = L^{-T} L^{-1}, symmetrized. Cheaper than
+  /// n right-hand-side solves and turns repeated A^{-1} S applications into
+  /// GEMMs (the IPM computes it once per block per iteration).
+  Matrix inverse() const;
+
   const Matrix& lower() const { return l_; }
   double shift() const { return shift_; }
   /// log(det A) = 2 * sum log L_ii.

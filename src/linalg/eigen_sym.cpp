@@ -2,11 +2,166 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace soslock::linalg {
+namespace {
 
-EigenSym eigen_sym(const Matrix& a, double tol, int max_sweeps) {
+/// Householder reduction of the symmetric matrix held in `z` to tridiagonal
+/// form (EISPACK tred2 lineage): on return d holds the diagonal, e the
+/// subdiagonal (e[0] unused), and — when `want_vectors` — z the accumulated
+/// orthogonal transformation Q with A = Q T Q^T. Without vectors, z is
+/// scratch and only d/e are meaningful.
+void tridiagonalize(Matrix& z, Vector& d, Vector& e, bool want_vectors) {
+  const int n = static_cast<int>(z.rows());
+  for (int i = n - 1; i > 0; --i) {
+    const int l = i - 1;
+    double h = 0.0, scale = 0.0;
+    if (l > 0) {
+      for (int k = 0; k <= l; ++k) scale += std::fabs(z(i, k));
+      if (scale == 0.0) {
+        e[i] = z(i, l);
+      } else {
+        for (int k = 0; k <= l; ++k) {
+          z(i, k) /= scale;
+          h += z(i, k) * z(i, k);
+        }
+        double f = z(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        z(i, l) = f - g;
+        f = 0.0;
+        for (int j = 0; j <= l; ++j) {
+          if (want_vectors) z(j, i) = z(i, j) / h;
+          g = 0.0;
+          for (int k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
+          for (int k = j + 1; k <= l; ++k) g += z(k, j) * z(i, k);
+          e[j] = g / h;
+          f += e[j] * z(i, j);
+        }
+        const double hh = f / (h + h);
+        for (int j = 0; j <= l; ++j) {
+          f = z(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (int k = 0; k <= j; ++k) z(j, k) -= f * e[k] + g * z(i, k);
+        }
+      }
+    } else {
+      e[i] = z(i, l);
+    }
+    d[i] = h;
+  }
+  if (want_vectors) d[0] = 0.0;
+  e[0] = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (want_vectors) {
+      if (d[i] != 0.0) {
+        for (int j = 0; j < i; ++j) {
+          double g = 0.0;
+          for (int k = 0; k < i; ++k) g += z(i, k) * z(k, j);
+          for (int k = 0; k < i; ++k) z(k, j) -= g * z(k, i);
+        }
+      }
+      d[i] = z(i, i);
+      z(i, i) = 1.0;
+      for (int j = 0; j < i; ++j) {
+        z(j, i) = 0.0;
+        z(i, j) = 0.0;
+      }
+    } else {
+      d[i] = z(i, i);
+    }
+  }
+}
+
+/// Implicit-shift QL on the tridiagonal (d, e) (EISPACK tql2/tql1 lineage).
+/// Rotations are accumulated into *z when non-null. Returns false if any
+/// eigenvalue fails to converge within 50 shifts (caller falls back to the
+/// Jacobi reference).
+bool ql_implicit_shift(Vector& d, Vector& e, Matrix* z) {
+  const int n = static_cast<int>(d.size());
+  if (n <= 1) return true;
+  for (int i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+  for (int l = 0; l < n; ++l) {
+    int iter = 0;
+    int m;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        // Machine-epsilon-relative deflation test (NR's "e + dd == dd"): a
+        // tolerance tighter than eps could never be met by an off-diagonal
+        // resting at the rounding floor and would burn the full iteration
+        // budget before falling back to Jacobi.
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= std::numeric_limits<double>::epsilon() * dd) break;
+      }
+      if (m != l) {
+        if (iter++ == 50) return false;
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0, c = 1.0, p = 0.0;
+        int i = m - 1;
+        for (; i >= l; --i) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            // Deflation mid-sweep: the split is below i; undo the shift on
+            // d[i+1] and restart the scan for this l.
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          if (z != nullptr) {
+            const int nn = n;
+            for (int k = 0; k < nn; ++k) {
+              f = (*z)(k, i + 1);
+              (*z)(k, i + 1) = s * (*z)(k, i) + c * f;
+              (*z)(k, i) = c * (*z)(k, i) - s * f;
+            }
+          }
+        }
+        if (r == 0.0 && i >= l) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  return true;
+}
+
+/// Sort eigenvalues ascending, permuting eigenvector columns to match.
+EigenSym sorted_result(Vector d, Matrix z) {
+  const std::size_t n = d.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&d](std::size_t i, std::size_t j) { return d[i] < d[j]; });
+  EigenSym out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = d[order[j]];
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = z(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace
+
+EigenSym eigen_sym_jacobi(const Matrix& a, double tol, int max_sweeps) {
   assert(a.rows() == a.cols());
   const std::size_t n = a.rows();
   Matrix d = a;
@@ -52,26 +207,45 @@ EigenSym eigen_sym(const Matrix& a, double tol, int max_sweeps) {
     }
   }
 
-  // Sort eigenvalues ascending, permute eigenvectors to match.
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [&d](std::size_t i, std::size_t j) { return d(i, i) < d(j, j); });
+  Vector values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = d(i, i);
+  return sorted_result(std::move(values), std::move(v));
+}
 
-  EigenSym out;
-  out.values.resize(n);
-  out.vectors = Matrix(n, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    out.values[j] = d(order[j], order[j]);
-    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+EigenSym eigen_sym(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  if (n == 0) return {};
+  if (n == 1) {
+    EigenSym out;
+    out.values = {a(0, 0)};
+    out.vectors = Matrix::identity(1);
+    return out;
   }
-  return out;
+  Matrix z = a;
+  Vector d(n), e(n);
+  tridiagonalize(z, d, e, /*want_vectors=*/true);
+  if (!ql_implicit_shift(d, e, &z)) return eigen_sym_jacobi(a);
+  return sorted_result(std::move(d), std::move(z));
+}
+
+Vector eigen_values_sym(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  if (n == 0) return {};
+  if (n == 1) return {a(0, 0)};
+  Matrix z = a;
+  Vector d(n), e(n);
+  tridiagonalize(z, d, e, /*want_vectors=*/false);
+  if (!ql_implicit_shift(d, e, nullptr)) return eigen_sym_jacobi(a).values;
+  std::sort(d.begin(), d.end());
+  return d;
 }
 
 double min_eigenvalue(const Matrix& a) {
   if (a.rows() == 0) return 0.0;
   if (a.rows() == 1) return a(0, 0);
-  return eigen_sym(a).values.front();
+  return eigen_values_sym(a).front();
 }
 
 Matrix sqrt_psd(const Matrix& a) {

@@ -10,6 +10,8 @@
 #include "linalg/eigen_sym.hpp"
 #include "sdp/structure.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace soslock::sdp {
 namespace {
@@ -22,7 +24,8 @@ class Admm {
  public:
   Admm(const Problem& p, const AdmmOptions& opt, SolveContext& ctx,
        std::shared_ptr<const ProblemStructure> structure)
-      : p_(p), opt_(opt), ctx_(ctx), structure_(std::move(structure)) {
+      : p_(p), opt_(opt), ctx_(ctx), structure_(std::move(structure)),
+        pool_(opt.threads) {
     m_ = p_.num_rows();
     nf_ = p_.num_free();
     nblocks_ = p_.num_blocks();
@@ -37,6 +40,13 @@ class Admm {
   }
 
   Solution run() {
+    Solution sol = run_inner();
+    sol.phase = phase_;
+    return sol;
+  }
+
+ private:
+  Solution run_inner() {
     Solution out;
     rho_ = std::max(opt_.rho, 1e-8);
     const int rho_interval = std::max(opt_.rho_update_interval, 1);
@@ -44,6 +54,7 @@ class Admm {
 
     // The y-update normal matrix M = A A* + B B' is iteration-independent:
     // factor it once. M_ik = sum_j <A_ij, A_kj> + sum_v B_iv B_kv.
+    const util::Timer setup_timer;
     if (m_ > 0) {
       Matrix normal(m_, m_);
       for (std::size_t j = 0; j < nblocks_; ++j) {
@@ -71,8 +82,10 @@ class Admm {
       }
       chol_m_.emplace(Cholesky::factor_shifted(normal, 1e-12));
     }
+    phase_.factor += setup_timer.seconds();
 
-    // State: primal (X, w), dual (y, S). X stays exactly PSD by construction.
+    // State: primal (X, w), dual (y, S). X stays PSD by construction (it is
+    // rebuilt each iteration as a Gram product of the negative eigenpanel).
     if (const WarmStart* ws = ctx_.warm_start; ws != nullptr && ws->fits(p_)) {
       // First-order iterates need no interior margin: restore the raw state.
       x_ = ws->x;
@@ -222,13 +235,19 @@ class Admm {
   /// One full splitting iteration (y, then (S, X), then w) plus the scaled
   /// residuals/gap of the resulting iterate.
   void step_once(double alpha, double& pres, double& dres, double& gap) {
+    util::Timer phase_timer;
     y_update();
+    phase_.schur += phase_timer.seconds();
+    phase_timer.reset();
     dres = sx_update(alpha);
+    phase_.eig += phase_timer.seconds();
+    phase_timer.reset();
     dres = std::max(dres, w_update(alpha));
     pres = primal_residual_inf() / (1.0 + data_norm_);
     const double pobj = primal_objective(x_, w_);
     const double dobj = dual_objective(y_);
     gap = std::fabs(pobj - dobj) / (1.0 + std::fabs(pobj) + std::fabs(dobj));
+    phase_.recover += phase_timer.seconds();
   }
 
   /// y-update: M y = (b - A(X) - B w)/rho + A(C - S) + B f.
@@ -250,12 +269,17 @@ class Admm {
   /// U_j = C_j - A*_j y - X_j/rho into S_j = U_j^+ and X_j = -rho U_j^-.
   /// Over-relaxation (alpha in (1, 2)) blends the fresh y-image with the
   /// previous slack, U_j = alpha (C_j - A*_j y) + (1-alpha) S_j - X_j/rho,
-  /// which keeps X_j exactly PSD and exactly complementary to S_j while
+  /// which keeps X_j PSD by construction and complementary to S_j (up to
+  /// eigensolver roundoff) while
   /// damping the tail oscillation of the plain splitting. Returns the dual
   /// residual max_j ||X_new - X_old||_inf / (rho (1 + ||C||)).
   double sx_update(double alpha) {
-    double dres = 0.0;
-    for (std::size_t j = 0; j < nblocks_; ++j) {
+    // Blocks are independent given y (read-only here): one eigendecomposition
+    // per block, fanned out on the pool. Each task writes only its own
+    // x_[j] / s_[j] slot and dres slot, and the final max-reduction is
+    // order-independent, so results are identical across thread counts.
+    linalg::Vector dres_per_block(nblocks_, 0.0);
+    pool_.run_all(nblocks_, [&](std::size_t j) {
       Matrix u = p_.block_objective(j);
       for (const BlockRowView& v : views_[j]) v.coeff->add_to(u, -y_[v.row]);
       if (alpha != 1.0) {
@@ -268,33 +292,41 @@ class Admm {
       split_psd(u, splus, xnew);
       Matrix diff = xnew;
       diff -= x_[j];
-      dres = std::max(dres, linalg::norm_inf(diff) / (rho_ * (1.0 + c_norm_)));
+      dres_per_block[j] = linalg::norm_inf(diff) / (rho_ * (1.0 + c_norm_));
       s_[j] = std::move(splus);
       x_[j] = std::move(xnew);
-    }
+    });
+    double dres = 0.0;
+    for (double d : dres_per_block) dres = std::max(dres, d);
     return dres;
   }
 
-  /// Eigensplit of U into S = U^+ and X = -rho U^- (both PSD, complementary).
+  /// Eigensplit of U into S = U^+ and X = -rho U^- (both PSD, complementary
+  /// up to eigensolver roundoff). The negative side — the side that becomes
+  /// the primal X — is reconstructed as a GEMM on the scaled eigenvector
+  /// panel, U^- = (Q sqrt(-lambda))(Q sqrt(-lambda))^T, so X keeps its
+  /// Gram/certificate shape by construction; the slack side falls out of
+  /// U^+ = U + U^-. One panel GEMM instead of accumulating both sides
+  /// rank-1 by rank-1 (and in this dual splitting X ends low-rank, so the
+  /// reconstructed side is almost always the small one), with the O(n^3)
+  /// work riding on the blocked kernel.
   void split_psd(const Matrix& u, Matrix& splus_out, Matrix& xnew_out) const {
     const std::size_t n = u.rows();
-    const linalg::EigenSym eig = linalg::eigen_sym(u);
-    Matrix splus(n, n), sminus(n, n);
-    for (std::size_t r = 0; r < n; ++r) {
-      const double lam = eig.values[r];
-      // Rank-1 accumulate lam * q q' into the positive or negative part.
-      Matrix& target = lam >= 0.0 ? splus : sminus;
-      const double mag = std::fabs(lam);
-      if (mag == 0.0) continue;
-      for (std::size_t a = 0; a < n; ++a) {
-        const double qa = eig.vectors(a, r) * mag;
-        if (qa == 0.0) continue;
-        for (std::size_t bnd = 0; bnd < n; ++bnd) target(a, bnd) += qa * eig.vectors(bnd, r);
-      }
+    const linalg::EigenSym eig =
+        opt_.use_jacobi_eig ? linalg::eigen_sym_jacobi(u) : linalg::eigen_sym(u);
+    std::size_t nneg = 0;  // values ascending: negatives first
+    while (nneg < n && eig.values[nneg] < 0.0) ++nneg;
+    Matrix panel(n, nneg);
+    for (std::size_t c = 0; c < nneg; ++c) {
+      const double scale = std::sqrt(-eig.values[c]);
+      for (std::size_t r = 0; r < n; ++r) panel(r, c) = eig.vectors(r, c) * scale;
     }
-    sminus.scale(rho_);
-    splus_out = std::move(splus);
-    xnew_out = std::move(sminus);
+    Matrix neg = linalg::times_transposed(panel, panel);  // U^-
+    Matrix pos = neg;                                     // U^+ = U + U^-
+    pos += u;
+    neg.scale(rho_);
+    splus_out = std::move(pos);
+    xnew_out = std::move(neg);
   }
 
   /// w-update (multiplier ascent on B'y = f, over-relaxed step). Returns the
@@ -374,6 +406,8 @@ class Admm {
   const AdmmOptions& opt_;
   SolveContext& ctx_;
   std::shared_ptr<const ProblemStructure> structure_;
+  util::ThreadPool pool_;
+  PhaseTimes phase_;
   std::vector<std::vector<BlockRowView>> views_;
   std::optional<Cholesky> chol_m_;
   std::vector<Matrix> x_, s_;

@@ -9,7 +9,8 @@
 // One iteration solves a cached m x m normal-equation system for y, projects
 // per block onto the PSD cone (via linalg::eigen_sym), and takes a multiplier
 // ascent step in the primal (X, w). The multiplier update X_j = rho * U_j^-
-// keeps every primal block exactly PSD and exactly complementary to S_j, so
+// keeps every primal block PSD by construction (a Gram product of the
+// negative eigenpanel) and complementary to S_j up to eigensolver roundoff, so
 // iterates are always certificate-shaped; accuracy is first-order (~1e-6).
 #include "sdp/options.hpp"
 #include "sdp/problem.hpp"

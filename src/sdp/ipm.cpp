@@ -9,6 +9,8 @@
 #include "linalg/eigen_sym.hpp"
 #include "sdp/structure.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace soslock::sdp {
 namespace {
@@ -79,7 +81,8 @@ class Ipm {
  public:
   Ipm(const Problem& p, const IpmOptions& opt, SolveContext& ctx,
       std::shared_ptr<const ProblemStructure> structure)
-      : p_(p), opt_(opt), ctx_(ctx), structure_(std::move(structure)) {
+      : p_(p), opt_(opt), ctx_(ctx), structure_(std::move(structure)),
+        pool_(opt.threads) {
     m_ = p_.num_rows();
     nf_ = p_.num_free();
     nblocks_ = p_.num_blocks();
@@ -89,6 +92,24 @@ class Ipm {
     // this problem instance) but reuse the cached pattern, so the hot loops
     // below never consult the per-row std::map.
     views_ = build_block_row_views(p_, *structure_);
+    // Schur assembly order: per block, views sorted densest-first
+    // (SDPA-style). Row i at sorted position p pairs with every k at
+    // position q >= p, and the O(nnz_k) inner product always reads the
+    // *later* (sparser) row's triplets, so the dense rows' triplet loops run
+    // as rarely as possible. Stable tie-break keeps the order deterministic.
+    schur_order_.resize(nblocks_);
+    for (std::size_t j = 0; j < nblocks_; ++j) {
+      auto& order = schur_order_[j];
+      order.resize(views_[j].size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      const auto& touching = views_[j];
+      std::stable_sort(order.begin(), order.end(),
+                       [&touching](std::size_t a, std::size_t b) {
+                         return touching[a].coeff->entries.size() >
+                                touching[b].coeff->entries.size();
+                       });
+    }
+    panel_scratch_.resize(std::max<std::size_t>(1, pool_.threads()));
     data_norm_ = 1.0;
     for (std::size_t i = 0; i < m_; ++i) data_norm_ = std::max(data_norm_, std::fabs(p_.rhs(i)));
     c_norm_ = 1.0;
@@ -105,6 +126,13 @@ class Ipm {
   }
 
   Solution run() {
+    Solution sol = run_inner();
+    sol.phase = phase_;
+    return sol;
+  }
+
+ private:
+  Solution run_inner() {
     State s = initial_state();
     Solution best;
     double best_merit = std::numeric_limits<double>::infinity();
@@ -174,7 +202,6 @@ class Ipm {
     return best;
   }
 
- private:
   State initial_state() const {
     if (const WarmStart* ws = ctx_.warm_start; ws != nullptr && ws->fits(p_)) {
       return restored_state(*ws);
@@ -310,19 +337,12 @@ class Ipm {
     return res.rp_rel < 1e-5 && primal_objective(s) < -1.0;
   }
 
-  /// One predictor-corrector step; returns false on numerical breakdown.
-  bool step(State& s, const Residuals& res, double mu) {
-    // Factor all Z blocks and X blocks.
-    std::vector<Cholesky> chol_z, chol_x;
-    chol_z.reserve(nblocks_);
-    chol_x.reserve(nblocks_);
-    for (std::size_t j = 0; j < nblocks_; ++j) {
-      chol_z.push_back(Cholesky::factor_shifted(s.z[j]));
-      chol_x.push_back(Cholesky::factor_shifted(s.x[j]));
-    }
-
-    // Assemble the Schur complement M_ik = sum_j <A_ij, Z_j^{-1} A_kj X_j>.
-    Matrix schur(m_, m_);
+  /// Reference Schur assembly (pre-overhaul): both triangles, per-row
+  /// triangular column solves, then symmetrize. Kept selectable
+  /// (IpmOptions::reference_schur) for parity tests and as the baseline of
+  /// the bench speedup gates.
+  void assemble_schur_reference(const State& s, const std::vector<Cholesky>& chol_z,
+                                Matrix& schur) const {
     Matrix work_ax, work_w;
     for (std::size_t j = 0; j < nblocks_; ++j) {
       const auto& touching = views_[j];
@@ -333,13 +353,6 @@ class Ipm {
         vi.coeff->times_dense(s.x[j], work_ax);          // A_i X
         work_w = solve_all_columns(chol_z[j], work_ax);  // Z^{-1} A_i X
         for (const BlockRowView& vk : touching) {
-          // HKM symmetrization convention (the single place it is spelled
-          // out): W = Z^{-1} A_i X is not symmetric, the symmetrized HKM
-          // direction uses (W + W^T)/2, so M_ik = <A_k, (W + W^T)/2>. A_k is
-          // stored as upper triplets with the (c, r) mirror implicit, and
-          // both mirror entries read the *same* symmetrized quantity
-          // 0.5 * (W_rc + W_cr) — one fused accumulation weighted 2x for
-          // off-diagonal triplets, not two branches re-reading it.
           double acc = 0.0;
           for (const Triplet& t : vk.coeff->entries) {
             const double sym = 0.5 * (work_w(t.r, t.c) + work_w(t.c, t.r));
@@ -350,8 +363,118 @@ class Ipm {
       }
     }
     schur.symmetrize();
+  }
 
+  /// Fast Schur assembly: fill only the upper triangle — each unordered row
+  /// pair is computed once (the exact-arithmetic symmetry M_ik = M_ki of the
+  /// symmetrized HKM operator makes the mirror free) — over views sorted
+  /// densest-first, with the Z_j^{-1} A_i X_j panel built once per row as a
+  /// sum of nnz(A_i) rank-1 outer products (O(nnz n^2), not the O(n^3)
+  /// column solves of the reference). Panels are independent across rows, so
+  /// they fan out on the pool; every (i, k) entry is written by exactly one
+  /// task and blocks are accumulated in a fixed sequential order, which
+  /// makes the assembly bit-identical across thread counts.
+  void assemble_schur_fast(const State& s, const std::vector<Matrix>& zinv,
+                           Matrix& schur) {
+    for (std::size_t j = 0; j < nblocks_; ++j) {
+      const auto& touching = views_[j];
+      if (touching.empty()) continue;
+      const std::size_t n = p_.block_size(j);
+      const Matrix& zi = zinv[j];
+      const Matrix& xj = s.x[j];
+      const auto& order = schur_order_[j];
+      auto panel_task = [&](std::size_t w, std::size_t p) {
+        Matrix& panel = panel_scratch_[w];
+        if (panel.rows() != n || panel.cols() != n) {
+          panel = Matrix(n, n);
+        } else {
+          panel.fill(0.0);
+        }
+        const BlockRowView& vi = touching[order[p]];
+        // panel = Z^{-1} A_i X = sum over triplets v (zinv_col_r x_row_c +
+        // [r != c] zinv_col_c x_row_r); zinv is symmetric, so its columns
+        // are its rows and every factor is a contiguous row pointer.
+        for (const Triplet& t : vi.coeff->entries) {
+          add_scaled_outer(panel, t.v, zi.row_ptr(t.r), xj.row_ptr(t.c), n);
+          if (t.r != t.c)
+            add_scaled_outer(panel, t.v, zi.row_ptr(t.c), xj.row_ptr(t.r), n);
+        }
+        for (std::size_t q = p; q < order.size(); ++q) {
+          const BlockRowView& vk = touching[order[q]];
+          // HKM symmetrization convention (the single place it is spelled
+          // out): W = Z^{-1} A_i X is not symmetric, the symmetrized HKM
+          // direction uses (W + W^T)/2, so M_ik = <A_k, (W + W^T)/2>. A_k
+          // is stored as upper triplets with the (c, r) mirror implicit,
+          // and both mirror entries read the *same* symmetrized quantity
+          // 0.5 * (W_rc + W_cr) — one fused accumulation weighted 2x for
+          // off-diagonal triplets.
+          double acc = 0.0;
+          for (const Triplet& t : vk.coeff->entries) {
+            const double sym = 0.5 * (panel(t.r, t.c) + panel(t.c, t.r));
+            acc += (t.r == t.c ? 1.0 : 2.0) * t.v * sym;
+          }
+          std::size_t r1 = vi.row, r2 = vk.row;
+          if (r1 > r2) std::swap(r1, r2);
+          schur(r1, r2) += acc;
+        }
+      };
+      // Fan out only when the block carries enough *work* to amortize the
+      // fork-join — rows alone do not cut it: a 1x1 slack touched by a
+      // hundred rows is still microseconds of panel work. Estimate by the
+      // dominant panel cost (rows x n^2); tiny blocks run inline. Both
+      // paths write the same entries in the same per-entry order.
+      if (pool_.threads() > 1 && order.size() >= 8 && order.size() * n * n >= 32768) {
+        pool_.run_all_indexed(order.size(), panel_task);
+      } else {
+        for (std::size_t p = 0; p < order.size(); ++p) panel_task(0, p);
+      }
+    }
+    // Mirror the computed upper triangle (row indices) onto the lower.
+    for (std::size_t r = 0; r < m_; ++r) {
+      const double* ur = schur.row_ptr(r);
+      for (std::size_t c = r + 1; c < m_; ++c) schur(c, r) = ur[c];
+    }
+  }
+
+  static void add_scaled_outer(Matrix& out, double v, const double* u,
+                               const double* w, std::size_t n) {
+    for (std::size_t a = 0; a < n; ++a) {
+      const double f = v * u[a];
+      if (f == 0.0) continue;
+      double* row = out.row_ptr(a);
+      for (std::size_t b = 0; b < n; ++b) row[b] += f * w[b];
+    }
+  }
+
+  /// One predictor-corrector step; returns false on numerical breakdown.
+  bool step(State& s, const Residuals& res, double mu) {
+    util::Timer phase_timer;
+    // Factor all Z and X blocks and form the explicit Z^{-1} (used by the
+    // Schur panels, the RHS assembly and the direction recovery — computing
+    // it once per block per iteration replaces three rounds of per-column
+    // triangular solves with GEMMs). Blocks are independent: fan out.
+    std::vector<Cholesky> chol_z(nblocks_), chol_x(nblocks_);
+    std::vector<Matrix> zinv(nblocks_);
+    pool_.run_all(nblocks_, [&](std::size_t j) {
+      chol_z[j] = Cholesky::factor_shifted(s.z[j]);
+      chol_x[j] = Cholesky::factor_shifted(s.x[j]);
+      zinv[j] = chol_z[j].inverse();
+    });
+    phase_.factor += phase_timer.seconds();
+
+    // Assemble the Schur complement M_ik = sum_j <A_ij, Z_j^{-1} A_kj X_j>.
+    phase_timer.reset();
+    Matrix schur(m_, m_);
+    if (opt_.reference_schur) {
+      assemble_schur_reference(s, chol_z, schur);
+    } else {
+      assemble_schur_fast(s, zinv, schur);
+    }
+    phase_.schur += phase_timer.seconds();
+
+    phase_timer.reset();
     const Cholesky chol_m = Cholesky::factor_shifted(schur, 1e-13);
+    phase_.factor += phase_timer.seconds();
 
     // Free-variable coupling B (m x nf), built once at solver setup.
     const Matrix& bmat = bmat_;
@@ -400,26 +523,27 @@ class Ipm {
 
     // RHS shared pieces: for a given complementarity target nu,
     // r1_i = rp_i - sum_j <A_ij, nu Z^{-1} - X - Z^{-1} Rd X + Corr>.
+    // The per-block E_j are independent GEMMs on the precomputed Z^{-1}
+    // (fan out on the pool); the row accumulation runs sequentially because
+    // a row may touch several blocks.
     auto build_r1 = [&](double nu, const std::vector<Matrix>* corr) {
       Vector r1 = res.rp;
-      for (std::size_t j = 0; j < nblocks_; ++j) {
-        const auto& touching = views_[j];
-        if (touching.empty()) continue;
-        const std::size_t n = p_.block_size(j);
-        // E_j = nu Z^{-1} - X - Z^{-1} Rd X (+ corrector term).
-        Matrix e(n, n);
-        if (nu != 0.0) {
-          const Matrix zi = solve_all_columns(chol_z[j], Matrix::identity(n));
-          e = zi;
-          e.scale(nu);
-        }
-        e -= s.x[j];
+      std::vector<Matrix> e(nblocks_);
+      pool_.run_all(nblocks_, [&](std::size_t j) {
+        if (views_[j].empty()) return;
+        // E_j = nu Z^{-1} - X - Z^{-1} (Rd X + Corr).
         Matrix rdx = res.rd[j] * s.x[j];
         if (corr != nullptr) rdx += (*corr)[j];
-        const Matrix zrdx = solve_all_columns(chol_z[j], rdx);
-        e -= zrdx;
-        e.symmetrize();
-        for (const BlockRowView& v : touching) r1[v.row] -= v.coeff->dot(e);
+        Matrix ej = zinv[j] * rdx;
+        ej.scale(-1.0);
+        ej -= s.x[j];
+        if (nu != 0.0) ej.axpy(nu, zinv[j]);
+        ej.symmetrize();
+        e[j] = std::move(ej);
+      });
+      for (std::size_t j = 0; j < nblocks_; ++j) {
+        if (views_[j].empty()) continue;
+        for (const BlockRowView& v : views_[j]) r1[v.row] -= v.coeff->dot(e[j]);
       }
       return r1;
     };
@@ -428,30 +552,46 @@ class Ipm {
                             std::vector<Matrix>& dx, std::vector<Matrix>& dz) {
       dx.resize(nblocks_);
       dz.resize(nblocks_);
-      for (std::size_t j = 0; j < nblocks_; ++j) {
-        const std::size_t n = p_.block_size(j);
+      pool_.run_all(nblocks_, [&](std::size_t j) {
         Matrix dzj = res.rd[j];
         for (const BlockRowView& v : views_[j]) v.coeff->add_to(dzj, -dy[v.row]);
         // dX = nu Z^{-1} - X - Z^{-1} (dZ X + Corr), symmetrized.
         Matrix rhs = dzj * s.x[j];
         if (corr != nullptr) rhs += (*corr)[j];
-        Matrix dxj = solve_all_columns(chol_z[j], rhs);
+        Matrix dxj = zinv[j] * rhs;
         dxj.scale(-1.0);
         dxj -= s.x[j];
-        if (nu != 0.0) {
-          const Matrix zi = solve_all_columns(chol_z[j], Matrix::identity(n));
-          dxj.axpy(nu, zi);
-        }
+        if (nu != 0.0) dxj.axpy(nu, zinv[j]);
         dxj.symmetrize();
         dx[j] = std::move(dxj);
         dz[j] = std::move(dzj);
+      });
+    };
+
+    // Max PSD step lengths over all blocks (one eigendecomposition per
+    // block; independent, order-insensitive min-reduction).
+    auto step_lengths = [&](const std::vector<Matrix>& dx_c, const std::vector<Matrix>& dz_c,
+                            double cap, double& ap_out, double& ad_out) {
+      util::Timer eig_timer;
+      Vector aps(nblocks_, cap), ads(nblocks_, cap);
+      pool_.run_all(nblocks_, [&](std::size_t j) {
+        aps[j] = max_step(chol_x[j], dx_c[j], cap);
+        ads[j] = max_step(chol_z[j], dz_c[j], cap);
+      });
+      ap_out = cap;
+      ad_out = cap;
+      for (std::size_t j = 0; j < nblocks_; ++j) {
+        ap_out = std::min(ap_out, aps[j]);
+        ad_out = std::min(ad_out, ads[j]);
       }
+      phase_.eig += eig_timer.seconds();
     };
 
     Vector dy, dw;
     std::vector<Matrix> dx, dz;
     double sigma = 0.2;
 
+    util::Timer recover_timer;
     if (opt_.predictor_corrector && total_dim_ > 0) {
       // Predictor: pure Newton (nu = 0).
       const Vector r1_aff = build_r1(0.0, nullptr);
@@ -459,12 +599,11 @@ class Ipm {
       solve_kkt(r1_aff, res.rf, dy_aff, dw_aff);
       std::vector<Matrix> dx_aff, dz_aff;
       recover_dxdz(dy_aff, 0.0, nullptr, dx_aff, dz_aff);
+      phase_.recover += recover_timer.seconds();
 
       double ap = 1.0, ad = 1.0;
-      for (std::size_t j = 0; j < nblocks_; ++j) {
-        ap = std::min(ap, max_step(chol_x[j], dx_aff[j], 1.0));
-        ad = std::min(ad, max_step(chol_z[j], dz_aff[j], 1.0));
-      }
+      step_lengths(dx_aff, dz_aff, 1.0, ap, ad);
+      recover_timer.reset();
       double mu_aff = 0.0;
       for (std::size_t j = 0; j < nblocks_; ++j) {
         Matrix xa = s.x[j];
@@ -484,24 +623,24 @@ class Ipm {
 
       // Corrector with second-order term dZ_aff * dX_aff.
       std::vector<Matrix> corr(nblocks_);
-      for (std::size_t j = 0; j < nblocks_; ++j) corr[j] = dz_aff[j] * dx_aff[j];
+      pool_.run_all(nblocks_,
+                    [&](std::size_t j) { corr[j] = dz_aff[j] * dx_aff[j]; });
       const Vector r1 = build_r1(sigma * mu, &corr);
       solve_kkt(r1, res.rf, dy, dw);
       recover_dxdz(dy, sigma * mu, &corr, dx, dz);
+      phase_.recover += recover_timer.seconds();
     } else {
       const Vector r1 = build_r1(sigma * mu, nullptr);
       solve_kkt(r1, res.rf, dy, dw);
       recover_dxdz(dy, sigma * mu, nullptr, dx, dz);
+      phase_.recover += recover_timer.seconds();
     }
 
     // Step lengths.
     double ap = 1.0, ad = 1.0;
-    for (std::size_t j = 0; j < nblocks_; ++j) {
-      ap = std::min(ap, opt_.step_fraction * max_step(chol_x[j], dx[j], 1.0 / opt_.step_fraction));
-      ad = std::min(ad, opt_.step_fraction * max_step(chol_z[j], dz[j], 1.0 / opt_.step_fraction));
-    }
-    ap = std::min(ap, 1.0);
-    ad = std::min(ad, 1.0);
+    step_lengths(dx, dz, 1.0 / opt_.step_fraction, ap, ad);
+    ap = std::min(opt_.step_fraction * ap, 1.0);
+    ad = std::min(opt_.step_fraction * ad, 1.0);
     if (!(ap > 1e-10) || !(ad > 1e-10)) {
       util::log_debug("ipm: step collapsed (ap=", ap, ", ad=", ad, ")");
       return false;
@@ -538,7 +677,12 @@ class Ipm {
   SolveContext& ctx_;
   std::shared_ptr<const ProblemStructure> structure_;
   std::vector<std::vector<BlockRowView>> views_;
+  /// Per block: indices into views_[j] sorted densest-first (Schur order).
+  std::vector<std::vector<std::size_t>> schur_order_;
   Matrix bmat_;  // free-variable coupling B (m x nf); iteration-invariant
+  util::ThreadPool pool_;
+  std::vector<Matrix> panel_scratch_;  // per-worker Schur panel workspace
+  PhaseTimes phase_;
   std::size_t m_ = 0, nf_ = 0, nblocks_ = 0, total_dim_ = 0;
   double data_norm_ = 1.0, c_norm_ = 1.0;
 };

@@ -41,6 +41,15 @@ struct IpmOptions {
   /// to the previous active set (slow steps when the data moved); too large
   /// throws the previous solution away.
   double warm_start_margin = 0.15;
+  /// Worker threads for the per-iteration hot paths (Schur assembly panels,
+  /// block factorizations, direction recovery). 0 = hardware count; 1 =
+  /// serial. The parallel partitioning writes disjoint entries in a fixed
+  /// order, so results are bit-identical across thread counts.
+  std::size_t threads = 1;
+  /// Use the pre-overhaul Schur assembly (both triangles, per-row column
+  /// solves) instead of the sparse upper-triangle panel assembly. Reference
+  /// implementation for parity tests and the bench speedup gates.
+  bool reference_schur = false;
   bool verbose = false;
 };
 
@@ -60,6 +69,15 @@ struct AdmmOptions {
   /// Over-relaxation factor alpha in [1, 1.95]; ~1.6 damps the tail
   /// oscillation of the splitting on well-posed problems.
   double over_relaxation = 1.6;
+  /// Worker threads for the per-iteration PSD projections (one
+  /// eigendecomposition per block; blocks are independent). 0 = hardware
+  /// count; 1 = serial. Deterministic across thread counts (disjoint
+  /// per-block writes, order-independent max-reduction).
+  std::size_t threads = 1;
+  /// Project with the cyclic-Jacobi reference eigensolver instead of the
+  /// tridiagonal-QL production path. For parity tests and the bench
+  /// eigensolver-swap speedup gate.
+  bool use_jacobi_eig = false;
   bool verbose = false;
 };
 

@@ -97,6 +97,31 @@ enum class SolveStatus {
 
 std::string to_string(SolveStatus status);
 
+/// Wall-clock seconds a backend spent in each hot-path phase, summed over
+/// iterations. The taxonomy is shared by both backends so benches can
+/// compare like with like:
+///   schur   — IPM: Schur-complement assembly; ADMM: the cached y-update
+///             normal solves.
+///   factor  — Cholesky factorizations (blocks + Schur/normal matrix) and
+///             explicit block inverses.
+///   eig     — eigendecompositions (IPM step-length bounds; ADMM PSD
+///             projections, where this phase dominates).
+///   recover — RHS assembly, search-direction / iterate recovery, residuals.
+struct PhaseTimes {
+  double schur = 0.0;
+  double factor = 0.0;
+  double eig = 0.0;
+  double recover = 0.0;
+
+  double total() const { return schur + factor + eig + recover; }
+  void merge(const PhaseTimes& other) {
+    schur += other.schur;
+    factor += other.factor;
+    eig += other.eig;
+    recover += other.recover;
+  }
+};
+
 struct Solution {
   SolveStatus status = SolveStatus::NumericalProblem;
   std::vector<linalg::Matrix> x;  // PSD blocks
@@ -112,6 +137,7 @@ struct Solution {
   int iterations = 0;
   std::string backend;            // name of the backend that produced this
   double solve_seconds = 0.0;     // wall-clock time inside the backend
+  PhaseTimes phase;               // per-phase breakdown of solve_seconds
   /// Largest PSD cone the backend actually worked on. Set by
   /// SosProgram::solve from the compiled (and, under SparsityOptions::
   /// Chordal, converted) problem — the cone-size telemetry behind the

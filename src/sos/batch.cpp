@@ -1,71 +1,24 @@
 #include "sos/batch.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
+#include <algorithm>
 
 namespace soslock::sos {
 
-BatchSolver::BatchSolver(std::size_t threads) : threads_(threads) {
-  if (threads_ == 0) {
-    threads_ = std::thread::hardware_concurrency();
-    if (threads_ == 0) threads_ = 1;
-  }
-}
-
-void BatchSolver::run_all(std::size_t count,
-                          const std::function<void(std::size_t)>& task) const {
-  if (count == 0) return;
-  const std::size_t workers = std::min(threads_, count);
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) task(i);
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        task(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
-  worker();  // the calling thread participates
-  for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
-}
-
-std::size_t BatchSolver::run_all_until_failure(
-    std::size_t count, const std::function<bool(std::size_t)>& task) const {
-  std::atomic<bool> abort_rest{false};
-  std::atomic<std::size_t> first_failed{count};
-  run_all(count, [&](std::size_t i) {
-    if (abort_rest.load(std::memory_order_relaxed)) return;
-    if (task(i)) return;
-    abort_rest.store(true, std::memory_order_relaxed);
-    std::size_t prev = first_failed.load();
-    while (i < prev && !first_failed.compare_exchange_weak(prev, i)) {
-    }
-  });
-  return first_failed.load();
+sdp::SolverConfig BatchSolver::effective_config(const sdp::SolverConfig& config,
+                                                std::size_t batch_size) const {
+  sdp::SolverConfig cfg = config;
+  const std::size_t workers = std::max<std::size_t>(1, std::min(threads(), batch_size));
+  const std::size_t want =
+      cfg.threads == 0 ? util::ThreadPool::hardware_threads() : cfg.threads;
+  cfg.threads = std::max<std::size_t>(1, want / workers);
+  return cfg;
 }
 
 std::vector<SolveResult> BatchSolver::solve_all(
     const std::vector<const SosProgram*>& programs, const sdp::SolverConfig& config) const {
   std::vector<SolveResult> results(programs.size());
-  run_all(programs.size(), [&](std::size_t i) { results[i] = programs[i]->solve(config); });
+  const sdp::SolverConfig cfg = effective_config(config, programs.size());
+  run_all(programs.size(), [&](std::size_t i) { results[i] = programs[i]->solve(cfg); });
   return results;
 }
 

@@ -267,6 +267,7 @@ void SolveStats::absorb(const SolveResult& result) {
   iterations += result.sdp.iterations;
   seconds += result.sdp.solve_seconds;
   max_cone = std::max(max_cone, result.sdp.max_cone);
+  phase.merge(result.sdp.phase);
 }
 
 void SolveStats::merge(const SolveStats& other) {
@@ -280,6 +281,7 @@ void SolveStats::merge(const SolveStats& other) {
   iterations += other.iterations;
   seconds += other.seconds;
   max_cone = std::max(max_cone, other.max_cone);
+  phase.merge(other.phase);
 }
 
 std::string SolveStats::str() const {

@@ -228,6 +228,10 @@ struct SolveStats {
   int iterations = 0;        // summed over solves
   double seconds = 0.0;      // summed wall clock inside backends
   std::size_t max_cone = 0;  // largest PSD cone any backend worked on
+  /// Per-phase breakdown (schur / factor / eig / recover) summed over
+  /// solves; shows *where* the iterations spend their time. phase.total()
+  /// is slightly below `seconds` (residuals/bookkeeping are untimed).
+  sdp::PhaseTimes phase;
 
   void absorb(const SolveResult& result);
   void merge(const SolveStats& other);

@@ -246,5 +246,188 @@ TEST(EigenSym, SqrtPsdSquares) {
   EXPECT_LT(norm_inf(r * r - a), 1e-8);
 }
 
+// --- tridiagonal-QL vs Jacobi reference parity ------------------------------
+
+/// Both solvers must agree on eigenvalues; eigenvectors may differ by sign
+/// (or basis within degenerate clusters), so parity is checked on values and
+/// on the decomposition properties, not vector-by-vector.
+void expect_eigen_parity(const Matrix& a, double tol) {
+  const std::size_t n = a.rows();
+  const EigenSym ql = eigen_sym(a);
+  const EigenSym jac = eigen_sym_jacobi(a);
+  ASSERT_EQ(ql.values.size(), n);
+  ASSERT_EQ(jac.values.size(), n);
+  const double scale = std::max(1.0, norm_inf(a));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(ql.values[i], jac.values[i], tol * scale) << "eigenvalue " << i;
+  // Values-only fast path agrees with the full decomposition.
+  const Vector vals = eigen_values_sym(a);
+  ASSERT_EQ(vals.size(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(vals[i], ql.values[i], tol * scale) << "values-only " << i;
+  if (n == 0) return;
+  const Matrix vtv = transposed_times(ql.vectors, ql.vectors);
+  EXPECT_LT(norm_inf(vtv - Matrix::identity(n)), 1e-9);
+  const Matrix rec = ql.vectors * Matrix::diag(ql.values) * ql.vectors.transposed();
+  EXPECT_LT(norm_inf(rec - a), tol * scale);
+}
+
+TEST(EigenSym, QlVsJacobiRandom) {
+  for (std::size_t n : {2u, 3u, 7u, 16u, 33u, 64u}) {
+    util::Rng rng(n * 101 + 7);
+    Matrix a = random_matrix(n, n, rng);
+    a.symmetrize();
+    expect_eigen_parity(a, 1e-8);
+  }
+}
+
+TEST(EigenSym, QlVsJacobiRankDeficient) {
+  // A = G G^T with G n x r, r < n: exactly n - r zero eigenvalues.
+  util::Rng rng(41);
+  const std::size_t n = 20, r = 5;
+  const Matrix g = random_matrix(n, r, rng);
+  const Matrix a = times_transposed(g, g);
+  expect_eigen_parity(a, 1e-8);
+  const Vector vals = eigen_values_sym(a);
+  for (std::size_t i = 0; i < n - r; ++i) EXPECT_NEAR(vals[i], 0.0, 1e-8);
+  EXPECT_GT(vals[n - r], 1e-6);
+}
+
+TEST(EigenSym, QlVsJacobiClusteredEigenvalues) {
+  // Diagonal with tight clusters, rotated by a random orthogonal basis (the
+  // eigenvectors of a random symmetric matrix, taken from the Jacobi
+  // reference): stresses the deflation logic of the QL sweep.
+  util::Rng rng(43);
+  const std::size_t n = 12;
+  Vector d(n);
+  for (std::size_t i = 0; i < n; ++i)
+    d[i] = (i < 4 ? 1.0 : i < 8 ? 1.0 + 1e-9 * static_cast<double>(i) : 5.0);
+  Matrix basis_seed = random_matrix(n, n, rng);
+  basis_seed.symmetrize();
+  const Matrix q = eigen_sym_jacobi(basis_seed).vectors;
+  Matrix a = q * Matrix::diag(d) * q.transposed();
+  a.symmetrize();
+  expect_eigen_parity(a, 1e-8);
+}
+
+TEST(EigenSym, TinyAndEmptyMatrices) {
+  expect_eigen_parity(Matrix(), 1e-12);
+  Matrix one(1, 1);
+  one(0, 0) = -3.5;
+  expect_eigen_parity(one, 1e-12);
+  EXPECT_DOUBLE_EQ(eigen_sym(one).values[0], -3.5);
+  EXPECT_DOUBLE_EQ(min_eigenvalue(one), -3.5);
+  EXPECT_TRUE(eigen_sym(Matrix()).values.empty());
+}
+
+// --- blocked Cholesky vs unblocked reference --------------------------------
+
+/// Textbook unblocked lower Cholesky, the pre-overhaul reference.
+bool reference_cholesky(const Matrix& a, double shift, Matrix& l) {
+  const std::size_t n = a.rows();
+  l = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j) + shift;
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (!(d > 0.0) || !std::isfinite(d)) return false;
+    l(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / l(j, j);
+    }
+  }
+  return true;
+}
+
+TEST(Cholesky, BlockedMatchesUnblockedAcrossSizes) {
+  // Sizes straddling the panel width (48), including non-multiples.
+  for (std::size_t n : {1u, 2u, 17u, 47u, 48u, 49u, 96u, 117u}) {
+    util::Rng rng(n * 3 + 5);
+    const Matrix a = random_spd(n, rng);
+    const auto chol = Cholesky::factor(a);
+    ASSERT_TRUE(chol.has_value()) << "n=" << n;
+    Matrix ref;
+    ASSERT_TRUE(reference_cholesky(a, 0.0, ref));
+    EXPECT_LT(norm_inf(chol->lower() - ref), 1e-9 * std::max(1.0, norm_inf(a)))
+        << "n=" << n;
+  }
+}
+
+TEST(Cholesky, BlockedShiftedIndefinitePath) {
+  // Indefinite matrix larger than one panel: the unshifted attempt must fail
+  // and the adaptive shift must land a factorization of A + shift I.
+  util::Rng rng(53);
+  const std::size_t n = 80;
+  Matrix a = random_matrix(n, n, rng);
+  a.symmetrize();
+  a(3, 3) = -50.0;  // guarantee indefiniteness
+  EXPECT_FALSE(Cholesky::factor(a).has_value());
+  const Cholesky chol = Cholesky::factor_shifted(a);
+  EXPECT_GT(chol.shift(), 0.0);
+  Matrix shifted = a;
+  for (std::size_t i = 0; i < n; ++i) shifted(i, i) += chol.shift();
+  const Matrix rec = times_transposed(chol.lower(), chol.lower());
+  EXPECT_LT(norm_inf(rec - shifted), 1e-7 * std::max(1.0, norm_inf(shifted)));
+}
+
+TEST(Cholesky, ExplicitInverse) {
+  util::Rng rng(59);
+  for (std::size_t n : {1u, 6u, 60u}) {
+    const Matrix a = random_spd(n, rng);
+    const auto chol = Cholesky::factor(a);
+    ASSERT_TRUE(chol.has_value());
+    const Matrix inv = chol->inverse();
+    EXPECT_LT(norm_inf(a * inv - Matrix::identity(n)), 1e-7);
+    // Symmetrized output.
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) EXPECT_DOUBLE_EQ(inv(r, c), inv(c, r));
+  }
+}
+
+// --- GEMM micro-kernel vs naive triple loop ---------------------------------
+
+Matrix naive_multiply(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      c(i, j) = s;
+    }
+  return c;
+}
+
+TEST(Matrix, GemmKernelMatchesNaiveOnOddShapes) {
+  // Shapes chosen to miss the 4x8 register tile in every way: single
+  // rows/cols, sub-tile sizes, tile size plus remainders.
+  const std::size_t shapes[][3] = {{1, 1, 1},  {1, 9, 3},  {3, 2, 11}, {4, 8, 8},
+                                   {5, 9, 7},  {7, 13, 5}, {8, 16, 4}, {13, 11, 17},
+                                   {33, 7, 29}, {40, 64, 24}};
+  int seed = 61;
+  for (const auto& s : shapes) {
+    util::Rng rng(seed++);
+    const Matrix a = random_matrix(s[0], s[1], rng);
+    const Matrix b = random_matrix(s[1], s[2], rng);
+    const Matrix fast = a * b;
+    const Matrix ref = naive_multiply(a, b);
+    EXPECT_LT(norm_inf(fast - ref), 1e-12)
+        << s[0] << "x" << s[1] << " * " << s[1] << "x" << s[2];
+    // Transposed variants ride on the same kernel.
+    EXPECT_LT(norm_inf(transposed_times(a.transposed(), b) - ref), 1e-12);
+    EXPECT_LT(norm_inf(times_transposed(a, b.transposed()) - ref), 1e-12);
+  }
+}
+
+TEST(Matrix, GemmKernelEmptyOperands) {
+  const Matrix a(0, 0), b(0, 0);
+  EXPECT_TRUE((a * b).empty());
+  const Matrix c(3, 0), d(0, 4);
+  const Matrix cd = c * d;
+  EXPECT_EQ(cd.rows(), 3u);
+  EXPECT_EQ(cd.cols(), 4u);
+  EXPECT_NEAR(norm_inf(cd), 0.0, 0.0);
+}
+
 }  // namespace
 }  // namespace soslock::linalg

@@ -313,6 +313,132 @@ TEST(BatchSolver, PropagatesTaskExceptions) {
                std::runtime_error);
 }
 
+TEST(BatchSolver, EffectiveConfigDividesThreadsAcrossWorkers) {
+  const sos::BatchSolver batch(4);
+  sdp::SolverConfig config;
+  config.threads = 8;
+  // 4 batch workers share the 8 backend threads: 2 each.
+  EXPECT_EQ(batch.effective_config(config, 4).threads, 2u);
+  // More workers than threads: floor at 1, never oversubscribe to 0.
+  EXPECT_EQ(batch.effective_config(config, 100).threads, 2u);  // workers capped at 4
+  config.threads = 2;
+  EXPECT_EQ(batch.effective_config(config, 4).threads, 1u);
+  // The serial default stays serial regardless of batch width.
+  config.threads = 1;
+  EXPECT_EQ(batch.effective_config(config, 4).threads, 1u);
+  // A single-program batch passes the request through unchanged.
+  config.threads = 8;
+  EXPECT_EQ(batch.effective_config(config, 1).threads, 8u);
+}
+
+// --- multi-threaded determinism and reference-kernel parity -----------------
+
+TEST(Threading, IpmDeterministicAcrossThreadCounts) {
+  // The parallel Schur/factor/recover partitions write disjoint entries in a
+  // fixed order, so multi-threaded solves must reproduce the single-threaded
+  // iterate *bitwise*: same status, same iteration count, same duals.
+  for (std::uint64_t seed : {3u, 19u}) {
+    const Problem p = random_feasible_sdp(seed, 10, 14);
+    sdp::IpmOptions serial;
+    serial.threads = 1;
+    const Solution a = sdp::IpmSolver(serial).solve(p);
+    sdp::IpmOptions parallel = serial;
+    parallel.threads = 4;
+    const Solution b = sdp::IpmSolver(parallel).solve(p);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.iterations, b.iterations);
+    ASSERT_EQ(a.y.size(), b.y.size());
+    for (std::size_t i = 0; i < a.y.size(); ++i) EXPECT_EQ(a.y[i], b.y[i]) << "y[" << i << "]";
+    EXPECT_EQ(a.primal_objective, b.primal_objective);
+  }
+}
+
+TEST(Threading, AdmmDeterministicAcrossThreadCounts) {
+  const Problem p = random_feasible_sdp(7, 12, 10);
+  sdp::AdmmOptions serial;
+  serial.threads = 1;
+  serial.max_iterations = 600;
+  const Solution a = sdp::AdmmSolver(serial).solve(p);
+  sdp::AdmmOptions parallel = serial;
+  parallel.threads = 4;
+  const Solution b = sdp::AdmmSolver(parallel).solve(p);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.primal_objective, b.primal_objective);
+  ASSERT_EQ(a.y.size(), b.y.size());
+  for (std::size_t i = 0; i < a.y.size(); ++i) EXPECT_EQ(a.y[i], b.y[i]) << "y[" << i << "]";
+}
+
+TEST(Threading, ConfigThreadsReachesBackends) {
+  sdp::SolverConfig config;
+  config.threads = 3;
+  EXPECT_EQ(config.resolved_ipm().threads, 3u);
+  EXPECT_EQ(config.resolved_admm().threads, 3u);
+  config.threads = 1;  // default passes the per-backend option through
+  config.ipm.threads = 2;
+  EXPECT_EQ(config.resolved_ipm().threads, 2u);
+}
+
+TEST(ReferenceKernels, IpmSchurAssemblyParity) {
+  // The fast upper-triangle panel assembly computes the same Schur operator
+  // as the reference (exact-arithmetic identical); solves must agree on
+  // status and objective to solver tolerance.
+  for (std::uint64_t seed : {5u, 23u}) {
+    const Problem p = random_feasible_sdp(seed, 9, 12);
+    sdp::IpmOptions fast;
+    const Solution a = sdp::IpmSolver(fast).solve(p);
+    sdp::IpmOptions reference = fast;
+    reference.reference_schur = true;
+    const Solution b = sdp::IpmSolver(reference).solve(p);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_NEAR(a.primal_objective, b.primal_objective,
+                1e-5 * (1.0 + std::fabs(a.primal_objective)));
+  }
+}
+
+TEST(ReferenceKernels, AdmmEigensolverParity) {
+  const Problem p = random_feasible_sdp(11, 14, 10);
+  sdp::AdmmOptions ql;
+  ql.max_iterations = 2000;
+  const Solution a = sdp::AdmmSolver(ql).solve(p);
+  sdp::AdmmOptions jacobi = ql;
+  jacobi.use_jacobi_eig = true;
+  const Solution b = sdp::AdmmSolver(jacobi).solve(p);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_NEAR(a.primal_objective, b.primal_objective,
+              1e-4 * (1.0 + std::fabs(a.primal_objective)));
+}
+
+TEST(PhaseTimers, BackendsRecordPhaseBreakdown) {
+  const Problem p = random_feasible_sdp(13, 12, 16);
+  const Solution ipm = sdp::IpmSolver().solve(p);
+  EXPECT_GT(ipm.phase.total(), 0.0);
+  EXPECT_GT(ipm.phase.schur, 0.0);
+  EXPECT_GT(ipm.phase.factor, 0.0);
+  EXPECT_GT(ipm.phase.eig, 0.0);
+  EXPECT_GT(ipm.phase.recover, 0.0);
+  EXPECT_LE(ipm.phase.total(), ipm.solve_seconds + 1e-9);
+
+  sdp::AdmmOptions aopt;
+  aopt.max_iterations = 200;
+  const Solution admm = sdp::AdmmSolver(aopt).solve(p);
+  EXPECT_GT(admm.phase.eig, 0.0);  // PSD projections dominate
+  EXPECT_GT(admm.phase.factor, 0.0);
+  EXPECT_LE(admm.phase.total(), admm.solve_seconds + 1e-9);
+}
+
+TEST(PhaseTimers, AggregateIntoSolveStats) {
+  sos::SosProgram prog = motzkin_like_program();
+  const sos::SolveResult result = prog.solve();
+  sos::SolveStats stats;
+  stats.absorb(result);
+  EXPECT_GT(stats.phase.total(), 0.0);
+  sos::SolveStats merged;
+  merged.merge(stats);
+  merged.merge(stats);
+  EXPECT_NEAR(merged.phase.total(), 2.0 * stats.phase.total(), 1e-12);
+}
+
 TEST(TimingTable, ConcurrentAddsAreLossless) {
   util::TimingTable table;
   constexpr int kThreads = 4, kPerThread = 200;

@@ -1,0 +1,118 @@
+// Tests for the shared fork-join worker pool (util/thread_pool.hpp): the
+// substrate under sos::BatchSolver and the SDP backends' intra-solve
+// parallelism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace soslock::util {
+namespace {
+
+TEST(ThreadPool, ResolvesZeroToHardware) {
+  const ThreadPool pool(0);
+  EXPECT_GE(pool.threads(), 1u);
+  EXPECT_EQ(pool.threads(), ThreadPool::hardware_threads());
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 4u, 7u}) {
+    const ThreadPool pool(threads);
+    constexpr std::size_t kCount = 257;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.run_all(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  const ThreadPool pool(4);
+  bool ran = false;
+  pool.run_all(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, InlineModeRunsOnCallingThreadInOrder) {
+  // A 1-thread pool (and a 1-item call on any pool) must run inline:
+  // sequential order, same thread as the caller.
+  const ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.run_all(5, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // safe: inline implies no concurrency
+  });
+  const std::vector<std::size_t> expected{0, 1, 2, 3, 4};
+  EXPECT_EQ(order, expected);
+
+  const ThreadPool wide(8);
+  wide.run_all(1, [&](std::size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); });
+}
+
+TEST(ThreadPool, WorkerIdsAddressDisjointScratch) {
+  const ThreadPool pool(4);
+  constexpr std::size_t kCount = 64;
+  // Per-worker scratch accumulators, the pattern the IPM Schur panels use.
+  std::vector<std::size_t> scratch(pool.threads(), 0);
+  std::mutex seen_mutex;
+  std::set<std::size_t> seen_workers;
+  pool.run_all_indexed(kCount, [&](std::size_t worker, std::size_t) {
+    ASSERT_LT(worker, pool.threads());
+    ++scratch[worker];  // raced only if two tasks shared a worker id at once
+    {
+      const std::lock_guard<std::mutex> lock(seen_mutex);
+      seen_workers.insert(worker);
+    }
+  });
+  EXPECT_EQ(std::accumulate(scratch.begin(), scratch.end(), std::size_t{0}), kCount);
+  EXPECT_GE(seen_workers.size(), 1u);
+}
+
+TEST(ThreadPool, NestedSubmitDoesNotDeadlock) {
+  // Fork-join per call: an inner run_all inside a task owns its own threads,
+  // so nesting must complete (a shared-queue pool could deadlock here).
+  const ThreadPool outer(3);
+  const ThreadPool inner(2);
+  std::atomic<int> total{0};
+  outer.run_all(6, [&](std::size_t) {
+    inner.run_all(5, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 30);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  for (std::size_t threads : {1u, 4u}) {
+    const ThreadPool pool(threads);
+    std::atomic<int> completed{0};
+    try {
+      pool.run_all(16, [&](std::size_t i) {
+        if (i == 7) throw std::runtime_error("task 7 failed");
+        completed.fetch_add(1);
+      });
+      FAIL() << "expected exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 7 failed");
+    }
+    // Every non-throwing task that started still completed (join semantics).
+    EXPECT_LE(completed.load(), 15);
+  }
+}
+
+TEST(ThreadPool, UntilFailureReturnsLowestFailedIndex) {
+  const ThreadPool pool(4);
+  const std::size_t failed =
+      pool.run_all_until_failure(100, [&](std::size_t i) { return i != 42 && i != 90; });
+  EXPECT_EQ(failed, 42u);
+  const std::size_t ok = pool.run_all_until_failure(10, [](std::size_t) { return true; });
+  EXPECT_EQ(ok, 10u);
+}
+
+}  // namespace
+}  // namespace soslock::util
