@@ -131,7 +131,11 @@ int main() {
                            {"ipm_schur_per_iter_fast", fast_schur},
                            {"ipm_schur_per_iter_reference", ref_schur},
                            {"ipm_schur_speedup_random", schur_speedup}},
-                          /*fresh=*/true);
+                          // Merge (replace own section only): fresh=true
+                          // made the recorded file order-dependent — running
+                          // this bench after bench_table2_timing wiped the
+                          // table2 section.
+                          /*fresh=*/false);
   std::printf("\nwrote BENCH_PR4.json (sdp_micro)\n");
 
   int failures = 0;

@@ -22,6 +22,8 @@
 #include "core/escape.hpp"
 #include "poly/basis.hpp"
 #include "poly/sparsity.hpp"
+#include "sdp/ipm.hpp"
+#include "sdp/lowering.hpp"
 #include "util/timer.hpp"
 
 using namespace soslock;
@@ -228,6 +230,65 @@ SchurBench bench_pump_vertex_schur() {
   return out;
 }
 
+/// Native decomposed cones vs the seam conversion on the clock-tree
+/// coupling SDP (the PR 5 gate): same IPM, same decomposition plan, the
+/// overlap consistency lowered either as native multiplier couplings
+/// (block-eliminated from the Schur factor) or as equality rows. The gated
+/// claims: the factored Schur complement must shrink back to the original
+/// row count, verdicts must agree, and the native round trip (including its
+/// convert/complete phases) must not regress wall-clock.
+struct NativeSeamBench {
+  std::size_t rows_original = 0, overlaps = 0;
+  std::size_t schur_rows_native = 0, schur_rows_seam = 0;
+  int iters_native = 0, iters_seam = 0;
+  double wall_native = 0.0, wall_seam = 0.0;
+  bool verdict_parity = false;
+};
+
+NativeSeamBench bench_clock_tree_native_vs_seam() {
+  pll::ClockTreeOptions tree;
+  tree.loops = 48;  // 97 states: big enough that the factor geometry shows
+  const pll::ClockTreeModel model =
+      pll::make_clock_tree(pll::Params::paper_third_order(), tree);
+  const sdp::Problem original = pll::clock_tree_coupling_sdp(model.constants, tree);
+
+  NativeSeamBench out;
+  out.rows_original = original.num_rows();
+  sdp::Solution recovered[2];
+  for (const bool at_seam : {false, true}) {
+    sdp::LoweringOptions low_opt;
+    low_opt.sparsity = sdp::SparsityOptions::Chordal;
+    low_opt.chordal.min_block_size = 4;
+    low_opt.chordal.at_seam = at_seam;
+    double best_wall = 1e99;
+    for (int rep = 0; rep < 3; ++rep) {  // best-of-3: shared-runner noise
+      const util::Timer wall;
+      const sdp::Lowering lowering = sdp::lower(original, low_opt);
+      sdp::SolveContext context;
+      const sdp::Solution sol = sdp::IpmSolver().solve(lowering.problem, context);
+      const sdp::Solution rec = sdp::recover(sol, lowering);
+      best_wall = std::min(best_wall, wall.seconds());
+      if (rep == 0) {
+        if (at_seam) {
+          out.schur_rows_seam = sol.schur_rows;
+          out.iters_seam = sol.iterations;
+        } else {
+          out.overlaps = lowering.problem.num_overlaps();
+          out.schur_rows_native = sol.schur_rows;
+          out.iters_native = sol.iterations;
+        }
+        recovered[at_seam ? 1 : 0] = rec;
+      }
+    }
+    (at_seam ? out.wall_seam : out.wall_native) = best_wall;
+  }
+  out.verdict_parity =
+      recovered[0].status == recovered[1].status &&
+      std::fabs(recovered[0].primal_objective - recovered[1].primal_objective) <
+          1e-4 * (1.0 + std::fabs(recovered[1].primal_objective));
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -351,6 +412,29 @@ int main() {
   std::printf("%-26s %12.2fx (verdict parity: %s)\n", "speedup", schur.speedup,
               schur.verdict_parity ? "yes" : "NO");
 
+  // --- native decomposed cones vs seam conversion (PR 5 gate) ---------------
+  std::printf("\n=== Clock-tree coupling SDP: native cones vs seam rows ===\n");
+  const NativeSeamBench ns = bench_clock_tree_native_vs_seam();
+  std::printf("%-26s %10zu rows + %zu overlap couplings\n", "problem",
+              ns.rows_original, ns.overlaps);
+  std::printf("%-26s %10zu %10zu\n", "schur rows (native/seam)", ns.schur_rows_native,
+              ns.schur_rows_seam);
+  std::printf("%-26s %10d %10d\n", "iterations", ns.iters_native, ns.iters_seam);
+  std::printf("%-26s %9.4fs %9.4fs   (verdict parity: %s)\n", "wall (lower+solve+recover)",
+              ns.wall_native, ns.wall_seam, ns.verdict_parity ? "yes" : "NO");
+
+  bench::write_bench_json("BENCH_PR5.json", "native_cones",
+                          {{"rows_original", static_cast<double>(ns.rows_original)},
+                           {"overlap_couplings", static_cast<double>(ns.overlaps)},
+                           {"schur_rows_native", static_cast<double>(ns.schur_rows_native)},
+                           {"schur_rows_seam", static_cast<double>(ns.schur_rows_seam)},
+                           {"iters_native", static_cast<double>(ns.iters_native)},
+                           {"iters_seam", static_cast<double>(ns.iters_seam)},
+                           {"wall_native_seconds", ns.wall_native},
+                           {"wall_seam_seconds", ns.wall_seam}},
+                          /*fresh=*/true);
+  std::printf("wrote BENCH_PR5.json (native_cones)\n");
+
   bench::write_bench_json("BENCH_PR4.json", "table2",
                           {{"schur_per_iter_fast", schur.fast_per_iter},
                            {"schur_per_iter_reference", schur.ref_per_iter},
@@ -415,6 +499,33 @@ int main() {
   if (clique_loops.seconds > 2.0 * dense_loops.seconds + 2.0) {
     std::printf("FAIL: clique loops regressed wall-clock (%.2fs vs %.2fs dense)\n",
                 clique_loops.seconds, dense_loops.seconds);
+    ++failures;
+  }
+  // Native decomposed-cone gates: the factored Schur complement must shrink
+  // back to the original row count (zero overlap rows in it), verdicts must
+  // agree with the seam reference, and the native round trip must not
+  // regress wall-clock. The half-solve + syrk block elimination is
+  // flop-neutral with the extended factorization (measured at parity or
+  // slightly faster), so the gate sits at 1.3x + 20ms — loose enough for
+  // shared-runner noise on a ~15ms solve, tight enough that a structural
+  // regression (e.g. the elimination degrading to full GEMM form) fails.
+  if (ns.schur_rows_native != ns.rows_original) {
+    std::printf("FAIL: native Schur factor carries overlap rows (%zu != %zu)\n",
+                ns.schur_rows_native, ns.rows_original);
+    ++failures;
+  }
+  if (ns.schur_rows_seam <= ns.schur_rows_native) {
+    std::printf("FAIL: clock-tree Schur rows did not shrink native vs seam (%zu <= %zu)\n",
+                ns.schur_rows_seam, ns.schur_rows_native);
+    ++failures;
+  }
+  if (!ns.verdict_parity) {
+    std::printf("FAIL: native vs seam decomposed-cone verdicts diverged\n");
+    ++failures;
+  }
+  if (ns.wall_native > 1.3 * ns.wall_seam + 0.02) {
+    std::printf("FAIL: native cones regressed wall-clock (%.4fs vs %.4fs seam)\n",
+                ns.wall_native, ns.wall_seam);
     ++failures;
   }
   return failures == 0 ? 0 : 1;

@@ -1,5 +1,6 @@
 #include "core/lyapunov.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -26,6 +27,48 @@ std::vector<Monomial> state_monomials(std::size_t nvars, std::size_t nstates, un
     Monomial big(nvars);
     for (std::size_t i = 0; i < nstates; ++i) big.set_exponent(i, m.exponent(i));
     out.push_back(big);
+  }
+  return out;
+}
+
+std::vector<Monomial> sparse_state_monomials(const HybridSystem& system, unsigned max_deg,
+                                             unsigned min_deg) {
+  const std::size_t nstates = system.nstates();
+  const std::size_t nvars = system.nvars();
+  // Flow-coupling graph over the states: x_i ~ x_j iff x_j appears in some
+  // mode's f_i (symmetrized). Parameters never enter the certificate.
+  util::Adjacency adj(nstates, std::vector<bool>(nstates, false));
+  for (const Mode& mode : system.modes()) {
+    for (std::size_t i = 0; i < nstates && i < mode.flow.size(); ++i) {
+      for (const auto& [m, c] : mode.flow[i].terms()) {
+        for (std::size_t j = 0; j < nstates; ++j) {
+          if (j != i && m.exponent(j) > 0) {
+            adj[i][j] = true;
+            adj[j][i] = true;
+          }
+        }
+      }
+    }
+  }
+  const util::CliqueForest forest = util::chordal_cliques(nstates, adj);
+  // One monomial survives iff its variables fit inside some clique; a
+  // single scan of the dense template against all cliques keeps the cost at
+  // one enumeration regardless of how many cliques the tree splits into.
+  std::vector<std::vector<bool>> in_clique(forest.cliques.size(),
+                                           std::vector<bool>(nstates, false));
+  for (std::size_t k = 0; k < forest.cliques.size(); ++k)
+    for (const std::size_t v : forest.cliques[k]) in_clique[k][v] = true;
+  std::vector<Monomial> out;
+  for (const Monomial& m : state_monomials(nvars, nstates, max_deg, min_deg)) {
+    for (const auto& mask : in_clique) {
+      bool covered = true;
+      for (std::size_t i = 0; i < nstates && covered; ++i)
+        if (m.exponent(i) > 0 && !mask[i]) covered = false;
+      if (covered) {
+        out.push_back(m);
+        break;
+      }
+    }
   }
   return out;
 }
@@ -168,8 +211,10 @@ LyapunovResult LyapunovSynthesizer::synthesize_joint(const HybridSystem& system)
 
   // Unknown certificates: monomials of degree 2..deg_v in the states only
   // (V(0) = 0 by construction; no linear terms so the origin can be a local
-  // minimum).
-  const std::vector<Monomial> v_support = state_monomials(nvars, nstates, deg_v, 2);
+  // minimum); clique-structured under sparse_template.
+  const std::vector<Monomial> v_support =
+      options_.sparse_template ? sparse_state_monomials(system, deg_v, 2)
+                               : state_monomials(nvars, nstates, deg_v, 2);
   std::vector<PolyLin> v;
   const std::size_t num_modes = system.modes().size();
   if (options_.common_certificate) {
@@ -280,7 +325,9 @@ LyapunovResult LyapunovSynthesizer::synthesize_decoupled(const HybridSystem& sys
   const std::size_t num_modes = system.modes().size();
   const Polynomial x_norm2 = poly::squared_norm(nvars, nstates);
   const std::vector<Monomial> v_support =
-      state_monomials(nvars, nstates, options_.certificate_degree, 2);
+      options_.sparse_template
+          ? sparse_state_monomials(system, options_.certificate_degree, 2)
+          : state_monomials(nvars, nstates, options_.certificate_degree, 2);
 
   // Build one SOS program per mode: conditions (a) and (b) only touch mode q,
   // and the maximize_region objective separates across modes, so the only

@@ -36,6 +36,14 @@ struct LyapunovOptions {
   /// continuization ripple) makes exact decrease at the origin impossible.
   double exclude_ball_radius = 0.0;
   bool common_certificate = false;   // single V for all modes (ablation)
+  /// Build each V_q over the cliques of the flow-coupling graph (see
+  /// sparse_state_monomials) instead of the dense state-monomial template.
+  /// On separable models (the clock-tree cascades) this keeps the
+  /// derivative's correlative-sparsity graph non-complete, so
+  /// SparsityOptions::Correlative genuinely splits the Gram blocks; on
+  /// fully-coupled models it degenerates to the dense template. A sound
+  /// restriction either way (any found V is independently audited).
+  bool sparse_template = false;
   /// Minimize the integral of V over the state box so the (later maximized)
   /// sublevel sets fill the mode domains — the paper's attractive invariants
   /// span essentially the whole voltage box (Figs. 2-3).
@@ -86,6 +94,14 @@ class LyapunovSynthesizer {
 /// `nstates` of `nvars` variables (certificates must not depend on u).
 std::vector<poly::Monomial> state_monomials(std::size_t nvars, std::size_t nstates,
                                             unsigned max_deg, unsigned min_deg);
+
+/// Clique-structured certificate template (LyapunovOptions::sparse_template):
+/// monomials of total degree in [min_deg, max_deg] over each clique of the
+/// chordal extension of the flow-coupling graph (x_i ~ x_j iff x_j appears
+/// in some mode's f_i), unioned and deduplicated. Equals state_monomials
+/// when the coupling graph is complete.
+std::vector<poly::Monomial> sparse_state_monomials(const hybrid::HybridSystem& system,
+                                                   unsigned max_deg, unsigned min_deg);
 
 /// Couple the variables a jump's reset map entangles into a csp multiplier
 /// plan: a certificate composed with the reset couples, within one monomial,

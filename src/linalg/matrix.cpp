@@ -215,6 +215,26 @@ Matrix times_transposed(const Matrix& a, const Matrix& b) {
   return c;
 }
 
+void subtract_gram(Matrix& c, const Matrix& w) {
+  const std::size_t n = c.rows();
+  assert(c.cols() == n && w.cols() == n);
+  // Rank-1 accumulation over the rows of W, upper triangle only; W's rows
+  // are contiguous, so both factor reads stream.
+  for (std::size_t a = 0; a < w.rows(); ++a) {
+    const double* wr = w.row_ptr(a);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double f = wr[i];
+      if (f == 0.0) continue;
+      double* ci = c.row_ptr(i);
+      for (std::size_t j = i; j < n; ++j) ci[j] -= f * wr[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ci = c.row_ptr(i);
+    for (std::size_t j = i + 1; j < n; ++j) c(j, i) = ci[j];
+  }
+}
+
 double dot(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows() && a.cols() == b.cols());
   const double* pa = a.data();

@@ -75,6 +75,11 @@ Vector transposed_times(const Matrix& a, const Vector& x);
 Matrix transposed_times(const Matrix& a, const Matrix& b);
 /// C = A * B^T
 Matrix times_transposed(const Matrix& a, const Matrix& b);
+/// C -= W^T W for W (k x n), C (n x n) symmetric: computes the upper
+/// triangle only and mirrors — the syrk shape (half the GEMM flops) that
+/// keeps the backends' overlap-multiplier block elimination flop-neutral
+/// with factoring the extended system.
+void subtract_gram(Matrix& c, const Matrix& w);
 
 /// Frobenius inner product <A, B> = sum_ij A_ij B_ij.
 double dot(const Matrix& a, const Matrix& b);

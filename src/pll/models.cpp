@@ -1,6 +1,7 @@
 #include "pll/models.hpp"
 
 #include <cassert>
+#include <cmath>
 
 namespace soslock::pll {
 
@@ -238,6 +239,125 @@ ReducedModel make_averaged_vertices(const Params& params, const ModelOptions& op
   model.mode_idle = model.mode_up = model.mode_down = 0;
   assert(model.system.validate().empty());
   return model;
+}
+
+ClockTreeModel make_clock_tree(const Params& params, const ClockTreeOptions& options) {
+  ClockTreeModel model;
+  model.loops = options.loops;
+  model.options = options;
+  model.constants = derive_constants(params, resolve_gain_scale(3, options.gain_scale));
+  const LoopConstants& k = model.constants;
+  assert(options.loops >= 1);
+
+  const std::size_t nstates = 1 + 2 * options.loops;
+  const std::size_t nvars = nstates;  // no uncertain parameters
+  const auto var = [nvars](std::size_t i) { return Polynomial::variable(nvars, i); };
+  const double c = options.coupling;
+  const double per_loop = c / static_cast<double>(options.loops);
+
+  HybridSystem sys(nstates, 0);
+  {
+    std::vector<std::string> names = {"s"};
+    for (std::size_t i = 0; i < options.loops; ++i) {
+      names.push_back("v" + std::to_string(i + 1));
+      names.push_back("e" + std::to_string(i + 1));
+    }
+    sys.set_state_names(names);
+  }
+
+  // Rail: leaks to ground and averages the leaf filter nodes. Each leaf
+  // filter node v_i relaxes, takes the duty-cycle-averaged pump rho*e_i,
+  // and couples to the rail; each phase error e_i integrates -kappa*v_i.
+  // No leaf talks to another leaf directly — only through s.
+  Mode avg;
+  avg.name = "clock-tree";
+  std::vector<Polynomial> flow;
+  Polynomial rail = -options.rail_leak * var(model.rail_index);
+  for (std::size_t i = 0; i < options.loops; ++i)
+    rail += per_loop * (var(model.v_index(i)) - var(model.rail_index));
+  flow.push_back(rail);
+  for (std::size_t i = 0; i < options.loops; ++i) {
+    flow.push_back(-1.0 * var(model.v_index(i)) + k.rho * var(model.e_index(i)) +
+                   c * (var(model.rail_index) - var(model.v_index(i))));
+    flow.push_back(-k.kappa * var(model.v_index(i)));
+  }
+  avg.flow = std::move(flow);
+
+  SemialgebraicSet domain(nvars);
+  domain.add_interval(model.rail_index, -options.v_box, options.v_box);
+  for (std::size_t i = 0; i < options.loops; ++i) {
+    domain.add_interval(model.v_index(i), -options.v_box, options.v_box);
+    domain.add_interval(model.e_index(i), -options.e_box, options.e_box);
+  }
+  avg.domain = std::move(domain);
+  avg.contains_equilibrium = true;
+  sys.add_mode(std::move(avg));
+
+  model.system = std::move(sys);
+  assert(model.system.validate().empty());
+  return model;
+}
+
+linalg::Matrix clock_tree_state_matrix(const LoopConstants& k,
+                                       const ClockTreeOptions& options) {
+  const std::size_t kk = options.loops;
+  const std::size_t n = 1 + 2 * kk;
+  const double c = options.coupling;
+  const double per_loop = c / static_cast<double>(kk);
+  linalg::Matrix a(n, n);
+  a(0, 0) = -options.rail_leak - c;
+  for (std::size_t i = 0; i < kk; ++i) {
+    const std::size_t v = 1 + 2 * i, e = 2 + 2 * i;
+    a(0, v) = per_loop;
+    a(v, 0) = c;
+    a(v, v) = -1.0 - c;
+    a(v, e) = k.rho;
+    a(e, v) = -k.kappa;
+  }
+  return a;
+}
+
+sdp::Problem clock_tree_coupling_sdp(const LoopConstants& k,
+                                     const ClockTreeOptions& options) {
+  const linalg::Matrix a = clock_tree_state_matrix(k, options);
+  const std::size_t n = a.rows();
+
+  // PSD witness with the coupling pattern: diagonally dominant, off-diagonal
+  // mass on the coupling edges only.
+  linalg::Matrix xstar(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r + 1; c < n; ++c)
+      if (a(r, c) != 0.0 || a(c, r) != 0.0) {
+        const double v = 0.4 + 0.1 * static_cast<double>((r + c) % 3);
+        xstar(r, c) = v;
+        xstar(c, r) = v;
+      }
+  for (std::size_t r = 0; r < n; ++r) {
+    double off = 0.0;
+    for (std::size_t c = 0; c < n; ++c) off += r == c ? 0.0 : std::fabs(xstar(r, c));
+    xstar(r, r) = 1.0 + off + 0.05 * static_cast<double>(r % 4);
+  }
+
+  sdp::Problem p;
+  const std::size_t blk = p.add_block(n);
+  p.set_block_objective(blk, linalg::Matrix::identity(n));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r + 1; c < n; ++c) {
+      if (a(r, c) == 0.0 && a(c, r) == 0.0) continue;
+      sdp::Row row;
+      sdp::SparseSym coeff;
+      coeff.add(r, r, 1.0);
+      coeff.add(r, c, 0.5 + 0.1 * static_cast<double>((r + c) % 2));
+      coeff.add(c, c, -0.3);
+      linalg::Matrix dense(n, n);
+      coeff.add_to(dense);
+      row.rhs = linalg::dot(dense, xstar);
+      row.label = "edge." + std::to_string(r) + "." + std::to_string(c);
+      row.blocks[blk] = std::move(coeff);
+      p.add_row(std::move(row));
+    }
+  }
+  return p;
 }
 
 linalg::Matrix averaged_state_matrix(const LoopConstants& k) {

@@ -9,6 +9,7 @@
 // identity resets (Remark 1).
 #include "hybrid/system.hpp"
 #include "pll/params.hpp"
+#include "sdp/problem.hpp"
 
 namespace soslock::pll {
 
@@ -61,5 +62,53 @@ ReducedModel make_averaged_vertices(const Params& params, const ModelOptions& op
 
 /// The closed-loop averaged state matrix (for analysis and tests).
 linalg::Matrix averaged_state_matrix(const LoopConstants& k);
+
+// --- multi-loop PLL cascade / clock tree -----------------------------------
+// A clock-distribution tree: `loops` averaged pump-vertex loops, each a
+// (v_i, e_i) filter+phase pair, all coupled through one shared distribution
+// rail s and through nothing else. States: [s, v_1, e_1, ..., v_K, e_K].
+// The flow couples s <-> v_i and v_i <-> e_i only, so the model is the first
+// in-tree input whose Lyapunov correlative-sparsity graph is genuinely
+// non-complete (ROADMAP "Sparse-model workloads"): a clique-structured
+// certificate template splits the Gram blocks, and the coupling pattern
+// drives the native decomposed-cone benches.
+struct ClockTreeOptions {
+  std::size_t loops = 3;
+  double coupling = 0.3;    // leaf <-> rail coupling strength
+  double rail_leak = 1.0;   // rail self-stabilization rate
+  double v_box = 8.0;       // |s|, |v_i| <= v_box
+  double e_box = 1.0;       // |e_i| <= e_box
+  double gain_scale = 0.0;  // multiplies kappa; 0 = auto (order-3 default)
+};
+
+struct ClockTreeModel {
+  hybrid::HybridSystem system;
+  LoopConstants constants;
+  ClockTreeOptions options;
+  std::size_t loops = 0;
+  std::size_t rail_index = 0;  // the shared rail s
+  std::size_t v_index(std::size_t i) const { return 1 + 2 * i; }
+  std::size_t e_index(std::size_t i) const { return 2 + 2 * i; }
+};
+
+/// Build the single-mode averaged clock-tree model (loop constants from the
+/// third-order column of `params`).
+ClockTreeModel make_clock_tree(const Params& params, const ClockTreeOptions& options = {});
+
+/// Closed-loop clock-tree state matrix A (x' = A x). Its off-diagonal
+/// pattern is the star-of-loops coupling graph; analysis, tests and the
+/// directly-built coupling SDPs of the native-vs-seam benches key on it.
+linalg::Matrix clock_tree_state_matrix(const LoopConstants& k,
+                                       const ClockTreeOptions& options);
+
+/// Feasible min-trace SDP whose aggregate sparsity IS the clock-tree
+/// coupling graph: one PSD block over all states, one equality row per
+/// coupling edge, rhs taken from a known diagonally-dominant PSD witness
+/// with that pattern. This is the workload of the native-vs-seam
+/// decomposed-cone tests and the bench gate: its chordal cliques are the
+/// loop pairs, so the conversion genuinely fires (unlike SOS-compiled Gram
+/// blocks, whose aggregate patterns are complete).
+sdp::Problem clock_tree_coupling_sdp(const LoopConstants& k,
+                                     const ClockTreeOptions& options);
 
 }  // namespace soslock::pll

@@ -37,6 +37,11 @@ util::Adjacency correlative_adjacency(std::size_t nvars,
   return adj;
 }
 
+std::vector<std::vector<std::size_t>> support_cliques(std::size_t nvars,
+                                                      const std::vector<Monomial>& support) {
+  return util::chordal_cliques(nvars, correlative_adjacency(nvars, support)).cliques;
+}
+
 GramCliqueSplit split_gram_basis(std::size_t nvars, const SupportInfo& info,
                                  GramPrune prune) {
   return split_gram_basis(nvars, info, gram_basis(nvars, info, prune));

@@ -42,6 +42,15 @@ struct GramCliqueSplit {
 util::Adjacency correlative_adjacency(std::size_t nvars,
                                       const std::vector<Monomial>& support);
 
+/// Variable cliques of the chordal extension of a support's csp graph (RIP
+/// preorder, vars sorted). The support/csp analysis primitive of the
+/// sdp/lowering pipeline's "analyze" stage: certifiers use it to build
+/// clique-structured certificate templates (e.g. the Lyapunov
+/// sparse_template on the clock-tree models) and diagnostics report it as
+/// the csp decomposition of a target polynomial.
+std::vector<std::vector<std::size_t>> support_cliques(std::size_t nvars,
+                                                      const std::vector<Monomial>& support);
+
 /// Split the pruned Gram basis of `info` along the maximal cliques of the
 /// chordal extension of its csp graph. Falls back to a single dense clique
 /// when the support is empty or the graph is (close to) complete.

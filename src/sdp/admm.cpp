@@ -8,6 +8,7 @@
 
 #include "linalg/cholesky.hpp"
 #include "linalg/eigen_sym.hpp"
+#include "sdp/elimination.hpp"
 #include "sdp/structure.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -31,6 +32,15 @@ class Admm {
     nblocks_ = p_.num_blocks();
     total_dim_ = p_.total_psd_dim();
     views_ = build_block_row_views(p_, *structure_);
+    // Native decomposed cones: overlap couplings join the dual update as
+    // virtual rows [m, m+q) with consensus multipliers of their own. Their
+    // (q x q) corner of the normal matrix is block-eliminated at setup, so
+    // the per-iteration factorized system stays m x m; the per-clique PSD
+    // projections (sx_update) are untouched — each clique block projects
+    // independently and the multipliers price separator agreement.
+    overlap_rows_ = append_overlap_views(p_, views_);
+    q_ = overlap_rows_.size();
+    mext_ = m_ + q_;
     data_norm_ = 1.0;
     for (std::size_t i = 0; i < m_; ++i) data_norm_ = std::max(data_norm_, std::fabs(p_.rhs(i)));
     c_norm_ = 1.0;
@@ -42,6 +52,9 @@ class Admm {
   Solution run() {
     Solution sol = run_inner();
     sol.phase = phase_;
+    // Dimension of the dense cached normal factor: overlap couplings are
+    // block-eliminated, so it is the row count with or without cones.
+    sol.schur_rows = m_;
     return sol;
   }
 
@@ -53,10 +66,15 @@ class Admm {
     const double alpha = std::clamp(opt_.over_relaxation, 1.0, 1.95);
 
     // The y-update normal matrix M = A A* + B B' is iteration-independent:
-    // factor it once. M_ik = sum_j <A_ij, A_kj> + sum_v B_iv B_kv.
+    // factor it once. M_ik = sum_j <A_ij, A_kj> + sum_v B_iv B_kv. With
+    // native cones the overlap couplings extend it to (m+q); the overlap
+    // corner is block-eliminated here — factor Q and the reduced
+    // Nyy - Nyl Q^{-1} Nly — so every later y-update solves the joint
+    // (rows, consensus multipliers) system through two fixed factors of
+    // dimension m and q instead of one of dimension m+q.
     const util::Timer setup_timer;
-    if (m_ > 0) {
-      Matrix normal(m_, m_);
+    if (mext_ > 0) {
+      Matrix normal(mext_, mext_);
       for (std::size_t j = 0; j < nblocks_; ++j) {
         const auto& touching = views_[j];
         for (std::size_t a = 0; a < touching.size(); ++a) {
@@ -80,7 +98,14 @@ class Admm {
           }
         }
       }
-      chol_m_.emplace(Cholesky::factor_shifted(normal, 1e-12));
+      if (q_ == 0) {
+        if (m_ > 0) chol_m_.emplace(Cholesky::factor_shifted(normal, 1e-12));
+      } else {
+        // Same flop-neutral elimination shape as the IPM's Schur step; here
+        // the normal matrix is iteration-invariant, so it runs once.
+        const Matrix reduced = elim_.reduce(normal, m_, q_, 1e-12);
+        if (m_ > 0) chol_m_.emplace(Cholesky::factor_shifted(reduced, 1e-12));
+      }
     }
     phase_.factor += setup_timer.seconds();
 
@@ -91,6 +116,7 @@ class Admm {
       x_ = ws->x;
       s_ = ws->z;
       y_ = ws->y;
+      y_.resize(mext_, 0.0);  // consensus multipliers restart at zero
       w_ = ws->w;
       for (std::size_t j = 0; j < nblocks_; ++j) {
         x_[j].symmetrize();
@@ -124,14 +150,14 @@ class Admm {
         x_.push_back(std::move(xj));
         s_.push_back(std::move(sj));
       }
-      y_.assign(m_, 0.0);
+      y_.assign(mext_, 0.0);
       w_.assign(nf_, 0.0);
     }
 
     // Iteration-invariant part of the y-update rhs: A_i(C) + B_i'f.
-    rhs0_.assign(m_, 0.0);
-    for (std::size_t i = 0; i < m_; ++i) {
-      const Row& row = p_.rows()[i];
+    rhs0_.assign(mext_, 0.0);
+    for (std::size_t i = 0; i < mext_; ++i) {
+      const Row& row = row_at(i);
       for (const auto& [j, a] : row.blocks) rhs0_[i] += a.dot(p_.block_objective(j));
       for (const auto& [v, c] : row.free_coeffs) rhs0_[i] += c * p_.free_objective()[v];
     }
@@ -250,19 +276,40 @@ class Admm {
     phase_.recover += phase_timer.seconds();
   }
 
-  /// y-update: M y = (b - A(X) - B w)/rho + A(C - S) + B f.
+  /// Row access across the extended index space (real rows, then overlaps).
+  const Row& row_at(std::size_t i) const {
+    return i < m_ ? p_.rows()[i] : *overlap_rows_[i - m_];
+  }
+  double rhs_at(std::size_t i) const { return i < m_ ? p_.rhs(i) : 0.0; }
+
+  /// y-update: M y = (b - A(X) - B w)/rho + A(C - S) + B f over the joint
+  /// (rows, consensus multipliers) space, solved through the two cached
+  /// block-elimination factors — algebraically the full (m+q) normal solve,
+  /// with the dense factor at m x m.
   void y_update() {
-    if (m_ == 0) return;
-    Vector rhs(m_, 0.0);
-    for (std::size_t i = 0; i < m_; ++i) {
-      const Row& row = p_.rows()[i];
+    if (mext_ == 0) return;
+    Vector rhs(mext_, 0.0);
+    for (std::size_t i = 0; i < mext_; ++i) {
+      const Row& row = row_at(i);
       double ax = 0.0;
       for (const auto& [j, a] : row.blocks) ax += a.dot(x_[j]);
       for (const auto& [v, c] : row.free_coeffs) ax += c * w_[v];
-      rhs[i] = (p_.rhs(i) - ax) / rho_ + rhs0_[i];
+      rhs[i] = (rhs_at(i) - ax) / rho_ + rhs0_[i];
       for (const auto& [j, a] : row.blocks) rhs[i] -= a.dot(s_[j]);
     }
-    y_ = chol_m_->solve(rhs);
+    if (q_ == 0) {
+      y_ = chol_m_->solve(rhs);
+      return;
+    }
+    // Two-stage elimination solve — algebraically the joint (m+q) normal
+    // system, through the cached factors.
+    Vector ra(rhs.begin(), rhs.begin() + static_cast<std::ptrdiff_t>(m_));
+    const Vector rb(rhs.begin() + static_cast<std::ptrdiff_t>(m_), rhs.end());
+    const Vector t = elim_.fold_rhs(rb, ra);
+    const Vector yrows = m_ > 0 ? chol_m_->solve(ra) : Vector();
+    const Vector lam = elim_.multipliers(t, yrows);
+    y_ = yrows;
+    y_.insert(y_.end(), lam.begin(), lam.end());
   }
 
   /// (S, X)-update: one eigendecomposition per block splits
@@ -348,13 +395,15 @@ class Admm {
   }
 
   double primal_residual_inf() const {
+    // Overlap couplings count as primal feasibility: the iterate is only
+    // feasible when the clique copies agree on their separators.
     double pres = 0.0;
-    for (std::size_t i = 0; i < m_; ++i) {
-      const Row& row = p_.rows()[i];
+    for (std::size_t i = 0; i < mext_; ++i) {
+      const Row& row = row_at(i);
       double ax = 0.0;
       for (const auto& [j, a] : row.blocks) ax += a.dot(x_[j]);
       for (const auto& [v, c] : row.free_coeffs) ax += c * w_[v];
-      pres = std::max(pres, std::fabs(p_.rhs(i) - ax));
+      pres = std::max(pres, std::fabs(rhs_at(i) - ax));
     }
     return pres;
   }
@@ -389,7 +438,8 @@ class Admm {
             int iter) const {
     out.x = x;
     out.z = s;
-    out.y = y;
+    // Consensus multipliers are internal state: only row multipliers leave.
+    out.y.assign(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(m_));
     out.w = w;
     out.primal_objective = primal_objective(x, w);
     out.dual_objective = dual_objective(y);
@@ -409,10 +459,12 @@ class Admm {
   util::ThreadPool pool_;
   PhaseTimes phase_;
   std::vector<std::vector<BlockRowView>> views_;
-  std::optional<Cholesky> chol_m_;
+  std::vector<const Row*> overlap_rows_;  // native-cone couplings, rows [m, m+q)
+  std::optional<Cholesky> chol_m_;  // reduced Nyy - W^T W (m x m)
+  OverlapElimination elim_;         // overlap-corner factors (q > 0 only)
   std::vector<Matrix> x_, s_;
   Vector y_, w_, rhs0_;
-  std::size_t m_ = 0, nf_ = 0, nblocks_ = 0, total_dim_ = 0;
+  std::size_t m_ = 0, q_ = 0, mext_ = 0, nf_ = 0, nblocks_ = 0, total_dim_ = 0;
   double data_norm_ = 1.0, c_norm_ = 1.0;
   double rho_ = 1.0;
 };

@@ -5,6 +5,7 @@
 
 #include "linalg/eigen_sym.hpp"
 #include "util/log.hpp"
+#include "util/timer.hpp"
 
 namespace soslock::sdp {
 namespace {
@@ -97,19 +98,15 @@ std::size_t ChordalMap::max_clique_size() const {
   return mx;
 }
 
-ChordalMap chordal_decompose(Problem& p, const ChordalOptions& options) {
-  ChordalMap map;
-  map.original_rows = p.num_rows();
-  map.original_block_sizes = p.block_sizes();
-  map.block_map.assign(p.num_blocks(), ChordalMap::kNotMapped);
-
-  // Plan: which blocks split, and along which cliques.
-  std::vector<util::CliqueForest> forests(p.num_blocks());
-  std::vector<bool> split(p.num_blocks(), false);
-  bool any = false;
+ConversionPlan plan_decomposition(const Problem& p, const ChordalOptions& options) {
+  ConversionPlan plan;
+  plan.forests.resize(p.num_blocks());
+  plan.split.assign(p.num_blocks(), false);
+  std::size_t candidates = 0, max_clique = 0;
   for (std::size_t j = 0; j < p.num_blocks(); ++j) {
     const std::size_t n = p.block_size(j);
     if (n < options.min_block_size) continue;
+    ++candidates;
     const util::Adjacency adj = aggregate_adjacency(p, j);
     // Complete patterns (every SOS-compiled Gram block: each entry pair has
     // a coefficient-matching row) have exactly one clique — skip the O(n^3)
@@ -124,11 +121,26 @@ ChordalMap chordal_decompose(Problem& p, const ChordalOptions& options) {
         options.max_clique_fraction * static_cast<double>(n)) {
       continue;
     }
-    forests[j] = std::move(forest);
-    split[j] = true;
-    any = true;
+    max_clique = std::max(max_clique, forest.max_clique_size());
+    plan.forests[j] = std::move(forest);
+    plan.split[j] = true;
+    plan.any = true;
   }
-  if (!any) return map;
+  std::size_t splitting = 0;
+  for (const bool s : plan.split) splitting += s ? 1 : 0;
+  plan.detail = std::to_string(candidates) + " candidate block(s), " +
+                std::to_string(splitting) + " split, max clique " + std::to_string(max_clique);
+  return plan;
+}
+
+ChordalMap apply_decomposition(Problem& p, const ConversionPlan& conversion, bool at_seam) {
+  ChordalMap map;
+  map.original_rows = p.num_rows();
+  map.original_block_sizes = p.block_sizes();
+  map.block_map.assign(p.num_blocks(), ChordalMap::kNotMapped);
+  const std::vector<util::CliqueForest>& forests = conversion.forests;
+  const std::vector<bool>& split = conversion.split;
+  if (!conversion.any) return map;
 
   // Converted problem: clique blocks replace split blocks in place (order of
   // kept blocks is preserved), original rows keep their indices, overlap
@@ -199,12 +211,24 @@ ChordalMap chordal_decompose(Problem& p, const ChordalOptions& options) {
     conv.add_row(std::move(nr));
   }
 
-  // Overlap-consistency rows: along each clique-tree edge, tie every shared
-  // entry of the child to the parent's copy. The RIP guarantees tree-edge
-  // ties chain every copy of an entry together.
-  std::size_t overlap_rows = 0;
+  // Overlap-consistency couplings: along each clique-tree edge, tie every
+  // shared entry of the child to the parent's copy. The RIP guarantees
+  // tree-edge ties chain every copy of an entry together. At the seam they
+  // become equality rows of the converted problem; natively they ride on a
+  // DecomposedCone descriptor and never enter the row set — the backends
+  // enforce them with block-eliminated multiplier terms.
+  std::size_t overlap_count = 0;
   for (const BlockPlan& plan : map.plans) {
     const BlockIndex& idx = indices[plan.original_block];
+    DecomposedCone cone;
+    cone.original_size = plan.original_size;
+    for (std::size_t k = 0; k < plan.forest.cliques.size(); ++k) {
+      CliqueInfo info;
+      info.vertices = plan.forest.cliques[k];
+      info.block = plan.converted_block[k];
+      info.parent = plan.forest.parent[k];
+      cone.cliques.push_back(std::move(info));
+    }
     for (std::size_t k = 0; k < plan.forest.cliques.size(); ++k) {
       const std::size_t parent = plan.forest.parent[k];
       if (parent == k) continue;
@@ -226,17 +250,27 @@ ChordalMap chordal_decompose(Problem& p, const ChordalOptions& options) {
           par.add(idx.local[parent][r], idx.local[parent][c], -w);
           orow.blocks[plan.converted_block[k]] = std::move(child);
           orow.blocks[plan.converted_block[parent]] = std::move(par);
-          conv.add_row(std::move(orow));
-          ++overlap_rows;
+          if (at_seam) {
+            conv.add_row(std::move(orow));
+          } else {
+            cone.overlaps.push_back(std::move(orow));
+          }
+          ++overlap_count;
         }
       }
     }
+    if (!at_seam) conv.add_cone(std::move(cone));
   }
 
   util::log_debug("chordal: decomposed ", map.plans.size(), " block(s), max clique ",
-                  map.max_clique_size(), ", +", overlap_rows, " overlap rows");
+                  map.max_clique_size(), ", ", overlap_count,
+                  at_seam ? " overlap rows (seam)" : " native overlap couplings");
   p = std::move(conv);
   return map;
+}
+
+ChordalMap chordal_decompose(Problem& p, const ChordalOptions& options) {
+  return apply_decomposition(p, plan_decomposition(p, options), options.at_seam);
 }
 
 namespace {
@@ -312,8 +346,11 @@ Matrix complete_block(const BlockPlan& plan, const std::vector<Matrix>& converte
 
 Solution recover_original(const Solution& converted, const ChordalMap& map) {
   if (map.identity()) return converted;
+  const util::Timer complete_timer;
   Solution out;
   out.status = converted.status;
+  out.phase = converted.phase;
+  out.schur_rows = converted.schur_rows;
   out.primal_objective = converted.primal_objective;
   out.dual_objective = converted.dual_objective;
   out.mu = converted.mu;
@@ -357,6 +394,9 @@ Solution recover_original(const Solution& converted, const ChordalMap& map) {
     }
     out.z[plan.original_block] = std::move(z);
   }
+  // Completion/recovery time is part of the decomposed-vs-seam trade; stamp
+  // it so PhaseTimes comparisons stay honest.
+  out.phase.complete += complete_timer.seconds();
   return out;
 }
 

@@ -9,9 +9,13 @@
 //   X_j ⪰ 0   ⟺   X_j|C_k ⪰ 0 for all k   (+ a PSD completion off-pattern)
 //
 // so the conversion replaces the size-n block by K clique-sized blocks,
-// re-targets every data entry at its canonical clique, and adds
-// overlap-consistency rows tying the copies of entries shared along the
-// clique tree.
+// re-targets every data entry at its canonical clique, and ties the copies
+// of entries shared along the clique tree. The tie has two lowerings: the
+// native default registers a sdp::DecomposedCone (overlap couplings become
+// backend multiplier terms, block-eliminated from the factored Schur/normal
+// system), while ChordalOptions::at_seam appends them as ordinary
+// overlap-consistency equality rows (the PR 3 seam conversion, kept as the
+// parity reference).
 //
 // Scope note: a Gram block emitted by the SOS compiler always has a
 // *complete* aggregate pattern (every entry pair b_r*b_c is matched by a
@@ -26,6 +30,7 @@
 // dual slacks by scatter-add (Agler) and completing the primal clique blocks
 // into one dense PSD matrix by clique-tree completion, so certificate
 // auditing is unchanged.
+#include <string>
 #include <vector>
 
 #include "sdp/options.hpp"
@@ -59,11 +64,32 @@ struct ChordalMap {
   std::size_t max_clique_size() const;
 };
 
+/// Analysis half of the conversion (the "analyze" + "decompose" passes of
+/// the sdp/lowering pipeline): which blocks split, along which cliques.
+/// Reads `p` only.
+struct ConversionPlan {
+  std::vector<util::CliqueForest> forests;  // per block; empty when kept
+  std::vector<bool> split;                  // per block
+  bool any = false;
+  /// Structural summary for pass provenance, e.g. "2 block(s), max clique 4".
+  std::string detail;
+};
+ConversionPlan plan_decomposition(const Problem& p, const ChordalOptions& options);
+
+/// Emission half (the "lower" pass): rewrite `p` along `plan`. With
+/// `at_seam` the overlap-consistency constraints are appended as ordinary
+/// equality rows (the PR 3 seam conversion, kept as the parity reference);
+/// otherwise they are registered as native DecomposedCone couplings and the
+/// row count is unchanged. A plan with nothing to split leaves `p` untouched
+/// and returns the identity map.
+ChordalMap apply_decomposition(Problem& p, const ConversionPlan& plan, bool at_seam);
+
 /// Decompose every block of `p` that is at least `options.min_block_size`
 /// wide and whose chordal aggregate pattern splits into genuinely smaller
-/// cliques. `p` is rewritten in place (original rows keep their indices;
-/// overlap-consistency rows are appended after them). When nothing
-/// qualifies, `p` is untouched and the returned map is the identity.
+/// cliques (plan_decomposition + apply_decomposition under
+/// options.at_seam). `p` is rewritten in place (original rows keep their
+/// indices). When nothing qualifies, `p` is untouched and the returned map
+/// is the identity.
 ChordalMap chordal_decompose(Problem& p, const ChordalOptions& options);
 
 /// Map a converted-space solution back onto the original problem shape.

@@ -1,0 +1,48 @@
+#pragma once
+// Block elimination of the overlap-multiplier corner, shared by both
+// backends' native decomposed-cone paths. For the symmetric PD system
+//
+//   [ M0  U ] [y]   [ra]        rows      [0, m)
+//   [ U^T Q ] [λ] = [rb]        overlaps  [m, m+q)
+//
+// factor Q, form W = L_q^{-1} U^T (half triangular solve) and reduce
+// M0 -> M0 - W^T W (syrk half, linalg::subtract_gram). The flop count
+// telescopes to exactly the extended (m+q) factorization, the solve is
+// algebraically the full system's, and the dense factor the caller builds
+// stays m x m — zero overlap rows in it. Solving is two-stage:
+//
+//   t  = L_q^{-1} rb;   solve the reduced system on  ra - W^T t;
+//   λ  = L_q^{-T}(t - W y).
+//
+// Q is PD whenever the enclosing operator is (it is a congruence with the
+// linearly independent overlap difference maps); corner_shift guards the
+// factorization against end-of-path ill-conditioning exactly like the
+// callers' own factor_shifted calls.
+#include <cstddef>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+
+namespace soslock::sdp {
+
+class OverlapElimination {
+ public:
+  /// Factor the overlap corner of `full` and return the reduced m x m
+  /// leading block M0 - W^T W, ready for the caller's factorization.
+  linalg::Matrix reduce(const linalg::Matrix& full, std::size_t m, std::size_t q,
+                        double corner_shift);
+
+  /// First stage: t = L_q^{-1} rb, and ra -= W^T t (ra becomes the reduced
+  /// system's right-hand side). Returns t for the back-substitution.
+  linalg::Vector fold_rhs(const linalg::Vector& rb, linalg::Vector& ra) const;
+
+  /// Back-substitution: λ = L_q^{-T}(t - W y).
+  linalg::Vector multipliers(const linalg::Vector& t, const linalg::Vector& y) const;
+
+ private:
+  std::size_t m_ = 0, q_ = 0;
+  linalg::Cholesky chol_q_;
+  linalg::Matrix w_;  // W = L_q^{-1} U^T (q x m)
+};
+
+}  // namespace soslock::sdp

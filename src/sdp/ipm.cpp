@@ -7,6 +7,7 @@
 
 #include "linalg/cholesky.hpp"
 #include "linalg/eigen_sym.hpp"
+#include "sdp/elimination.hpp"
 #include "sdp/structure.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -19,10 +20,14 @@ using linalg::Cholesky;
 using linalg::Matrix;
 using linalg::Vector;
 
-/// Per-iteration state of the IPM.
+/// Per-iteration state of the IPM. With native decomposed cones, y is
+/// extended: entries [0, m) are the equality-row multipliers and entries
+/// [m, m+q) are the overlap-coupling multipliers (ALM-style: they accumulate
+/// Newton corrections every iteration and are the dual price of clique-copy
+/// consistency). Only the first m entries leave the solver.
 struct State {
   std::vector<Matrix> x, z;  // PSD primal blocks and dual slacks
-  Vector y;                  // equality multipliers
+  Vector y;                  // equality + overlap multipliers (m + q)
   Vector w;                  // free variables
 };
 
@@ -92,6 +97,15 @@ class Ipm {
     // this problem instance) but reuse the cached pattern, so the hot loops
     // below never consult the per-row std::map.
     views_ = build_block_row_views(p_, *structure_);
+    // Native decomposed cones: their overlap couplings enter the iteration
+    // as *virtual rows* with indices [m, m+q) — they share all the residual
+    // and Schur-panel machinery of real rows — but they are never part of
+    // the factored Schur complement: step() block-eliminates their (q x q)
+    // corner, so the dense factor stays m x m and their multipliers update
+    // ALM-style alongside the Newton step.
+    overlap_rows_ = append_overlap_views(p_, views_);
+    q_ = overlap_rows_.size();
+    mext_ = m_ + q_;
     // Schur assembly order: per block, views sorted densest-first
     // (SDPA-style). Row i at sorted position p pairs with every k at
     // position q >= p, and the O(nnz_k) inner product always reads the
@@ -128,6 +142,10 @@ class Ipm {
   Solution run() {
     Solution sol = run_inner();
     sol.phase = phase_;
+    // The dense Schur factor never contains overlap couplings: m rows, with
+    // or without decomposed cones. (Seam conversions pay for their overlap
+    // rows here — that is the geometry this telemetry exists to compare.)
+    sol.schur_rows = m_;
     return sol;
   }
 
@@ -226,7 +244,7 @@ class Ipm {
       s.x.push_back(std::move(xj));
       s.z.push_back(std::move(zj));
     }
-    s.y.assign(m_, 0.0);
+    s.y.assign(mext_, 0.0);
     s.w.assign(nf_, 0.0);
     return s;
   }
@@ -242,6 +260,10 @@ class Ipm {
     s.x = ws.x;
     s.z = ws.z;
     s.y = ws.y;  // sizes guaranteed by WarmStart::fits at the call site
+    // Overlap multipliers are backend-internal state (their count depends on
+    // this lowering's clique layout, which the blob deliberately does not
+    // encode): restart them at zero.
+    s.y.resize(mext_, 0.0);
     s.w = ws.w;
     for (std::size_t j = 0; j < nblocks_; ++j) {
       const std::size_t n = p_.block_size(j);
@@ -285,15 +307,24 @@ class Ipm {
     return std::fabs(pobj - dobj) / (1.0 + std::fabs(pobj) + std::fabs(dobj));
   }
 
+  /// Row access across the extended index space (real rows, then overlaps).
+  const Row& row_at(std::size_t i) const {
+    return i < m_ ? p_.rows()[i] : *overlap_rows_[i - m_];
+  }
+  double rhs_at(std::size_t i) const { return i < m_ ? p_.rhs(i) : 0.0; }
+
   Residuals residuals(const State& s) const {
     Residuals r;
-    r.rp.assign(m_, 0.0);
-    for (std::size_t i = 0; i < m_; ++i) {
-      const Row& row = p_.rows()[i];
+    // Overlap couplings are primal feasibility too: rp's tail [m, m+q) is
+    // the clique-copy consistency gap, so rp_rel only reaches tolerance
+    // when the decomposed cone agrees on its separators.
+    r.rp.assign(mext_, 0.0);
+    for (std::size_t i = 0; i < mext_; ++i) {
+      const Row& row = row_at(i);
       double ax = 0.0;
       for (const auto& [j, a] : row.blocks) ax += a.dot(s.x[j]);
       for (const auto& [v, c] : row.free_coeffs) ax += c * s.w[v];
-      r.rp[i] = p_.rhs(i) - ax;
+      r.rp[i] = rhs_at(i) - ax;
     }
     r.rd.resize(nblocks_);
     double rd_norm = 0.0;
@@ -430,9 +461,9 @@ class Ipm {
       }
     }
     // Mirror the computed upper triangle (row indices) onto the lower.
-    for (std::size_t r = 0; r < m_; ++r) {
+    for (std::size_t r = 0; r < mext_; ++r) {
       const double* ur = schur.row_ptr(r);
-      for (std::size_t c = r + 1; c < m_; ++c) schur(c, r) = ur[c];
+      for (std::size_t c = r + 1; c < mext_; ++c) schur(c, r) = ur[c];
     }
   }
 
@@ -462,9 +493,10 @@ class Ipm {
     });
     phase_.factor += phase_timer.seconds();
 
-    // Assemble the Schur complement M_ik = sum_j <A_ij, Z_j^{-1} A_kj X_j>.
+    // Assemble the Schur complement M_ik = sum_j <A_ij, Z_j^{-1} A_kj X_j>
+    // over the extended index space (real rows, then overlap couplings).
     phase_timer.reset();
-    Matrix schur(m_, m_);
+    Matrix schur(mext_, mext_);
     if (opt_.reference_schur) {
       assemble_schur_reference(s, chol_z, schur);
     } else {
@@ -472,8 +504,22 @@ class Ipm {
     }
     phase_.schur += phase_timer.seconds();
 
+    // Overlap multipliers are block-eliminated, never factored with the
+    // rows (OverlapElimination): the dense Schur factor stays m x m, the
+    // flop count telescopes to exactly the extended (m+q) factorization,
+    // and the elimination is algebraically the full solve — native cones
+    // take the same Newton step the seam rows would, at the original dense
+    // Schur geometry. Q is PD whenever the iterate is interior (a
+    // congruence of the PD HKM operator with the linearly independent
+    // overlap difference maps).
     phase_timer.reset();
-    const Cholesky chol_m = Cholesky::factor_shifted(schur, 1e-13);
+    Cholesky chol_m;
+    OverlapElimination elim;
+    if (q_ == 0) {
+      chol_m = Cholesky::factor_shifted(schur, 1e-13);
+    } else {
+      chol_m = Cholesky::factor_shifted(elim.reduce(schur, m_, q_, 1e-13), 1e-13);
+    }
     phase_.factor += phase_timer.seconds();
 
     // Free-variable coupling B (m x nf), built once at solver setup.
@@ -487,32 +533,50 @@ class Ipm {
       chol_s = Cholesky::factor_shifted(s_free, 1e-13);
     }
 
+    // One pass of the block-eliminated KKT solve. r1 spans the extended row
+    // space [rows; overlaps]; the returned dy does too (its tail is the
+    // overlap-multiplier correction dλ = Q^{-1}(rb - U^T dy_rows), via the
+    // elimination's two-stage solve).
     auto solve_kkt_once = [&](const Vector& r1, const Vector& r2, Vector& dy, Vector& dw) {
-      const Vector g = chol_m.solve(r1);
+      Vector ra(r1.begin(), r1.begin() + static_cast<std::ptrdiff_t>(m_));
+      Vector t;
+      if (q_ > 0) {
+        const Vector rb(r1.begin() + static_cast<std::ptrdiff_t>(m_), r1.end());
+        t = elim.fold_rhs(rb, ra);
+      }
+      const Vector g = chol_m.solve(ra);
       if (nf_ == 0) {
         dy = g;
         dw.assign(0, 0.0);
-        return;
+      } else {
+        Vector rhs = linalg::transposed_times(bmat, g);
+        linalg::axpy(-1.0, r2, rhs);
+        dw = chol_s->solve(rhs);
+        dy = g;
+        linalg::axpy(-1.0, w_free * dw, dy);
       }
-      Vector rhs = linalg::transposed_times(bmat, g);
-      linalg::axpy(-1.0, r2, rhs);
-      dw = chol_s->solve(rhs);
-      dy = g;
-      linalg::axpy(-1.0, w_free * dw, dy);
+      if (q_ > 0) {
+        const Vector dl = elim.multipliers(t, dy);
+        dy.insert(dy.end(), dl.begin(), dl.end());
+      }
     };
 
     // The Schur complement is severely ill-conditioned near the central-path
-    // end; two rounds of iterative refinement recover the lost digits.
+    // end; two rounds of iterative refinement recover the lost digits. The
+    // residual uses the full extended operator, so the eliminated overlap
+    // corner is refined along with the rows.
     auto solve_kkt = [&](const Vector& r1, const Vector& r2, Vector& dy, Vector& dw) {
       solve_kkt_once(r1, r2, dy, dw);
       for (int refine = 0; refine < 2; ++refine) {
         Vector res1 = r1;
         linalg::axpy(-1.0, schur * dy, res1);
-        if (nf_ > 0) linalg::axpy(-1.0, bmat * dw, res1);
         Vector res2(nf_, 0.0);
         if (nf_ > 0) {
+          const Vector bw = bmat * dw;
+          for (std::size_t i = 0; i < m_; ++i) res1[i] -= bw[i];
           res2 = r2;
-          linalg::axpy(-1.0, linalg::transposed_times(bmat, dy), res2);
+          const Vector dy_rows(dy.begin(), dy.begin() + static_cast<std::ptrdiff_t>(m_));
+          linalg::axpy(-1.0, linalg::transposed_times(bmat, dy_rows), res2);
         }
         Vector cy, cw;
         solve_kkt_once(res1, res2, cy, cw);
@@ -661,7 +725,9 @@ class Ipm {
                      Solution& out) const {
     out.x = s.x;
     out.z = s.z;
-    out.y = s.y;
+    // Overlap multipliers are internal state: only the row multipliers
+    // leave the solver (the blob/warm-start space has no overlap slots).
+    out.y.assign(s.y.begin(), s.y.begin() + static_cast<std::ptrdiff_t>(m_));
     out.w = s.w;
     out.primal_objective = primal_objective(s);
     out.dual_objective = dual_objective(s);
@@ -677,13 +743,16 @@ class Ipm {
   SolveContext& ctx_;
   std::shared_ptr<const ProblemStructure> structure_;
   std::vector<std::vector<BlockRowView>> views_;
+  /// Native decomposed cones: overlap couplings as virtual rows [m, m+q).
+  /// Pointers into p_.cones() (stable: the problem outlives the solve).
+  std::vector<const Row*> overlap_rows_;
   /// Per block: indices into views_[j] sorted densest-first (Schur order).
   std::vector<std::vector<std::size_t>> schur_order_;
   Matrix bmat_;  // free-variable coupling B (m x nf); iteration-invariant
   util::ThreadPool pool_;
   std::vector<Matrix> panel_scratch_;  // per-worker Schur panel workspace
   PhaseTimes phase_;
-  std::size_t m_ = 0, nf_ = 0, nblocks_ = 0, total_dim_ = 0;
+  std::size_t m_ = 0, q_ = 0, mext_ = 0, nf_ = 0, nblocks_ = 0, total_dim_ = 0;
   double data_norm_ = 1.0, c_norm_ = 1.0;
 };
 

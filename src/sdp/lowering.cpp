@@ -1,0 +1,230 @@
+#include "sdp/lowering.hpp"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace soslock::sdp {
+
+using linalg::Matrix;
+
+Lowering lower(Problem problem, const LoweringOptions& options) {
+  Lowering out;
+  const util::Timer total_timer;
+  util::Timer pass_timer;
+
+  // --- analyze: the base space. Its fingerprint is what warm blobs carry.
+  out.base_fingerprint = structure_fingerprint(problem);
+  const bool convert = options.sparsity == SparsityOptions::Chordal;
+  {
+    PassRecord rec;
+    rec.name = "analyze";
+    rec.fingerprint = out.base_fingerprint;
+    rec.detail = problem.stats() + (convert ? "" : " (conversion off)");
+    rec.seconds = pass_timer.seconds();
+    out.passes.push_back(std::move(rec));
+  }
+
+  // --- decompose + lower: chordal clique planning and block lowering.
+  if (convert) {
+    pass_timer.reset();
+    const ConversionPlan plan = plan_decomposition(problem, options.chordal);
+    {
+      PassRecord rec;
+      rec.name = "decompose";
+      rec.fingerprint = out.base_fingerprint;  // planning reads only
+      rec.detail = plan.detail;
+      rec.seconds = pass_timer.seconds();
+      out.passes.push_back(std::move(rec));
+    }
+    pass_timer.reset();
+    out.map = apply_decomposition(problem, plan, options.chordal.at_seam);
+    {
+      PassRecord rec;
+      rec.name = "lower";
+      // Equilibration below is structure-preserving, so the post-lower
+      // fingerprint IS the lowered fingerprint — hash once, record twice.
+      out.lowered_fingerprint =
+          out.map.identity() ? out.base_fingerprint : structure_fingerprint(problem);
+      rec.fingerprint = out.lowered_fingerprint;
+      rec.detail = out.map.identity()
+                       ? "identity (nothing split)"
+                       : (options.chordal.at_seam ? "seam rows: " : "native cones: ") +
+                             std::to_string(out.map.plans.size()) + " cone(s), max clique " +
+                             std::to_string(out.map.max_clique_size());
+      rec.seconds = pass_timer.seconds();
+      out.passes.push_back(std::move(rec));
+    }
+  }
+  if (!convert) out.lowered_fingerprint = out.base_fingerprint;
+
+  // --- equilibrate: row scaling (structure-preserving).
+  pass_timer.reset();
+  out.scaling = equilibrate_rows(problem);
+  {
+    std::size_t scaled = 0;
+    for (const double s : out.scaling.row_scale) scaled += s != 1.0 ? 1 : 0;
+    PassRecord rec;
+    rec.name = "equilibrate";
+    rec.fingerprint = out.lowered_fingerprint;
+    rec.detail = std::to_string(scaled) + "/" +
+                 std::to_string(out.scaling.row_scale.size()) + " rows scaled";
+    rec.seconds = pass_timer.seconds();
+    out.passes.push_back(std::move(rec));
+  }
+
+  out.problem = std::move(problem);
+  out.convert_seconds = total_timer.seconds();
+
+  // Seed the pattern cache with the structure we effectively already know,
+  // carrying the base fingerprint and the pass provenance, so the backend's
+  // lookup returns this annotated instance. Repeated structurally identical
+  // solves (the warm-start retry ladders) find their previous entry and
+  // skip the rebuild + reseed entirely.
+  const auto existing = StructureCache::global().find(out.lowered_fingerprint);
+  if (existing == nullptr || existing->base_fingerprint != out.base_fingerprint ||
+      !existing->compatible_with(out.problem)) {
+    auto structure = std::make_shared<ProblemStructure>(
+        build_structure(out.problem, out.lowered_fingerprint));
+    structure->base_fingerprint = out.base_fingerprint;
+    structure->provenance = out.passes;
+    StructureCache::global().put(std::move(structure));
+  }
+  return out;
+}
+
+Solution recover(Solution solution, const Lowering& lowering) {
+  // Un-scale the dual multipliers so they certify the original rows (the
+  // audit and every solution.value() consumer sees the unequilibrated
+  // system). Seam overlap rows are part of the lowered row space and are
+  // dropped by recover_original below.
+  for (std::size_t i = 0; i < solution.y.size() && i < lowering.scaling.row_scale.size();
+       ++i) {
+    if (lowering.scaling.row_scale[i] != 0.0) solution.y[i] /= lowering.scaling.row_scale[i];
+  }
+  if (!lowering.map.identity()) solution = recover_original(solution, lowering.map);
+  solution.phase.convert += lowering.convert_seconds;
+  return solution;
+}
+
+namespace {
+
+/// How many cliques of `plan` cover each (r, c) entry pair of the original
+/// block — the dual-slack split weights of the warm remap.
+std::vector<int> entry_multiplicity(const BlockPlan& plan) {
+  const std::size_t n = plan.original_size;
+  std::vector<int> mult(n * n, 0);
+  for (const auto& clique : plan.forest.cliques) {
+    for (const std::size_t r : clique)
+      for (const std::size_t c : clique) ++mult[r * n + c];
+  }
+  return mult;
+}
+
+}  // namespace
+
+WarmStart remap_warm_start(const WarmStart& original, const Lowering& lowering) {
+  WarmStart out;
+  if (original.empty()) return out;
+
+  // Shape of the base space this lowering came from.
+  const std::size_t base_blocks = lowering.map.identity()
+                                      ? lowering.problem.num_blocks()
+                                      : lowering.map.original_block_sizes.size();
+  const std::size_t base_rows =
+      lowering.map.identity() ? lowering.problem.num_rows() : lowering.map.original_rows;
+  if (original.x.size() != base_blocks || original.z.size() != base_blocks ||
+      original.y.size() != base_rows || original.w.size() != lowering.problem.num_free()) {
+    util::log_debug("lowering: warm blob shape does not match the base space; cold start");
+    return out;
+  }
+
+  out.fingerprint = lowering.lowered_fingerprint;
+  out.w = original.w;
+
+  // Row multipliers: original rows keep their indices across the lowering;
+  // seam overlap rows (appended after them) start at zero. Scale into the
+  // equilibrated row space the backend sees.
+  out.y.assign(lowering.problem.num_rows(), 0.0);
+  for (std::size_t i = 0; i < base_rows; ++i) out.y[i] = original.y[i];
+  for (std::size_t i = 0; i < out.y.size() && i < lowering.scaling.row_scale.size(); ++i)
+    out.y[i] *= lowering.scaling.row_scale[i];
+
+  out.x.assign(lowering.problem.num_blocks(), Matrix());
+  out.z.assign(lowering.problem.num_blocks(), Matrix());
+  if (lowering.map.identity()) {
+    for (std::size_t j = 0; j < base_blocks; ++j) {
+      if (original.x[j].rows() != lowering.problem.block_size(j)) {
+        util::log_debug("lowering: warm blob block ", j, " shape drifted; cold start");
+        return WarmStart{};
+      }
+      out.x[j] = original.x[j];
+      out.z[j] = original.z[j];
+    }
+    return out;
+  }
+
+  // Kept blocks copy over; decomposed blocks restrict per clique.
+  for (std::size_t j = 0; j < base_blocks; ++j) {
+    const std::size_t cb = lowering.map.block_map[j];
+    if (cb == ChordalMap::kNotMapped) continue;
+    if (original.x[j].rows() != lowering.problem.block_size(cb)) {
+      util::log_debug("lowering: warm blob block ", j, " shape drifted; cold start");
+      return WarmStart{};
+    }
+    out.x[cb] = original.x[j];
+    out.z[cb] = original.z[j];
+  }
+  for (const BlockPlan& plan : lowering.map.plans) {
+    const std::size_t n = plan.original_size;
+    const Matrix& x = original.x[plan.original_block];
+    const Matrix& z = original.z[plan.original_block];
+    // Drift guard: the canonical entry map of every clique must address the
+    // blob's block. A blob from before the map changed (the remap analog of
+    // a fingerprint collision) is rejected whole — replaying a misaligned
+    // clique would scatter unrelated entries into the backend's iterate.
+    if (x.rows() != n || z.rows() != n) {
+      util::log_debug("lowering: warm blob cone ", plan.original_block,
+                      " shape drifted (", x.rows(), " vs ", n, "); cold start");
+      return WarmStart{};
+    }
+    for (const auto& clique : plan.forest.cliques) {
+      for (const std::size_t v : clique) {
+        if (v >= n) {
+          util::log_debug("lowering: clique entry map drifted out of block ",
+                          plan.original_block, "; cold start");
+          return WarmStart{};
+        }
+      }
+    }
+    const std::vector<int> mult = entry_multiplicity(plan);
+    for (std::size_t k = 0; k < plan.forest.cliques.size(); ++k) {
+      const auto& clique = plan.forest.cliques[k];
+      const std::size_t cb = plan.converted_block[k];
+      const std::size_t nk = clique.size();
+      Matrix xk(nk, nk), zk(nk, nk);
+      for (std::size_t a = 0; a < nk; ++a) {
+        for (std::size_t b = 0; b < nk; ++b) {
+          const std::size_t r = clique[a], c = clique[b];
+          // Primal restriction of a PSD matrix is PSD and exactly
+          // consistent across copies; the dual splits by multiplicity so
+          // the scatter-add recombination reproduces the dense slack.
+          xk(a, b) = x(r, c);
+          zk(a, b) = z(r, c) / static_cast<double>(mult[r * n + c]);
+        }
+      }
+      out.x[cb] = std::move(xk);
+      out.z[cb] = std::move(zk);
+    }
+  }
+  return out;
+}
+
+WarmStart export_warm_start(const Solution& recovered, const Lowering& lowering) {
+  return make_warm_start(recovered, lowering.base_fingerprint);
+}
+
+}  // namespace soslock::sdp

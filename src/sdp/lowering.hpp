@@ -1,0 +1,100 @@
+#pragma once
+// Staged SOS→SDP lowering pipeline. The compiler (sos/compiler) emits a
+// block SDP; everything between that emission and the backend used to be a
+// seam of ad-hoc steps (chordal conversion, fingerprinting, equilibration)
+// hard-wired into SosProgram::solve. This header makes it an explicit
+// pipeline of ordered passes, each recording its provenance:
+//
+//   analyze     — support/aggregate-sparsity analysis: base fingerprint of
+//                 the as-compiled problem (the space warm blobs live in) and
+//                 the candidate screening for decomposition.
+//   decompose   — chordal clique planning of every qualifying PSD block
+//                 (sdp::plan_decomposition).
+//   lower       — block lowering: clique blocks replace decomposed ones,
+//                 with overlap consistency either registered natively as
+//                 sdp::DecomposedCone couplings (default) or appended as
+//                 equality rows (ChordalOptions::at_seam, the PR 3 parity
+//                 reference).
+//   equilibrate — row equilibration (sdp/scaling).
+//
+// Warm-start blobs live in the *base* (pre-lowering) space: a blob exported
+// from one lowering replays into any other lowering of the same compiled
+// problem via per-clique remapping (remap_warm_start), so pass-parameter
+// changes — min_block_size, at_seam, even the sparsity mode when it does not
+// change the compiled blocks — no longer orphan solver state the way the
+// old fingerprint salting did.
+//
+// Adding a pass: run it inside lower() between the existing stages, mutate
+// `Lowering::problem`, and push a PassRecord (name, post-pass structure
+// fingerprint, wall seconds, human-readable detail). If the pass changes
+// the block/row shape, teach remap_warm_start and recover how to cross it —
+// that is the whole contract; fingerprints and provenance are recomputed
+// here, and the backends only ever see the final problem plus its cached
+// ProblemStructure.
+#include <cstdint>
+#include <vector>
+
+#include "sdp/chordal.hpp"
+#include "sdp/options.hpp"
+#include "sdp/problem.hpp"
+#include "sdp/scaling.hpp"
+#include "sdp/solver.hpp"
+#include "sdp/structure.hpp"
+
+namespace soslock::sdp {
+
+struct LoweringOptions {
+  SparsityOptions sparsity = SparsityOptions::Off;
+  ChordalOptions chordal;
+};
+
+/// Everything the pipeline produced for one compiled problem: the lowered
+/// problem the backend solves, the maps to get solutions and warm blobs
+/// across the lowering, and the per-pass provenance.
+struct Lowering {
+  Problem problem;  // lowered + equilibrated: what the backend factors
+  /// Structure fingerprint of the problem as compiled, before any lowering
+  /// pass — the space warm-start blobs are exported in and accepted against.
+  std::uint64_t base_fingerprint = 0;
+  /// Structure fingerprint of `problem` (what the backends' caches key on).
+  std::uint64_t lowered_fingerprint = 0;
+  ChordalMap map;   // identity when no block decomposed
+  Scaling scaling;  // row equilibration applied to `problem`
+  std::vector<PassRecord> passes;  // provenance, one record per pass run
+  double convert_seconds = 0.0;    // summed pass wall time (PhaseTimes::convert)
+
+  bool decomposed() const { return !map.identity(); }
+};
+
+/// Run the pass pipeline over a compiled problem (consumed by value). The
+/// resulting structure — with base fingerprint and pass provenance attached
+/// — is seeded into StructureCache::global() so the backend's lookup hits
+/// it.
+Lowering lower(Problem problem, const LoweringOptions& options);
+
+/// Map a lowered-space solution back onto the original compiled shape:
+/// un-equilibrate the dual multipliers, complete decomposed primal cones
+/// along their clique trees, scatter-add the dual slacks (Agler). Stamps
+/// PhaseTimes::convert with the pipeline's pass time and
+/// PhaseTimes::complete with the recovery time, so decomposed-vs-seam
+/// comparisons account for the full round trip.
+Solution recover(Solution solution, const Lowering& lowering);
+
+/// Remap an original-space warm blob into the lowered space: clique blocks
+/// are extracted from the dense primal (exactly consistent and PSD), dual
+/// slacks are split by entry multiplicity, and the row multipliers are
+/// scaled into the equilibrated row space (seam overlap rows start at 0;
+/// native overlap multipliers are backend state and start at 0 either way).
+///
+/// Drift guard: every clique's canonical entry map is validated against the
+/// blob's block shapes — a clique whose vertices fall outside the blob's
+/// original block (a stale map, the remap analog of a fingerprint
+/// collision) rejects the whole blob, returning an empty WarmStart (cold
+/// start) instead of scattering out-of-range reads into the backend.
+WarmStart remap_warm_start(const WarmStart& original, const Lowering& lowering);
+
+/// Snapshot a recovered (original-space) solution as a base-space blob for
+/// the next structurally identical compile, whatever its pass parameters.
+WarmStart export_warm_start(const Solution& recovered, const Lowering& lowering);
+
+}  // namespace soslock::sdp

@@ -20,12 +20,22 @@ enum class SparsityOptions {
 /// Tuning for the SDP-level chordal conversion pass (SparsityOptions::Chordal).
 struct ChordalOptions {
   /// Only blocks at least this large are considered for decomposition (the
-  /// conversion adds overlap-consistency rows, which is a bad trade for
-  /// small cones).
+  /// conversion adds overlap couplings, which is a bad trade for small
+  /// cones).
   std::size_t min_block_size = 24;
   /// Skip the decomposition of a block when the largest clique still covers
-  /// more than this fraction of it (nothing to win, rows to lose).
+  /// more than this fraction of it (nothing to win, couplings to lose).
   double max_clique_fraction = 0.9;
+  /// Lower decomposed cones as the PR 3 seam conversion did: overlap
+  /// consistency becomes ordinary equality rows appended to the problem, so
+  /// the backends see a plain block SDP and the Schur complement carries the
+  /// overlap rows. Default (false) registers native sdp::DecomposedCone
+  /// descriptors instead — backends enforce the overlaps with multiplier
+  /// terms block-eliminated from the factored Schur/normal system, warm
+  /// starts remap per clique, and the dense factor keeps the original row
+  /// count. The seam path is kept selectable as the parity reference,
+  /// mirroring IpmOptions::reference_schur.
+  bool at_seam = false;
 };
 
 /// Interior-point (HKM predictor-corrector) tuning.

@@ -51,6 +51,40 @@ struct Row {
   std::string label;  // provenance (monomial / constraint name) for debugging
 };
 
+/// One clique of a decomposed cone: which original-cone indices it spans,
+/// which problem block holds its PSD copy, and its clique-tree parent.
+/// This layout makes a lowered Problem self-describing — it is mixed into
+/// the structure fingerprint (so iterates can never cross decompositions)
+/// and tells an external consumer how to complete the clique blocks back
+/// into the original cone. The lowering pipeline's own warm-start remap and
+/// recovery read the same layout through the richer ChordalMap it keeps
+/// alongside (sdp/chordal.hpp).
+struct CliqueInfo {
+  /// Global indices of the original cone covered by this clique (ascending).
+  std::vector<std::size_t> vertices;
+  std::size_t block = 0;   // problem block index of this clique's PSD copy
+  std::size_t parent = 0;  // clique-tree parent (index into cliques; self = root)
+};
+
+/// A family of clique blocks lowered from one original PSD cone. The cone
+/// constraint is "the partial matrix assembled from the clique copies has a
+/// PSD completion", which by Grone's theorem is per-clique PSD *plus*
+/// agreement of the copies of every entry shared along the clique tree.
+/// Those agreement constraints are materialized here as zero-rhs difference
+/// couplings (child copy minus parent copy, Row-shaped so backends can reuse
+/// all sparse-coefficient machinery) — but they are NOT equality rows of the
+/// problem: native backends enforce them through multiplier terms folded into
+/// their (block-eliminated) Schur/normal factorizations, so the dense
+/// factored system keeps the original row count. The seam conversion
+/// (ChordalOptions::at_seam) emits them as ordinary rows instead.
+struct DecomposedCone {
+  std::size_t original_size = 0;  // n of the original dense cone
+  std::vector<CliqueInfo> cliques;
+  /// Overlap-consistency couplings along the clique-tree edges: one zero-rhs
+  /// difference per shared entry pair, weighted so <D, X> = child - parent.
+  std::vector<Row> overlaps;
+};
+
 class Problem {
  public:
   /// Append a PSD block of size n; returns its index.
@@ -62,6 +96,10 @@ class Problem {
   void set_free_objective(std::size_t var, double coeff);
   /// Append an equality row; returns its index.
   std::size_t add_row(Row row);
+  /// Register a decomposed cone over existing clique blocks; returns its
+  /// index. Adds no rows: the cone's overlap couplings are enforced by the
+  /// backends' multiplier machinery.
+  std::size_t add_cone(DecomposedCone cone);
 
   std::size_t num_blocks() const { return block_sizes_.size(); }
   std::size_t block_size(std::size_t j) const { return block_sizes_[j]; }
@@ -73,6 +111,10 @@ class Problem {
   const linalg::Matrix& block_objective(std::size_t j) const { return c_[j]; }
   const linalg::Vector& free_objective() const { return f_; }
   double rhs(std::size_t i) const { return rows_[i].rhs; }
+  const std::vector<DecomposedCone>& cones() const { return cones_; }
+  /// Total overlap couplings over all decomposed cones (the q extra
+  /// multipliers the native backends carry alongside the m row multipliers).
+  std::size_t num_overlaps() const;
 
   /// Total PSD dimension sum_j n_j.
   std::size_t total_psd_dim() const;
@@ -84,6 +126,7 @@ class Problem {
   std::vector<linalg::Matrix> c_;
   linalg::Vector f_;
   std::vector<Row> rows_;
+  std::vector<DecomposedCone> cones_;
 };
 
 enum class SolveStatus {
@@ -107,18 +150,29 @@ std::string to_string(SolveStatus status);
 ///   eig     — eigendecompositions (IPM step-length bounds; ADMM PSD
 ///             projections, where this phase dominates).
 ///   recover — RHS assembly, search-direction / iterate recovery, residuals.
+/// Two phases live *outside* the backends, stamped by the lowering pipeline
+/// (sdp/lowering) so decomposed-vs-seam comparisons account for the full
+/// round trip:
+///   convert  — SOS→SDP lowering passes (csp analysis, clique decomposition,
+///              block lowering, equilibration).
+///   complete — mapping a lowered solution back to the original shape
+///              (clique-tree PSD completion, dual scatter-add, blob remaps).
 struct PhaseTimes {
   double schur = 0.0;
   double factor = 0.0;
   double eig = 0.0;
   double recover = 0.0;
+  double convert = 0.0;
+  double complete = 0.0;
 
-  double total() const { return schur + factor + eig + recover; }
+  double total() const { return schur + factor + eig + recover + convert + complete; }
   void merge(const PhaseTimes& other) {
     schur += other.schur;
     factor += other.factor;
     eig += other.eig;
     recover += other.recover;
+    convert += other.convert;
+    complete += other.complete;
   }
 };
 
@@ -143,6 +197,12 @@ struct Solution {
   /// Chordal, converted) problem — the cone-size telemetry behind the
   /// dense-vs-clique benches; 0 when the producer did not record it.
   std::size_t max_cone = 0;
+  /// Dimension of the dense Schur complement (IPM) / normal matrix (ADMM)
+  /// the backend factored. With native decomposed cones this equals the
+  /// problem's row count — the overlap couplings are block-eliminated
+  /// multipliers, never rows of the factored system — while the seam
+  /// conversion pays for its overlap rows here. 0 when not recorded.
+  std::size_t schur_rows = 0;
   /// The solve ran its course and returned a best iterate. An Interrupted
   /// solve may have stopped before the first step, so it makes no such
   /// claim — check the residuals before accepting its iterate.

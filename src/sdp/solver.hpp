@@ -28,9 +28,14 @@ namespace soslock::sdp {
 /// Exported solver state for warm-starting a structurally identical solve
 /// (same structure_fingerprint — see sdp/structure.hpp; coefficient *values*
 /// may differ, which is exactly the advection/level-curve retry pattern).
-/// The iterate lives in the original (unequilibrated) row space: y is the
-/// multiplier of the rows as compiled, so a blob can be replayed against a
-/// re-compiled problem with different row scales.
+/// SosProgram-level blobs live in the base (pre-lowering, unequilibrated)
+/// space — y is the multiplier of the rows as compiled, x/z have the
+/// original cone shapes — and are re-lowered per clique by
+/// sdp::remap_warm_start, so one blob replays across re-compiles with
+/// different row scales or decomposition parameters. Backend-level blobs
+/// (SolveContext::warm_start) are in the space of the problem as passed to
+/// the backend; native decomposed-cone overlap multipliers are deliberately
+/// not part of either (they restart at zero on restore).
 struct WarmStart {
   std::uint64_t fingerprint = 0;   // structure_fingerprint of the source
   std::vector<linalg::Matrix> x;   // primal PSD blocks

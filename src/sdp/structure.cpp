@@ -35,12 +35,38 @@ std::uint64_t structure_fingerprint(const Problem& p) {
     hash.mix(0x46726565ull);  // free marker
     for (const auto& [v, c] : row.free_coeffs) hash.mix(v);
   }
+  // Native decomposed cones are structure: two problems with identical rows
+  // and blocks but different clique layouts (or none) solve differently, so
+  // their iterates must never cross via the fingerprint.
+  for (const DecomposedCone& cone : p.cones()) {
+    hash.mix(0x436f6e65ull);  // cone marker
+    hash.mix(cone.original_size);
+    for (const CliqueInfo& clique : cone.cliques) {
+      hash.mix(clique.block);
+      hash.mix(clique.parent);
+      for (const std::size_t v : clique.vertices) hash.mix(v);
+    }
+    for (const Row& overlap : cone.overlaps) {
+      hash.mix(0x4f76ull);  // overlap marker
+      for (const auto& [j, a] : overlap.blocks) {
+        hash.mix(j);
+        for (const Triplet& t : a.entries) {
+          hash.mix(t.r);
+          hash.mix(t.c);
+        }
+      }
+    }
+  }
   return hash.h;
 }
 
 ProblemStructure build_structure(const Problem& p) {
+  return build_structure(p, structure_fingerprint(p));
+}
+
+ProblemStructure build_structure(const Problem& p, std::uint64_t fingerprint) {
   ProblemStructure s;
-  s.fingerprint = structure_fingerprint(p);
+  s.fingerprint = fingerprint;
   s.num_rows = p.num_rows();
   s.rows_touching_block.assign(p.num_blocks(), {});
   for (std::size_t i = 0; i < p.num_rows(); ++i)
@@ -85,6 +111,27 @@ std::shared_ptr<const ProblemStructure> StructureCache::get(const Problem& p) co
   return fresh;
 }
 
+void StructureCache::put(std::shared_ptr<const ProblemStructure> structure) const {
+  if (!structure) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i]->fingerprint == structure->fingerprint) {
+      slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  slots_.insert(slots_.begin(), std::move(structure));
+  if (slots_.size() > capacity_) slots_.resize(capacity_);
+}
+
+std::shared_ptr<const ProblemStructure> StructureCache::find(std::uint64_t fingerprint) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& slot : slots_) {
+    if (slot->fingerprint == fingerprint) return slot;
+  }
+  return nullptr;
+}
+
 std::size_t StructureCache::hits() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return hits_;
@@ -106,6 +153,17 @@ std::vector<std::vector<BlockRowView>> build_block_row_views(
     }
   }
   return views;
+}
+
+std::vector<const Row*> append_overlap_views(
+    const Problem& p, std::vector<std::vector<BlockRowView>>& views) {
+  std::vector<const Row*> overlaps;
+  for (const DecomposedCone& cone : p.cones())
+    for (const Row& overlap : cone.overlaps) overlaps.push_back(&overlap);
+  const std::size_t m = p.num_rows();
+  for (std::size_t o = 0; o < overlaps.size(); ++o)
+    for (const auto& [j, a] : overlaps[o]->blocks) views[j].push_back({m + o, &a});
+  return overlaps;
 }
 
 }  // namespace soslock::sdp

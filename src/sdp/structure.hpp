@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "sdp/problem.hpp"
@@ -21,10 +22,21 @@
 namespace soslock::sdp {
 
 /// Hash of the value-independent structure of `p`: block sizes, free count,
-/// and per row the touched blocks, triplet positions and free indices (not
-/// their values). Two problems with equal fingerprints accept each other's
-/// solver state as a warm start and share sparsity caches.
+/// per row the touched blocks, triplet positions and free indices (not their
+/// values), and — for native decomposed cones — the clique layout and the
+/// overlap-coupling positions. Two problems with equal fingerprints accept
+/// each other's solver state as a warm start and share sparsity caches.
 std::uint64_t structure_fingerprint(const Problem& p);
+
+/// Provenance of one lowering pass (sdp/lowering): what ran, the structure
+/// fingerprint it left behind, and how long it took. A chain of these is the
+/// audit trail from the compiled problem to what the backend factored.
+struct PassRecord {
+  std::string name;               // "analyze" | "decompose" | "lower" | ...
+  std::uint64_t fingerprint = 0;  // structure fingerprint after the pass
+  double seconds = 0.0;
+  std::string detail;             // human-readable summary
+};
 
 /// Value-independent sparsity pattern shared by structurally equal problems.
 struct ProblemStructure {
@@ -32,6 +44,15 @@ struct ProblemStructure {
   std::size_t num_rows = 0;  // of the source problem (collision guard)
   /// For each block, the rows whose coefficient touches it (ascending).
   std::vector<std::vector<std::size_t>> rows_touching_block;
+  /// Fingerprint of the pre-lowering problem this structure was lowered from
+  /// (0 = not produced by the lowering pipeline). Warm-start blobs live in
+  /// that base space, so this is what blob acceptance keys on — pass
+  /// parameters (min_block_size, sparsity mode) can change the lowered
+  /// fingerprint without invalidating base-space blobs.
+  std::uint64_t base_fingerprint = 0;
+  /// One record per lowering pass that produced this structure (empty when
+  /// the problem reached the backend without lowering).
+  std::vector<PassRecord> provenance;
 
   /// Cheap shape check against a problem about to consume this pattern: a
   /// 64-bit fingerprint collision would otherwise hand the backends row
@@ -43,6 +64,9 @@ struct ProblemStructure {
 
 /// Build the pattern from scratch (also records the fingerprint).
 ProblemStructure build_structure(const Problem& p);
+/// Same, with the fingerprint already computed by the caller (the lowering
+/// pipeline hashes once and reuses it for pass records, blobs and here).
+ProblemStructure build_structure(const Problem& p, std::uint64_t fingerprint);
 
 /// Small fingerprint-keyed LRU cache for ProblemStructure; thread-safe.
 /// Both backends consult the process-wide instance (global()), so the
@@ -68,6 +92,18 @@ class StructureCache {
   /// Return the cached structure when the fingerprint matches, else build,
   /// store (evicting least-recently-used) and return a fresh one.
   std::shared_ptr<const ProblemStructure> get(const Problem& p) const;
+
+  /// Seed the cache with an externally built structure (the lowering
+  /// pipeline inserts the pattern it already computed, with base fingerprint
+  /// and pass provenance attached, so the backend's get() hits it). An
+  /// existing slot with the same fingerprint is replaced.
+  void put(std::shared_ptr<const ProblemStructure> structure) const;
+
+  /// Probe for a cached structure by fingerprint without building or
+  /// promoting anything (and without counting a hit); null on miss. Lets
+  /// the lowering pipeline skip the pattern rebuild + reseed on repeated
+  /// structurally identical solves.
+  std::shared_ptr<const ProblemStructure> find(std::uint64_t fingerprint) const;
 
   /// Cache hits since construction (telemetry for tests/benches).
   std::size_t hits() const;
@@ -95,5 +131,13 @@ struct BlockRowView {
 /// views[j] lists (row, A_ij) for every row touching block j, in row order.
 std::vector<std::vector<BlockRowView>> build_block_row_views(
     const Problem& p, const ProblemStructure& structure);
+
+/// Native decomposed-cone plumbing shared by both backends: collect the
+/// cones' overlap couplings as virtual rows with extended indices
+/// [num_rows, num_rows + q) and append their coefficient views to `views`.
+/// Returns the coupling Rows in index order (pointers into p.cones(),
+/// stable for the lifetime of `p`); q == size of the result.
+std::vector<const Row*> append_overlap_views(
+    const Problem& p, std::vector<std::vector<BlockRowView>>& views);
 
 }  // namespace soslock::sdp

@@ -6,9 +6,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "sdp/chordal.hpp"
-#include "sdp/scaling.hpp"
-#include "sdp/structure.hpp"
+#include "sdp/lowering.hpp"
 #include "sos/program.hpp"
 #include "util/log.hpp"
 
@@ -122,46 +120,32 @@ SolveResult SosProgram::solve(const sdp::SolverConfig& config,
 
 SolveResult SosProgram::solve(const sdp::SolverBackend& backend,
                               sdp::SolveContext& context) const {
-  sdp::Problem prob = compile();
+  // Staged lowering pipeline (sdp/lowering): support/csp analysis happened
+  // at constraint-add time (the correlative Gram split); the SDP-level
+  // passes — clique decomposition, block lowering (native DecomposedCone
+  // descriptors by default, overlap rows under ChordalOptions::at_seam),
+  // and row equilibration — run here with per-pass provenance.
+  sdp::LoweringOptions lowering_options;
+  lowering_options.sparsity = sparsity_;
+  lowering_options.chordal = chordal_;
+  const sdp::Lowering lowering = sdp::lower(compile(), lowering_options);
+  const sdp::Problem& prob = lowering.problem;
   util::log_info("sos: solving ", prob.stats());
 
-  // Chordal conversion pass: any remaining large PSD block is decomposed
-  // along its aggregate-sparsity chordal extension, so the backend solves
-  // clique-sized cones. Everything below (fingerprint, equilibration, the
-  // warm-start blob) lives in the *converted* space — blobs replay across
-  // structurally identical converted solves; the solution is mapped back to
-  // the original shape before certificates are extracted.
-  sdp::ChordalMap chordal;
-  if (sparsity_ == sdp::SparsityOptions::Chordal) {
-    chordal = sdp::chordal_decompose(prob, chordal_);
-    if (!chordal.identity()) util::log_info("sos: chordal conversion -> ", prob.stats());
-  }
-
-  // SOS coefficient-matching rows mix monomial scales spanning orders of
-  // magnitude: equilibrate ahead of the backend and translate the dual
-  // multipliers (and any warm-start iterate, which lives in the original row
-  // space) across the scaling. The sparsity mode is mixed into the
-  // fingerprint so a blob from one mode is never replayed into another (the
-  // iterate spaces differ even when the block list happens to coincide).
-  const std::uint64_t fingerprint =
-      sdp::structure_fingerprint(prob) ^
-      (0x5350'4152'5349'5459ull * (static_cast<std::uint64_t>(sparsity_) + 1));
-  const sdp::Scaling scaling = sdp::equilibrate_rows(prob);
-
-  // A warm start applies only when the compiled structure matches; an
-  // ill-matching blob solves cold. The y-multipliers of the blob are scaled
-  // into the equilibrated row space the backend sees. The caller's pointer
-  // is restored even if the backend throws — scaled_warm dies with this
+  // Warm blobs live in the base (pre-lowering) space: a blob applies when
+  // its fingerprint matches the compiled structure, whatever the lowering
+  // parameters of either solve were, and remap_warm_start carries it into
+  // this lowering (per-clique extraction, equilibrated row scaling) with a
+  // drift guard on every clique's canonical entry map. The caller's pointer
+  // is restored even if the backend throws — lowered_warm dies with this
   // frame, and the caller-owned context must never keep a pointer to it.
   const sdp::WarmStart* caller_warm = context.warm_start;
-  sdp::WarmStart scaled_warm;
+  sdp::WarmStart lowered_warm;
   context.warm_start = nullptr;
   if (caller_warm != nullptr && !caller_warm->empty() &&
-      caller_warm->fingerprint == fingerprint && caller_warm->fits(prob)) {
-    scaled_warm = *caller_warm;
-    for (std::size_t i = 0; i < scaled_warm.y.size(); ++i)
-      scaled_warm.y[i] *= scaling.row_scale[i];
-    context.warm_start = &scaled_warm;
+      caller_warm->fingerprint == lowering.base_fingerprint) {
+    lowered_warm = sdp::remap_warm_start(*caller_warm, lowering);
+    if (!lowered_warm.empty()) context.warm_start = &lowered_warm;
   }
   sdp::Solution sol;
   try {
@@ -172,28 +156,26 @@ SolveResult SosProgram::solve(const sdp::SolverBackend& backend,
   }
   context.warm_start = caller_warm;
   // Cone-size telemetry: the largest PSD block the backend worked on (the
-  // converted problem's, when the chordal pass ran).
+  // lowered problem's, when the decomposition pass ran).
   for (std::size_t j = 0; j < prob.num_blocks(); ++j)
     sol.max_cone = std::max(sol.max_cone, prob.block_size(j));
   // Divergence test for the warm-start export below, taken in the
   // equilibrated space the solver worked in (the unscaled duals can be
   // legitimately huge when a row scale is tiny).
   const double y_scale = sol.y.empty() ? 0.0 : linalg::norm_inf(sol.y);
-  // Un-scale the dual multipliers so they certify the *original* rows (the
-  // audit and solution.value() consumers never see the equilibrated system).
-  for (std::size_t i = 0; i < sol.y.size(); ++i) {
-    if (scaling.row_scale[i] != 0.0) sol.y[i] /= scaling.row_scale[i];
-  }
+  // Back to the original compiled shape: un-equilibrated duals, completed
+  // primal cones (stamps PhaseTimes convert/complete so the lowering round
+  // trip shows up in the telemetry).
+  sol = sdp::recover(std::move(sol), lowering);
 
-  // Export the converted-space iterate for warm starts *before* recovery
-  // (the blob must fit the converted problem the next solve compiles), then
-  // map the solution back onto the original block/row shape so decision
-  // values and Gram certificates extract exactly as in the dense path.
+  // Export the recovered iterate as a base-space blob: the next
+  // structurally identical compile accepts it even if its pass parameters
+  // (min_block_size, at_seam, sparsity level at equal compiled blocks)
+  // differ — remap_warm_start re-lowers it per clique.
   sdp::WarmStart warm_blob;
   if (std::isfinite(y_scale) && y_scale < 1e8) {
-    warm_blob = sdp::make_warm_start(sol, fingerprint);
+    warm_blob = sdp::export_warm_start(sol, lowering);
   }
-  if (!chordal.identity()) sol = sdp::recover_original(sol, chordal);
 
   SolveResult result;
   result.status = sol.status;
@@ -236,9 +218,9 @@ SolveResult SosProgram::solve(const sdp::SolverBackend& backend,
 
   const double min_value = objective_.eval(result.decision_values);
   result.objective = objective_is_max_ ? -min_value : min_value;
-  // result.warm was exported above (pre-recovery, converted space) for the
-  // next structurally identical solve, including from Interrupted/stalled
-  // best iterates (what a retry loop resumes from) and from
+  // result.warm was exported above (post-recovery, base space) for the next
+  // structurally identical compile, including from Interrupted/stalled best
+  // iterates (what a retry loop resumes from) and from
   // infeasible-classified solves (whose iterate is the natural seed for the
   // next attempt in a sequence of infeasible checks, e.g. the
   // not-yet-immersed inclusion chain). The exception is a *divergent*

@@ -90,9 +90,13 @@ class SosProgram {
   /// Sparsity exploitation. Must be set *before* SOS constraints are added:
   /// Correlative (and Chordal) split each constraint's Gram basis along the
   /// csp-graph cliques at add_sos_constraint time; Chordal additionally runs
-  /// the SDP-level chordal conversion pass inside solve(). The mode is mixed
-  /// into the structure fingerprint, so WarmStart blobs never leak between
-  /// sparsity modes. The core certifiers forward options.solver.sparsity.
+  /// the clique-decomposition passes of the sdp/lowering pipeline inside
+  /// solve() (native DecomposedCone lowering by default, overlap rows under
+  /// ChordalOptions::at_seam). Warm blobs live in the pre-lowering space and
+  /// remap per clique, so they survive pass-parameter changes; modes that
+  /// compile different Gram blocks (Off vs Correlative) still separate
+  /// naturally through the compiled structure fingerprint. The core
+  /// certifiers forward options.solver.sparsity.
   void set_sparsity(sdp::SparsityOptions sparsity) { sparsity_ = sparsity; }
   sdp::SparsityOptions sparsity() const { return sparsity_; }
   /// Tuning for the Chordal conversion pass (block-size threshold etc).
@@ -204,7 +208,9 @@ struct SolveResult {
   /// structurally identical solve. Populated for every outcome that carries
   /// state — including Interrupted and stalled MaxIterations iterates, so
   /// retry loops never re-derive what the aborted solve already knew. The
-  /// dual y is in the original (unequilibrated) row space.
+  /// blob lives in the base (pre-lowering, unequilibrated) space: the next
+  /// solve re-lowers it through sdp::remap_warm_start, so it survives
+  /// lowering-parameter changes (min_block_size, at_seam, ...).
   sdp::WarmStart warm;
 
   double value(const poly::LinExpr& e) const { return e.eval(decision_values); }
@@ -228,9 +234,11 @@ struct SolveStats {
   int iterations = 0;        // summed over solves
   double seconds = 0.0;      // summed wall clock inside backends
   std::size_t max_cone = 0;  // largest PSD cone any backend worked on
-  /// Per-phase breakdown (schur / factor / eig / recover) summed over
-  /// solves; shows *where* the iterations spend their time. phase.total()
-  /// is slightly below `seconds` (residuals/bookkeeping are untimed).
+  /// Per-phase breakdown (schur / factor / eig / recover inside the
+  /// backends, plus the lowering pipeline's convert / complete) summed over
+  /// solves; shows *where* the iterations spend their time. The backend
+  /// phases total slightly below `seconds` (residuals/bookkeeping are
+  /// untimed); convert/complete fall outside `seconds` entirely.
   sdp::PhaseTimes phase;
 
   void absorb(const SolveResult& result);

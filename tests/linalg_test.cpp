@@ -71,6 +71,26 @@ TEST(Matrix, TimesTransposedAgreesWithExplicit) {
   EXPECT_LT(norm_inf(direct - explicit_), 1e-14);
 }
 
+TEST(Matrix, SubtractGramAgreesWithExplicit) {
+  util::Rng rng(17);
+  const Matrix w = random_matrix(4, 6, rng);
+  Matrix c = random_spd(6, rng);
+  Matrix expected = c;
+  expected -= transposed_times(w, w);
+  subtract_gram(c, w);
+  EXPECT_LT(norm_inf(c - expected), 1e-13);
+  // Result stays exactly symmetric (upper computed, lower mirrored).
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j) EXPECT_EQ(c(i, j), c(j, i));
+
+  // Empty W (no overlap couplings) is a no-op.
+  Matrix unchanged = expected;
+  unchanged.symmetrize();
+  const Matrix before = unchanged;
+  subtract_gram(unchanged, Matrix(0, 6));
+  EXPECT_EQ(norm_inf(unchanged - before), 0.0);
+}
+
 TEST(Matrix, FrobeniusDotSymmetry) {
   util::Rng rng(4);
   const Matrix a = random_matrix(6, 6, rng);

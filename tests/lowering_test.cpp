@@ -1,0 +1,312 @@
+// Tests for the staged SOS→SDP lowering pipeline (sdp/lowering) and native
+// decomposed cones in the backends: pass provenance, native-vs-seam verdict
+// parity on banded SDPs and the clock-tree coupling model, the
+// Schur-complement geometry claim (zero overlap rows in the factored
+// system), base-space warm blobs surviving min_block_size changes via
+// per-clique remapping, the drift guard on stale canonical entry maps, and
+// bitwise thread determinism of the overlap-multiplier Schur assembly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eigen_sym.hpp"
+#include "pll/models.hpp"
+#include "pll/params.hpp"
+#include "sdp/admm.hpp"
+#include "sdp/ipm.hpp"
+#include "sdp/lowering.hpp"
+#include "sdp/solver.hpp"
+#include "sdp/structure.hpp"
+
+namespace soslock {
+namespace {
+
+using linalg::Matrix;
+using sdp::Lowering;
+using sdp::LoweringOptions;
+using sdp::Problem;
+using sdp::Solution;
+using sdp::SolveStatus;
+
+/// Feasible banded min-trace SDP: b = A(X*) for a banded PSD X* and banded
+/// coefficients, so the aggregate pattern is a path-like band.
+Problem banded_sdp(std::size_t n) {
+  Problem p;
+  const std::size_t blk = p.add_block(n);
+  p.set_block_objective(blk, Matrix::identity(n));
+  Matrix xstar(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xstar(i, i) = 2.0 + 0.1 * static_cast<double>(i % 3);
+    if (i + 1 < n) {
+      xstar(i, i + 1) = 0.7;
+      xstar(i + 1, i) = 0.7;
+    }
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    sdp::Row row;
+    sdp::SparseSym a;
+    a.add(i, i, 1.0);
+    a.add(i, i + 1, 0.5 + 0.1 * static_cast<double>(i % 2));
+    a.add(i + 1, i + 1, -0.3);
+    Matrix dense(n, n);
+    a.add_to(dense);
+    row.rhs = linalg::dot(dense, xstar);
+    row.blocks[blk] = std::move(a);
+    p.add_row(std::move(row));
+  }
+  return p;
+}
+
+Problem clock_tree_sdp(std::size_t loops) {
+  pll::ClockTreeOptions options;
+  options.loops = loops;
+  const pll::ClockTreeModel model =
+      pll::make_clock_tree(pll::Params::paper_third_order(), options);
+  return pll::clock_tree_coupling_sdp(model.constants, options);
+}
+
+LoweringOptions chordal_lowering(std::size_t min_block_size, bool at_seam = false) {
+  LoweringOptions low;
+  low.sparsity = sdp::SparsityOptions::Chordal;
+  low.chordal.min_block_size = min_block_size;
+  low.chordal.at_seam = at_seam;
+  return low;
+}
+
+/// Primal feasibility of a recovered solution against the original problem.
+double primal_violation(const Problem& original, const Solution& recovered) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < original.num_rows(); ++i) {
+    double ax = 0.0;
+    for (const auto& [j, a] : original.rows()[i].blocks) ax += a.dot(recovered.x[j]);
+    for (const auto& [v, c] : original.rows()[i].free_coeffs) ax += c * recovered.w[v];
+    worst = std::max(worst, std::fabs(original.rhs(i) - ax) /
+                                (1.0 + std::fabs(original.rhs(i))));
+  }
+  return worst;
+}
+
+TEST(LoweringPipeline, PassesRecordProvenanceAndSeedTheCache) {
+  const Lowering low = sdp::lower(banded_sdp(30), chordal_lowering(8));
+  ASSERT_TRUE(low.decomposed());
+  ASSERT_EQ(low.passes.size(), 4u);
+  EXPECT_EQ(low.passes[0].name, "analyze");
+  EXPECT_EQ(low.passes[1].name, "decompose");
+  EXPECT_EQ(low.passes[2].name, "lower");
+  EXPECT_EQ(low.passes[3].name, "equilibrate");
+  EXPECT_EQ(low.passes[0].fingerprint, low.base_fingerprint);
+  EXPECT_EQ(low.passes[3].fingerprint, low.lowered_fingerprint);
+  EXPECT_NE(low.base_fingerprint, low.lowered_fingerprint);
+  EXPECT_GT(low.convert_seconds, 0.0);
+
+  // The seeded cache entry carries the provenance to the backends.
+  const auto structure = sdp::StructureCache::global().get(low.problem);
+  EXPECT_EQ(structure->base_fingerprint, low.base_fingerprint);
+  ASSERT_EQ(structure->provenance.size(), 4u);
+  EXPECT_EQ(structure->provenance[2].name, "lower");
+}
+
+TEST(LoweringPipeline, NativeLoweringAddsConesNotRows) {
+  const Problem original = banded_sdp(30);
+  const Lowering native = sdp::lower(banded_sdp(30), chordal_lowering(8, false));
+  const Lowering seam = sdp::lower(banded_sdp(30), chordal_lowering(8, true));
+  ASSERT_TRUE(native.decomposed());
+  ASSERT_TRUE(seam.decomposed());
+
+  // Native: original row count, overlap couplings on the cone. Seam: the
+  // couplings are rows.
+  EXPECT_EQ(native.problem.num_rows(), original.num_rows());
+  EXPECT_GT(native.problem.num_overlaps(), 0u);
+  EXPECT_FALSE(native.problem.cones().empty());
+  EXPECT_EQ(seam.problem.num_rows(), original.num_rows() + native.problem.num_overlaps());
+  EXPECT_EQ(seam.problem.num_overlaps(), 0u);
+
+  // The two lowerings share the base space but are distinct structures.
+  EXPECT_EQ(native.base_fingerprint, seam.base_fingerprint);
+  EXPECT_NE(native.lowered_fingerprint, seam.lowered_fingerprint);
+}
+
+TEST(LoweringPipeline, NativeVsSeamVerdictParityOnBandedAndClockTree) {
+  struct Case {
+    const char* name;
+    Problem problem;
+    std::size_t min_block_size;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"banded", banded_sdp(30), 8});
+  cases.push_back({"clock-tree", clock_tree_sdp(8), 4});
+
+  for (Case& c : cases) {
+    const Solution dense_sol = sdp::IpmSolver().solve(c.problem);
+    ASSERT_EQ(dense_sol.status, SolveStatus::Optimal) << c.name;
+
+    Solution recovered[2];
+    std::size_t schur_rows[2];
+    int slot = 0;
+    for (const bool at_seam : {false, true}) {
+      const Lowering low = sdp::lower(c.problem, chordal_lowering(c.min_block_size, at_seam));
+      ASSERT_TRUE(low.decomposed()) << c.name;
+      sdp::SolveContext context;
+      const Solution sol = sdp::IpmSolver().solve(low.problem, context);
+      schur_rows[slot] = sol.schur_rows;
+      recovered[slot] = sdp::recover(sol, low);
+      ++slot;
+    }
+    // Audit-identical verdicts: same status, same objective, both recover a
+    // primal-feasible PSD iterate and both match the dense solve.
+    EXPECT_EQ(recovered[0].status, recovered[1].status) << c.name;
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_EQ(recovered[i].status, SolveStatus::Optimal) << c.name;
+      EXPECT_NEAR(recovered[i].primal_objective, dense_sol.primal_objective,
+                  1e-4 * (1.0 + std::fabs(dense_sol.primal_objective)))
+          << c.name;
+      EXPECT_GE(linalg::min_eigenvalue(recovered[i].x[0]), -1e-6) << c.name;
+      EXPECT_LT(primal_violation(c.problem, recovered[i]), 1e-5) << c.name;
+      // The convert/complete phases of the lowering round trip are stamped.
+      EXPECT_GT(recovered[i].phase.convert, 0.0) << c.name;
+      EXPECT_GT(recovered[i].phase.complete, 0.0) << c.name;
+    }
+    // Zero overlap-consistency rows in the native Schur complement: the
+    // factored system keeps the original row count, while the seam carries
+    // one extra row per overlap entry.
+    EXPECT_EQ(schur_rows[0], c.problem.num_rows()) << c.name;
+    EXPECT_GT(schur_rows[1], schur_rows[0]) << c.name;
+  }
+}
+
+TEST(LoweringPipeline, AdmmSolvesNativeConesWithSeamParity) {
+  const Problem original = clock_tree_sdp(6);
+  const Solution dense_sol = sdp::AdmmSolver().solve(original);
+  ASSERT_EQ(dense_sol.status, SolveStatus::Optimal);
+
+  Solution recovered[2];
+  for (const bool at_seam : {false, true}) {
+    const Lowering low = sdp::lower(original, chordal_lowering(4, at_seam));
+    ASSERT_TRUE(low.decomposed());
+    sdp::SolveContext context;
+    const Solution sol = sdp::AdmmSolver().solve(low.problem, context);
+    EXPECT_EQ(sol.schur_rows, at_seam ? low.problem.num_rows() : original.num_rows());
+    recovered[at_seam ? 1 : 0] = sdp::recover(sol, low);
+  }
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(recovered[i].status, SolveStatus::Optimal) << i;
+    EXPECT_NEAR(recovered[i].primal_objective, dense_sol.primal_objective,
+                1e-3 * (1.0 + std::fabs(dense_sol.primal_objective)))
+        << i;
+    EXPECT_LT(primal_violation(original, recovered[i]), 1e-4) << i;
+  }
+}
+
+TEST(LoweringPipeline, WarmStartSurvivesMinBlockSizeChange) {
+  // The acceptance claim: a blob exported under one decomposition replays
+  // into a different one (here: decomposed vs not decomposed at all, the
+  // most extreme min_block_size change) with fewer iterations than cold.
+  const Problem original = clock_tree_sdp(8);
+
+  // Solve decomposed (min_block_size 4), export a base-space blob.
+  const Lowering low_a = sdp::lower(original, chordal_lowering(4));
+  ASSERT_TRUE(low_a.decomposed());
+  sdp::SolveContext ctx_a;
+  const Solution sol_a = sdp::IpmSolver().solve(low_a.problem, ctx_a);
+  ASSERT_EQ(sol_a.status, SolveStatus::Optimal);
+  const sdp::WarmStart blob = sdp::export_warm_start(sdp::recover(sol_a, low_a), low_a);
+  EXPECT_EQ(blob.fingerprint, low_a.base_fingerprint);
+
+  // Replay into a min_block_size that disables the decomposition entirely.
+  const Lowering low_b = sdp::lower(original, chordal_lowering(100));
+  ASSERT_FALSE(low_b.decomposed());
+  ASSERT_EQ(low_b.base_fingerprint, low_a.base_fingerprint);
+  const sdp::WarmStart remapped_b = sdp::remap_warm_start(blob, low_b);
+  ASSERT_FALSE(remapped_b.empty());
+  sdp::SolveContext cold_ctx, warm_ctx;
+  warm_ctx.warm_start = &remapped_b;
+  const Solution cold_b = sdp::IpmSolver().solve(low_b.problem, cold_ctx);
+  const Solution warm_b = sdp::IpmSolver().solve(low_b.problem, warm_ctx);
+  ASSERT_EQ(warm_b.status, SolveStatus::Optimal);
+  EXPECT_LT(warm_b.iterations, cold_b.iterations);
+
+  // And the reverse direction: the undecomposed solve's blob re-lowers per
+  // clique into a *different* decomposition (min_block_size 6).
+  const sdp::WarmStart blob_b = sdp::export_warm_start(sdp::recover(warm_b, low_b), low_b);
+  const Lowering low_c = sdp::lower(original, chordal_lowering(6));
+  ASSERT_TRUE(low_c.decomposed());
+  const sdp::WarmStart remapped_c = sdp::remap_warm_start(blob_b, low_c);
+  ASSERT_FALSE(remapped_c.empty());
+  sdp::SolveContext cold_c_ctx, warm_c_ctx;
+  warm_c_ctx.warm_start = &remapped_c;
+  const Solution cold_c = sdp::IpmSolver().solve(low_c.problem, cold_c_ctx);
+  const Solution warm_c = sdp::IpmSolver().solve(low_c.problem, warm_c_ctx);
+  ASSERT_EQ(warm_c.status, SolveStatus::Optimal);
+  EXPECT_LT(warm_c.iterations, cold_c.iterations);
+}
+
+TEST(LoweringPipeline, DriftGuardRejectsStaleCliqueEntryMaps) {
+  // Mirrors the PR 3 fingerprint-collision fix at the remap layer: a blob
+  // whose fingerprint matches but whose shape (or the map's canonical entry
+  // lists) drifted must reject to a cold start, never scatter out-of-range.
+  const Problem original = banded_sdp(30);
+  const Lowering low = sdp::lower(original, chordal_lowering(8));
+  ASSERT_TRUE(low.decomposed());
+  sdp::SolveContext ctx;
+  const Solution sol = sdp::IpmSolver().solve(low.problem, ctx);
+  const sdp::WarmStart good = sdp::export_warm_start(sdp::recover(sol, low), low);
+  ASSERT_FALSE(sdp::remap_warm_start(good, low).empty());
+
+  // Blob block shape drifted (same fingerprint field, wrong matrix sizes).
+  sdp::WarmStart shrunk = good;
+  shrunk.x[0] = Matrix(10, 10);
+  shrunk.z[0] = Matrix(10, 10);
+  EXPECT_TRUE(sdp::remap_warm_start(shrunk, low).empty());
+
+  // Blob row space drifted.
+  sdp::WarmStart wrong_rows = good;
+  wrong_rows.y.push_back(0.0);
+  EXPECT_TRUE(sdp::remap_warm_start(wrong_rows, low).empty());
+
+  // Canonical entry map drifted: a clique vertex beyond the original block.
+  Lowering tampered = low;
+  ASSERT_FALSE(tampered.map.plans.empty());
+  tampered.map.plans[0].forest.cliques[0][0] = 999;
+  EXPECT_TRUE(sdp::remap_warm_start(good, tampered).empty());
+}
+
+TEST(LoweringPipeline, OverlapMultiplierAssemblyIsThreadDeterministic) {
+  // The extended Schur assembly (rows + overlap couplings) fans out on the
+  // pool like the PR 4 kernels; the block elimination runs after the
+  // barrier. Iterates must be bit-identical across thread counts.
+  const Lowering low = sdp::lower(clock_tree_sdp(10), chordal_lowering(4));
+  ASSERT_TRUE(low.decomposed());
+  sdp::IpmOptions serial, parallel;
+  serial.threads = 1;
+  parallel.threads = 4;
+  sdp::SolveContext ctx1, ctx4;
+  const Solution one = sdp::IpmSolver(serial).solve(low.problem, ctx1);
+  const Solution four = sdp::IpmSolver(parallel).solve(low.problem, ctx4);
+  ASSERT_EQ(one.status, four.status);
+  ASSERT_EQ(one.iterations, four.iterations);
+  EXPECT_EQ(one.primal_objective, four.primal_objective);  // bitwise
+  ASSERT_EQ(one.y.size(), four.y.size());
+  for (std::size_t i = 0; i < one.y.size(); ++i) EXPECT_EQ(one.y[i], four.y[i]);
+  for (std::size_t j = 0; j < one.x.size(); ++j) {
+    for (std::size_t r = 0; r < one.x[j].rows(); ++r)
+      for (std::size_t c = 0; c < one.x[j].cols(); ++c)
+        ASSERT_EQ(one.x[j](r, c), four.x[j](r, c)) << j << " " << r << " " << c;
+  }
+}
+
+TEST(PhaseTimes, ConvertAndCompleteJoinTheTaxonomy) {
+  sdp::PhaseTimes a;
+  a.schur = 1.0;
+  a.convert = 0.25;
+  a.complete = 0.5;
+  sdp::PhaseTimes b;
+  b.convert = 0.75;
+  b.eig = 2.0;
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.convert, 1.0);
+  EXPECT_DOUBLE_EQ(a.complete, 0.5);
+  EXPECT_DOUBLE_EQ(a.total(), 1.0 + 2.0 + 1.0 + 0.5);
+}
+
+}  // namespace
+}  // namespace soslock

@@ -209,30 +209,34 @@ TEST(SparseSos, MotzkinAdjacentVerdictsMatchDense) {
   }
 }
 
-TEST(SparseSos, FingerprintsSeparateSparsityModes) {
-  // Same program under Off / Correlative / Chordal: all three warm-start
-  // fingerprints must differ, so a stale blob from one mode can never be
-  // replayed into another.
+TEST(SparseSos, BaseSpaceBlobsCrossCompatibleModesAndRejectForeignOnes) {
+  // Warm blobs live in the base (pre-lowering) space. Modes that compile
+  // different Gram blocks (Off vs Correlative: one dense block vs one per
+  // clique) separate naturally through the compiled structure fingerprint,
+  // so a stale blob from one can never leak into the other. Modes that
+  // compile identically (Correlative vs Chordal on this program: the
+  // SDP-level conversion pass is a no-op on complete Gram patterns) now
+  // deliberately *share* blobs — the whole point of replacing the PR 3
+  // fingerprint salting with per-clique remapping.
   const Polynomial p = disjoint_pair_quartic();
   sdp::SolverConfig config;
   config.backend = "ipm";
   std::vector<std::uint64_t> prints;
-  sos::SolveResult off_result;
+  std::vector<sos::SolveResult> results;
   for (const auto mode : {sdp::SparsityOptions::Off, sdp::SparsityOptions::Correlative,
                           sdp::SparsityOptions::Chordal}) {
     sos::SosProgram prog(4);
     prog.set_trace_regularization(1e-8);
     prog.set_sparsity(mode);
     prog.add_sos_constraint(p, "p");
-    const sos::SolveResult result = prog.solve(config);
-    ASSERT_TRUE(result.feasible);
-    ASSERT_FALSE(result.warm.empty());
-    prints.push_back(result.warm.fingerprint);
-    if (mode == sdp::SparsityOptions::Off) off_result = result;
+    results.push_back(prog.solve(config));
+    ASSERT_TRUE(results.back().feasible);
+    ASSERT_FALSE(results.back().warm.empty());
+    prints.push_back(results.back().warm.fingerprint);
   }
-  EXPECT_NE(prints[0], prints[1]);
+  EXPECT_NE(prints[0], prints[1]);  // different compiled blocks
   EXPECT_NE(prints[0], prints[2]);
-  EXPECT_NE(prints[1], prints[2]);
+  EXPECT_EQ(prints[1], prints[2]);  // identical compiled blocks: blobs transfer
 
   // Replaying the Off blob into a Correlative solve is rejected: the solve
   // runs cold and still succeeds.
@@ -241,9 +245,18 @@ TEST(SparseSos, FingerprintsSeparateSparsityModes) {
   sparse.set_sparsity(sdp::SparsityOptions::Correlative);
   sparse.add_sos_constraint(p, "p");
   sos::SolveResult cold = sparse.solve(config);
-  const sos::SolveResult replay = sparse.solve(config, &off_result.warm);
+  const sos::SolveResult replay = sparse.solve(config, &results[0].warm);
   EXPECT_TRUE(replay.feasible);
   EXPECT_EQ(replay.sdp.iterations, cold.sdp.iterations);  // identical cold solve
+
+  // And the Correlative blob replays *warm* into a Chordal solve.
+  sos::SosProgram chordal(4);
+  chordal.set_trace_regularization(1e-8);
+  chordal.set_sparsity(sdp::SparsityOptions::Chordal);
+  chordal.add_sos_constraint(p, "p");
+  const sos::SolveResult cross = chordal.solve(config, &results[1].warm);
+  EXPECT_TRUE(cross.feasible);
+  EXPECT_LT(cross.sdp.iterations, cold.sdp.iterations);
 }
 
 // --- SDP-level chordal conversion -----------------------------------------
@@ -354,6 +367,44 @@ TEST(SparsePipeline, PumpVertexLyapunovVerdictsMatchDense) {
     EXPECT_TRUE(sparse.audit.ok);
     ASSERT_EQ(dense.certificates.size(), sparse.certificates.size());
   }
+}
+
+// --- clock-tree cascade: the first genuinely non-complete Lyapunov csp ----
+
+TEST(SparsePipeline, ClockTreeSparseTemplateSplitsConesAndMatchesDenseVerdict) {
+  pll::ClockTreeOptions tree;
+  tree.loops = 3;
+  const pll::ClockTreeModel model =
+      pll::make_clock_tree(pll::Params::paper_third_order(), tree);
+  ASSERT_EQ(model.system.nstates(), 7u);
+
+  core::LyapunovOptions base;
+  base.certificate_degree = 2;
+  base.flow_decrease = core::FlowDecrease::Strict;
+  base.strict_margin = 1e-5;
+
+  core::LyapunovOptions dense_opt = base;
+  const core::LyapunovResult dense =
+      core::LyapunovSynthesizer(dense_opt).synthesize(model.system);
+  ASSERT_TRUE(dense.success);
+
+  core::LyapunovOptions sparse_opt = base;
+  sparse_opt.sparse_template = true;
+  sparse_opt.solver.sparsity = sdp::SparsityOptions::Correlative;
+  const core::LyapunovResult sparse =
+      core::LyapunovSynthesizer(sparse_opt).synthesize(model.system);
+  EXPECT_TRUE(sparse.success);
+  EXPECT_TRUE(sparse.audit.ok);
+
+  // The clique-structured template keeps -V̇'s csp graph non-complete, so
+  // the correlative split hands the backend genuinely smaller cones.
+  EXPECT_LT(sparse.solver.max_cone, dense.solver.max_cone);
+
+  // The sparse template really is sparse: fewer monomials than the dense
+  // state template, and restricted to the flow-coupling cliques.
+  const auto dense_support = core::state_monomials(7, 7, 2, 2);
+  const auto sparse_support = core::sparse_state_monomials(model.system, 2, 2);
+  EXPECT_LT(sparse_support.size(), dense_support.size());
 }
 
 }  // namespace
