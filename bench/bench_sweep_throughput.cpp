@@ -1,0 +1,97 @@
+// Certification sweep throughput: the paper's third-order charge-pump design
+// swept over a 5 x 4 ip x kv grid (20 design points, all inside the lockable
+// region), once with warm chaining + the in-place coefficient-update pass and
+// once fully cold (no warm starts, but the same per-lane lowering cache).
+//
+// The machine-checked gates (exit 1 on failure) are iteration counts, hit
+// rates and pass provenance — not wall clock, which single-core CI cannot
+// measure meaningfully:
+//   1. warm-hit rate > 50% (acceptance floor; a healthy chain hits 19/20),
+//   2. warm chaining takes strictly fewer total IPM iterations than solving
+//      every point cold,
+//   3. zero recompiles after the first grid point: exactly 1 full pipeline
+//      run and points-1 in-place updates (plus one update per cold re-solve),
+//   4. the update pass leaves provenance: the second lower() of a
+//      structurally identical compile stamps passes ["update", "equilibrate"].
+// Results land in BENCH_PR6.json (section sweep_throughput).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sdp/lowering.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/query.hpp"
+#include "sweep/service.hpp"
+
+using namespace soslock;
+
+int main() {
+  const pll::Params base = pll::Params::paper_third_order();
+  const sweep::Grid grid(base, {
+      {sweep::Axis::Ip, 5, 300e-6, 700e-6, 5e-6},
+      {sweep::Axis::Kv, 4, 120.0, 280.0, 2.0},
+  });
+  const sweep::CertificationQuery query = sweep::lyapunov_query();
+  const std::size_t points = grid.size();
+  std::printf("=== certification sweep throughput: %zu-point ip x kv grid ===\n\n", points);
+
+  sweep::SweepOptions warm_options;
+  warm_options.solver.backend = "ipm";
+  warm_options.threads = 1;  // one lane: the chain covers the whole grid
+  sweep::SweepOptions cold_options = warm_options;
+  cold_options.warm_chaining = false;
+  cold_options.solver.warm_start = false;
+
+  std::printf("warm-chained sweep (in-place updates + neighbor warm starts):\n");
+  const sweep::SweepReport warm = sweep::run_sweep(grid, query, warm_options);
+  std::printf("%s\n\n", warm.summary().c_str());
+
+  std::printf("cold sweep (every point from scratch):\n");
+  const sweep::SweepReport cold = sweep::run_sweep(grid, query, cold_options);
+  std::printf("%s\n\n", cold.summary().c_str());
+
+  // Direct provenance check of the update pass: two structurally identical
+  // compiles through one LoweringCache — the second must be the in-place
+  // path, stamped as the "update" pass, not a re-run of the full pipeline.
+  sdp::LoweringCache cache;
+  const sdp::LoweringOptions lopt;
+  cache.lower(query.build(grid.params(0)).compile(), lopt);
+  const sdp::Lowering& second = cache.lower(query.build(grid.params(1)).compile(), lopt);
+  const bool update_provenance = !second.passes.empty() &&
+                                 second.passes.front().name == "update" &&
+                                 cache.full_lowerings() == 1 && cache.updates() == 1;
+
+  int failures = 0;
+  auto gate = [&failures](bool ok, const char* what) {
+    std::printf("  gate %-58s %s\n", what, ok ? "PASS" : "FAIL");
+    if (!ok) ++failures;
+  };
+  std::printf("gates:\n");
+  gate(warm.certified == points, "every grid point certifies");
+  gate(warm.warm_hit_rate() > 0.5, "warm-hit rate > 50%");
+  gate(warm.total_iterations < cold.total_iterations,
+       "warm chaining beats cold on total IPM iterations");
+  gate(warm.full_lowerings == 1 &&
+           warm.updates == points - 1 + warm.cold_restarts,
+       "zero recompiles after the first grid point");
+  gate(update_provenance, "update pass stamps [\"update\", ...] provenance");
+  std::printf("\n");
+
+  bench::write_bench_json(
+      "BENCH_PR6.json", "sweep_throughput",
+      {
+          {"points", static_cast<double>(points)},
+          {"certified", static_cast<double>(warm.certified)},
+          {"certificates_per_second", warm.certificates_per_second()},
+          {"warm_hit_rate", warm.warm_hit_rate()},
+          {"warm_total_iterations", static_cast<double>(warm.total_iterations)},
+          {"cold_total_iterations", static_cast<double>(cold.total_iterations)},
+          {"full_lowerings", static_cast<double>(warm.full_lowerings)},
+          {"inplace_updates", static_cast<double>(warm.updates)},
+          {"cold_restarts", static_cast<double>(warm.cold_restarts)},
+          {"warm_seconds", warm.seconds},
+          {"cold_seconds", cold.seconds},
+      },
+      /*fresh=*/true);
+  std::printf("wrote BENCH_PR6.json (sweep_throughput)\n");
+  return failures == 0 ? 0 : 1;
+}

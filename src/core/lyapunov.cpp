@@ -198,26 +198,27 @@ LyapunovResult LyapunovSynthesizer::synthesize(const HybridSystem& system) const
   return synthesize_joint(system);
 }
 
-LyapunovResult LyapunovSynthesizer::synthesize_joint(const HybridSystem& system) const {
-  LyapunovResult result;
+LyapunovProgram build_lyapunov_program(const HybridSystem& system,
+                                       const LyapunovOptions& options) {
+  LyapunovProgram lp{sos::SosProgram(system.nvars()), {}};
   const std::size_t nstates = system.nstates();
   const std::size_t nvars = system.nvars();
-  const unsigned deg_v = options_.certificate_degree;
-  const unsigned deg_sigma = options_.multiplier_degree;
+  const unsigned deg_v = options.certificate_degree;
+  const unsigned deg_sigma = options.multiplier_degree;
 
-  sos::SosProgram prog(nvars);
-  prog.set_trace_regularization(options_.trace_regularization);
-  prog.set_sparsity(options_.solver);
+  sos::SosProgram& prog = lp.program;
+  prog.set_trace_regularization(options.trace_regularization);
+  prog.set_sparsity(options.solver);
 
   // Unknown certificates: monomials of degree 2..deg_v in the states only
   // (V(0) = 0 by construction; no linear terms so the origin can be a local
   // minimum); clique-structured under sparse_template.
   const std::vector<Monomial> v_support =
-      options_.sparse_template ? sparse_state_monomials(system, deg_v, 2)
-                               : state_monomials(nvars, nstates, deg_v, 2);
-  std::vector<PolyLin> v;
+      options.sparse_template ? sparse_state_monomials(system, deg_v, 2)
+                              : state_monomials(nvars, nstates, deg_v, 2);
+  std::vector<PolyLin>& v = lp.v;
   const std::size_t num_modes = system.modes().size();
-  if (options_.common_certificate) {
+  if (options.common_certificate) {
     const PolyLin shared = prog.add_poly(v_support, "V");
     v.assign(num_modes, shared);
   } else {
@@ -231,19 +232,19 @@ LyapunovResult LyapunovSynthesizer::synthesize_joint(const HybridSystem& system)
   // multiplier is created: clique bases must come from the full csp graph,
   // not the prefix built so far (an order-dependent under-coupled basis
   // would be a stricter restriction than the Waki relaxation intends).
-  poly::MultiplierSparsity csp = sos::multiplier_plan(nvars, options_.solver);
+  poly::MultiplierSparsity csp = sos::multiplier_plan(nvars, options.solver);
   for (std::size_t q = 0; q < num_modes; ++q) {
-    csp.couple(v[q] - PolyLin(options_.positivity_margin * x_norm2));
+    csp.couple(v[q] - PolyLin(options.positivity_margin * x_norm2));
     csp.couple(-v[q].lie_derivative(system.modes()[q].flow));
   }
-  if (!options_.common_certificate) {
+  if (!options.common_certificate) {
     for (const Jump& jump : system.jumps()) couple_jump_reset(csp, jump, nvars, nstates);
   }
   for (std::size_t q = 0; q < num_modes; ++q)
-    add_mode_conditions(prog, v[q], system, q, options_, x_norm2, csp);
+    add_mode_conditions(prog, v[q], system, q, options, x_norm2, csp);
 
   // (c) jumps: V_to(R(x)) - V_from(x) <= -jump_margin on each guard.
-  if (!options_.common_certificate) {
+  if (!options.common_certificate) {
     for (std::size_t l = 0; l < system.jumps().size(); ++l) {
       const Jump& jump = system.jumps()[l];
       if (jump.from == jump.to) continue;
@@ -267,8 +268,8 @@ LyapunovResult LyapunovSynthesizer::synthesize_joint(const HybridSystem& system)
         v_to_after = composed;
       }
       PolyLin expr = v[jump.from] - v_to_after;
-      if (options_.jump_margin > 0.0) {
-        expr -= PolyLin(options_.jump_margin * x_norm2);
+      if (options.jump_margin > 0.0) {
+        expr -= PolyLin(options.jump_margin * x_norm2);
       }
       const std::string tag = "jump" + std::to_string(l);
       csp.couple(expr);
@@ -277,7 +278,7 @@ LyapunovResult LyapunovSynthesizer::synthesize_joint(const HybridSystem& system)
     }
   }
 
-  if (options_.maximize_region) {
+  if (options.maximize_region) {
     // Fatten the eventual level sets: minimize sum_q int_box V_q. Normalized
     // moments (box averages) keep the objective O(1) per coefficient — raw
     // moments over wide voltage boxes reach 1e5 and wreck the conditioning.
@@ -285,10 +286,19 @@ LyapunovResult LyapunovSynthesizer::synthesize_joint(const HybridSystem& system)
     poly::LinExpr objective;
     for (std::size_t q = 0; q < num_modes; ++q) {
       objective += mode_moment_objective(v[q], box, nstates);
-      if (options_.common_certificate) break;
+      if (options.common_certificate) break;
     }
     prog.minimize(objective);
   }
+  return lp;
+}
+
+LyapunovResult LyapunovSynthesizer::synthesize_joint(const HybridSystem& system) const {
+  LyapunovResult result;
+  const std::size_t num_modes = system.modes().size();
+  LyapunovProgram lp = build_lyapunov_program(system, options_);
+  const sos::SosProgram& prog = lp.program;
+  const std::vector<PolyLin>& v = lp.v;
 
   const sos::SolveResult solved = prog.solve(options_.solver);
   result.status = solved.status;

@@ -70,6 +70,25 @@ struct LyapunovResult {
   std::string message;
 };
 
+/// A built (not yet solved) joint synthesis program: the SosProgram plus the
+/// unknown certificate polynomial of every mode (all identical under
+/// common_certificate). Exposed so external drivers — the design-space sweep
+/// service (src/sweep) most of all — reuse the certifier's exact program
+/// shape, solve it through their own backend / lowering cache, and audit the
+/// result with sos::audit.
+struct LyapunovProgram {
+  sos::SosProgram program;
+  std::vector<poly::PolyLin> v;
+};
+
+/// Build the joint multiple-Lyapunov SOS program for `system`: conditions
+/// (a)-(c) with S-procedure restrictions, plus the maximize_region moment
+/// objective when requested. The caller is responsible for a valid system
+/// and an even certificate degree >= 2 (LyapunovSynthesizer::synthesize
+/// checks both before coming here).
+LyapunovProgram build_lyapunov_program(const hybrid::HybridSystem& system,
+                                       const LyapunovOptions& options);
+
 class LyapunovSynthesizer {
  public:
   explicit LyapunovSynthesizer(LyapunovOptions options = {}) : options_(options) {}

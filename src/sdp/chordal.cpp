@@ -60,27 +60,21 @@ util::Adjacency aggregate_adjacency(const Problem& p, std::size_t j) {
   return adj;
 }
 
-/// Per-block conversion bookkeeping: canonical clique of every pattern entry
-/// and global->local index maps per clique.
-struct BlockIndex {
-  std::size_t n = 0;
-  std::vector<std::size_t> entry_clique;            // n*n, kNone off-pattern
-  std::vector<std::vector<std::size_t>> local;      // per clique: global -> local
-};
+}  // namespace
 
-BlockIndex index_block(const util::CliqueForest& forest, std::size_t n) {
-  BlockIndex idx;
+BlockEntryIndex index_decomposed_block(const util::CliqueForest& forest, std::size_t n) {
+  BlockEntryIndex idx;
   idx.n = n;
-  idx.entry_clique.assign(n * n, kNone);
+  idx.entry_clique.assign(n * n, BlockEntryIndex::kNone);
   idx.local.resize(forest.cliques.size());
   for (std::size_t k = 0; k < forest.cliques.size(); ++k) {
-    idx.local[k].assign(n, kNone);
+    idx.local[k].assign(n, BlockEntryIndex::kNone);
     const auto& clique = forest.cliques[k];
     for (std::size_t a = 0; a < clique.size(); ++a) idx.local[k][clique[a]] = a;
     for (std::size_t a = 0; a < clique.size(); ++a) {
       for (std::size_t b = a; b < clique.size(); ++b) {
         const std::size_t r = clique[a], c = clique[b];
-        if (idx.entry_clique[r * n + c] == kNone) {
+        if (idx.entry_clique[r * n + c] == BlockEntryIndex::kNone) {
           idx.entry_clique[r * n + c] = k;
           idx.entry_clique[c * n + r] = k;
         }
@@ -89,8 +83,6 @@ BlockIndex index_block(const util::CliqueForest& forest, std::size_t n) {
   }
   return idx;
 }
-
-}  // namespace
 
 std::size_t ChordalMap::max_clique_size() const {
   std::size_t mx = 0;
@@ -146,7 +138,7 @@ ChordalMap apply_decomposition(Problem& p, const ConversionPlan& conversion, boo
   // kept blocks is preserved), original rows keep their indices, overlap
   // rows follow.
   Problem conv;
-  std::vector<BlockIndex> indices(p.num_blocks());
+  std::vector<BlockEntryIndex> indices(p.num_blocks());
   for (std::size_t j = 0; j < p.num_blocks(); ++j) {
     const std::size_t n = p.block_size(j);
     if (!split[j]) {
@@ -158,7 +150,7 @@ ChordalMap apply_decomposition(Problem& p, const ConversionPlan& conversion, boo
     plan.original_block = j;
     plan.original_size = n;
     plan.forest = forests[j];
-    indices[j] = index_block(plan.forest, n);
+    indices[j] = index_decomposed_block(plan.forest, n);
     std::vector<Matrix> clique_obj;
     clique_obj.reserve(plan.forest.cliques.size());
     for (const auto& clique : plan.forest.cliques) {
@@ -195,7 +187,7 @@ ChordalMap apply_decomposition(Problem& p, const ConversionPlan& conversion, boo
         nr.blocks[map.block_map[j]] = a;
         continue;
       }
-      const BlockIndex& idx = indices[j];
+      const BlockEntryIndex& idx = indices[j];
       const BlockPlan* plan = nullptr;
       for (const BlockPlan& candidate : map.plans) {
         if (candidate.original_block == j) {
@@ -219,7 +211,7 @@ ChordalMap apply_decomposition(Problem& p, const ConversionPlan& conversion, boo
   // enforce them with block-eliminated multiplier terms.
   std::size_t overlap_count = 0;
   for (const BlockPlan& plan : map.plans) {
-    const BlockIndex& idx = indices[plan.original_block];
+    const BlockEntryIndex& idx = indices[plan.original_block];
     DecomposedCone cone;
     cone.original_size = plan.original_size;
     for (std::size_t k = 0; k < plan.forest.cliques.size(); ++k) {

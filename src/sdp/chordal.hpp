@@ -64,6 +64,20 @@ struct ChordalMap {
   std::size_t max_clique_size() const;
 };
 
+/// Canonical-assignment index of one decomposed block: for every pattern
+/// entry (r, c) the clique that holds its canonical copy, plus per-clique
+/// global->local vertex maps. This is the layout apply_decomposition uses to
+/// retarget coefficients at clique blocks; the coefficient-update pass
+/// (sdp::LoweringCache) rebuilds the same index from the cached BlockPlan to
+/// rewrite fresh values in place without re-running the decomposition.
+struct BlockEntryIndex {
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t n = 0;
+  std::vector<std::size_t> entry_clique;        // n*n, kNone off-pattern
+  std::vector<std::vector<std::size_t>> local;  // per clique: global -> local
+};
+BlockEntryIndex index_decomposed_block(const util::CliqueForest& forest, std::size_t n);
+
 /// Analysis half of the conversion (the "analyze" + "decompose" passes of
 /// the sdp/lowering pipeline): which blocks split, along which cliques.
 /// Reads `p` only.

@@ -227,4 +227,262 @@ WarmStart export_warm_start(const Solution& recovered, const Lowering& lowering)
   return make_warm_start(recovered, lowering.base_fingerprint);
 }
 
+namespace {
+
+constexpr std::size_t kNoEntry = static_cast<std::size_t>(-1);
+
+/// Reseed the global pattern cache when the lowered structure fell out of it
+/// (sweeps bound the cache; a colder shape may have evicted this one).
+void reseed_structure(const Lowering& lowering) {
+  const auto existing = StructureCache::global().find(lowering.lowered_fingerprint);
+  if (existing != nullptr && existing->base_fingerprint == lowering.base_fingerprint &&
+      existing->compatible_with(lowering.problem)) {
+    return;
+  }
+  auto structure = std::make_shared<ProblemStructure>(
+      build_structure(lowering.problem, lowering.lowered_fingerprint));
+  structure->base_fingerprint = lowering.base_fingerprint;
+  structure->provenance = lowering.passes;
+  StructureCache::global().put(std::move(structure));
+}
+
+}  // namespace
+
+bool LoweringCache::options_match(const LoweringOptions& options) const {
+  return options.sparsity == options_.sparsity &&
+         options.chordal.min_block_size == options_.chordal.min_block_size &&
+         options.chordal.max_clique_fraction == options_.chordal.max_clique_fraction &&
+         options.chordal.at_seam == options_.chordal.at_seam;
+}
+
+const Lowering& LoweringCache::lower(Problem problem, const LoweringOptions& options) {
+  if (valid_ && options_match(options) && try_update(problem)) {
+    ++updates_;
+    return lowering_;
+  }
+  plan_.clear();
+  plan_built_ = false;
+  entry_index_.clear();
+  lowering_ = soslock::sdp::lower(std::move(problem), options);
+  options_ = options;
+  valid_ = true;
+  ++full_;
+  return lowering_;
+}
+
+bool LoweringCache::build_update_plan(const Problem& base) {
+  const ChordalMap& map = lowering_.map;
+  entry_index_.clear();
+  entry_index_.reserve(map.plans.size());
+  for (const BlockPlan& bp : map.plans)
+    entry_index_.push_back(index_decomposed_block(bp.forest, bp.original_size));
+  std::vector<std::size_t> plan_of(map.block_map.size(), kNoEntry);
+  for (std::size_t pi = 0; pi < map.plans.size(); ++pi)
+    plan_of[map.plans[pi].original_block] = pi;
+
+  plan_.assign(base.num_rows(), {});
+  for (std::size_t i = 0; i < base.num_rows(); ++i) {
+    const Row& brow = base.rows()[i];
+    const Row& lrow = lowering_.problem.rows()[i];
+    if (brow.free_coeffs.size() != lrow.free_coeffs.size()) return false;
+    auto& dests = plan_[i];
+    for (const auto& [j, a] : brow.blocks) {
+      const std::size_t cb = map.block_map[j];
+      if (cb != ChordalMap::kNotMapped) {
+        // Kept block: apply_decomposition copied its coefficient verbatim,
+        // so destinations are 1:1 at the same entry index. Verify anyway —
+        // a position mismatch here is the update analog of a fingerprint
+        // collision and must fall back, not scatter.
+        const auto it = lrow.blocks.find(cb);
+        if (it == lrow.blocks.end() || it->second.entries.size() != a.entries.size())
+          return false;
+        for (std::size_t e = 0; e < a.entries.size(); ++e) {
+          if (it->second.entries[e].r != a.entries[e].r ||
+              it->second.entries[e].c != a.entries[e].c) {
+            return false;
+          }
+          dests.push_back({cb, e});
+        }
+        continue;
+      }
+      if (j >= plan_of.size() || plan_of[j] == kNoEntry) return false;
+      const BlockPlan& bp = map.plans[plan_of[j]];
+      const BlockEntryIndex& idx = entry_index_[plan_of[j]];
+      // Decomposed block: each triplet lands on its canonical clique. The
+      // per-(row, block) map is injective — distinct global pairs stay
+      // distinct inside a clique and different cliques are different blocks
+      // — so every lowered entry is owned by exactly one base triplet.
+      for (const Triplet& t : a.entries) {
+        if (t.r >= idx.n || t.c >= idx.n) return false;
+        const std::size_t k = idx.entry_clique[t.r * idx.n + t.c];
+        if (k == BlockEntryIndex::kNone) return false;
+        const std::size_t db = bp.converted_block[k];
+        std::size_t lr = idx.local[k][t.r], lc = idx.local[k][t.c];
+        if (lr > lc) std::swap(lr, lc);
+        const auto dit = lrow.blocks.find(db);
+        if (dit == lrow.blocks.end()) return false;
+        std::size_t e = kNoEntry;
+        for (std::size_t q = 0; q < dit->second.entries.size(); ++q) {
+          if (dit->second.entries[q].r == lr && dit->second.entries[q].c == lc) {
+            e = q;
+            break;
+          }
+        }
+        if (e == kNoEntry) return false;
+        dests.push_back({db, e});
+      }
+    }
+  }
+  plan_built_ = true;
+  return true;
+}
+
+bool LoweringCache::try_update(Problem& problem) {
+  if (structure_fingerprint(problem) != lowering_.base_fingerprint) return false;
+  util::Timer pass_timer;
+  const ChordalMap& map = lowering_.map;
+
+  if (map.identity()) {
+    // The lowered problem IS the base problem up to row equilibration:
+    // adopt the fresh values wholesale (cheaper than any per-entry plan)
+    // and re-equilibrate below. Shape paranoia first — a fingerprint
+    // collision must fall back, not corrupt the cache.
+    if (problem.num_rows() != lowering_.problem.num_rows() ||
+        problem.num_free() != lowering_.problem.num_free() ||
+        problem.block_sizes() != lowering_.problem.block_sizes()) {
+      return false;
+    }
+    lowering_.problem = std::move(problem);
+  } else {
+    if (problem.num_rows() != map.original_rows ||
+        problem.num_free() != lowering_.problem.num_free() ||
+        problem.block_sizes() != map.original_block_sizes) {
+      return false;
+    }
+    if (!plan_built_ && !build_update_plan(problem)) return false;
+    // Objective pattern guard, before any mutation: objective values are
+    // not fingerprinted, so a nonzero entry off the cached aggregate
+    // pattern means a fresh plan_decomposition would have chosen different
+    // cliques — full pipeline.
+    for (std::size_t pi = 0; pi < map.plans.size(); ++pi) {
+      const BlockPlan& bp = map.plans[pi];
+      const Matrix& c = problem.block_objective(bp.original_block);
+      if (c.rows() == 0) continue;
+      if (c.rows() != bp.original_size) return false;
+      const BlockEntryIndex& idx = entry_index_[pi];
+      for (std::size_t r = 0; r < bp.original_size; ++r) {
+        for (std::size_t cc = r; cc < bp.original_size; ++cc) {
+          if (c(r, cc) == 0.0 && c(cc, r) == 0.0) continue;
+          if (idx.entry_clique[r * idx.n + cc] == BlockEntryIndex::kNone) return false;
+        }
+      }
+    }
+
+    // All guards passed — rewrite in place. Original rows keep their
+    // indices across the lowering; seam overlap rows (beyond them) and
+    // native cone couplings are structural ±1/∓0.5 weights that never
+    // change between grid points.
+    auto& lrows = lowering_.problem.mutable_rows();
+    for (std::size_t i = 0; i < problem.num_rows(); ++i) {
+      const Row& brow = problem.rows()[i];
+      Row& lrow = lrows[i];
+      lrow.rhs = brow.rhs;
+      {
+        // Same key sets (free indices are fingerprinted): parallel walk.
+        auto bit = brow.free_coeffs.begin();
+        for (auto& [v, coeff] : lrow.free_coeffs) {
+          (void)v;
+          coeff = bit->second;
+          ++bit;
+        }
+      }
+      std::size_t d = 0;
+      SparseSym* dest = nullptr;
+      std::size_t dest_block = kNoEntry;
+      for (const auto& [j, a] : brow.blocks) {
+        (void)j;
+        for (const Triplet& t : a.entries) {
+          const TripletDest td = plan_[i][d++];
+          if (td.block != dest_block) {
+            dest = &lrow.blocks.find(td.block)->second;
+            dest_block = td.block;
+          }
+          dest->entries[td.entry].v = t.v;
+        }
+      }
+    }
+
+    // Objectives: kept blocks copy over; decomposed blocks re-scatter on
+    // canonical cliques exactly as apply_decomposition did.
+    for (std::size_t j = 0; j < problem.num_blocks(); ++j) {
+      const std::size_t cb = map.block_map[j];
+      if (cb == ChordalMap::kNotMapped) continue;
+      lowering_.problem.mutable_block_objective(cb) = problem.block_objective(j);
+    }
+    for (std::size_t pi = 0; pi < map.plans.size(); ++pi) {
+      const BlockPlan& bp = map.plans[pi];
+      const BlockEntryIndex& idx = entry_index_[pi];
+      const std::size_t n = bp.original_size;
+      std::vector<Matrix> clique_obj;
+      clique_obj.reserve(bp.forest.cliques.size());
+      for (const auto& clique : bp.forest.cliques)
+        clique_obj.emplace_back(clique.size(), clique.size());
+      const Matrix& c = problem.block_objective(bp.original_block);
+      if (c.rows() == n) {
+        for (std::size_t r = 0; r < n; ++r) {
+          for (std::size_t cc = r; cc < n; ++cc) {
+            if (c(r, cc) == 0.0 && c(cc, r) == 0.0) continue;
+            const std::size_t k = idx.entry_clique[r * n + cc];
+            const std::size_t lr = idx.local[k][r], lc = idx.local[k][cc];
+            clique_obj[k](lr, lc) += c(r, cc);
+            if (lr != lc) clique_obj[k](lc, lr) += c(cc, r);
+          }
+        }
+      }
+      for (std::size_t k = 0; k < bp.converted_block.size(); ++k)
+        lowering_.problem.mutable_block_objective(bp.converted_block[k]) =
+            std::move(clique_obj[k]);
+    }
+    for (std::size_t v = 0; v < problem.num_free(); ++v)
+      lowering_.problem.set_free_objective(v, problem.free_objective()[v]);
+  }
+
+  lowering_.passes.clear();
+  {
+    PassRecord rec;
+    rec.name = "update";
+    rec.fingerprint = lowering_.lowered_fingerprint;
+    rec.detail = std::to_string(map.identity() ? lowering_.problem.num_rows()
+                                               : map.original_rows) +
+                 " row(s) rewritten in place" +
+                 (map.identity() ? ""
+                                 : ", " + std::to_string(map.plans.size()) +
+                                       " decomposed cone(s) retargeted");
+    rec.seconds = pass_timer.seconds();
+    lowering_.passes.push_back(std::move(rec));
+  }
+
+  // Re-equilibrate the fresh values. Idempotent on what it leaves behind
+  // (a unit-inf-norm row rescales by exactly 1.0), so untouched seam rows
+  // come through verbatim.
+  pass_timer.reset();
+  lowering_.scaling = equilibrate_rows(lowering_.problem);
+  {
+    std::size_t scaled = 0;
+    for (const double s : lowering_.scaling.row_scale) scaled += s != 1.0 ? 1 : 0;
+    PassRecord rec;
+    rec.name = "equilibrate";
+    rec.fingerprint = lowering_.lowered_fingerprint;
+    rec.detail = std::to_string(scaled) + "/" +
+                 std::to_string(lowering_.scaling.row_scale.size()) + " rows scaled";
+    rec.seconds = pass_timer.seconds();
+    lowering_.passes.push_back(std::move(rec));
+  }
+  lowering_.convert_seconds = 0.0;
+  for (const PassRecord& rec : lowering_.passes) lowering_.convert_seconds += rec.seconds;
+
+  reseed_structure(lowering_);
+  return true;
+}
+
 }  // namespace soslock::sdp

@@ -97,4 +97,69 @@ WarmStart remap_warm_start(const WarmStart& original, const Lowering& lowering);
 /// the next structurally identical compile, whatever its pass parameters.
 WarmStart export_warm_start(const Solution& recovered, const Lowering& lowering);
 
+/// One-slot lowering cache with an in-place coefficient-update fast path —
+/// the pipeline's fifth pass ("update"). Design-space sweeps solve long runs
+/// of problems that share one compiled structure and differ only in
+/// coefficient values; re-running analyze → decompose → lower per grid point
+/// repays the whole pipeline for answers that cannot have changed. lower()
+/// here detects that case by base fingerprint (value-independent, so an
+/// equal fingerprint means the cached destination of every triplet still
+/// holds), rewrites rhs / free / triplet values and objectives of the cached
+/// lowered problem in place — decomposed cones included, re-targeting every
+/// entry at its canonical clique through the cached BlockPlans — then
+/// re-equilibrates and stamps ["update", "equilibrate"] provenance.
+///
+/// Fallback contract: any mismatch runs the full pipeline and re-caches.
+/// That covers a different base fingerprint (including a coefficient that
+/// became exactly 0.0 — SparseSym::add drops zeros, so the triplet set
+/// itself changed), different pass options, and an objective entry off the
+/// cached aggregate pattern (objective values are not fingerprinted, but an
+/// off-pattern nonzero would have changed the decomposition plan).
+///
+/// Not thread-safe: one cache per sweep lane / worker.
+class LoweringCache {
+ public:
+  /// Lower `problem` via the in-place update pass when the cached lowering
+  /// applies, else via the full pipeline. The reference stays valid until
+  /// the next lower() call on this cache.
+  const Lowering& lower(Problem problem, const LoweringOptions& options);
+
+  bool valid() const { return valid_; }
+  /// Full pipeline runs (the first call plus every fallback).
+  std::size_t full_lowerings() const { return full_; }
+  /// In-place coefficient updates (recompile-free solves).
+  std::size_t updates() const { return updates_; }
+
+ private:
+  /// Destination of one base-row triplet inside the cached lowered problem.
+  struct TripletDest {
+    std::size_t block = 0;  // lowered block index
+    std::size_t entry = 0;  // entry index in that block's coeff of the row
+  };
+
+  bool options_match(const LoweringOptions& options) const;
+  /// Rewrite the cached lowering's values from `problem` (same base
+  /// fingerprint, checked by the caller). False = structural surprise, run
+  /// the full pipeline; the cached problem is only mutated on success.
+  bool try_update(Problem& problem);
+  /// Build plan_ / entry_index_ from the cached map, verifying every
+  /// destination against the cached lowered rows. Read-only; false on any
+  /// mismatch.
+  bool build_update_plan(const Problem& base);
+
+  Lowering lowering_;
+  LoweringOptions options_;
+  bool valid_ = false;
+  /// Per base row, triplet destinations aligned with the row's iteration
+  /// order (blocks in key order, entries in stored order). Built lazily on
+  /// the first update of a decomposed lowering.
+  std::vector<std::vector<TripletDest>> plan_;
+  bool plan_built_ = false;
+  /// Canonical-assignment index per decomposed cone (aligned with
+  /// lowering_.map.plans), for objective re-scatter.
+  std::vector<BlockEntryIndex> entry_index_;
+  std::size_t full_ = 0;
+  std::size_t updates_ = 0;
+};
+
 }  // namespace soslock::sdp

@@ -109,6 +109,8 @@ class Problem {
   const std::vector<Row>& rows() const { return rows_; }
   std::vector<Row>& mutable_rows() { return rows_; }
   const linalg::Matrix& block_objective(std::size_t j) const { return c_[j]; }
+  /// In-place objective rewrite (the coefficient-update lowering pass).
+  linalg::Matrix& mutable_block_objective(std::size_t j) { return c_[j]; }
   const linalg::Vector& free_objective() const { return f_; }
   double rhs(std::size_t i) const { return rows_[i].rhs; }
   const std::vector<DecomposedCone>& cones() const { return cones_; }

@@ -106,8 +106,9 @@ std::shared_ptr<const ProblemStructure> StructureCache::get(const Problem& p) co
     ++hits_;
     return slot;
   }
+  ++misses_;
   slots_.insert(slots_.begin(), fresh);
-  if (slots_.size() > capacity_) slots_.resize(capacity_);
+  enforce_capacity_locked();
   return fresh;
 }
 
@@ -121,7 +122,14 @@ void StructureCache::put(std::shared_ptr<const ProblemStructure> structure) cons
     }
   }
   slots_.insert(slots_.begin(), std::move(structure));
-  if (slots_.size() > capacity_) slots_.resize(capacity_);
+  enforce_capacity_locked();
+}
+
+void StructureCache::enforce_capacity_locked() const {
+  while (slots_.size() > capacity_) {
+    slots_.pop_back();
+    ++evictions_;
+  }
 }
 
 std::shared_ptr<const ProblemStructure> StructureCache::find(std::uint64_t fingerprint) const {
@@ -135,6 +143,28 @@ std::shared_ptr<const ProblemStructure> StructureCache::find(std::uint64_t finge
 std::size_t StructureCache::hits() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return hits_;
+}
+
+StructureCacheTelemetry StructureCache::telemetry() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  StructureCacheTelemetry t;
+  t.hits = hits_;
+  t.misses = misses_;
+  t.evictions = evictions_;
+  t.entries = slots_.size();
+  t.capacity = capacity_;
+  return t;
+}
+
+void StructureCache::set_capacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  enforce_capacity_locked();
+}
+
+std::size_t StructureCache::capacity() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
 }
 
 StructureCache& StructureCache::global() {

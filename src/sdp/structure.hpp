@@ -68,6 +68,18 @@ ProblemStructure build_structure(const Problem& p);
 /// pipeline hashes once and reuses it for pass records, blobs and here).
 ProblemStructure build_structure(const Problem& p, std::uint64_t fingerprint);
 
+/// Point-in-time counters of a StructureCache (see telemetry()). Sweep
+/// drivers surface these per request: a thousand-point sweep over one
+/// compiled structure should show ~1 miss and hits ~= points — a growing
+/// miss/eviction count means the grid's shapes are thrashing the cap.
+struct StructureCacheTelemetry {
+  std::size_t hits = 0;
+  std::size_t misses = 0;      // fresh builds in get() (collision drops included)
+  std::size_t evictions = 0;   // entries dropped by the LRU capacity bound
+  std::size_t entries = 0;     // currently cached
+  std::size_t capacity = 0;
+};
+
 /// Small fingerprint-keyed LRU cache for ProblemStructure; thread-safe.
 /// Both backends consult the process-wide instance (global()), so the
 /// pipeline's repeated structurally equal solves skip the pattern rebuild
@@ -107,14 +119,30 @@ class StructureCache {
 
   /// Cache hits since construction (telemetry for tests/benches).
   std::size_t hits() const;
+  /// Full counter snapshot (hits/misses/evictions/entries/capacity).
+  StructureCacheTelemetry telemetry() const;
+
+  /// Change the LRU entry cap; excess least-recently-used entries are
+  /// evicted immediately (counted). The process-wide cache is long-lived, so
+  /// an unbounded (or oversized) cap would leak one pattern per distinct
+  /// shape ever solved — thousand-point sweeps keep it bounded via
+  /// sweep::SweepOptions::structure_cache_capacity.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
 
   /// The process-wide cache used by the built-in backends.
   static StructureCache& global();
 
  private:
+  /// Drop least-recently-used entries beyond capacity_; counts evictions.
+  /// Caller holds mutex_.
+  void enforce_capacity_locked() const;
+
   std::size_t capacity_;
   mutable std::mutex mutex_;
   mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+  mutable std::size_t evictions_ = 0;
   /// Most-recently-used first.
   mutable std::vector<std::shared_ptr<const ProblemStructure>> slots_;
 };

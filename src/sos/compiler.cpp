@@ -125,10 +125,29 @@ SolveResult SosProgram::solve(const sdp::SolverBackend& backend,
   // passes — clique decomposition, block lowering (native DecomposedCone
   // descriptors by default, overlap rows under ChordalOptions::at_seam),
   // and row equilibration — run here with per-pass provenance.
-  sdp::LoweringOptions lowering_options;
-  lowering_options.sparsity = sparsity_;
-  lowering_options.chordal = chordal_;
-  const sdp::Lowering lowering = sdp::lower(compile(), lowering_options);
+  const sdp::Lowering lowering = sdp::lower(compile(), lowering_options());
+  return solve_lowered(backend, context, lowering);
+}
+
+SolveResult SosProgram::solve(const sdp::SolverBackend& backend, sdp::SolveContext& context,
+                              sdp::LoweringCache& cache) const {
+  // Same pipeline, but through the caller's cache: a repeat of the cached
+  // structure takes the in-place coefficient-update pass instead of
+  // re-running analyze → decompose → lower (sweep hot path).
+  const sdp::Lowering& lowering = cache.lower(compile(), lowering_options());
+  return solve_lowered(backend, context, lowering);
+}
+
+sdp::LoweringOptions SosProgram::lowering_options() const {
+  sdp::LoweringOptions options;
+  options.sparsity = sparsity_;
+  options.chordal = chordal_;
+  return options;
+}
+
+SolveResult SosProgram::solve_lowered(const sdp::SolverBackend& backend,
+                                      sdp::SolveContext& context,
+                                      const sdp::Lowering& lowering) const {
   const sdp::Problem& prob = lowering.problem;
   util::log_info("sos: solving ", prob.stats());
 

@@ -16,6 +16,12 @@
 #include "sdp/problem.hpp"
 #include "sdp/solver.hpp"
 
+namespace soslock::sdp {
+struct Lowering;
+struct LoweringOptions;
+class LoweringCache;
+}  // namespace soslock::sdp
+
 namespace soslock::sos {
 
 /// Fresh csp multiplier plan for a certifier program — the single policy
@@ -122,6 +128,13 @@ class SosProgram {
   /// (wall-clock budget, cancellation, per-iteration telemetry,
   /// context.warm_start — fingerprint-checked here like `warm` above).
   SolveResult solve(const sdp::SolverBackend& backend, sdp::SolveContext& context) const;
+  /// Same, but lowering through the caller's sdp::LoweringCache: when this
+  /// compile is structurally identical to the cached one, the in-place
+  /// coefficient-update pass replaces the full analyze→decompose→lower
+  /// pipeline (the sweep hot path — see src/sweep/). One cache per thread;
+  /// it must outlive the returned Lowering's use, i.e. the call.
+  SolveResult solve(const sdp::SolverBackend& backend, sdp::SolveContext& context,
+                    sdp::LoweringCache& cache) const;
 
   /// Compile to the underlying SDP (exposed for tests and benchmarks).
   sdp::Problem compile() const;
@@ -146,6 +159,12 @@ class SosProgram {
 
   int new_free_var(const std::string& name);
   int new_gram_var();
+  /// The pipeline options this program's sparsity settings imply.
+  sdp::LoweringOptions lowering_options() const;
+  /// Shared back half of every solve(): warm remap, backend call, recovery,
+  /// certificate extraction — everything downstream of the lowering.
+  SolveResult solve_lowered(const sdp::SolverBackend& backend, sdp::SolveContext& context,
+                            const sdp::Lowering& lowering) const;
   struct GramRef;
   static void prob_add_gram_coeff(sdp::Row& row, const GramRef& g, double coeff);
 

@@ -1,0 +1,72 @@
+#include "sweep/grid.hpp"
+
+#include <stdexcept>
+
+namespace soslock::sweep {
+
+std::string to_string(Axis axis) {
+  switch (axis) {
+    case Axis::Ip: return "ip";
+    case Axis::Kv: return "kv";
+    case Axis::R: return "r";
+    case Axis::C1: return "c1";
+    case Axis::C2: return "c2";
+    case Axis::C3: return "c3";
+    case Axis::R2: return "r2";
+  }
+  return "?";
+}
+
+Grid::Grid(pll::Params base, std::vector<AxisSpec> axes)
+    : base_(std::move(base)), axes_(std::move(axes)) {
+  for (const AxisSpec& spec : axes_) {
+    if (spec.count == 0) throw std::invalid_argument("sweep::Grid: axis count must be >= 1");
+    size_ *= spec.count;
+  }
+}
+
+std::vector<std::size_t> Grid::coords(std::size_t index) const {
+  std::vector<std::size_t> c(axes_.size(), 0);
+  for (std::size_t d = 0; d < axes_.size(); ++d) {
+    c[d] = index % axes_[d].count;
+    index /= axes_[d].count;
+  }
+  return c;
+}
+
+std::size_t Grid::index(const std::vector<std::size_t>& coords) const {
+  std::size_t idx = 0, stride = 1;
+  for (std::size_t d = 0; d < axes_.size(); ++d) {
+    idx += coords[d] * stride;
+    stride *= axes_[d].count;
+  }
+  return idx;
+}
+
+double Grid::axis_value(std::size_t d, std::size_t k) const {
+  const AxisSpec& spec = axes_[d];
+  if (spec.count == 1) return 0.5 * (spec.lo + spec.hi);
+  return spec.lo + (spec.hi - spec.lo) * static_cast<double>(k) /
+                       static_cast<double>(spec.count - 1);
+}
+
+pll::Params Grid::params(std::size_t idx) const {
+  pll::Params p = base_;
+  const std::vector<std::size_t> c = coords(idx);
+  for (std::size_t d = 0; d < axes_.size(); ++d) {
+    const double v = axis_value(d, c[d]);
+    const pll::Interval interval{v - axes_[d].half_width, v + axes_[d].half_width};
+    switch (axes_[d].axis) {
+      case Axis::Ip: p.ip = interval; break;
+      case Axis::Kv: p.kv = interval; break;
+      case Axis::R: p.r = interval; break;
+      case Axis::C1: p.c1 = interval; break;
+      case Axis::C2: p.c2 = interval; break;
+      case Axis::C3: p.c3 = interval; break;
+      case Axis::R2: p.r2 = interval; break;
+    }
+  }
+  return p;
+}
+
+}  // namespace soslock::sweep

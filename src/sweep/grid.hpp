@@ -1,0 +1,65 @@
+#pragma once
+// Dense design-space grids over pll::Params. A sweep request names a subset
+// of circuit axes (pump current, VCO gain, loop filter R/C values), a point
+// count and a midpoint range per axis; the grid enumerates the Cartesian
+// product in mixed-radix order with axis 0 fastest — the direction the sweep
+// service chains warm starts along (src/sweep/service.hpp). Every grid point
+// is a full Params: the base design with the swept intervals replaced by
+// [v - half_width, v + half_width] around that point's midpoints, so a sweep
+// can cover nominal designs (half_width 0) or per-point robustness boxes
+// with one spec.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pll/params.hpp"
+
+namespace soslock::sweep {
+
+/// A sweepable circuit parameter of pll::Params.
+enum class Axis { Ip, Kv, R, C1, C2, C3, R2 };
+
+std::string to_string(Axis axis);
+
+/// One grid dimension: `count` midpoints evenly spaced over [lo, hi]
+/// (count == 1 pins the midpoint of [lo, hi]), each carried as the interval
+/// [v - half_width, v + half_width] into the model.
+struct AxisSpec {
+  Axis axis = Axis::Ip;
+  std::size_t count = 1;
+  double lo = 0.0;
+  double hi = 0.0;
+  double half_width = 0.0;
+};
+
+/// Cartesian grid over a base design. Index order is mixed-radix with axis 0
+/// as the fastest-varying digit, so consecutive indices are grid neighbors
+/// along axis 0 — the property the sweep service's serpentine lanes exploit.
+class Grid {
+ public:
+  Grid(pll::Params base, std::vector<AxisSpec> axes);
+
+  /// Product of the axis counts (1 for an axis-free grid: the base design).
+  std::size_t size() const { return size_; }
+  std::size_t dims() const { return axes_.size(); }
+  const std::vector<AxisSpec>& axes() const { return axes_; }
+  const pll::Params& base() const { return base_; }
+
+  /// Mixed-radix digits of `index` (axis 0 first).
+  std::vector<std::size_t> coords(std::size_t index) const;
+  std::size_t index(const std::vector<std::size_t>& coords) const;
+
+  /// Midpoint value of axis `d` at step `k`.
+  double axis_value(std::size_t d, std::size_t k) const;
+
+  /// The full design at `index`: base params with each swept interval
+  /// replaced by [v - half_width, v + half_width].
+  pll::Params params(std::size_t index) const;
+
+ private:
+  pll::Params base_;
+  std::vector<AxisSpec> axes_;
+  std::size_t size_ = 1;
+};
+
+}  // namespace soslock::sweep

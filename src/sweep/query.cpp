@@ -1,0 +1,18 @@
+#include "sweep/query.hpp"
+
+namespace soslock::sweep {
+
+CertificationQuery lyapunov_query(const LyapunovQueryOptions& options) {
+  CertificationQuery query;
+  query.name = options.vertices ? "lyapunov.averaged_vertices" : "lyapunov.averaged";
+  query.build = [options](const pll::Params& params) {
+    const pll::ReducedModel model = options.vertices
+                                        ? pll::make_averaged_vertices(params, options.model)
+                                        : pll::make_averaged(params, options.model);
+    core::LyapunovProgram lp = core::build_lyapunov_program(model.system, options.lyapunov);
+    return std::move(lp.program);
+  };
+  return query;
+}
+
+}  // namespace soslock::sweep

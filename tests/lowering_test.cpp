@@ -29,25 +29,30 @@ using sdp::Solution;
 using sdp::SolveStatus;
 
 /// Feasible banded min-trace SDP: b = A(X*) for a banded PSD X* and banded
-/// coefficients, so the aggregate pattern is a path-like band.
-Problem banded_sdp(std::size_t n) {
+/// coefficients, so the aggregate pattern is a path-like band. `scale`
+/// perturbs every coefficient value without touching a single position
+/// (structurally identical problems for the LoweringCache tests);
+/// `drop_entry` zeroes one off-diagonal coefficient — SparseSym::add drops
+/// exact zeros, so the triplet set itself (and the fingerprint) changes.
+Problem banded_sdp(std::size_t n, double scale = 1.0, bool drop_entry = false) {
   Problem p;
   const std::size_t blk = p.add_block(n);
   p.set_block_objective(blk, Matrix::identity(n));
   Matrix xstar(n, n);
   for (std::size_t i = 0; i < n; ++i) {
-    xstar(i, i) = 2.0 + 0.1 * static_cast<double>(i % 3);
+    xstar(i, i) = scale * (2.0 + 0.1 * static_cast<double>(i % 3));
     if (i + 1 < n) {
-      xstar(i, i + 1) = 0.7;
-      xstar(i + 1, i) = 0.7;
+      xstar(i, i + 1) = 0.7 * scale;
+      xstar(i + 1, i) = 0.7 * scale;
     }
   }
   for (std::size_t i = 0; i + 1 < n; ++i) {
     sdp::Row row;
     sdp::SparseSym a;
-    a.add(i, i, 1.0);
-    a.add(i, i + 1, 0.5 + 0.1 * static_cast<double>(i % 2));
-    a.add(i + 1, i + 1, -0.3);
+    a.add(i, i, scale);
+    a.add(i, i + 1,
+          i == 0 && drop_entry ? 0.0 : scale * (0.5 + 0.1 * static_cast<double>(i % 2)));
+    a.add(i + 1, i + 1, -0.3 * scale);
     Matrix dense(n, n);
     a.add_to(dense);
     row.rhs = linalg::dot(dense, xstar);
@@ -292,6 +297,130 @@ TEST(LoweringPipeline, OverlapMultiplierAssemblyIsThreadDeterministic) {
       for (std::size_t c = 0; c < one.x[j].cols(); ++c)
         ASSERT_EQ(one.x[j](r, c), four.x[j](r, c)) << j << " " << r << " " << c;
   }
+}
+
+TEST(LoweringCache, InPlaceUpdateMatchesFreshLoweringAcrossModes) {
+  // The coefficient-update pass contract: for a structurally identical
+  // compile with different values, the in-place rewrite must produce the
+  // same lowered problem the full pipeline would — same verdict, same
+  // objective, same recovered certificate to solver tolerance — in every
+  // sparsity mode, with ["update", "equilibrate"] provenance.
+  struct Mode {
+    const char* name;
+    LoweringOptions options;
+  };
+  std::vector<Mode> modes;
+  modes.push_back({"dense", LoweringOptions{}});
+  LoweringOptions correlative;
+  correlative.sparsity = sdp::SparsityOptions::Correlative;
+  modes.push_back({"correlative", correlative});
+  modes.push_back({"chordal", chordal_lowering(8)});
+
+  for (const Mode& mode : modes) {
+    sdp::LoweringCache cache;
+    const Lowering& first = cache.lower(banded_sdp(30), mode.options);
+    EXPECT_EQ(cache.full_lowerings(), 1u) << mode.name;
+    EXPECT_EQ(cache.updates(), 0u) << mode.name;
+    EXPECT_NE(first.passes.front().name, "update") << mode.name;
+
+    const Lowering& updated = cache.lower(banded_sdp(30, 1.45), mode.options);
+    ASSERT_EQ(cache.updates(), 1u) << mode.name;
+    ASSERT_EQ(updated.passes.size(), 2u) << mode.name;
+    EXPECT_EQ(updated.passes[0].name, "update") << mode.name;
+    EXPECT_EQ(updated.passes[1].name, "equilibrate") << mode.name;
+
+    const Lowering fresh = sdp::lower(banded_sdp(30, 1.45), mode.options);
+    EXPECT_EQ(updated.base_fingerprint, fresh.base_fingerprint) << mode.name;
+    EXPECT_EQ(updated.lowered_fingerprint, fresh.lowered_fingerprint) << mode.name;
+
+    sdp::SolveContext ctx_u, ctx_f;
+    const Solution sol_u = sdp::recover(sdp::IpmSolver().solve(updated.problem, ctx_u), updated);
+    const Solution sol_f = sdp::recover(sdp::IpmSolver().solve(fresh.problem, ctx_f), fresh);
+    ASSERT_EQ(sol_u.status, sol_f.status) << mode.name;
+    ASSERT_EQ(sol_u.status, SolveStatus::Optimal) << mode.name;
+    EXPECT_NEAR(sol_u.primal_objective, sol_f.primal_objective,
+                1e-6 * (1.0 + std::fabs(sol_f.primal_objective)))
+        << mode.name;
+    const Problem reference = banded_sdp(30, 1.45);
+    EXPECT_LT(primal_violation(reference, sol_u), 1e-5) << mode.name;
+    // Certificate parity entry-by-entry to solver tolerance.
+    ASSERT_EQ(sol_u.x.size(), sol_f.x.size()) << mode.name;
+    for (std::size_t j = 0; j < sol_u.x.size(); ++j) {
+      for (std::size_t r = 0; r < sol_u.x[j].rows(); ++r)
+        for (std::size_t c = 0; c < sol_u.x[j].cols(); ++c)
+          ASSERT_NEAR(sol_u.x[j](r, c), sol_f.x[j](r, c), 1e-5) << mode.name;
+    }
+  }
+}
+
+TEST(LoweringCache, DecomposedClockTreeUpdateParity) {
+  // Same contract on a genuinely decomposed instance: the clock-tree
+  // coupling SDP under native chordal lowering, with the coefficient change
+  // coming from a real design move (different pump current / VCO gain).
+  pll::Params tweaked = pll::Params::paper_third_order();
+  tweaked.ip = {540e-6, 550e-6};
+  tweaked.kv = {170.0, 175.0};
+
+  sdp::LoweringCache cache;
+  const LoweringOptions options = chordal_lowering(4);
+  const Lowering& first = cache.lower(clock_tree_sdp(8), options);
+  ASSERT_TRUE(first.decomposed());
+
+  pll::ClockTreeOptions tree;
+  tree.loops = 8;
+  const pll::ClockTreeModel model = pll::make_clock_tree(tweaked, tree);
+  const Lowering& updated =
+      cache.lower(pll::clock_tree_coupling_sdp(model.constants, tree), options);
+  ASSERT_EQ(cache.updates(), 1u);
+  ASSERT_EQ(cache.full_lowerings(), 1u);
+  EXPECT_EQ(updated.passes.front().name, "update");
+  ASSERT_TRUE(updated.decomposed());
+
+  const Problem reference = pll::clock_tree_coupling_sdp(model.constants, tree);
+  const Lowering fresh = sdp::lower(pll::clock_tree_coupling_sdp(model.constants, tree),
+                                    options);
+  EXPECT_EQ(updated.lowered_fingerprint, fresh.lowered_fingerprint);
+
+  sdp::SolveContext ctx_u, ctx_f;
+  const Solution sol_u = sdp::recover(sdp::IpmSolver().solve(updated.problem, ctx_u), updated);
+  const Solution sol_f = sdp::recover(sdp::IpmSolver().solve(fresh.problem, ctx_f), fresh);
+  ASSERT_EQ(sol_u.status, SolveStatus::Optimal);
+  ASSERT_EQ(sol_f.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol_u.primal_objective, sol_f.primal_objective,
+              1e-5 * (1.0 + std::fabs(sol_f.primal_objective)));
+  EXPECT_LT(primal_violation(reference, sol_u), 1e-5);
+  EXPECT_LT(primal_violation(reference, sol_f), 1e-5);
+}
+
+TEST(LoweringCache, FallsBackToFullPipelineOnAnyStructuralChange) {
+  sdp::LoweringCache cache;
+  EXPECT_FALSE(cache.valid());
+  cache.lower(banded_sdp(30), chordal_lowering(8));
+  EXPECT_TRUE(cache.valid());
+  EXPECT_EQ(cache.full_lowerings(), 1u);
+
+  // Different structure (different size) → full pipeline, re-cached.
+  const Lowering& other = cache.lower(banded_sdp(26), chordal_lowering(8));
+  EXPECT_EQ(cache.full_lowerings(), 2u);
+  EXPECT_EQ(cache.updates(), 0u);
+  EXPECT_EQ(other.passes.front().name, "analyze");
+
+  // Different pass options → full pipeline even for an identical structure.
+  cache.lower(banded_sdp(26), chordal_lowering(6));
+  EXPECT_EQ(cache.full_lowerings(), 3u);
+  EXPECT_EQ(cache.updates(), 0u);
+
+  // Matching structure + options → the in-place path.
+  cache.lower(banded_sdp(26, 1.2), chordal_lowering(6));
+  EXPECT_EQ(cache.full_lowerings(), 3u);
+  EXPECT_EQ(cache.updates(), 1u);
+
+  // A coefficient that became exactly 0.0 drops its triplet: the fingerprint
+  // changes and the cache must relower, never rewrite against a stale plan.
+  const Lowering& dropped = cache.lower(banded_sdp(26, 1.2, true), chordal_lowering(6));
+  EXPECT_EQ(cache.full_lowerings(), 4u);
+  EXPECT_EQ(cache.updates(), 1u);
+  EXPECT_EQ(dropped.passes.front().name, "analyze");
 }
 
 TEST(PhaseTimes, ConvertAndCompleteJoinTheTaxonomy) {

@@ -154,6 +154,49 @@ TEST(StructureCache, IncompatibleShapeIsNeverServedForAFingerprint) {
   EXPECT_FALSE(sa.compatible_with(b));
 }
 
+TEST(StructureCache, CapacityBoundEvictsLruAndCountsTelemetry) {
+  // The LRU cap + counters the sweep service surfaces per request: misses
+  // count fresh builds, evictions count entries dropped by the bound, and
+  // hit-promotion keeps a hot shape alive through eviction rounds.
+  sdp::StructureCache cache(2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  const Problem s0 = random_feasible_sdp(20, 4, 6);
+  const Problem s1 = random_feasible_sdp(21, 5, 7);
+  const Problem s2 = random_feasible_sdp(22, 6, 8);
+
+  cache.get(s0);
+  cache.get(s1);
+  sdp::StructureCacheTelemetry t = cache.telemetry();
+  EXPECT_EQ(t.misses, 2u);
+  EXPECT_EQ(t.evictions, 0u);
+  EXPECT_EQ(t.entries, 2u);
+
+  cache.get(s2);  // over capacity: evicts s0, the least recently used
+  t = cache.telemetry();
+  EXPECT_EQ(t.misses, 3u);
+  EXPECT_EQ(t.evictions, 1u);
+  EXPECT_EQ(t.entries, 2u);
+
+  cache.get(s1);  // still cached: a hit, promoted to most recently used
+  t = cache.telemetry();
+  EXPECT_EQ(t.hits, 1u);
+  EXPECT_EQ(cache.hits(), t.hits);
+
+  cache.get(s0);  // was evicted: a fresh miss, evicting s2 (s1 is protected)
+  cache.get(s1);  // the promotion survived both eviction rounds
+  t = cache.telemetry();
+  EXPECT_EQ(t.hits, 2u);
+  EXPECT_EQ(t.misses, 4u);
+  EXPECT_EQ(t.evictions, 2u);
+
+  // Shrinking the cap evicts immediately (and is itself counted).
+  cache.set_capacity(1);
+  t = cache.telemetry();
+  EXPECT_EQ(t.capacity, 1u);
+  EXPECT_EQ(t.entries, 1u);
+  EXPECT_EQ(t.evictions, 3u);
+}
+
 TEST(WarmStart, FitsChecksShapes) {
   const Problem p = random_feasible_sdp(5);
   const Solution sol = sdp::IpmSolver().solve(p);
