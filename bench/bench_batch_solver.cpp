@@ -9,12 +9,12 @@
 // level-curve maximisation step (SOS program 2). Speedups require hardware
 // parallelism; the thread count is printed so single-core runs are legible.
 #include <cstdio>
-#include <thread>
 
 #include "core/level_set.hpp"
 #include "core/lyapunov.hpp"
 #include "pll/models.hpp"
 #include "pll/params.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 using namespace soslock;
@@ -65,9 +65,11 @@ double run_lyapunov(const hybrid::HybridSystem& sys, const core::LyapunovOptions
 }  // namespace
 
 int main() {
-  const unsigned hw = std::thread::hardware_concurrency();
+  // Honors the SOSLOCK_THREADS override (the sanitizer CI pins fan-out with
+  // it), unlike raw hardware_concurrency().
+  const std::size_t hw = util::ThreadPool::hardware_threads();
   std::printf("=== Batched per-mode SOS solves vs sequential baseline ===\n");
-  std::printf("hardware threads: %u%s\n\n", hw,
+  std::printf("worker threads: %zu%s\n\n", hw,
               hw > 1 ? "" : "  (single core: batching cannot beat sequential here)");
 
   const pll::Params params = pll::Params::paper_third_order();

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "sdp/verify.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -27,6 +28,7 @@ Lowering lower(Problem problem, const LoweringOptions& options) {
     rec.seconds = pass_timer.seconds();
     out.passes.push_back(std::move(rec));
   }
+  SOSLOCK_VERIFY_PASS(problem, out.base_fingerprint, "analyze");
 
   // --- decompose + lower: chordal clique planning and block lowering.
   if (convert) {
@@ -40,6 +42,7 @@ Lowering lower(Problem problem, const LoweringOptions& options) {
       rec.seconds = pass_timer.seconds();
       out.passes.push_back(std::move(rec));
     }
+    SOSLOCK_VERIFY_PASS(problem, out.base_fingerprint, "decompose");
     pass_timer.reset();
     out.map = apply_decomposition(problem, plan, options.chordal.at_seam);
     {
@@ -58,6 +61,7 @@ Lowering lower(Problem problem, const LoweringOptions& options) {
       rec.seconds = pass_timer.seconds();
       out.passes.push_back(std::move(rec));
     }
+    SOSLOCK_VERIFY_PASS(problem, out.lowered_fingerprint, "lower");
   }
   if (!convert) out.lowered_fingerprint = out.base_fingerprint;
 
@@ -75,6 +79,7 @@ Lowering lower(Problem problem, const LoweringOptions& options) {
     rec.seconds = pass_timer.seconds();
     out.passes.push_back(std::move(rec));
   }
+  SOSLOCK_VERIFY_PASS(problem, out.lowered_fingerprint, "equilibrate");
 
   out.problem = std::move(problem);
   out.convert_seconds = total_timer.seconds();
@@ -257,7 +262,7 @@ bool LoweringCache::options_match(const LoweringOptions& options) const {
 
 const Lowering& LoweringCache::lower(Problem problem, const LoweringOptions& options) {
   if (valid_ && options_match(options) && try_update(problem)) {
-    ++updates_;
+    updates_.fetch_add(1, std::memory_order_relaxed);
     return lowering_;
   }
   plan_.clear();
@@ -266,7 +271,7 @@ const Lowering& LoweringCache::lower(Problem problem, const LoweringOptions& opt
   lowering_ = soslock::sdp::lower(std::move(problem), options);
   options_ = options;
   valid_ = true;
-  ++full_;
+  full_.fetch_add(1, std::memory_order_relaxed);
   return lowering_;
 }
 
@@ -461,6 +466,7 @@ bool LoweringCache::try_update(Problem& problem) {
     rec.seconds = pass_timer.seconds();
     lowering_.passes.push_back(std::move(rec));
   }
+  SOSLOCK_VERIFY_PASS(lowering_.problem, lowering_.lowered_fingerprint, "update");
 
   // Re-equilibrate the fresh values. Idempotent on what it leaves behind
   // (a unit-inf-norm row rescales by exactly 1.0), so untouched seam rows
@@ -478,6 +484,7 @@ bool LoweringCache::try_update(Problem& problem) {
     rec.seconds = pass_timer.seconds();
     lowering_.passes.push_back(std::move(rec));
   }
+  SOSLOCK_VERIFY_PASS(lowering_.problem, lowering_.lowered_fingerprint, "equilibrate");
   lowering_.convert_seconds = 0.0;
   for (const PassRecord& rec : lowering_.passes) lowering_.convert_seconds += rec.seconds;
 

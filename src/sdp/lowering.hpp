@@ -31,6 +31,7 @@
 // that is the whole contract; fingerprints and provenance are recomputed
 // here, and the backends only ever see the final problem plus its cached
 // ProblemStructure.
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -116,7 +117,11 @@ WarmStart export_warm_start(const Solution& recovered, const Lowering& lowering)
 /// cached aggregate pattern (objective values are not fingerprinted, but an
 /// off-pattern nonzero would have changed the decomposition plan).
 ///
-/// Not thread-safe: one cache per sweep lane / worker.
+/// Not thread-safe: one cache per sweep lane / worker. The telemetry
+/// counters (full_lowerings / updates) are the one exception — they are
+/// atomics, so a monitoring thread may poll them while the owning lane is
+/// mid-lower() without a data race (the values are momentarily stale, never
+/// torn).
 class LoweringCache {
  public:
   /// Lower `problem` via the in-place update pass when the cached lowering
@@ -126,9 +131,9 @@ class LoweringCache {
 
   bool valid() const { return valid_; }
   /// Full pipeline runs (the first call plus every fallback).
-  std::size_t full_lowerings() const { return full_; }
+  std::size_t full_lowerings() const { return full_.load(std::memory_order_relaxed); }
   /// In-place coefficient updates (recompile-free solves).
-  std::size_t updates() const { return updates_; }
+  std::size_t updates() const { return updates_.load(std::memory_order_relaxed); }
 
  private:
   /// Destination of one base-row triplet inside the cached lowered problem.
@@ -158,8 +163,8 @@ class LoweringCache {
   /// Canonical-assignment index per decomposed cone (aligned with
   /// lowering_.map.plans), for objective re-scatter.
   std::vector<BlockEntryIndex> entry_index_;
-  std::size_t full_ = 0;
-  std::size_t updates_ = 0;
+  std::atomic<std::size_t> full_{0};
+  std::atomic<std::size_t> updates_{0};
 };
 
 }  // namespace soslock::sdp

@@ -114,6 +114,9 @@ class Problem {
   const linalg::Vector& free_objective() const { return f_; }
   double rhs(std::size_t i) const { return rows_[i].rhs; }
   const std::vector<DecomposedCone>& cones() const { return cones_; }
+  /// Mutable cone access — for passes that rewrite decompositions in place
+  /// and for the verifier tests that seed deliberate corruptions.
+  std::vector<DecomposedCone>& mutable_cones() { return cones_; }
   /// Total overlap couplings over all decomposed cones (the q extra
   /// multipliers the native backends carry alongside the m row multipliers).
   std::size_t num_overlaps() const;

@@ -2,24 +2,27 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 
 #include "sdp/admm.hpp"
 #include "sdp/ipm.hpp"
 #include "util/log.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace soslock::sdp {
 namespace {
 
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, BackendFactory> factories;
+  util::Mutex mutex;
+  std::map<std::string, BackendFactory> factories SOSLOCK_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
   static Registry* r = [] {
     auto* reg = new Registry;
+    // The static-init guard already serializes this, but the analysis (and
+    // the lock discipline) do not special-case it.
+    const util::MutexLock lock(reg->mutex);
     reg->factories["ipm"] = [](const SolverConfig& config) -> std::unique_ptr<SolverBackend> {
       return std::make_unique<IpmSolver>(config.resolved_ipm());
     };
@@ -166,13 +169,13 @@ AdmmOptions SolverConfig::resolved_admm() const {
 bool register_backend(const std::string& name, BackendFactory factory) {
   if (name == "auto" || !factory) return false;
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const util::MutexLock lock(reg.mutex);
   return reg.factories.emplace(name, std::move(factory)).second;
 }
 
 std::vector<std::string> registered_backends() {
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const util::MutexLock lock(reg.mutex);
   std::vector<std::string> names;
   names.reserve(reg.factories.size() + 1);
   for (const auto& [name, factory] : reg.factories) names.push_back(name);
@@ -187,7 +190,7 @@ std::unique_ptr<SolverBackend> make_solver(const std::string& name,
   Registry& reg = registry();
   BackendFactory factory;
   {
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const util::MutexLock lock(reg.mutex);
     const auto it = reg.factories.find(name);
     if (it != reg.factories.end()) factory = it->second;
   }

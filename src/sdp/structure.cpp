@@ -77,7 +77,7 @@ ProblemStructure build_structure(const Problem& p, std::uint64_t fingerprint) {
 std::shared_ptr<const ProblemStructure> StructureCache::get(const Problem& p) const {
   const std::uint64_t fp = structure_fingerprint(p);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       if (slots_[i]->fingerprint != fp) continue;
       if (!slots_[i]->compatible_with(p)) {
@@ -94,7 +94,7 @@ std::shared_ptr<const ProblemStructure> StructureCache::get(const Problem& p) co
     }
   }
   auto fresh = std::make_shared<const ProblemStructure>(build_structure(p));
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   // Re-check under the lock: batch workers miss simultaneously on first use
   // of a shared shape, and duplicate slots would evict live patterns. The
   // winner's slot is promoted and counted like any other hit.
@@ -114,7 +114,7 @@ std::shared_ptr<const ProblemStructure> StructureCache::get(const Problem& p) co
 
 void StructureCache::put(std::shared_ptr<const ProblemStructure> structure) const {
   if (!structure) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (slots_[i]->fingerprint == structure->fingerprint) {
       slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
@@ -133,7 +133,7 @@ void StructureCache::enforce_capacity_locked() const {
 }
 
 std::shared_ptr<const ProblemStructure> StructureCache::find(std::uint64_t fingerprint) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (const auto& slot : slots_) {
     if (slot->fingerprint == fingerprint) return slot;
   }
@@ -141,12 +141,12 @@ std::shared_ptr<const ProblemStructure> StructureCache::find(std::uint64_t finge
 }
 
 std::size_t StructureCache::hits() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return hits_;
 }
 
 StructureCacheTelemetry StructureCache::telemetry() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   StructureCacheTelemetry t;
   t.hits = hits_;
   t.misses = misses_;
@@ -157,13 +157,13 @@ StructureCacheTelemetry StructureCache::telemetry() const {
 }
 
 void StructureCache::set_capacity(std::size_t capacity) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   capacity_ = capacity;
   enforce_capacity_locked();
 }
 
 std::size_t StructureCache::capacity() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return capacity_;
 }
 

@@ -13,11 +13,11 @@
 //    incidence that both backends otherwise rediscover on every solve.
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "sdp/problem.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace soslock::sdp {
 
@@ -135,16 +135,16 @@ class StructureCache {
 
  private:
   /// Drop least-recently-used entries beyond capacity_; counts evictions.
-  /// Caller holds mutex_.
-  void enforce_capacity_locked() const;
+  void enforce_capacity_locked() const SOSLOCK_REQUIRES(mutex_);
 
-  std::size_t capacity_;
-  mutable std::mutex mutex_;
-  mutable std::size_t hits_ = 0;
-  mutable std::size_t misses_ = 0;
-  mutable std::size_t evictions_ = 0;
+  mutable util::Mutex mutex_;
+  std::size_t capacity_ SOSLOCK_GUARDED_BY(mutex_);
+  mutable std::size_t hits_ SOSLOCK_GUARDED_BY(mutex_) = 0;
+  mutable std::size_t misses_ SOSLOCK_GUARDED_BY(mutex_) = 0;
+  mutable std::size_t evictions_ SOSLOCK_GUARDED_BY(mutex_) = 0;
   /// Most-recently-used first.
-  mutable std::vector<std::shared_ptr<const ProblemStructure>> slots_;
+  mutable std::vector<std::shared_ptr<const ProblemStructure>> slots_
+      SOSLOCK_GUARDED_BY(mutex_);
 };
 
 /// Per-solve flat view of the row coefficients of one block: pointers into a

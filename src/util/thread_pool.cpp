@@ -1,10 +1,12 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace soslock::util {
 
@@ -13,6 +15,10 @@ ThreadPool::ThreadPool(std::size_t threads) : threads_(threads) {
 }
 
 std::size_t ThreadPool::hardware_threads() {
+  if (const char* env = std::getenv("SOSLOCK_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
   const std::size_t hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
@@ -28,7 +34,7 @@ void ThreadPool::run_all_indexed(
   }
 
   std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
+  Mutex error_mutex;
   std::exception_ptr first_error;
   auto worker = [&](std::size_t worker_id) {
     for (;;) {
@@ -37,7 +43,7 @@ void ThreadPool::run_all_indexed(
       try {
         task(worker_id, i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
+        const MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     }

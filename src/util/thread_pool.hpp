@@ -30,7 +30,9 @@ class ThreadPool {
   std::size_t threads() const { return threads_; }
 
   /// std::thread::hardware_concurrency() with the 0-means-unknown case
-  /// resolved to 1.
+  /// resolved to 1. Overridable via the SOSLOCK_THREADS environment variable
+  /// (a positive integer) — the sanitizer CI pins the fan-out to 4 with it
+  /// so TSan sees the parallel paths regardless of runner core count.
   static std::size_t hardware_threads();
 
   /// Run `count` independent tasks, task(i) for i in [0, count); blocks until

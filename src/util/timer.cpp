@@ -7,23 +7,23 @@ namespace soslock::util {
 TimingTable& TimingTable::operator=(const TimingTable& other) {
   if (this == &other) return *this;
   std::vector<Entry> snapshot = other.entries();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   entries_ = std::move(snapshot);
   return *this;
 }
 
 void TimingTable::add(std::string name, double seconds, std::string note) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   entries_.push_back({std::move(name), seconds, std::move(note)});
 }
 
 std::vector<TimingTable::Entry> TimingTable::entries() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return entries_;
 }
 
 double TimingTable::total_seconds() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   double total = 0.0;
   for (const Entry& e : entries_) total += e.seconds;
   return total;

@@ -2,9 +2,10 @@
 // Wall-clock timing helpers used by the pipeline to regenerate the paper's
 // Table 2 (per-step verification times).
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace soslock::util {
 
@@ -46,8 +47,8 @@ class TimingTable {
   std::string str(const std::string& title) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<Entry> entries_;
+  mutable Mutex mutex_;
+  std::vector<Entry> entries_ SOSLOCK_GUARDED_BY(mutex_);
 };
 
 }  // namespace soslock::util

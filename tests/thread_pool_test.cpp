@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <mutex>
 #include <numeric>
 #include <set>
@@ -20,6 +21,20 @@ TEST(ThreadPool, ResolvesZeroToHardware) {
   const ThreadPool pool(0);
   EXPECT_GE(pool.threads(), 1u);
   EXPECT_EQ(pool.threads(), ThreadPool::hardware_threads());
+}
+
+TEST(ThreadPool, EnvVariableOverridesHardwareCount) {
+  // SOSLOCK_THREADS pins the fan-out (the TSan CI job uses 4 so the
+  // parallel paths run regardless of runner core count); garbage or
+  // non-positive values fall back to the hardware count.
+  ASSERT_EQ(setenv("SOSLOCK_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::hardware_threads(), 3u);
+  EXPECT_EQ(ThreadPool(0).threads(), 3u);
+  ASSERT_EQ(setenv("SOSLOCK_THREADS", "0", 1), 0);
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+  ASSERT_EQ(setenv("SOSLOCK_THREADS", "nope", 1), 0);
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+  ASSERT_EQ(unsetenv("SOSLOCK_THREADS"), 0);
 }
 
 TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
