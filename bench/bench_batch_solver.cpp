@@ -10,6 +10,7 @@
 // parallelism; the thread count is printed so single-core runs are legible.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/level_set.hpp"
 #include "core/lyapunov.hpp"
 #include "pll/models.hpp"
@@ -65,12 +66,9 @@ double run_lyapunov(const hybrid::HybridSystem& sys, const core::LyapunovOptions
 }  // namespace
 
 int main() {
-  // Honors the SOSLOCK_THREADS override (the sanitizer CI pins fan-out with
-  // it), unlike raw hardware_concurrency().
-  const std::size_t hw = util::ThreadPool::hardware_threads();
   std::printf("=== Batched per-mode SOS solves vs sequential baseline ===\n");
-  std::printf("worker threads: %zu%s\n\n", hw,
-              hw > 1 ? "" : "  (single core: batching cannot beat sequential here)");
+  bench::thread_banner();
+  std::printf("\n");
 
   const pll::Params params = pll::Params::paper_third_order();
   const hybrid::HybridSystem sys = three_vertex_pll(params);

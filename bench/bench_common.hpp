@@ -12,8 +12,21 @@
 #include "pll/params.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/csv.hpp"
+#include "util/thread_pool.hpp"
 
 namespace soslock::bench {
+
+/// Worker-thread banner, honoring the SOSLOCK_THREADS override (the
+/// sanitizer CI pins fan-out with it) unlike raw hardware_concurrency().
+/// Returns the count so every gate bench can record a "worker_threads"
+/// field in its JSON section — a speedup number without the thread count
+/// that produced it is not reproducible evidence.
+inline std::size_t thread_banner() {
+  const std::size_t hw = util::ThreadPool::hardware_threads();
+  std::printf("worker threads: %zu%s\n", hw,
+              hw > 1 ? "" : "  (single core: parallel modes cannot win here)");
+  return hw;
+}
 
 /// Boundary of {p <= level} intersected with the (i, j) coordinate plane
 /// (all other variables fixed to 0), sampled over `rays` directions by

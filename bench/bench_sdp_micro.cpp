@@ -64,6 +64,7 @@ double per_iter(double seconds, int iterations) {
 }  // namespace
 
 int main() {
+  const std::size_t worker_threads = bench::thread_banner();
   std::printf("=== IPM scaling (informational) ===\n");
   std::printf("%-26s %10s %10s %8s\n", "", "wall", "schur/it", "iters");
   for (std::size_t n : {5u, 10u, 20u, 40u}) {
@@ -130,7 +131,8 @@ int main() {
                            {"admm_eig_speedup", eig_speedup},
                            {"ipm_schur_per_iter_fast", fast_schur},
                            {"ipm_schur_per_iter_reference", ref_schur},
-                           {"ipm_schur_speedup_random", schur_speedup}},
+                           {"ipm_schur_speedup_random", schur_speedup},
+                           {"worker_threads", static_cast<double>(worker_threads)}},
                           // Merge (replace own section only): fresh=true
                           // made the recorded file order-dependent — running
                           // this bench after bench_table2_timing wiped the

@@ -25,6 +25,7 @@
 using namespace soslock;
 
 int main() {
+  const std::size_t worker_threads = bench::thread_banner();
   const pll::Params base = pll::Params::paper_third_order();
   const sweep::Grid grid(base, {
       {sweep::Axis::Ip, 5, 300e-6, 700e-6, 5e-6},
@@ -90,6 +91,7 @@ int main() {
           {"cold_restarts", static_cast<double>(warm.cold_restarts)},
           {"warm_seconds", warm.seconds},
           {"cold_seconds", cold.seconds},
+          {"worker_threads", static_cast<double>(worker_threads)},
       },
       /*fresh=*/true);
   std::printf("wrote BENCH_PR6.json (sweep_throughput)\n");

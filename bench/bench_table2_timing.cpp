@@ -292,6 +292,7 @@ NativeSeamBench bench_clock_tree_native_vs_seam() {
 }  // namespace
 
 int main() {
+  const std::size_t worker_threads = bench::thread_banner();
   const bool paper_degrees = bench::env_flag("SOSLOCK_PAPER_DEGREES");
   std::printf("=== Table 2: computation time of the inevitability verification ===\n");
   std::printf("(certificate degrees: %s; set SOSLOCK_PAPER_DEGREES=1 for the paper's)\n\n",
@@ -431,7 +432,8 @@ int main() {
                            {"iters_native", static_cast<double>(ns.iters_native)},
                            {"iters_seam", static_cast<double>(ns.iters_seam)},
                            {"wall_native_seconds", ns.wall_native},
-                           {"wall_seam_seconds", ns.wall_seam}},
+                           {"wall_seam_seconds", ns.wall_seam},
+                           {"worker_threads", static_cast<double>(worker_threads)}},
                           /*fresh=*/true);
   std::printf("wrote BENCH_PR5.json (native_cones)\n");
 
@@ -442,7 +444,8 @@ int main() {
                            {"warm_iteration_ratio", ratio},
                            {"wall_cold_seconds", cold.seconds},
                            {"wall_warm_seconds", warm.seconds},
-                           {"wall_clique_seconds", clique_loops.seconds}},
+                           {"wall_clique_seconds", clique_loops.seconds},
+                           {"worker_threads", static_cast<double>(worker_threads)}},
                           /*fresh=*/false);
   std::printf("wrote BENCH_PR4.json (table2)\n");
 

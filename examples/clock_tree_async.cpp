@@ -1,0 +1,93 @@
+// Asynchronous clique-parallel ADMM on a K = 64 clock-tree coupling SDP.
+//
+//   1. Build a 64-loop clock tree (129 states) with clustered leaf
+//      crosstalk: the leaves split into fully-coupled 8-loop clusters whose
+//      only tie to each other is the shared distribution rail — a genuinely
+//      decomposable SDP with one large chordal clique per cluster and
+//      one-entry separators.
+//   2. Lower it natively (sdp::DecomposedCone) with the subtree-partition
+//      pass assigning clique blocks to 4 workers by estimated eigensplit
+//      flops, provenance-recorded like every other lowering pass.
+//   3. Solve synchronously, then asynchronously at staleness bounds 0 and 2.
+//      max_staleness = 0 is the lockstep schedule — bit-identical to the
+//      synchronous loop — while staleness 2 lets the resident per-clique
+//      workers run ahead of the consensus thread and overlap their
+//      eigensplits with the serial normal solve.
+//
+// Usage: example_clock_tree_async [num_loops]   (default 64)
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "pll/models.hpp"
+#include "pll/params.hpp"
+#include "sdp/admm.hpp"
+#include "sdp/lowering.hpp"
+#include "sdp/solver.hpp"
+#include "util/timer.hpp"
+
+using namespace soslock;
+
+int main(int argc, char** argv) {
+  pll::ClockTreeOptions tree;
+  tree.loops = 64;
+  if (argc > 1) tree.loops = static_cast<std::size_t>(std::atoi(argv[1]));
+  if (tree.loops < 2 || tree.loops > 512) tree.loops = 64;
+  tree.neighbor_coupling = 0.05;
+  tree.cluster = 8;
+  tree.neighbor_hops = tree.cluster - 1;
+  const pll::ClockTreeModel model =
+      pll::make_clock_tree(pll::Params::paper_third_order(), tree);
+  const sdp::Problem original = pll::clock_tree_coupling_sdp(model.constants, tree);
+  std::printf("=== clock tree: %zu loops, %zu states, coupling SDP with %zu rows ===\n\n",
+              model.loops, model.system.nstates(), original.num_rows());
+
+  sdp::LoweringOptions low;
+  low.sparsity = sdp::SparsityOptions::Chordal;
+  low.chordal.min_block_size = 4;
+  low.partition_workers = 4;
+  const sdp::Lowering lowering = sdp::lower(original, low);
+  std::printf("lowered: %zu clique blocks, %zu overlap couplings\n",
+              lowering.problem.num_blocks(), lowering.problem.num_overlaps());
+  for (const sdp::PassRecord& pass : lowering.passes)
+    std::printf("  pass %-12s %s\n", pass.name.c_str(), pass.detail.c_str());
+  std::printf("\n%-30s %10s %8s %9s %s\n", "driver", "wall", "iters", "status", "telemetry");
+
+  double sync_objective = 0.0;
+  for (const int staleness : {-1, 0, 2}) {  // -1 = the synchronous loop
+    sdp::AdmmOptions opt;
+    opt.threads = 1;
+    opt.tolerance = 1e-5;  // demo run; the coarse row space stalls below this
+    if (staleness >= 0) {
+      opt.async = true;
+      opt.workers = 4;
+      opt.max_staleness = staleness;
+    }
+    const util::Timer wall;
+    sdp::SolveContext context;
+    const sdp::Solution sol = sdp::AdmmSolver(opt).solve(lowering.problem, context);
+    const sdp::Solution recovered = sdp::recover(sol, lowering);
+    char label[64], telemetry[128];
+    if (staleness < 0) {
+      std::snprintf(label, sizeof(label), "synchronous");
+      std::snprintf(telemetry, sizeof(telemetry), "-");
+      sync_objective = recovered.primal_objective;
+    } else {
+      std::snprintf(label, sizeof(label), "async, staleness <= %d", staleness);
+      std::snprintf(telemetry, sizeof(telemetry),
+                    "%zu workers, staleness seen %d, overlap res %.1e",
+                    sol.worker_iterations.size(), sol.max_staleness_seen,
+                    sol.consensus_residual);
+      const double drift = std::fabs(recovered.primal_objective - sync_objective);
+      if (drift > 1e-3 * (1.0 + std::fabs(sync_objective))) {
+        std::printf("objective drifted %.2e from the synchronous solve\n", drift);
+        return 1;
+      }
+    }
+    std::printf("%-30s %9.3fs %8d %9s %s\n", label, wall.seconds(), sol.iterations,
+                sdp::to_string(recovered.status).c_str(), telemetry);
+  }
+  std::printf("\n(staleness 0 replays the synchronous iteration sequence exactly; the\n"
+              " bounded-staleness mailboxes only change the schedule, never the audit)\n");
+  return 0;
+}

@@ -251,7 +251,6 @@ ClockTreeModel make_clock_tree(const Params& params, const ClockTreeOptions& opt
 
   const std::size_t nstates = 1 + 2 * options.loops;
   const std::size_t nvars = nstates;  // no uncertain parameters
-  const auto var = [nvars](std::size_t i) { return Polynomial::variable(nvars, i); };
   const double c = options.coupling;
   const double per_loop = c / static_cast<double>(options.loops);
 
@@ -266,20 +265,46 @@ ClockTreeModel make_clock_tree(const Params& params, const ClockTreeOptions& opt
   }
 
   // Rail: leaks to ground and averages the leaf filter nodes. Each leaf
-  // filter node v_i relaxes, takes the duty-cycle-averaged pump rho*e_i,
-  // and couples to the rail; each phase error e_i integrates -kappa*v_i.
-  // No leaf talks to another leaf directly — only through s.
+  // filter node v_i relaxes, takes the duty-cycle-averaged pump rho*e_i, and
+  // couples to the rail; each phase error e_i integrates -kappa*v_i. Leaves
+  // talk to each other only through s unless neighbor_coupling adds the
+  // banded crosstalk terms. Every flow row is affine, so each is built from
+  // one coefficient vector instead of merged variable polynomials — the
+  // shared-rail row used to be re-merged K times, which made K-in-the-
+  // hundreds trees quadratically slow to even construct.
   Mode avg;
   avg.name = "clock-tree";
   std::vector<Polynomial> flow;
-  Polynomial rail = -options.rail_leak * var(model.rail_index);
-  for (std::size_t i = 0; i < options.loops; ++i)
-    rail += per_loop * (var(model.v_index(i)) - var(model.rail_index));
-  flow.push_back(rail);
+  flow.reserve(nstates);
+  linalg::Vector lin(nstates, 0.0);
+  lin[model.rail_index] = -options.rail_leak - c;
+  for (std::size_t i = 0; i < options.loops; ++i) lin[model.v_index(i)] = per_loop;
+  flow.push_back(Polynomial::affine(nvars, lin, 0.0));
+  const double nc = options.neighbor_coupling;
+  const std::size_t hops = nc != 0.0 ? options.neighbor_hops : 0;
+  const auto same_cluster = [&options](std::size_t i, std::size_t j) {
+    return options.cluster == 0 || i / options.cluster == j / options.cluster;
+  };
   for (std::size_t i = 0; i < options.loops; ++i) {
-    flow.push_back(-1.0 * var(model.v_index(i)) + k.rho * var(model.e_index(i)) +
-                   c * (var(model.rail_index) - var(model.v_index(i))));
-    flow.push_back(-k.kappa * var(model.v_index(i)));
+    lin.assign(nstates, 0.0);
+    lin[model.rail_index] = c;
+    lin[model.e_index(i)] = k.rho;
+    double self = -1.0 - c;
+    for (std::size_t h = 1; h <= hops; ++h) {
+      if (i >= h && same_cluster(i, i - h)) {
+        lin[model.v_index(i - h)] += nc;
+        self -= nc;
+      }
+      if (i + h < options.loops && same_cluster(i, i + h)) {
+        lin[model.v_index(i + h)] += nc;
+        self -= nc;
+      }
+    }
+    lin[model.v_index(i)] = self;
+    flow.push_back(Polynomial::affine(nvars, lin, 0.0));
+    lin.assign(nstates, 0.0);
+    lin[model.v_index(i)] = -k.kappa;
+    flow.push_back(Polynomial::affine(nvars, lin, 0.0));
   }
   avg.flow = std::move(flow);
 
@@ -304,13 +329,29 @@ linalg::Matrix clock_tree_state_matrix(const LoopConstants& k,
   const std::size_t n = 1 + 2 * kk;
   const double c = options.coupling;
   const double per_loop = c / static_cast<double>(kk);
+  const double nc = options.neighbor_coupling;
+  const std::size_t hops = nc != 0.0 ? options.neighbor_hops : 0;
+  const auto same_cluster = [&options](std::size_t i, std::size_t j) {
+    return options.cluster == 0 || i / options.cluster == j / options.cluster;
+  };
   linalg::Matrix a(n, n);
   a(0, 0) = -options.rail_leak - c;
   for (std::size_t i = 0; i < kk; ++i) {
     const std::size_t v = 1 + 2 * i, e = 2 + 2 * i;
     a(0, v) = per_loop;
     a(v, 0) = c;
-    a(v, v) = -1.0 - c;
+    double self = -1.0 - c;
+    for (std::size_t h = 1; h <= hops; ++h) {
+      if (i >= h && same_cluster(i, i - h)) {
+        a(v, 1 + 2 * (i - h)) += nc;
+        self -= nc;
+      }
+      if (i + h < kk && same_cluster(i, i + h)) {
+        a(v, 1 + 2 * (i + h)) += nc;
+        self -= nc;
+      }
+    }
+    a(v, v) = self;
     a(v, e) = k.rho;
     a(e, v) = -k.kappa;
   }
@@ -341,18 +382,53 @@ sdp::Problem clock_tree_coupling_sdp(const LoopConstants& k,
   sdp::Problem p;
   const std::size_t blk = p.add_block(n);
   p.set_block_objective(blk, linalg::Matrix::identity(n));
+  // Clustered trees coarsen the measurement rows: instead of one row per
+  // coupling edge (m grows with the g^2/2 crosstalk pairs of each
+  // g-loop cluster, and the dense normal/Schur systems with m^2), the three
+  // edge families — rail tap, crosstalk, leaf dynamics — each contribute ONE
+  // aggregate observable row per cluster. The entry pattern (hence the
+  // correlative-sparsity graph and the chordal cliques) is identical; only
+  // the row space is coarser, which is what keeps the consensus-side normal
+  // solve near-constant while the per-clique eigenwork scales cubically —
+  // the regime the clique-parallel backends are built for.
+  const std::size_t g = options.cluster;
+  const std::size_t nclusters = g == 0 ? 0 : (options.loops + g - 1) / g;
+  enum Family { kRail = 0, kCross = 1, kLeaf = 2 };
+  const char* family_name[] = {"rail", "cross", "leaf"};
+  std::vector<sdp::SparseSym> agg(3 * nclusters);
   for (std::size_t r = 0; r < n; ++r) {
     for (std::size_t c = r + 1; c < n; ++c) {
       if (a(r, c) == 0.0 && a(c, r) == 0.0) continue;
-      sdp::Row row;
       sdp::SparseSym coeff;
       coeff.add(r, r, 1.0);
       coeff.add(r, c, 0.5 + 0.1 * static_cast<double>((r + c) % 2));
       coeff.add(c, c, -0.3);
-      linalg::Matrix dense(n, n);
-      coeff.add_to(dense);
-      row.rhs = linalg::dot(dense, xstar);
+      if (g > 0) {
+        // State layout [s, v_1, e_1, ...]: r < c, so r == 0 is the rail tap,
+        // odd r/odd c is v-v crosstalk, and odd r/even c is a v_i-e_i pair.
+        const Family fam = r == 0 ? kRail : (c % 2 == 1 ? kCross : kLeaf);
+        const std::size_t cl = (c - 1) / 2 / g;
+        sdp::SparseSym& bucket = agg[3 * cl + fam];
+        for (const sdp::Triplet& t : coeff.entries) bucket.add(t.r, t.c, t.v);
+        continue;
+      }
+      sdp::Row row;
+      // Sparse <A, X*> directly: densifying each 3-entry coefficient into an
+      // n x n scratch made assembly cubic in the tree size, which dominated
+      // the solve itself from K ~ 64 up.
+      row.rhs = coeff.dot(xstar);
       row.label = "edge." + std::to_string(r) + "." + std::to_string(c);
+      row.blocks[blk] = std::move(coeff);
+      p.add_row(std::move(row));
+    }
+  }
+  for (std::size_t cl = 0; cl < nclusters; ++cl) {
+    for (int fam = 0; fam < 3; ++fam) {
+      sdp::SparseSym& coeff = agg[3 * cl + fam];
+      if (coeff.empty()) continue;
+      sdp::Row row;
+      row.rhs = coeff.dot(xstar);
+      row.label = std::string("cluster.") + std::to_string(cl) + "." + family_name[fam];
       row.blocks[blk] = std::move(coeff);
       p.add_row(std::move(row));
     }

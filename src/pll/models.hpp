@@ -79,6 +79,26 @@ struct ClockTreeOptions {
   double v_box = 8.0;       // |s|, |v_i| <= v_box
   double e_box = 1.0;       // |e_i| <= e_box
   double gain_scale = 0.0;  // multiplies kappa; 0 = auto (order-3 default)
+  /// Optional nearest-neighbor leaf <-> leaf filter coupling (crosstalk
+  /// between adjacent distribution branches): v_i additionally relaxes
+  /// toward v_{i +- h} for h = 1..neighbor_hops with strength
+  /// neighbor_coupling each. 0 keeps the pure star topology. With it on,
+  /// the aggregate sparsity is a banded chain plus the rail hub, so the
+  /// chordal cliques grow to ~2*neighbor_hops+2 vertices — the knob the
+  /// async-ADMM bench uses to make per-clique eigenwork dominate.
+  double neighbor_coupling = 0.0;
+  std::size_t neighbor_hops = 1;
+  /// Confine the crosstalk to disjoint clusters of this many consecutive
+  /// loops (0 = one unbroken chain). Leaves i and j couple only when they
+  /// sit in the same cluster, so with neighbor_hops >= cluster - 1 each
+  /// cluster's filter nodes form a complete subgraph whose only tie to the
+  /// rest of the tree is the rail. That shape matters for the decomposed
+  /// solvers: a chain's consecutive cliques share all but one vertex
+  /// (separator size ~2*hops+1, overlap couplings quadratic in the clique
+  /// size), while clusters share exactly the rail (one overlap entry per
+  /// clique-tree edge) — large per-clique eigenwork, near-constant
+  /// consensus cost, the regime where clique-parallel ADMM actually wins.
+  std::size_t cluster = 0;
 };
 
 struct ClockTreeModel {
@@ -92,7 +112,10 @@ struct ClockTreeModel {
 };
 
 /// Build the single-mode averaged clock-tree model (loop constants from the
-/// third-order column of `params`).
+/// third-order column of `params`). Flow rows are assembled from precomputed
+/// affine coefficient vectors (the shared-rail row in particular is built
+/// once, not re-merged per loop), so trees with K in the hundreds construct
+/// in milliseconds — the scale the async-ADMM bench and examples run at.
 ClockTreeModel make_clock_tree(const Params& params, const ClockTreeOptions& options = {});
 
 /// Closed-loop clock-tree state matrix A (x' = A x). Its off-diagonal
@@ -107,7 +130,12 @@ linalg::Matrix clock_tree_state_matrix(const LoopConstants& k,
 /// with that pattern. This is the workload of the native-vs-seam
 /// decomposed-cone tests and the bench gate: its chordal cliques are the
 /// loop pairs, so the conversion genuinely fires (unlike SOS-compiled Gram
-/// blocks, whose aggregate patterns are complete).
+/// blocks, whose aggregate patterns are complete). With
+/// ClockTreeOptions::cluster set, the per-edge rows of each coupling family
+/// are coarsened into one aggregate observable row per cluster — same
+/// sparsity pattern and cliques, much smaller row space — so clique
+/// eigenwork can dominate the consensus-side normal solve (the async-ADMM
+/// bench regime).
 sdp::Problem clock_tree_coupling_sdp(const LoopConstants& k,
                                      const ClockTreeOptions& options);
 

@@ -4,479 +4,483 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
-#include <optional>
 
-#include "linalg/cholesky.hpp"
 #include "linalg/eigen_sym.hpp"
-#include "sdp/elimination.hpp"
-#include "sdp/structure.hpp"
+#include "sdp/admm_engine.hpp"
 #include "util/log.hpp"
-#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace soslock::sdp {
-namespace {
 
 using linalg::Cholesky;
 using linalg::Matrix;
 using linalg::Vector;
 
-class Admm {
- public:
-  Admm(const Problem& p, const AdmmOptions& opt, SolveContext& ctx,
-       std::shared_ptr<const ProblemStructure> structure)
-      : p_(p), opt_(opt), ctx_(ctx), structure_(std::move(structure)),
-        pool_(opt.threads) {
-    m_ = p_.num_rows();
-    nf_ = p_.num_free();
-    nblocks_ = p_.num_blocks();
-    total_dim_ = p_.total_psd_dim();
-    views_ = build_block_row_views(p_, *structure_);
-    // Native decomposed cones: overlap couplings join the dual update as
-    // virtual rows [m, m+q) with consensus multipliers of their own. Their
-    // (q x q) corner of the normal matrix is block-eliminated at setup, so
-    // the per-iteration factorized system stays m x m; the per-clique PSD
-    // projections (sx_update) are untouched — each clique block projects
-    // independently and the multipliers price separator agreement.
-    overlap_rows_ = append_overlap_views(p_, views_);
-    q_ = overlap_rows_.size();
-    mext_ = m_ + q_;
-    data_norm_ = 1.0;
-    for (std::size_t i = 0; i < m_; ++i) data_norm_ = std::max(data_norm_, std::fabs(p_.rhs(i)));
-    c_norm_ = 1.0;
-    for (std::size_t j = 0; j < nblocks_; ++j)
-      c_norm_ = std::max(c_norm_, linalg::norm_inf(p_.block_objective(j)));
-    for (double fi : p_.free_objective()) c_norm_ = std::max(c_norm_, std::fabs(fi));
+void admm_split_psd(const Matrix& u, double rho, bool use_jacobi, Matrix& splus_out,
+                    Matrix& xnew_out) {
+  const std::size_t n = u.rows();
+  const linalg::EigenSym eig = use_jacobi ? linalg::eigen_sym_jacobi(u) : linalg::eigen_sym(u);
+  std::size_t nneg = 0;  // values ascending: negatives first
+  while (nneg < n && eig.values[nneg] < 0.0) ++nneg;
+  Matrix panel(n, nneg);
+  for (std::size_t c = 0; c < nneg; ++c) {
+    const double scale = std::sqrt(-eig.values[c]);
+    for (std::size_t r = 0; r < n; ++r) panel(r, c) = eig.vectors(r, c) * scale;
   }
+  Matrix neg = linalg::times_transposed(panel, panel);  // U^-
+  Matrix pos = neg;                                     // U^+ = U + U^-
+  pos += u;
+  neg.scale(rho);
+  splus_out = std::move(pos);
+  xnew_out = std::move(neg);
+}
 
-  Solution run() {
-    Solution sol = run_inner();
-    sol.phase = phase_;
-    // Dimension of the dense cached normal factor: overlap couplings are
-    // block-eliminated, so it is the row count with or without cones.
-    sol.schur_rows = m_;
-    return sol;
-  }
+AdmmEngine::AdmmEngine(const Problem& p, const AdmmOptions& opt, SolveContext& ctx,
+                       std::shared_ptr<const ProblemStructure> structure)
+    : p_(p), opt_(opt), ctx_(ctx), structure_(std::move(structure)), pool_(opt.threads) {
+  m_ = p_.num_rows();
+  nf_ = p_.num_free();
+  nblocks_ = p_.num_blocks();
+  total_dim_ = p_.total_psd_dim();
+  views_ = build_block_row_views(p_, *structure_);
+  // Native decomposed cones: overlap couplings join the dual update as
+  // virtual rows [m, m+q) with consensus multipliers of their own. Their
+  // (q x q) corner of the normal matrix is block-eliminated at setup, so
+  // the per-iteration factorized system stays m x m; the per-clique PSD
+  // projections are untouched — each clique block projects independently
+  // and the multipliers price separator agreement.
+  overlap_rows_ = append_overlap_views(p_, views_);
+  q_ = overlap_rows_.size();
+  mext_ = m_ + q_;
+  data_norm_ = 1.0;
+  for (std::size_t i = 0; i < m_; ++i) data_norm_ = std::max(data_norm_, std::fabs(p_.rhs(i)));
+  c_norm_ = 1.0;
+  for (std::size_t j = 0; j < nblocks_; ++j)
+    c_norm_ = std::max(c_norm_, linalg::norm_inf(p_.block_objective(j)));
+  for (double fi : p_.free_objective()) c_norm_ = std::max(c_norm_, std::fabs(fi));
+}
 
- private:
-  Solution run_inner() {
-    Solution out;
-    rho_ = std::max(opt_.rho, 1e-8);
-    const int rho_interval = std::max(opt_.rho_update_interval, 1);
-    const double alpha = std::clamp(opt_.over_relaxation, 1.0, 1.95);
-
-    // The y-update normal matrix M = A A* + B B' is iteration-independent:
-    // factor it once. M_ik = sum_j <A_ij, A_kj> + sum_v B_iv B_kv. With
-    // native cones the overlap couplings extend it to (m+q); the overlap
-    // corner is block-eliminated here — factor Q and the reduced
-    // Nyy - Nyl Q^{-1} Nly — so every later y-update solves the joint
-    // (rows, consensus multipliers) system through two fixed factors of
-    // dimension m and q instead of one of dimension m+q.
-    const util::Timer setup_timer;
-    if (mext_ > 0) {
-      Matrix normal(mext_, mext_);
-      for (std::size_t j = 0; j < nblocks_; ++j) {
-        const auto& touching = views_[j];
-        for (std::size_t a = 0; a < touching.size(); ++a) {
-          const SparseSym& ai = *touching[a].coeff;
-          for (std::size_t bnd = a; bnd < touching.size(); ++bnd) {
-            const SparseSym& ak = *touching[bnd].coeff;
-            const double v = sparse_dot(ai, ak);
-            const std::size_t i = touching[a].row, k = touching[bnd].row;
-            normal(i, k) += v;
-            if (i != k) normal(k, i) += v;
-          }
-        }
-      }
-      for (std::size_t i = 0; i < m_; ++i) {
-        for (const auto& [v, ci] : p_.rows()[i].free_coeffs) {
-          for (std::size_t k = i; k < m_; ++k) {
-            const auto it = p_.rows()[k].free_coeffs.find(v);
-            if (it == p_.rows()[k].free_coeffs.end()) continue;
-            normal(i, k) += ci * it->second;
-            if (i != k) normal(k, i) += ci * it->second;
-          }
-        }
-      }
-      if (q_ == 0) {
-        if (m_ > 0) chol_m_.emplace(Cholesky::factor_shifted(normal, 1e-12));
-      } else {
-        // Same flop-neutral elimination shape as the IPM's Schur step; here
-        // the normal matrix is iteration-invariant, so it runs once.
-        const Matrix reduced = elim_.reduce(normal, m_, q_, 1e-12);
-        if (m_ > 0) chol_m_.emplace(Cholesky::factor_shifted(reduced, 1e-12));
-      }
-    }
-    phase_.factor += setup_timer.seconds();
-
-    // State: primal (X, w), dual (y, S). X stays PSD by construction (it is
-    // rebuilt each iteration as a Gram product of the negative eigenpanel).
-    if (const WarmStart* ws = ctx_.warm_start; ws != nullptr && ws->fits(p_)) {
-      // First-order iterates need no interior margin: restore the raw state.
-      x_ = ws->x;
-      s_ = ws->z;
-      y_ = ws->y;
-      y_.resize(mext_, 0.0);  // consensus multipliers restart at zero
-      w_ = ws->w;
-      for (std::size_t j = 0; j < nblocks_; ++j) {
-        x_[j].symmetrize();
-        s_[j].symmetrize();
-      }
-    } else {
-      // Cold start from fat identity iterates (the SDPT3-style magnitudes
-      // the IPM uses) rather than zero: X = 0 is the most rank-deficient
-      // point of the cone, and an interior start gives every eigendirection
-      // initial mass. (This matters for basin quality, not for the
-      // degenerate-drift lock below, which forms mid-descent regardless of
-      // the start.)
-      double xi = 10.0, eta = 10.0;
-      for (std::size_t i = 0; i < m_; ++i) {
-        double arow = 1.0;
-        for (const auto& [j, a] : p_.rows()[i].blocks)
-          arow = std::max(arow, a.frobenius_norm());
-        xi = std::max(xi, (1.0 + std::fabs(p_.rhs(i))) / arow);
-      }
-      eta = std::max(eta, 1.0 + c_norm_);
-      x_.clear();
-      s_.clear();
-      x_.reserve(nblocks_);
-      s_.reserve(nblocks_);
-      for (std::size_t j = 0; j < nblocks_; ++j) {
-        const std::size_t n = p_.block_size(j);
-        Matrix xj = Matrix::identity(n);
-        xj.scale(xi);
-        Matrix sj = Matrix::identity(n);
-        sj.scale(eta);
-        x_.push_back(std::move(xj));
-        s_.push_back(std::move(sj));
-      }
-      y_.assign(mext_, 0.0);
-      w_.assign(nf_, 0.0);
-    }
-
-    // Iteration-invariant part of the y-update rhs: A_i(C) + B_i'f.
-    rhs0_.assign(mext_, 0.0);
-    for (std::size_t i = 0; i < mext_; ++i) {
-      const Row& row = row_at(i);
-      for (const auto& [j, a] : row.blocks) rhs0_[i] += a.dot(p_.block_objective(j));
-      for (const auto& [v, c] : row.free_coeffs) rhs0_[i] += c * p_.free_objective()[v];
-    }
-
-    double pres = 1.0, dres = 1.0, gap = 1.0;
-    // Best-iterate tracking: first-order iterates oscillate, and on
-    // degenerate objectives the merit can plateau far from tolerance — in
-    // both cases the caller gets the best iterate seen, and a long plateau
-    // stops early instead of burning the remaining budget.
-    Solution best;
-    double best_merit = std::numeric_limits<double>::infinity();
-    int stagnant_iterations = 0;
-    constexpr int kStagnationWindow = 1000;
-    int iter = 0;
-    for (; iter < opt_.max_iterations; ++iter) {
-      step_once(alpha, pres, dres, gap);
-
-      IterationInfo info;
-      info.iteration = iter;
-      info.primal_residual = pres;
-      info.dual_residual = dres;
-      info.gap = gap;
-      ctx_.notify(info);
-
-      if (opt_.verbose && iter % 100 == 0) {
-        std::fprintf(stderr, "  admm %5d  rho=%8.2e  rp=%9.2e  rd=%9.2e  gap=%9.2e\n", iter,
-                     rho_, pres, dres, gap);
-      }
-
-      const double merit = pres + dres + gap;
-      if (merit < 0.99 * best_merit) {
-        stagnant_iterations = 0;
-      } else {
-        ++stagnant_iterations;
-      }
-      if (merit < best_merit) {
-        best_merit = merit;
-        fill(best, x_, s_, y_, w_, pres, dres, gap, iter);
-      }
-
-      if (pres < opt_.tolerance && dres < opt_.tolerance && gap < opt_.tolerance) {
-        fill(out, x_, s_, y_, w_, pres, dres, gap, iter);
-        out.status = SolveStatus::Optimal;
-        return out;
-      }
-      if (ctx_.interrupted()) {
-        if (best_merit == std::numeric_limits<double>::infinity())
-          fill(best, x_, s_, y_, w_, pres, dres, gap, iter);
-        best.status = SolveStatus::Interrupted;
-        return best;
-      }
-
-      // --- degenerate-drift classification. On non-strictly-complementary
-      // optima (the maximize_region Lyapunov objective is the canonical
-      // in-tree case) the projection splitting locks its eigenspace split:
-      // dres collapses to machine noise while pres freezes and b'y crawls
-      // along a nearly flat dual direction at a constant per-iteration
-      // delta. No penalty schedule moves that floor (rho scans, restarts,
-      // over-relaxation and exact inner ALM solves were all tried) — the
-      // honest move is to classify early and hand the caller the best
-      // iterate plus its warm-start state, instead of burning the remaining
-      // budget "stalled". The "auto" policy backend then recovers by
-      // re-solving on the second-order backend from this very iterate.
-      const bool drift_locked = stagnant_iterations > 300 && dres < 1e-3 * pres &&
-                                pres > 10.0 * opt_.tolerance;
-      if (drift_locked || stagnant_iterations > kStagnationWindow) {
-        if (drift_locked) {
-          util::log_debug("admm: degenerate-drift lock classified at iter ", iter,
-                          " (rp=", pres, ", rd=", dres, "); returning best iterate");
-        }
-        best.status = SolveStatus::MaxIterations;
-        return best;
-      }
-
-      // --- residual balancing (Boyd et al. sec. 3.4.1 mapped to the dual
-      // splitting: dres is the penalized constraint, pres the multiplier),
-      // made proportional — rescale by sqrt(ratio) toward balance, clamped
-      // to one rho_scale step per update. The PR 1 stall came from the
-      // unguarded branch below: when dres collapses to machine noise the
-      // ratio says nothing about rho (the degenerate-drift regime handled
-      // above), yet the old rule kept halving rho until the multiplier steps
-      // were too small to ever move pres again. Guard: leave rho alone once
-      // dres is noise-level.
-      if (opt_.adaptive_rho && iter > 0 && iter % rho_interval == 0 &&
-          dres > 1e-10 && pres > 0.0) {
-        const double ratio = dres / pres;
-        if (ratio > opt_.residual_balance || ratio < 1.0 / opt_.residual_balance) {
-          const double factor =
-              std::clamp(std::sqrt(ratio), 1.0 / opt_.rho_scale, opt_.rho_scale);
-          rho_ = std::clamp(rho_ * factor, 1e-6, 1e6);
+void AdmmEngine::setup_normal() {
+  // The y-update normal matrix M = A A* + B B' is iteration-independent:
+  // factor it once. M_ik = sum_j <A_ij, A_kj> + sum_v B_iv B_kv. With
+  // native cones the overlap couplings extend it to (m+q); the overlap
+  // corner is block-eliminated here — factor Q and the reduced
+  // Nyy - Nyl Q^{-1} Nly — so every later y-update solves the joint
+  // (rows, consensus multipliers) system through two fixed factors of
+  // dimension m and q instead of one of dimension m+q.
+  const util::Timer setup_timer;
+  if (mext_ > 0) {
+    Matrix normal(mext_, mext_);
+    for (std::size_t j = 0; j < nblocks_; ++j) {
+      const auto& touching = views_[j];
+      for (std::size_t a = 0; a < touching.size(); ++a) {
+        const SparseSym& ai = *touching[a].coeff;
+        for (std::size_t bnd = a; bnd < touching.size(); ++bnd) {
+          const SparseSym& ak = *touching[bnd].coeff;
+          const double v = sparse_dot(ai, ak);
+          const std::size_t i = touching[a].row, k = touching[bnd].row;
+          normal(i, k) += v;
+          if (i != k) normal(k, i) += v;
         }
       }
     }
-    if (best_merit == std::numeric_limits<double>::infinity())
-      fill(best, x_, s_, y_, w_, pres, dres, gap, iter - 1);
-    best.status = SolveStatus::MaxIterations;
-    return best;
-  }
-
- private:
-  /// One full splitting iteration (y, then (S, X), then w) plus the scaled
-  /// residuals/gap of the resulting iterate.
-  void step_once(double alpha, double& pres, double& dres, double& gap) {
-    util::Timer phase_timer;
-    y_update();
-    phase_.schur += phase_timer.seconds();
-    phase_timer.reset();
-    dres = sx_update(alpha);
-    phase_.eig += phase_timer.seconds();
-    phase_timer.reset();
-    dres = std::max(dres, w_update(alpha));
-    pres = primal_residual_inf() / (1.0 + data_norm_);
-    const double pobj = primal_objective(x_, w_);
-    const double dobj = dual_objective(y_);
-    gap = std::fabs(pobj - dobj) / (1.0 + std::fabs(pobj) + std::fabs(dobj));
-    phase_.recover += phase_timer.seconds();
-  }
-
-  /// Row access across the extended index space (real rows, then overlaps).
-  const Row& row_at(std::size_t i) const {
-    return i < m_ ? p_.rows()[i] : *overlap_rows_[i - m_];
-  }
-  double rhs_at(std::size_t i) const { return i < m_ ? p_.rhs(i) : 0.0; }
-
-  /// y-update: M y = (b - A(X) - B w)/rho + A(C - S) + B f over the joint
-  /// (rows, consensus multipliers) space, solved through the two cached
-  /// block-elimination factors — algebraically the full (m+q) normal solve,
-  /// with the dense factor at m x m.
-  void y_update() {
-    if (mext_ == 0) return;
-    Vector rhs(mext_, 0.0);
-    for (std::size_t i = 0; i < mext_; ++i) {
-      const Row& row = row_at(i);
-      double ax = 0.0;
-      for (const auto& [j, a] : row.blocks) ax += a.dot(x_[j]);
-      for (const auto& [v, c] : row.free_coeffs) ax += c * w_[v];
-      rhs[i] = (rhs_at(i) - ax) / rho_ + rhs0_[i];
-      for (const auto& [j, a] : row.blocks) rhs[i] -= a.dot(s_[j]);
+    for (std::size_t i = 0; i < m_; ++i) {
+      for (const auto& [v, ci] : p_.rows()[i].free_coeffs) {
+        for (std::size_t k = i; k < m_; ++k) {
+          const auto it = p_.rows()[k].free_coeffs.find(v);
+          if (it == p_.rows()[k].free_coeffs.end()) continue;
+          normal(i, k) += ci * it->second;
+          if (i != k) normal(k, i) += ci * it->second;
+        }
+      }
     }
     if (q_ == 0) {
-      y_ = chol_m_->solve(rhs);
-      return;
+      if (m_ > 0) chol_m_.emplace(Cholesky::factor_shifted(normal, 1e-12));
+    } else {
+      // Same flop-neutral elimination shape as the IPM's Schur step; here
+      // the normal matrix is iteration-invariant, so it runs once.
+      const Matrix reduced = elim_.reduce(normal, m_, q_, 1e-12);
+      if (m_ > 0) chol_m_.emplace(Cholesky::factor_shifted(reduced, 1e-12));
     }
-    // Two-stage elimination solve — algebraically the joint (m+q) normal
-    // system, through the cached factors.
-    Vector ra(rhs.begin(), rhs.begin() + static_cast<std::ptrdiff_t>(m_));
-    const Vector rb(rhs.begin() + static_cast<std::ptrdiff_t>(m_), rhs.end());
-    const Vector t = elim_.fold_rhs(rb, ra);
-    const Vector yrows = m_ > 0 ? chol_m_->solve(ra) : Vector();
-    const Vector lam = elim_.multipliers(t, yrows);
-    y_ = yrows;
-    y_.insert(y_.end(), lam.begin(), lam.end());
+  }
+  phase_.factor += setup_timer.seconds();
+}
+
+void AdmmEngine::init_state() {
+  // State: primal (X, w), dual (y, S). X stays PSD by construction (it is
+  // rebuilt each iteration as a Gram product of the negative eigenpanel).
+  if (const WarmStart* ws = ctx_.warm_start; ws != nullptr && ws->fits(p_)) {
+    // First-order iterates need no interior margin: restore the raw state.
+    x_ = ws->x;
+    s_ = ws->z;
+    y_ = ws->y;
+    y_.resize(mext_, 0.0);  // consensus multipliers restart at zero
+    w_ = ws->w;
+    for (std::size_t j = 0; j < nblocks_; ++j) {
+      x_[j].symmetrize();
+      s_[j].symmetrize();
+    }
+  } else {
+    // Cold start from fat identity iterates (the SDPT3-style magnitudes
+    // the IPM uses) rather than zero: X = 0 is the most rank-deficient
+    // point of the cone, and an interior start gives every eigendirection
+    // initial mass. (This matters for basin quality, not for the
+    // degenerate-drift lock below, which forms mid-descent regardless of
+    // the start.)
+    double xi = 10.0, eta = 10.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      double arow = 1.0;
+      for (const auto& [j, a] : p_.rows()[i].blocks) arow = std::max(arow, a.frobenius_norm());
+      xi = std::max(xi, (1.0 + std::fabs(p_.rhs(i))) / arow);
+    }
+    eta = std::max(eta, 1.0 + c_norm_);
+    x_.clear();
+    s_.clear();
+    x_.reserve(nblocks_);
+    s_.reserve(nblocks_);
+    for (std::size_t j = 0; j < nblocks_; ++j) {
+      const std::size_t n = p_.block_size(j);
+      Matrix xj = Matrix::identity(n);
+      xj.scale(xi);
+      Matrix sj = Matrix::identity(n);
+      sj.scale(eta);
+      x_.push_back(std::move(xj));
+      s_.push_back(std::move(sj));
+    }
+    y_.assign(mext_, 0.0);
+    w_.assign(nf_, 0.0);
   }
 
-  /// (S, X)-update: one eigendecomposition per block splits
-  /// U_j = C_j - A*_j y - X_j/rho into S_j = U_j^+ and X_j = -rho U_j^-.
-  /// Over-relaxation (alpha in (1, 2)) blends the fresh y-image with the
-  /// previous slack, U_j = alpha (C_j - A*_j y) + (1-alpha) S_j - X_j/rho,
-  /// which keeps X_j PSD by construction and complementary to S_j (up to
-  /// eigensolver roundoff) while
-  /// damping the tail oscillation of the plain splitting. Returns the dual
-  /// residual max_j ||X_new - X_old||_inf / (rho (1 + ||C||)).
-  double sx_update(double alpha) {
+  // Iteration-invariant part of the y-update rhs: A_i(C) + B_i'f.
+  rhs0_.assign(mext_, 0.0);
+  for (std::size_t i = 0; i < mext_; ++i) {
+    const Row& row = row_at(i);
+    for (const auto& [j, a] : row.blocks) rhs0_[i] += a.dot(p_.block_objective(j));
+    for (const auto& [v, c] : row.free_coeffs) rhs0_[i] += c * p_.free_objective()[v];
+  }
+}
+
+Vector AdmmEngine::solve_y(const std::vector<Matrix>& x, const std::vector<Matrix>& s,
+                           const Vector& w, double rho) const {
+  if (mext_ == 0) return Vector();
+  Vector rhs(mext_, 0.0);
+  for (std::size_t i = 0; i < mext_; ++i) {
+    const Row& row = row_at(i);
+    double ax = 0.0;
+    for (const auto& [j, a] : row.blocks) ax += a.dot(x[j]);
+    for (const auto& [v, c] : row.free_coeffs) ax += c * w[v];
+    rhs[i] = (rhs_at(i) - ax) / rho + rhs0_[i];
+    for (const auto& [j, a] : row.blocks) rhs[i] -= a.dot(s[j]);
+  }
+  if (q_ == 0) return chol_m_->solve(rhs);
+  // Two-stage elimination solve — algebraically the joint (m+q) normal
+  // system, through the cached factors.
+  Vector ra(rhs.begin(), rhs.begin() + static_cast<std::ptrdiff_t>(m_));
+  const Vector rb(rhs.begin() + static_cast<std::ptrdiff_t>(m_), rhs.end());
+  const Vector t = elim_.fold_rhs(rb, ra);
+  const Vector yrows = m_ > 0 ? chol_m_->solve(ra) : Vector();
+  const Vector lam = elim_.multipliers(t, yrows);
+  Vector y = yrows;
+  y.insert(y.end(), lam.begin(), lam.end());
+  return y;
+}
+
+double AdmmEngine::project_block(std::size_t j, const Vector& y, double rho, Matrix& x_j,
+                                 Matrix& s_j) const {
+  // U_j = alpha (C_j - A*_j y) + (1-alpha) S_j - X_j/rho; the eigensplit
+  // gives S_j = U_j^+ and X_j = -rho U_j^-, PSD by construction and
+  // complementary up to eigensolver roundoff, with over-relaxation damping
+  // the tail oscillation of the plain splitting.
+  Matrix u = p_.block_objective(j);
+  for (const BlockRowView& v : views_[j]) v.coeff->add_to(u, -y[v.row]);
+  if (alpha_ != 1.0) {
+    u.scale(alpha_);
+    u.axpy(1.0 - alpha_, s_j);
+  }
+  u.axpy(-1.0 / rho, x_j);
+  u.symmetrize();
+  Matrix splus, xnew;
+  admm_split_psd(u, rho, opt_.use_jacobi_eig, splus, xnew);
+  Matrix diff = xnew;
+  diff -= x_j;
+  const double dres = linalg::norm_inf(diff) / (rho * (1.0 + c_norm_));
+  s_j = std::move(splus);
+  x_j = std::move(xnew);
+  return dres;
+}
+
+double AdmmEngine::update_w(const Vector& y, Vector& w, double rho) const {
+  if (nf_ == 0) return 0.0;
+  double dres = 0.0;
+  Vector bty(nf_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (y[i] == 0.0) continue;
+    for (const auto& [v, c] : p_.rows()[i].free_coeffs) bty[v] += c * y[i];
+  }
+  for (std::size_t v = 0; v < nf_; ++v) {
+    const double viol = bty[v] - p_.free_objective()[v];
+    w[v] += alpha_ * rho * viol;
+    dres = std::max(dres, std::fabs(viol) / (1.0 + c_norm_));
+  }
+  return dres;
+}
+
+double AdmmEngine::primal_residual_inf(const std::vector<Matrix>& x, const Vector& w) const {
+  // Overlap couplings count as primal feasibility: the iterate is only
+  // feasible when the clique copies agree on their separators.
+  double pres = 0.0;
+  for (std::size_t i = 0; i < mext_; ++i) {
+    const Row& row = row_at(i);
+    double ax = 0.0;
+    for (const auto& [j, a] : row.blocks) ax += a.dot(x[j]);
+    for (const auto& [v, c] : row.free_coeffs) ax += c * w[v];
+    pres = std::max(pres, std::fabs(rhs_at(i) - ax));
+  }
+  return pres;
+}
+
+double AdmmEngine::overlap_residual_inf(const std::vector<Matrix>& x) const {
+  double res = 0.0;
+  for (std::size_t i = m_; i < mext_; ++i) {
+    const Row& row = row_at(i);
+    double ax = 0.0;
+    for (const auto& [j, a] : row.blocks) ax += a.dot(x[j]);
+    res = std::max(res, std::fabs(ax));
+  }
+  return res;
+}
+
+double AdmmEngine::sparse_dot(const SparseSym& a, const SparseSym& b) {
+  // <A, B> for two upper-triplet symmetric matrices: off-diagonal pairs
+  // count twice. Both triplet lists are tiny (SOS rows touch few entries).
+  double acc = 0.0;
+  for (const Triplet& ta : a.entries) {
+    for (const Triplet& tb : b.entries) {
+      if (ta.r == tb.r && ta.c == tb.c) acc += ta.v * tb.v * (ta.r == ta.c ? 1.0 : 2.0);
+    }
+  }
+  return acc;
+}
+
+double AdmmEngine::primal_objective(const std::vector<Matrix>& x, const Vector& w) const {
+  double obj = linalg::dot(p_.free_objective(), w);
+  for (std::size_t j = 0; j < nblocks_; ++j) obj += linalg::dot(p_.block_objective(j), x[j]);
+  return obj;
+}
+
+double AdmmEngine::dual_objective(const Vector& y) const {
+  double obj = 0.0;
+  for (std::size_t i = 0; i < m_; ++i) obj += p_.rhs(i) * y[i];
+  return obj;
+}
+
+void AdmmEngine::fill(Solution& out, const std::vector<Matrix>& x,
+                      const std::vector<Matrix>& s, const Vector& y, const Vector& w,
+                      double pres, double dres, double gap, int iter) const {
+  out.x = x;
+  out.z = s;
+  // Consensus multipliers are internal state: only row multipliers leave.
+  out.y.assign(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(m_));
+  out.w = w;
+  out.primal_objective = primal_objective(x, w);
+  out.dual_objective = dual_objective(y);
+  double mu = 0.0;
+  for (std::size_t j = 0; j < nblocks_; ++j) mu += linalg::dot(x[j], s[j]);
+  out.mu = total_dim_ > 0 ? mu / static_cast<double>(total_dim_) : 0.0;
+  out.primal_residual = pres;
+  out.dual_residual = dres;
+  out.gap = gap;
+  out.iterations = iter;
+}
+
+AdmmEngine::ControlAction AdmmEngine::control_step(int iter, double pres, double dres,
+                                                   double gap, const std::vector<Matrix>& x,
+                                                   const std::vector<Matrix>& s,
+                                                   const Vector& y, const Vector& w,
+                                                   Solution& best, double& best_merit,
+                                                   int& stagnant) {
+  constexpr int kStagnationWindow = 1000;
+
+  IterationInfo info;
+  info.iteration = iter;
+  info.primal_residual = pres;
+  info.dual_residual = dres;
+  info.gap = gap;
+  ctx_.notify(info);
+
+  if (opt_.verbose && iter % 100 == 0) {
+    std::fprintf(stderr, "  admm %5d  rho=%8.2e  rp=%9.2e  rd=%9.2e  gap=%9.2e\n", iter,
+                 rho_, pres, dres, gap);
+  }
+
+  // Best-iterate tracking: first-order iterates oscillate, and on degenerate
+  // objectives the merit can plateau far from tolerance — in both cases the
+  // caller gets the best iterate seen, and a long plateau stops early
+  // instead of burning the remaining budget.
+  const double merit = pres + dres + gap;
+  if (merit < 0.99 * best_merit) {
+    stagnant = 0;
+  } else {
+    ++stagnant;
+  }
+  if (merit < best_merit) {
+    best_merit = merit;
+    fill(best, x, s, y, w, pres, dres, gap, iter);
+  }
+
+  if (pres < opt_.tolerance && dres < opt_.tolerance && gap < opt_.tolerance) {
+    return ControlAction::Converged;
+  }
+  if (ctx_.interrupted()) {
+    if (best_merit == std::numeric_limits<double>::infinity())
+      fill(best, x, s, y, w, pres, dres, gap, iter);
+    return ControlAction::Interrupted;
+  }
+
+  // --- degenerate-drift classification. On non-strictly-complementary
+  // optima (the maximize_region Lyapunov objective is the canonical in-tree
+  // case) the projection splitting locks its eigenspace split: dres
+  // collapses to machine noise while pres freezes and b'y crawls along a
+  // nearly flat dual direction at a constant per-iteration delta. No penalty
+  // schedule moves that floor (rho scans, restarts, over-relaxation and
+  // exact inner ALM solves were all tried) — the honest move is to classify
+  // early and hand the caller the best iterate plus its warm-start state,
+  // instead of burning the remaining budget "stalled". The "auto" policy
+  // backend then recovers by re-solving on the second-order backend from
+  // this very iterate.
+  const bool drift_locked =
+      stagnant > 300 && dres < 1e-3 * pres && pres > 10.0 * opt_.tolerance;
+  if (drift_locked || stagnant > kStagnationWindow) {
+    if (drift_locked) {
+      util::log_debug("admm: degenerate-drift lock classified at iter ", iter, " (rp=", pres,
+                      ", rd=", dres, "); returning best iterate");
+    }
+    return ControlAction::ReturnBest;
+  }
+
+  // --- residual balancing (Boyd et al. sec. 3.4.1 mapped to the dual
+  // splitting: dres is the penalized constraint, pres the multiplier), made
+  // proportional — rescale by sqrt(ratio) toward balance, clamped to one
+  // rho_scale step per update. The PR 1 stall came from the unguarded branch
+  // below: when dres collapses to machine noise the ratio says nothing about
+  // rho (the degenerate-drift regime handled above), yet the old rule kept
+  // halving rho until the multiplier steps were too small to ever move pres
+  // again. Guard: leave rho alone once dres is noise-level.
+  if (opt_.adaptive_rho && iter > 0 && iter % rho_interval_ == 0 && dres > 1e-10 &&
+      pres > 0.0) {
+    const double ratio = dres / pres;
+    if (ratio > opt_.residual_balance || ratio < 1.0 / opt_.residual_balance) {
+      const double factor = std::clamp(std::sqrt(ratio), 1.0 / opt_.rho_scale, opt_.rho_scale);
+      rho_ = std::clamp(rho_ * factor, 1e-6, 1e6);
+    }
+  }
+  return ControlAction::Continue;
+}
+
+Solution AdmmEngine::run() {
+  rho_ = std::max(opt_.rho, 1e-8);
+  rho_interval_ = std::max(opt_.rho_update_interval, 1);
+  alpha_ = std::clamp(opt_.over_relaxation, 1.0, 1.95);
+  setup_normal();
+  init_state();
+
+  Solution sol;
+  bool ran_async = false;
+  if (opt_.async) {
+    const SubtreePartition partition =
+        resolve_partition(opt_.workers == 0 ? util::ThreadPool::hardware_threads()
+                                            : opt_.workers);
+    std::vector<bool> used(partition.workers, false);
+    for (std::size_t j = 0; j < nblocks_; ++j) {
+      if (p_.block_size(j) > 0) used[partition.block_worker[j]] = true;
+    }
+    std::size_t live = 0;
+    for (const bool u : used) live += u ? 1 : 0;
+    if (live >= 2) {
+      sol = run_async(partition);
+      ran_async = true;
+    }
+  }
+  if (!ran_async) sol = run_sync();
+
+  sol.phase = phase_;
+  // Dimension of the dense cached normal factor: overlap couplings are
+  // block-eliminated, so it is the row count with or without cones.
+  sol.schur_rows = m_;
+  return sol;
+}
+
+SubtreePartition AdmmEngine::resolve_partition(std::size_t workers) const {
+  if (structure_ != nullptr && structure_->partition_workers == workers &&
+      structure_->block_worker.size() == nblocks_) {
+    SubtreePartition part;
+    part.workers = structure_->partition_workers;
+    part.block_worker = structure_->block_worker;
+    part.detail = "cached on structure";
+    return part;
+  }
+  return partition_subtrees(p_, workers);
+}
+
+Solution AdmmEngine::run_sync() {
+  Solution out;
+  double pres = 1.0, dres = 1.0, gap = 1.0;
+  Solution best;
+  double best_merit = std::numeric_limits<double>::infinity();
+  int stagnant = 0;
+  linalg::Vector dres_per_block(nblocks_, 0.0);
+  int iter = 0;
+  for (; iter < opt_.max_iterations; ++iter) {
+    util::Timer phase_timer;
+    y_ = solve_y(x_, s_, w_, rho_);
+    phase_.schur += phase_timer.seconds();
+    phase_timer.reset();
     // Blocks are independent given y (read-only here): one eigendecomposition
     // per block, fanned out on the pool. Each task writes only its own
     // x_[j] / s_[j] slot and dres slot, and the final max-reduction is
     // order-independent, so results are identical across thread counts.
-    linalg::Vector dres_per_block(nblocks_, 0.0);
     pool_.run_all(nblocks_, [&](std::size_t j) {
-      Matrix u = p_.block_objective(j);
-      for (const BlockRowView& v : views_[j]) v.coeff->add_to(u, -y_[v.row]);
-      if (alpha != 1.0) {
-        u.scale(alpha);
-        u.axpy(1.0 - alpha, s_[j]);
-      }
-      u.axpy(-1.0 / rho_, x_[j]);
-      u.symmetrize();
-      Matrix splus, xnew;
-      split_psd(u, splus, xnew);
-      Matrix diff = xnew;
-      diff -= x_[j];
-      dres_per_block[j] = linalg::norm_inf(diff) / (rho_ * (1.0 + c_norm_));
-      s_[j] = std::move(splus);
-      x_[j] = std::move(xnew);
+      dres_per_block[j] = project_block(j, y_, rho_, x_[j], s_[j]);
     });
-    double dres = 0.0;
+    dres = 0.0;
     for (double d : dres_per_block) dres = std::max(dres, d);
-    return dres;
-  }
+    phase_.eig += phase_timer.seconds();
+    phase_timer.reset();
+    dres = std::max(dres, update_w(y_, w_, rho_));
+    pres = primal_residual_inf(x_, w_) / (1.0 + data_norm_);
+    const double pobj = primal_objective(x_, w_);
+    const double dobj = dual_objective(y_);
+    gap = std::fabs(pobj - dobj) / (1.0 + std::fabs(pobj) + std::fabs(dobj));
+    phase_.recover += phase_timer.seconds();
 
-  /// Eigensplit of U into S = U^+ and X = -rho U^- (both PSD, complementary
-  /// up to eigensolver roundoff). The negative side — the side that becomes
-  /// the primal X — is reconstructed as a GEMM on the scaled eigenvector
-  /// panel, U^- = (Q sqrt(-lambda))(Q sqrt(-lambda))^T, so X keeps its
-  /// Gram/certificate shape by construction; the slack side falls out of
-  /// U^+ = U + U^-. One panel GEMM instead of accumulating both sides
-  /// rank-1 by rank-1 (and in this dual splitting X ends low-rank, so the
-  /// reconstructed side is almost always the small one), with the O(n^3)
-  /// work riding on the blocked kernel.
-  void split_psd(const Matrix& u, Matrix& splus_out, Matrix& xnew_out) const {
-    const std::size_t n = u.rows();
-    const linalg::EigenSym eig =
-        opt_.use_jacobi_eig ? linalg::eigen_sym_jacobi(u) : linalg::eigen_sym(u);
-    std::size_t nneg = 0;  // values ascending: negatives first
-    while (nneg < n && eig.values[nneg] < 0.0) ++nneg;
-    Matrix panel(n, nneg);
-    for (std::size_t c = 0; c < nneg; ++c) {
-      const double scale = std::sqrt(-eig.values[c]);
-      for (std::size_t r = 0; r < n; ++r) panel(r, c) = eig.vectors(r, c) * scale;
+    const ControlAction action =
+        control_step(iter, pres, dres, gap, x_, s_, y_, w_, best, best_merit, stagnant);
+    if (action == ControlAction::Converged) {
+      fill(out, x_, s_, y_, w_, pres, dres, gap, iter);
+      out.status = SolveStatus::Optimal;
+      return out;
     }
-    Matrix neg = linalg::times_transposed(panel, panel);  // U^-
-    Matrix pos = neg;                                     // U^+ = U + U^-
-    pos += u;
-    neg.scale(rho_);
-    splus_out = std::move(pos);
-    xnew_out = std::move(neg);
-  }
-
-  /// w-update (multiplier ascent on B'y = f, over-relaxed step). Returns the
-  /// free-variable dual residual.
-  double w_update(double alpha) {
-    if (nf_ == 0) return 0.0;
-    double dres = 0.0;
-    Vector bty(nf_, 0.0);
-    for (std::size_t i = 0; i < m_; ++i) {
-      if (y_[i] == 0.0) continue;
-      for (const auto& [v, c] : p_.rows()[i].free_coeffs) bty[v] += c * y_[i];
+    if (action == ControlAction::Interrupted) {
+      best.status = SolveStatus::Interrupted;
+      return best;
     }
-    for (std::size_t v = 0; v < nf_; ++v) {
-      const double viol = bty[v] - p_.free_objective()[v];
-      w_[v] += alpha * rho_ * viol;
-      dres = std::max(dres, std::fabs(viol) / (1.0 + c_norm_));
+    if (action == ControlAction::ReturnBest) {
+      best.status = SolveStatus::MaxIterations;
+      return best;
     }
-    return dres;
   }
-
-  double primal_residual_inf() const {
-    // Overlap couplings count as primal feasibility: the iterate is only
-    // feasible when the clique copies agree on their separators.
-    double pres = 0.0;
-    for (std::size_t i = 0; i < mext_; ++i) {
-      const Row& row = row_at(i);
-      double ax = 0.0;
-      for (const auto& [j, a] : row.blocks) ax += a.dot(x_[j]);
-      for (const auto& [v, c] : row.free_coeffs) ax += c * w_[v];
-      pres = std::max(pres, std::fabs(rhs_at(i) - ax));
-    }
-    return pres;
-  }
-
-  static double sparse_dot(const SparseSym& a, const SparseSym& b) {
-    // <A, B> for two upper-triplet symmetric matrices: off-diagonal pairs
-    // count twice. Both triplet lists are tiny (SOS rows touch few entries).
-    double acc = 0.0;
-    for (const Triplet& ta : a.entries) {
-      for (const Triplet& tb : b.entries) {
-        if (ta.r == tb.r && ta.c == tb.c)
-          acc += ta.v * tb.v * (ta.r == ta.c ? 1.0 : 2.0);
-      }
-    }
-    return acc;
-  }
-
-  double primal_objective(const std::vector<Matrix>& x, const Vector& w) const {
-    double obj = linalg::dot(p_.free_objective(), w);
-    for (std::size_t j = 0; j < nblocks_; ++j) obj += linalg::dot(p_.block_objective(j), x[j]);
-    return obj;
-  }
-
-  double dual_objective(const Vector& y) const {
-    double obj = 0.0;
-    for (std::size_t i = 0; i < m_; ++i) obj += p_.rhs(i) * y[i];
-    return obj;
-  }
-
-  void fill(Solution& out, const std::vector<Matrix>& x, const std::vector<Matrix>& s,
-            const Vector& y, const Vector& w, double pres, double dres, double gap,
-            int iter) const {
-    out.x = x;
-    out.z = s;
-    // Consensus multipliers are internal state: only row multipliers leave.
-    out.y.assign(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(m_));
-    out.w = w;
-    out.primal_objective = primal_objective(x, w);
-    out.dual_objective = dual_objective(y);
-    double mu = 0.0;
-    for (std::size_t j = 0; j < nblocks_; ++j) mu += linalg::dot(x[j], s[j]);
-    out.mu = total_dim_ > 0 ? mu / static_cast<double>(total_dim_) : 0.0;
-    out.primal_residual = pres;
-    out.dual_residual = dres;
-    out.gap = gap;
-    out.iterations = iter;
-  }
-
-  const Problem& p_;
-  const AdmmOptions& opt_;
-  SolveContext& ctx_;
-  std::shared_ptr<const ProblemStructure> structure_;
-  util::ThreadPool pool_;
-  PhaseTimes phase_;
-  std::vector<std::vector<BlockRowView>> views_;
-  std::vector<const Row*> overlap_rows_;  // native-cone couplings, rows [m, m+q)
-  std::optional<Cholesky> chol_m_;  // reduced Nyy - W^T W (m x m)
-  OverlapElimination elim_;         // overlap-corner factors (q > 0 only)
-  std::vector<Matrix> x_, s_;
-  Vector y_, w_, rhs0_;
-  std::size_t m_ = 0, q_ = 0, mext_ = 0, nf_ = 0, nblocks_ = 0, total_dim_ = 0;
-  double data_norm_ = 1.0, c_norm_ = 1.0;
-  double rho_ = 1.0;
-};
-
-}  // namespace
+  if (best_merit == std::numeric_limits<double>::infinity())
+    fill(best, x_, s_, y_, w_, pres, dres, gap, iter - 1);
+  best.status = SolveStatus::MaxIterations;
+  return best;
+}
 
 Solution AdmmSolver::solve(const Problem& problem, SolveContext& context) const {
   // Row equilibration is the caller's job (SosProgram::solve applies it to
   // every compiled program); see IpmSolver::solve for the warm-start rationale.
   const util::Timer timer;
-  Admm admm(problem, options_, context, StructureCache::global().get(problem));
-  Solution sol = admm.run();
+  AdmmEngine engine(problem, options_, context, StructureCache::global().get(problem));
+  Solution sol = engine.run();
   sol.backend = name();
   sol.solve_seconds = timer.seconds();
   util::log_debug("admm: ", to_string(sol.status), " after ", sol.iterations,

@@ -1,0 +1,349 @@
+// Asynchronous clique-parallel driver of the first-order ADMM backend.
+//
+// Worker model: the subtree partition assigns every PSD block to one of W
+// resident workers (util::ResidentPool — spawned once per solve, not per
+// iteration). Each worker loops on its own clock: snapshot the consensus
+// board (y, rho, version), run the eigensplit projection of its owned blocks
+// against its private previous copies, publish the results into its mailbox,
+// bump its round. There is no fork-join barrier; the only synchronization is
+// the bounded-staleness window.
+//
+// Consensus thread (the calling thread): iteration t computes y_t from the
+// newest mailbox snapshots and w_{t-1} (the same cached m x m normal solve
+// as the synchronous loop), publishes (y_t, rho_t, version = t) to the
+// board, steps the free-variable multipliers, then waits until every worker
+// has finished round t - max_staleness before gathering the snapshots and
+// evaluating residuals/gap and the shared iteration control law.
+//
+// Staleness bound S = AdmmOptions::max_staleness: a worker may start round r
+// once version >= r - S (so it can run up to S rounds ahead of the slowest
+// consensus evaluation, overlapping its eigensplits with the serial normal
+// solve), and the consensus evaluates iteration t from rounds >= t - S. At
+// S = 0 the schedule is lockstep — every projection of round t sees exactly
+// (y_t, rho_t) and the consensus evaluates exactly round-t state, which
+// reproduces the synchronous loop bit-identically at any worker count. At
+// S > 0 the evaluated iterate can mix rounds, but it is still a genuine
+// primal-dual iterate whose pres/gap are computed exactly — the tolerance
+// check is honest, only the path to it differs (the audited-verdict parity
+// tests gate this).
+//
+// All shared state is Mutex-guarded and SOSLOCK_GUARDED_BY-annotated; the
+// clang -Wthread-safety -Werror job and the TSan stress test are the
+// enforcement mechanism.
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "sdp/admm_engine.hpp"
+#include "util/log.hpp"
+#include "util/thread_annotations.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace soslock::sdp {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Worker -> consensus: the freshest projected copies of the worker's owned
+/// blocks (parallel arrays over its block list) plus the round that produced
+/// them and the largest y-version lag the worker has observed.
+struct WorkerMailbox {
+  util::Mutex mutex;
+  std::vector<Matrix> x SOSLOCK_GUARDED_BY(mutex);
+  std::vector<Matrix> s SOSLOCK_GUARDED_BY(mutex);
+  std::vector<double> dres SOSLOCK_GUARDED_BY(mutex);
+  int round SOSLOCK_GUARDED_BY(mutex) = -1;
+  int staleness_seen SOSLOCK_GUARDED_BY(mutex) = 0;
+};
+
+/// Consensus -> workers: the separator exchange. Workers read (y, rho) at
+/// whatever version the board holds, within the staleness window.
+struct ConsensusBoard {
+  util::Mutex mutex;
+  std::condition_variable_any cv;
+  Vector y SOSLOCK_GUARDED_BY(mutex);
+  double rho SOSLOCK_GUARDED_BY(mutex) = 1.0;
+  int version SOSLOCK_GUARDED_BY(mutex) = -1;
+  bool stop SOSLOCK_GUARDED_BY(mutex) = false;
+};
+
+/// Workers -> consensus: per-worker last completed round, so the consensus
+/// can wait for the staleness window without touching the mailboxes.
+struct ProgressBoard {
+  util::Mutex mutex;
+  std::condition_variable_any cv;
+  std::vector<int> round SOSLOCK_GUARDED_BY(mutex);
+  bool failed SOSLOCK_GUARDED_BY(mutex) = false;
+};
+
+}  // namespace
+
+Solution AdmmEngine::run_async(const SubtreePartition& partition) {
+  const int max_stale = std::max(opt_.max_staleness, 0);
+
+  // Compress the partition to live workers (a worker with only empty blocks
+  // would spin without work); owned[w] lists block indices ascending.
+  std::vector<std::vector<std::size_t>> owned;
+  {
+    std::vector<std::vector<std::size_t>> by_id(partition.workers);
+    for (std::size_t j = 0; j < nblocks_; ++j) {
+      if (p_.block_size(j) > 0) by_id[partition.block_worker[j]].push_back(j);
+    }
+    for (auto& blocks : by_id) {
+      if (!blocks.empty()) owned.push_back(std::move(blocks));
+    }
+  }
+  const std::size_t num_workers = owned.size();
+
+  ConsensusBoard board;
+  ProgressBoard progress;
+  std::vector<WorkerMailbox> mailboxes(num_workers);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    const util::MutexLock lock(mailboxes[w].mutex);
+    mailboxes[w].x.reserve(owned[w].size());
+    mailboxes[w].s.reserve(owned[w].size());
+    for (const std::size_t j : owned[w]) {
+      mailboxes[w].x.push_back(x_[j]);
+      mailboxes[w].s.push_back(s_[j]);
+    }
+    mailboxes[w].dres.assign(owned[w].size(), 0.0);
+  }
+  {
+    const util::MutexLock lock(progress.mutex);
+    progress.round.assign(num_workers, -1);
+  }
+  std::vector<double> eig_seconds(num_workers, 0.0);
+
+  // The consensus's view of the projected blocks: x_/s_ double as the
+  // snapshot buffers (they hold the initial state now, and round-t mailbox
+  // copies after each gather — the same role they play in the sync loop).
+  Vector dres_block(nblocks_, 0.0);
+
+  auto worker_body = [&](std::size_t w) {
+    WorkerMailbox& mb = mailboxes[w];
+    const std::vector<std::size_t>& blocks = owned[w];
+    // Private previous-round copies: the projection recurrence is local to
+    // the worker, only the results cross the mailbox.
+    std::vector<Matrix> lx, ls;
+    lx.reserve(blocks.size());
+    ls.reserve(blocks.size());
+    {
+      const util::MutexLock lock(mb.mutex);
+      lx = mb.x;
+      ls = mb.s;
+    }
+    std::vector<double> ldres(blocks.size(), 0.0);
+    Vector ysnap;
+    double rho_snap = 1.0;
+    double eig_acc = 0.0;
+    int last_used = -1;
+    try {
+      for (int r = 0;; ++r) {
+        // Wait for a published y that is (a) no older than r - S (version -1
+        // means nothing is published yet, so round 0 always blocks on y_0
+        // even under a nonzero staleness bound) and (b) strictly newer than
+        // the one round r - 1 consumed. (b) is what keeps the schedule a
+        // delayed ADMM rather than a divergent one: re-projecting against
+        // the same y amplifies under over-relaxation (the (1 - alpha) slack
+        // term has negative weight), and it is also exactly the lockstep
+        // discipline, so S = 0 semantics are unchanged.
+        const int oldest_usable = std::max(0, r - max_stale);
+        int used_version = 0;
+        {
+          util::CondLock lock(board.mutex);
+          while (!board.stop &&
+                 (board.version < oldest_usable || board.version == last_used))
+            lock.wait(board.cv);
+          if (board.stop) break;
+          ysnap = board.y;
+          rho_snap = board.rho;
+          used_version = board.version;
+        }
+        last_used = used_version;
+        const util::Timer timer;
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+          ldres[i] = project_block(blocks[i], ysnap, rho_snap, lx[i], ls[i]);
+        }
+        eig_acc += timer.seconds();
+        {
+          const util::MutexLock lock(mb.mutex);
+          for (std::size_t i = 0; i < blocks.size(); ++i) {
+            mb.x[i] = lx[i];
+            mb.s[i] = ls[i];
+            mb.dres[i] = ldres[i];
+          }
+          mb.round = r;
+          mb.staleness_seen = std::max(mb.staleness_seen, std::max(0, r - used_version));
+        }
+        {
+          const util::MutexLock lock(progress.mutex);
+          progress.round[w] = r;
+        }
+        progress.cv.notify_all();
+      }
+    } catch (...) {
+      {
+        const util::MutexLock lock(progress.mutex);
+        progress.failed = true;
+      }
+      progress.cv.notify_all();
+      throw;  // captured by the pool, rethrown by join() below
+    }
+    eig_seconds[w] = eig_acc;  // written once pre-join, read post-join
+  };
+
+  util::ResidentPool pool(num_workers);
+  pool.start(worker_body);
+
+  const auto request_stop = [&board] {
+    {
+      const util::MutexLock lock(board.mutex);
+      board.stop = true;
+    }
+    board.cv.notify_all();
+  };
+
+  Solution result;
+  Solution best;
+  double best_merit = std::numeric_limits<double>::infinity();
+  int stagnant = 0;
+  double pres = 1.0, dres = 1.0, gap = 1.0;
+  long rounds_published = 0;
+  int consensus_lag = 0;
+  int last_gathered = -1;
+  bool have_result = false;
+  bool worker_failed = false;
+  int iter = 0;
+  try {
+    for (; iter < opt_.max_iterations; ++iter) {
+      util::Timer phase_timer;
+      y_ = solve_y(x_, s_, w_, rho_);
+      phase_.schur += phase_timer.seconds();
+      {
+        const util::MutexLock lock(board.mutex);
+        board.y = y_;
+        board.rho = rho_;
+        board.version = iter;
+      }
+      board.cv.notify_all();
+      ++rounds_published;
+
+      phase_timer.reset();
+      dres = update_w(y_, w_, rho_);
+
+      // Bounded-staleness window: evaluate iteration `iter` once every
+      // worker has cleared round iter - S (at S = 0 this is exactly the
+      // round the y just published feeds — the lockstep schedule) AND at
+      // least one projection round is new since the last evaluation. The
+      // second clause mirrors the workers' consume-each-y-once rule:
+      // without it the consensus can iterate the y/w ascent repeatedly
+      // against a frozen mailbox state, which is an open-loop multiplier
+      // update and diverges the same way re-projecting a fixed y does.
+      const int target = std::max(iter - max_stale, last_gathered + 1);
+      {
+        util::CondLock lock(progress.mutex);
+        for (;;) {
+          if (progress.failed) {
+            worker_failed = true;
+            break;
+          }
+          int min_round = opt_.max_iterations;
+          for (const int r : progress.round) min_round = std::min(min_round, r);
+          if (min_round >= target) {
+            last_gathered = min_round;
+            break;
+          }
+          lock.wait(progress.cv);
+        }
+      }
+      if (worker_failed) break;
+
+      for (std::size_t w = 0; w < num_workers; ++w) {
+        WorkerMailbox& mb = mailboxes[w];
+        const util::MutexLock lock(mb.mutex);
+        for (std::size_t i = 0; i < owned[w].size(); ++i) {
+          const std::size_t j = owned[w][i];
+          x_[j] = mb.x[i];
+          s_[j] = mb.s[i];
+          dres_block[j] = mb.dres[i];
+        }
+        // Consensus-side lag: this evaluation of iteration `iter` is reading
+        // a round that may trail it by up to S (the dual of a worker
+        // projecting with an old y — whichever side is faster, the lag shows
+        // up on exactly one of the two counters).
+        consensus_lag = std::max(consensus_lag, iter - mb.round);
+      }
+      for (const double d : dres_block) dres = std::max(dres, d);
+      pres = primal_residual_inf(x_, w_) / (1.0 + data_norm_);
+      const double pobj = primal_objective(x_, w_);
+      const double dobj = dual_objective(y_);
+      gap = std::fabs(pobj - dobj) / (1.0 + std::fabs(pobj) + std::fabs(dobj));
+      phase_.recover += phase_timer.seconds();
+
+      const ControlAction action =
+          control_step(iter, pres, dres, gap, x_, s_, y_, w_, best, best_merit, stagnant);
+      if (action == ControlAction::Continue) continue;
+      if (action == ControlAction::Converged) {
+        fill(result, x_, s_, y_, w_, pres, dres, gap, iter);
+        result.status = SolveStatus::Optimal;
+      } else {
+        result = std::move(best);
+        result.status = action == ControlAction::Interrupted ? SolveStatus::Interrupted
+                                                             : SolveStatus::MaxIterations;
+      }
+      have_result = true;
+      break;
+    }
+  } catch (...) {
+    // Consensus-side failure: release the workers before propagating, and
+    // never let a secondary worker error mask the original one.
+    request_stop();
+    try {
+      pool.join();
+    } catch (...) {
+    }
+    throw;
+  }
+
+  request_stop();
+  pool.join();  // rethrows the first worker exception (the failed-path exit)
+
+  if (!have_result) {
+    if (best_merit == std::numeric_limits<double>::infinity())
+      fill(best, x_, s_, y_, w_, pres, dres, gap, iter - 1);
+    result = std::move(best);
+    result.status = SolveStatus::MaxIterations;
+  }
+
+  // Telemetry: per-worker rounds, observed staleness, consensus activity.
+  // The workers have quiesced (join above), so the mailbox locks are
+  // uncontended — still taken, for the annotation contract.
+  result.worker_iterations.assign(num_workers, 0);
+  {
+    const util::MutexLock lock(progress.mutex);
+    for (std::size_t w = 0; w < num_workers; ++w)
+      result.worker_iterations[w] = progress.round[w] + 1;
+  }
+  int staleness = consensus_lag;
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    const util::MutexLock lock(mailboxes[w].mutex);
+    staleness = std::max(staleness, mailboxes[w].staleness_seen);
+  }
+  result.max_staleness_seen = staleness;
+  result.consensus_rounds = rounds_published;
+  if (result.x.size() == nblocks_) {
+    result.consensus_residual = overlap_residual_inf(result.x);
+  }
+  for (const double sec : eig_seconds) phase_.eig += sec;
+  util::log_debug("admm-async: ", num_workers, " worker(s), staleness<=", max_stale,
+                  ", observed ", staleness, ", ", rounds_published, " consensus round(s)");
+  return result;
+}
+
+}  // namespace soslock::sdp

@@ -1,0 +1,144 @@
+#pragma once
+// Internal engine of the first-order ADMM backend, shared by its two
+// drivers:
+//
+//   * the synchronous loop (admm.cpp): one fork-join projection fan-out per
+//     iteration — the bit-exact reference semantics;
+//   * the asynchronous clique-parallel driver (admm_async.cpp): one resident
+//     worker per clique-tree subtree runs the PSD projections on its own
+//     clock, exchanging separator state with the consensus thread through
+//     bounded-staleness mailboxes instead of a per-iteration barrier.
+//
+// Everything arithmetic lives here exactly once — normal-matrix setup, the
+// y-update solve, the per-block eigensplit projection, the w-update, the
+// residual/gap evaluation, and the iteration control law (best-iterate
+// tracking, stagnation/degenerate-drift classification, residual-balanced
+// adaptive rho). The async driver at max_staleness = 0 replays the same
+// sequence of calls on the same snapshots, which is what makes it
+// bit-identical to the synchronous loop at any worker count.
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "sdp/elimination.hpp"
+#include "sdp/options.hpp"
+#include "sdp/partition.hpp"
+#include "sdp/problem.hpp"
+#include "sdp/solver.hpp"
+#include "sdp/structure.hpp"
+#include "util/thread_pool.hpp"
+
+namespace soslock::sdp {
+
+/// Eigensplit of U into S = U^+ and X = -rho U^- (both PSD, complementary up
+/// to eigensolver roundoff). The negative side — the side that becomes the
+/// primal X — is reconstructed as a GEMM on the scaled eigenvector panel,
+/// U^- = (Q sqrt(-lambda))(Q sqrt(-lambda))^T, so X keeps its
+/// Gram/certificate shape by construction; the slack side falls out of
+/// U^+ = U + U^-. One free function shared by the synchronous projection
+/// fan-out and the async per-clique worker path, so the use_jacobi
+/// eigensolver switch routes through exactly one implementation.
+void admm_split_psd(const linalg::Matrix& u, double rho, bool use_jacobi,
+                    linalg::Matrix& splus_out, linalg::Matrix& xnew_out);
+
+class AdmmEngine {
+ public:
+  AdmmEngine(const Problem& p, const AdmmOptions& opt, SolveContext& ctx,
+             std::shared_ptr<const ProblemStructure> structure);
+
+  /// Setup (normal factor, initial state), then dispatch on
+  /// AdmmOptions::async — the async driver needs at least two non-empty
+  /// worker subtrees to beat the synchronous loop, and falls back to it
+  /// otherwise.
+  Solution run();
+
+ private:
+  // --- shared setup -------------------------------------------------------
+  /// Factor the iteration-invariant normal matrix M = A A* + B B' (with the
+  /// overlap corner block-eliminated so the dense factor stays m x m).
+  void setup_normal();
+  /// Warm or cold initial (x_, s_, y_, w_) plus the invariant rhs0_.
+  void init_state();
+
+  // --- shared per-iteration building blocks -------------------------------
+  /// y-update: M y = (b - A(X) - B w)/rho + A(C - S) + B f over the joint
+  /// (rows, consensus multipliers) space, through the cached factors.
+  linalg::Vector solve_y(const std::vector<linalg::Matrix>& x,
+                         const std::vector<linalg::Matrix>& s,
+                         const linalg::Vector& w, double rho) const;
+  /// (S, X)-update of one block: over-relaxed eigensplit projection given
+  /// the current y. Reads/writes the caller's state slots (the async workers
+  /// pass their private copies), returns the block's scaled dual residual.
+  double project_block(std::size_t j, const linalg::Vector& y, double rho,
+                       linalg::Matrix& x_j, linalg::Matrix& s_j) const;
+  /// w-update (multiplier ascent on B'y = f, over-relaxed step); returns the
+  /// free-variable dual residual.
+  double update_w(const linalg::Vector& y, linalg::Vector& w, double rho) const;
+  /// max_i |b_i - A_i(X) - B_i w| over real and overlap rows (unscaled).
+  double primal_residual_inf(const std::vector<linalg::Matrix>& x,
+                             const linalg::Vector& w) const;
+  /// Separator-consistency residual: max |<D, X>| over the overlap couplings
+  /// alone (the async driver's consensus telemetry).
+  double overlap_residual_inf(const std::vector<linalg::Matrix>& x) const;
+  double primal_objective(const std::vector<linalg::Matrix>& x,
+                          const linalg::Vector& w) const;
+  double dual_objective(const linalg::Vector& y) const;
+  void fill(Solution& out, const std::vector<linalg::Matrix>& x,
+            const std::vector<linalg::Matrix>& s, const linalg::Vector& y,
+            const linalg::Vector& w, double pres, double dres, double gap,
+            int iter) const;
+
+  /// Post-residual control law of iteration `iter`, identical for both
+  /// drivers: progress notification, best-iterate/merit tracking, tolerance,
+  /// cancellation, stagnation + degenerate-drift classification, and the
+  /// residual-balanced adaptive-rho update (mutates rho_). The caller acts:
+  ///   Continue    — next iteration;
+  ///   Converged   — fill the result from the current iterate (Optimal);
+  ///   Interrupted — return `best` with Interrupted status;
+  ///   ReturnBest  — return `best` with MaxIterations status (plateau or
+  ///                 degenerate-drift lock).
+  enum class ControlAction { Continue, Converged, Interrupted, ReturnBest };
+  ControlAction control_step(int iter, double pres, double dres, double gap,
+                             const std::vector<linalg::Matrix>& x,
+                             const std::vector<linalg::Matrix>& s,
+                             const linalg::Vector& y, const linalg::Vector& w,
+                             Solution& best, double& best_merit, int& stagnant);
+
+  /// Row access across the extended index space (real rows, then overlaps).
+  const Row& row_at(std::size_t i) const {
+    return i < m_ ? p_.rows()[i] : *overlap_rows_[i - m_];
+  }
+  double rhs_at(std::size_t i) const { return i < m_ ? p_.rhs(i) : 0.0; }
+  static double sparse_dot(const SparseSym& a, const SparseSym& b);
+
+  // --- drivers ------------------------------------------------------------
+  Solution run_sync();
+  /// admm_async.cpp. `partition` has >= 2 non-empty workers (checked by
+  /// run()) and satisfies the partition-range/order invariants.
+  Solution run_async(const SubtreePartition& partition);
+  /// Partition from the lowering pass when the structure carries one for
+  /// this worker count, else computed on the fly.
+  SubtreePartition resolve_partition(std::size_t workers) const;
+
+  const Problem& p_;
+  const AdmmOptions& opt_;
+  SolveContext& ctx_;
+  std::shared_ptr<const ProblemStructure> structure_;
+  util::ThreadPool pool_;  // sync projection fan-out (opt_.threads)
+  PhaseTimes phase_;
+  std::vector<std::vector<BlockRowView>> views_;
+  std::vector<const Row*> overlap_rows_;  // native-cone couplings, rows [m, m+q)
+  std::optional<linalg::Cholesky> chol_m_;  // reduced Nyy - W^T W (m x m)
+  OverlapElimination elim_;                 // overlap-corner factors (q > 0 only)
+  std::vector<linalg::Matrix> x_, s_;
+  linalg::Vector y_, w_, rhs0_;
+  std::size_t m_ = 0, q_ = 0, mext_ = 0, nf_ = 0, nblocks_ = 0, total_dim_ = 0;
+  double data_norm_ = 1.0, c_norm_ = 1.0;
+  double rho_ = 1.0;
+  double alpha_ = 1.6;
+  int rho_interval_ = 50;
+};
+
+}  // namespace soslock::sdp

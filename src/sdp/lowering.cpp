@@ -65,6 +65,21 @@ Lowering lower(Problem problem, const LoweringOptions& options) {
   }
   if (!convert) out.lowered_fingerprint = out.base_fingerprint;
 
+  // --- partition (opt-in): subtree -> worker assignment for the async
+  // clique-parallel ADMM driver. Reads the lowered block/cone layout and
+  // writes no problem state, so the fingerprint is unchanged.
+  if (options.partition_workers > 0) {
+    pass_timer.reset();
+    out.partition = partition_subtrees(problem, options.partition_workers);
+    PassRecord rec;
+    rec.name = "partition";
+    rec.fingerprint = out.lowered_fingerprint;
+    rec.detail = out.partition.detail;
+    rec.seconds = pass_timer.seconds();
+    out.passes.push_back(std::move(rec));
+    SOSLOCK_VERIFY_PASS(problem, out.lowered_fingerprint, "partition");
+  }
+
   // --- equilibrate: row scaling (structure-preserving).
   pass_timer.reset();
   out.scaling = equilibrate_rows(problem);
@@ -90,12 +105,18 @@ Lowering lower(Problem problem, const LoweringOptions& options) {
   // solves (the warm-start retry ladders) find their previous entry and
   // skip the rebuild + reseed entirely.
   const auto existing = StructureCache::global().find(out.lowered_fingerprint);
-  if (existing == nullptr || existing->base_fingerprint != out.base_fingerprint ||
-      !existing->compatible_with(out.problem)) {
+  const bool reusable =
+      existing != nullptr && existing->base_fingerprint == out.base_fingerprint &&
+      existing->compatible_with(out.problem) &&
+      (out.partition.empty() || (existing->partition_workers == out.partition.workers &&
+                                 existing->block_worker == out.partition.block_worker));
+  if (!reusable) {
     auto structure = std::make_shared<ProblemStructure>(
         build_structure(out.problem, out.lowered_fingerprint));
     structure->base_fingerprint = out.base_fingerprint;
     structure->provenance = out.passes;
+    structure->block_worker = out.partition.block_worker;
+    structure->partition_workers = out.partition.workers;
     StructureCache::global().put(std::move(structure));
   }
   return out;
@@ -241,13 +262,18 @@ constexpr std::size_t kNoEntry = static_cast<std::size_t>(-1);
 void reseed_structure(const Lowering& lowering) {
   const auto existing = StructureCache::global().find(lowering.lowered_fingerprint);
   if (existing != nullptr && existing->base_fingerprint == lowering.base_fingerprint &&
-      existing->compatible_with(lowering.problem)) {
+      existing->compatible_with(lowering.problem) &&
+      (lowering.partition.empty() ||
+       (existing->partition_workers == lowering.partition.workers &&
+        existing->block_worker == lowering.partition.block_worker))) {
     return;
   }
   auto structure = std::make_shared<ProblemStructure>(
       build_structure(lowering.problem, lowering.lowered_fingerprint));
   structure->base_fingerprint = lowering.base_fingerprint;
   structure->provenance = lowering.passes;
+  structure->block_worker = lowering.partition.block_worker;
+  structure->partition_workers = lowering.partition.workers;
   StructureCache::global().put(std::move(structure));
 }
 
@@ -257,7 +283,8 @@ bool LoweringCache::options_match(const LoweringOptions& options) const {
   return options.sparsity == options_.sparsity &&
          options.chordal.min_block_size == options_.chordal.min_block_size &&
          options.chordal.max_clique_fraction == options_.chordal.max_clique_fraction &&
-         options.chordal.at_seam == options_.chordal.at_seam;
+         options.chordal.at_seam == options_.chordal.at_seam &&
+         options.partition_workers == options_.partition_workers;
 }
 
 const Lowering& LoweringCache::lower(Problem problem, const LoweringOptions& options) {

@@ -86,8 +86,27 @@ struct AdmmOptions {
   std::size_t threads = 1;
   /// Project with the cyclic-Jacobi reference eigensolver instead of the
   /// tridiagonal-QL production path. For parity tests and the bench
-  /// eigensolver-swap speedup gate.
+  /// eigensolver-swap speedup gate. Honored by both the synchronous
+  /// projection fan-out and the per-clique async worker path (they share
+  /// admm_split_psd).
   bool use_jacobi_eig = false;
+  /// Clique-parallel asynchronous driver: one resident worker per clique-tree
+  /// subtree runs the PSD projections on its own clock, exchanging separator
+  /// state with the consensus thread through bounded-staleness mailboxes
+  /// instead of a fork-join barrier per iteration. Requires a partition
+  /// (taken from the lowering's subtree-partition pass when present, computed
+  /// on the fly otherwise). Falls back to the synchronous loop when the
+  /// problem has fewer than two non-empty worker subtrees.
+  bool async = false;
+  /// Bounded staleness for the async driver: a worker may start projection
+  /// round r with any consensus y-version in [r - max_staleness, r], and the
+  /// consensus thread evaluates iteration t once every worker has finished
+  /// round t - max_staleness. 0 = lockstep schedule, which reproduces the
+  /// synchronous backend bit-identically at any worker count (the projections
+  /// are computed from exactly the same snapshots, just on resident threads).
+  int max_staleness = 0;
+  /// Async worker count; 0 = hardware count. Ignored by the sync driver.
+  std::size_t workers = 0;
   bool verbose = false;
 };
 

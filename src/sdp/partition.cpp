@@ -1,0 +1,88 @@
+#include "sdp/partition.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace soslock::sdp {
+namespace {
+
+/// Estimated per-iteration projection cost of an n x n PSD block: one
+/// eigendecomposition, ~n^3 (the constant cancels in the balance).
+double block_flops(std::size_t n) {
+  const double d = static_cast<double>(n);
+  return d * d * d;
+}
+
+}  // namespace
+
+SubtreePartition partition_subtrees(const Problem& problem, std::size_t workers) {
+  SubtreePartition part;
+  part.workers = std::max<std::size_t>(workers, 1);
+  const std::size_t nblocks = problem.num_blocks();
+  part.block_worker.assign(nblocks, 0);
+
+  std::vector<double> load(part.workers, 0.0);
+  std::vector<bool> in_cone(nblocks, false);
+  std::size_t clique_blocks = 0;
+
+  // Decomposed cones: cut each cone's clique preorder into flops-balanced
+  // contiguous segments, one per worker. Assigning clique k to worker
+  // floor(prefix_flops / per_worker_share) keeps ids non-decreasing along
+  // the preorder (the "partition-order" invariant) while equalizing the
+  // cumulative cost of each segment.
+  for (const DecomposedCone& cone : problem.cones()) {
+    double total = 0.0;
+    for (const CliqueInfo& clique : cone.cliques) {
+      if (clique.block >= nblocks) continue;  // verify() rejects; stay in range
+      total += block_flops(problem.block_size(clique.block));
+    }
+    const double share = total / static_cast<double>(part.workers);
+    double prefix = 0.0;
+    for (const CliqueInfo& clique : cone.cliques) {
+      if (clique.block >= nblocks) continue;
+      std::size_t w = 0;
+      if (share > 0.0) {
+        w = std::min(part.workers - 1, static_cast<std::size_t>(prefix / share));
+      }
+      part.block_worker[clique.block] = w;
+      in_cone[clique.block] = true;
+      ++clique_blocks;
+      const double cost = block_flops(problem.block_size(clique.block));
+      prefix += cost;
+      load[w] += cost;
+    }
+  }
+
+  // Blocks outside any cone carry no overlap couplings, so any placement is
+  // legal: greedy least-loaded, largest blocks first.
+  std::vector<std::size_t> kept;
+  for (std::size_t j = 0; j < nblocks; ++j) {
+    if (!in_cone[j]) kept.push_back(j);
+  }
+  std::stable_sort(kept.begin(), kept.end(), [&](std::size_t a, std::size_t b) {
+    return problem.block_size(a) > problem.block_size(b);
+  });
+  for (const std::size_t j : kept) {
+    const std::size_t w = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    part.block_worker[j] = w;
+    load[w] += block_flops(problem.block_size(j));
+  }
+
+  const double max_load = load.empty() ? 0.0 : *std::max_element(load.begin(), load.end());
+  double mean_load = 0.0;
+  for (const double l : load) mean_load += l;
+  mean_load /= static_cast<double>(part.workers);
+  std::ostringstream detail;
+  detail << part.workers << " worker(s), " << clique_blocks << " clique block(s), "
+         << kept.size() << " kept block(s)";
+  if (mean_load > 0.0) {
+    detail.precision(2);
+    detail << ", load imbalance " << std::fixed << max_load / mean_load << "x";
+  }
+  part.detail = detail.str();
+  return part;
+}
+
+}  // namespace soslock::sdp

@@ -1,0 +1,43 @@
+#pragma once
+// Subtree partitioner for the asynchronous clique-parallel ADMM driver: maps
+// every PSD block of a lowered problem to a worker id so each worker owns a
+// contiguous run of clique-tree subtrees (plus a share of the undecomposed
+// blocks) balanced by estimated projection flops. The assignment is computed
+// once per structure by the lowering pipeline's "partition" pass (recorded in
+// PassRecord provenance and cached on ProblemStructure), or on the fly by the
+// driver when the lowering did not run the pass.
+//
+// Invariants (checked by sdp::verify's "partition-range"/"partition-order"):
+//  * block_worker has one entry per problem block, each < workers;
+//  * along each decomposed cone's clique order (a clique-tree preorder by
+//    construction, see sdp/chordal), worker ids are non-decreasing — each
+//    worker's share of a cone is one contiguous preorder segment, so the
+//    separator mailboxes a worker needs touch at most two neighbors per cone.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sdp/problem.hpp"
+
+namespace soslock::sdp {
+
+/// Result of partition_subtrees: a worker id per problem block.
+struct SubtreePartition {
+  std::size_t workers = 0;
+  /// block index -> worker id in [0, workers). Every block gets an id, also
+  /// blocks of size 0 and blocks outside any decomposed cone.
+  std::vector<std::size_t> block_worker;
+  /// Human-readable summary for PassRecord::detail.
+  std::string detail;
+
+  bool empty() const { return block_worker.empty(); }
+};
+
+/// Assign blocks to `workers` workers (>= 1; counts are not resolved here —
+/// pass an explicit worker count). Decomposed cones are cut along their
+/// clique preorder into flops-balanced contiguous segments; blocks outside
+/// any cone are spread greedily onto the least-loaded workers. Cost model:
+/// the per-iteration eigendecomposition of an n x n block, ~n^3.
+SubtreePartition partition_subtrees(const Problem& problem, std::size_t workers);
+
+}  // namespace soslock::sdp

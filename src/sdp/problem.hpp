@@ -208,6 +208,18 @@ struct Solution {
   /// multipliers, never rows of the factored system — while the seam
   /// conversion pays for its overlap rows here. 0 when not recorded.
   std::size_t schur_rows = 0;
+  /// Async clique-parallel ADMM telemetry (empty/zero for every other
+  /// driver). worker_iterations[w] counts projection rounds worker w
+  /// completed; max_staleness_seen is the largest scheduling lag observed on
+  /// either side of the mailboxes — a worker projecting with an old y, or
+  /// the consensus thread evaluating an old projection round — bounded by
+  /// AdmmOptions::max_staleness; consensus_rounds counts y-versions the
+  /// consensus thread published; consensus_residual is the max-norm overlap
+  /// (separator-consistency) residual of the returned iterate.
+  std::vector<int> worker_iterations;
+  int max_staleness_seen = 0;
+  long consensus_rounds = 0;
+  double consensus_residual = 0.0;
   /// The solve ran its course and returned a best iterate. An Interrupted
   /// solve may have stopped before the first step, so it makes no such
   /// claim — check the residuals before accepting its iterate.

@@ -108,11 +108,16 @@ class SosProgram {
   /// Tuning for the Chordal conversion pass (block-size threshold etc).
   void set_chordal_options(const sdp::ChordalOptions& options) { chordal_ = options; }
   /// Convenience for the core certifiers: adopt the sparsity fields of the
-  /// shared solver config (call before adding SOS constraints).
-  void set_sparsity(const sdp::SolverConfig& config) {
-    sparsity_ = config.sparsity;
-    chordal_ = config.chordal;
-  }
+  /// shared solver config (call before adding SOS constraints). When the
+  /// config selects the async clique-parallel ADMM driver, this also
+  /// requests the lowering pipeline's subtree-partition pass for its worker
+  /// count, so the worker map is computed once, provenance-recorded and
+  /// cached with the structure instead of rebuilt by the driver per solve.
+  void set_sparsity(const sdp::SolverConfig& config);
+  /// Directly request (workers >= 1) or drop (0, the default) the subtree-
+  /// partition pass of the lowering pipeline.
+  void set_partition_workers(std::size_t workers) { partition_workers_ = workers; }
+  std::size_t partition_workers() const { return partition_workers_; }
 
   // --- Solve ----------------------------------------------------------------
 
@@ -200,6 +205,7 @@ class SosProgram {
   double trace_reg_ = 0.0;
   sdp::SparsityOptions sparsity_ = sdp::SparsityOptions::Off;
   sdp::ChordalOptions chordal_;
+  std::size_t partition_workers_ = 0;  // 0 = no partition pass
   std::vector<SosConstraintRecord> sos_records_;
 };
 
@@ -259,6 +265,12 @@ struct SolveStats {
   /// phases total slightly below `seconds` (residuals/bookkeeping are
   /// untimed); convert/complete fall outside `seconds` entirely.
   sdp::PhaseTimes phase;
+  /// Async clique-parallel ADMM telemetry, aggregated over the solves that
+  /// ran that driver (all zero otherwise): how many did, the largest
+  /// mailbox staleness any of them observed, and their consensus rounds.
+  int async_solves = 0;
+  int max_staleness_seen = 0;
+  long consensus_rounds = 0;
 
   void absorb(const SolveResult& result);
   void merge(const SolveStats& other);

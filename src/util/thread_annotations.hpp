@@ -15,6 +15,7 @@
 // attributes attached; the CI clang job builds with -Wthread-safety -Werror,
 // so a member access outside its declared lock fails the build instead of
 // surfacing as a TSan race (or worse, a wrong certificate) later.
+#include <condition_variable>
 #include <mutex>
 
 #if defined(__clang__)
@@ -62,6 +63,37 @@ class SOSLOCK_SCOPED_CAPABILITY MutexLock {
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Scoped lock over util::Mutex that can additionally sleep on a
+/// std::condition_variable_any (which accepts any BasicLockable, so no
+/// std::unique_lock shim is needed). As far as the analysis is concerned the
+/// capability is held for the object's whole lifetime; wait() releases and
+/// re-acquires the underlying mutex atomically inside the condition variable
+/// but is opaque to the analysis — the mutex is held again by the time it
+/// returns (also on exception; the cv re-locks before propagating), so call
+/// sites remain sound. Callers loop on their predicate with the lock held:
+///
+///   CondLock lock(mutex_);
+///   while (!ready_) lock.wait(cv_);
+class SOSLOCK_SCOPED_CAPABILITY CondLock {
+ public:
+  explicit CondLock(Mutex& mutex) SOSLOCK_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~CondLock() SOSLOCK_RELEASE() { mutex_.unlock(); }
+
+  CondLock(const CondLock&) = delete;
+  CondLock& operator=(const CondLock&) = delete;
+
+  /// Atomically release the mutex and block until notified; the mutex is
+  /// re-acquired before returning.
+  void wait(std::condition_variable_any& cv) SOSLOCK_NO_THREAD_SAFETY_ANALYSIS {
+    cv.wait(mutex_);
+  }
 
  private:
   Mutex& mutex_;

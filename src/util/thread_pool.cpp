@@ -77,4 +77,68 @@ std::size_t ThreadPool::run_all_until_failure(
   return first_failed.load();
 }
 
+ResidentPool::ResidentPool(std::size_t count)
+    : count_(count == 0 ? ThreadPool::hardware_threads() : count) {
+  threads_.reserve(count_);
+  for (std::size_t id = 0; id < count_; ++id) {
+    threads_.emplace_back([this, id] { thread_main(id); });
+  }
+}
+
+ResidentPool::~ResidentPool() {
+  {
+    const MutexLock lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ResidentPool::start(std::function<void(std::size_t)> body) {
+  {
+    const MutexLock lock(mutex_);
+    body_ = std::move(body);
+    ++generation_;
+    running_ = count_;
+    error_ = nullptr;
+  }
+  cv_.notify_all();
+}
+
+void ResidentPool::join() {
+  std::exception_ptr err;
+  {
+    CondLock lock(mutex_);
+    while (running_ != 0) lock.wait(cv_);
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ResidentPool::thread_main(std::size_t id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::function<void(std::size_t)> body;
+    {
+      CondLock lock(mutex_);
+      while (!shutdown_ && generation_ == seen) lock.wait(cv_);
+      if (shutdown_) return;
+      seen = generation_;
+      body = body_;
+    }
+    try {
+      body(id);
+    } catch (...) {
+      const MutexLock lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      const MutexLock lock(mutex_);
+      --running_;
+    }
+    cv_.notify_all();
+  }
+}
+
 }  // namespace soslock::util
