@@ -12,8 +12,13 @@
 //   3. zero recompiles after the first grid point: exactly 1 full pipeline
 //      run and points-1 in-place updates (plus one update per cold re-solve),
 //   4. the update pass leaves provenance: the second lower() of a
-//      structurally identical compile stamps passes ["update", "equilibrate"].
-// Results land in BENCH_PR6.json (section sweep_throughput).
+//      structurally identical compile stamps passes ["update", "equilibrate"],
+//   5. kill-and-resume: the sweep is interrupted after 8 points (max_points +
+//      a checkpoint file), resumed from the checkpoint, and the resumed
+//      report must be verdict-identical to the uninterrupted warm sweep while
+//      re-solving strictly fewer points than a cold start would.
+// Results land in BENCH_PR6.json (sections sweep_throughput, sweep_resume).
+#include <cstddef>
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -75,6 +80,40 @@ int main() {
            warm.updates == points - 1 + warm.cold_restarts,
        "zero recompiles after the first grid point");
   gate(update_provenance, "update pass stamps [\"update\", ...] provenance");
+
+  // --- kill-and-resume: interrupt the warm sweep deterministically after
+  // kKillAfter points with a checkpoint on disk, then resume from it.
+  constexpr std::size_t kKillAfter = 8;
+  const char* ckpt = "bench_sweep_checkpoint.txt";
+  sweep::SweepOptions kill_options = warm_options;
+  kill_options.checkpoint_path = ckpt;
+  kill_options.max_points = kKillAfter;
+  std::printf("\nkilled sweep (checkpoint after every point, stop at %zu):\n",
+              kKillAfter);
+  const sweep::SweepReport killed = sweep::run_sweep(grid, query, kill_options);
+  std::printf("%s\n\n", killed.summary().c_str());
+
+  sweep::SweepOptions resume_options = warm_options;
+  resume_options.resume_from = ckpt;
+  std::printf("resumed sweep (from %s):\n", ckpt);
+  const sweep::SweepReport resumed = sweep::run_sweep(grid, query, resume_options);
+  std::printf("%s\n\n", resumed.summary().c_str());
+
+  bool verdicts_identical = resumed.points.size() == warm.points.size();
+  for (std::size_t i = 0; verdicts_identical && i < warm.points.size(); ++i) {
+    verdicts_identical = resumed.points[i].certified == warm.points[i].certified &&
+                         !resumed.points[i].skipped;
+  }
+  const std::size_t resolved = points - resumed.resumed_points;
+
+  std::printf("resume gates:\n");
+  gate(killed.interrupted && killed.skipped == points - kKillAfter,
+       "kill run stops after the checkpointed prefix");
+  gate(verdicts_identical, "resumed report is verdict-identical to uninterrupted");
+  gate(resumed.resumed_points == kKillAfter && resolved < points,
+       "resume re-solves strictly fewer points than cold");
+  gate(resumed.total_iterations <= warm.total_iterations,
+       "resume spends no more iterations than the uninterrupted sweep");
   std::printf("\n");
 
   bench::write_bench_json(
@@ -94,6 +133,19 @@ int main() {
           {"worker_threads", static_cast<double>(worker_threads)},
       },
       /*fresh=*/true);
-  std::printf("wrote BENCH_PR6.json (sweep_throughput)\n");
+  bench::write_bench_json(
+      "BENCH_PR6.json", "sweep_resume",
+      {
+          {"kill_after", static_cast<double>(kKillAfter)},
+          {"killed_skipped", static_cast<double>(killed.skipped)},
+          {"resumed_points", static_cast<double>(resumed.resumed_points)},
+          {"resolved_points", static_cast<double>(resolved)},
+          {"resumed_certified", static_cast<double>(resumed.certified)},
+          {"resumed_total_iterations", static_cast<double>(resumed.total_iterations)},
+          {"verdicts_identical", verdicts_identical ? 1.0 : 0.0},
+      },
+      /*fresh=*/false);
+  std::remove(ckpt);
+  std::printf("wrote BENCH_PR6.json (sweep_throughput, sweep_resume)\n");
   return failures == 0 ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 
 #include "linalg/eigen_sym.hpp"
 #include "sdp/admm_engine.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -172,6 +173,11 @@ Vector AdmmEngine::solve_y(const std::vector<Matrix>& x, const std::vector<Matri
     rhs[i] = (rhs_at(i) - ax) / rho + rhs0_[i];
     for (const auto& [j, a] : row.blocks) rhs[i] -= a.dot(s[j]);
   }
+  // Injected iterate poisoning: a NaN here flows into y and from there into
+  // every projection — the leak the control_step watchdog must classify.
+  SOSLOCK_FAULT_HOOK(util::fault_site::kIterateNan, {
+    if (!rhs.empty()) rhs[0] = std::numeric_limits<double>::quiet_NaN();
+  });
   if (q_ == 0) return chol_m_->solve(rhs);
   // Two-stage elimination solve — algebraically the joint (m+q) normal
   // system, through the cached factors.
@@ -301,6 +307,23 @@ AdmmEngine::ControlAction AdmmEngine::control_step(int iter, double pres, double
                                                    int& stagnant) {
   constexpr int kStagnationWindow = 1000;
 
+  // Watchdog first: a non-finite residual/gap or iterate means a NaN/Inf
+  // entered the state (satellite fix: the old loop iterated to max_iter on a
+  // poisoned iterate, because the residual max-reductions silently drop
+  // NaNs — std::max(x, NaN) is x). Classify and bail with the phase named.
+  if (!std::isfinite(pres + dres + gap)) {
+    diverged_phase_ = !std::isfinite(pres)   ? "primal-residual"
+                      : !std::isfinite(dres) ? "dual-residual"
+                                             : "gap";
+    util::log_info("admm: diverged at iteration ", iter, " (", diverged_phase_, ")");
+    return ControlAction::Diverged;
+  }
+  if (!iterate_finite(x, s, y, w)) {
+    diverged_phase_ = "iterate";
+    util::log_info("admm: diverged at iteration ", iter, " (iterate)");
+    return ControlAction::Diverged;
+  }
+
   IterationInfo info;
   info.iteration = iter;
   info.primal_residual = pres;
@@ -377,6 +400,25 @@ AdmmEngine::ControlAction AdmmEngine::control_step(int iter, double pres, double
   return ControlAction::Continue;
 }
 
+bool AdmmEngine::iterate_finite(const std::vector<Matrix>& x,
+                                const std::vector<Matrix>& s, const Vector& y,
+                                const Vector& w) {
+  // One accumulator per solve: NaN and Inf both propagate through addition
+  // (Inf + -Inf is NaN), so a single non-finite entry anywhere poisons the
+  // sum. O(n^2) per block against the O(n^3) eigensplit per iteration.
+  double acc = 0.0;
+  for (const std::vector<Matrix>* set : {&x, &s}) {
+    for (const Matrix& m : *set) {
+      for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < m.cols(); ++c) acc += m(r, c);
+      }
+    }
+  }
+  for (const double v : y) acc += v;
+  for (const double v : w) acc += v;
+  return std::isfinite(acc);
+}
+
 Solution AdmmEngine::run() {
   rho_ = std::max(opt_.rho, 1e-8);
   rho_interval_ = std::max(opt_.rho_update_interval, 1);
@@ -403,6 +445,7 @@ Solution AdmmEngine::run() {
   }
   if (!ran_async) sol = run_sync();
 
+  sol.recoveries.insert(sol.recoveries.end(), recoveries_.begin(), recoveries_.end());
   sol.phase = phase_;
   // Dimension of the dense cached normal factor: overlap couplings are
   // block-eliminated, so it is the row count with or without cones.
@@ -466,6 +509,13 @@ Solution AdmmEngine::run_sync() {
     }
     if (action == ControlAction::ReturnBest) {
       best.status = SolveStatus::MaxIterations;
+      return best;
+    }
+    if (action == ControlAction::Diverged) {
+      if (best_merit == std::numeric_limits<double>::infinity())
+        fill(best, x_, s_, y_, w_, pres, dres, gap, iter);
+      best.status = SolveStatus::Diverged;
+      best.faulted_phase = diverged_phase_;
       return best;
     }
   }

@@ -35,10 +35,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <limits>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "sdp/admm_engine.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
@@ -126,6 +128,9 @@ Solution AdmmEngine::run_async(const SubtreePartition& partition) {
   Vector dres_block(nblocks_, 0.0);
 
   auto worker_body = [&](std::size_t w) {
+    // Injected silent exit: the worker leaves its body without ever posting
+    // a round, exercising the consensus stall watchdog below.
+    SOSLOCK_FAULT_HOOK(util::fault_site::kAdmmWorkerExit, { return; });
     WorkerMailbox& mb = mailboxes[w];
     const std::vector<std::size_t>& blocks = owned[w];
     // Private previous-round copies: the projection recurrence is local to
@@ -171,6 +176,12 @@ Solution AdmmEngine::run_async(const SubtreePartition& partition) {
           ldres[i] = project_block(blocks[i], ysnap, rho_snap, lx[i], ls[i]);
         }
         eig_acc += timer.seconds();
+        // Injected mailbox corruption: poison the projected copy before it is
+        // published; the consensus-side finiteness watchdog must catch it.
+        SOSLOCK_FAULT_HOOK(util::fault_site::kAdmmMailboxCorrupt, {
+          if (!lx.empty() && lx[0].rows() > 0)
+            lx[0](0, 0) = std::numeric_limits<double>::quiet_NaN();
+        });
         {
           const util::MutexLock lock(mb.mutex);
           for (std::size_t i = 0; i < blocks.size(); ++i) {
@@ -219,6 +230,8 @@ Solution AdmmEngine::run_async(const SubtreePartition& partition) {
   int last_gathered = -1;
   bool have_result = false;
   bool worker_failed = false;
+  bool worker_stalled = false;
+  bool diverged = false;
   int iter = 0;
   try {
     for (; iter < opt_.max_iterations; ++iter) {
@@ -259,7 +272,18 @@ Solution AdmmEngine::run_async(const SubtreePartition& partition) {
             last_gathered = min_round;
             break;
           }
-          lock.wait(progress.cv);
+          if (opt_.worker_stall_seconds > 0.0) {
+            // Satellite fix: the old unbounded wait hung forever when a
+            // worker exited its body without posting a final round. A stall
+            // past the bound is a typed failure, never a deadlock.
+            if (!lock.wait_for(progress.cv, opt_.worker_stall_seconds)) {
+              worker_failed = true;
+              worker_stalled = true;
+              break;
+            }
+          } else {
+            lock.wait(progress.cv);
+          }
         }
       }
       if (worker_failed) break;
@@ -289,6 +313,10 @@ Solution AdmmEngine::run_async(const SubtreePartition& partition) {
       const ControlAction action =
           control_step(iter, pres, dres, gap, x_, s_, y_, w_, best, best_merit, stagnant);
       if (action == ControlAction::Continue) continue;
+      if (action == ControlAction::Diverged) {
+        diverged = true;
+        break;
+      }
       if (action == ControlAction::Converged) {
         fill(result, x_, s_, y_, w_, pres, dres, gap, iter);
         result.status = SolveStatus::Optimal;
@@ -312,7 +340,90 @@ Solution AdmmEngine::run_async(const SubtreePartition& partition) {
   }
 
   request_stop();
-  pool.join();  // rethrows the first worker exception (the failed-path exit)
+  std::string worker_error = "worker exited without posting its round";
+  try {
+    pool.join();  // rethrows the first worker exception as a typed capture
+  } catch (const std::exception& e) {
+    if (have_result) {
+      // An error surfacing only at shutdown cannot invalidate a result that
+      // was already evaluated from consistent mailbox snapshots.
+      util::log_debug("admm-async: late worker error at shutdown: ", e.what());
+    } else {
+      worker_failed = true;
+      worker_error = e.what();
+    }
+  }
+
+  // Telemetry: per-worker rounds, observed staleness, consensus activity.
+  // The workers have quiesced (join above), so the mailbox locks are
+  // uncontended — still taken, for the annotation contract. Gathered before
+  // the fallback below so a rescued solve inherits the async history.
+  std::vector<int> worker_rounds(num_workers, 0);
+  {
+    const util::MutexLock lock(progress.mutex);
+    for (std::size_t w = 0; w < num_workers; ++w)
+      worker_rounds[w] = progress.round[w] + 1;
+  }
+  int staleness = consensus_lag;
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    const util::MutexLock lock(mailboxes[w].mutex);
+    staleness = std::max(staleness, mailboxes[w].staleness_seen);
+  }
+  for (const double sec : eig_seconds) phase_.eig += sec;
+
+  if ((worker_failed || diverged) && !have_result) {
+    std::string reason;
+    if (diverged) {
+      reason = "diverged(phase=" + diverged_phase_ + ")";
+    } else if (worker_stalled) {
+      reason = "worker-stall";
+    } else {
+      reason = "worker-death: " + worker_error;
+    }
+    if (opt_.sync_fallback) {
+      // Self-healing path: restart as the synchronous lockstep loop, warm
+      // from the last consistent best iterate (the gathered snapshot may be
+      // poisoned or partial), and record the recovery on the Solution.
+      RecoveryRecord rec;
+      rec.action = "sync-fallback";
+      rec.from = "admm-async";
+      rec.to = "admm-sync";
+      rec.reason = reason;
+      rec.attempt = 1;
+      recoveries_.push_back(std::move(rec));
+      util::log_info("admm-async: ", reason,
+                     "; falling back to the synchronous lockstep loop");
+      if (best_merit < std::numeric_limits<double>::infinity() &&
+          best.x.size() == nblocks_) {
+        x_ = best.x;
+        s_ = best.z;
+        y_ = best.y;
+        y_.resize(mext_, 0.0);  // consensus multipliers restart at zero
+        w_ = best.w;
+        for (std::size_t j = 0; j < nblocks_; ++j) {
+          x_[j].symmetrize();
+          s_[j].symmetrize();
+        }
+      } else {
+        init_state();
+      }
+      diverged_phase_.clear();
+      Solution fb = run_sync();
+      fb.iterations += iter;  // consensus iterations spent before the rescue
+      fb.worker_iterations = std::move(worker_rounds);
+      fb.max_staleness_seen = staleness;
+      fb.consensus_rounds = rounds_published;
+      return fb;
+    }
+    // Fallback disabled: surface the typed terminal status, never a hang or
+    // a raw exception.
+    if (best_merit == std::numeric_limits<double>::infinity())
+      fill(best, x_, s_, y_, w_, pres, dres, gap, std::max(iter - 1, 0));
+    result = std::move(best);
+    result.status = diverged ? SolveStatus::Diverged : SolveStatus::Faulted;
+    result.faulted_phase = diverged ? diverged_phase_ : reason;
+    have_result = true;
+  }
 
   if (!have_result) {
     if (best_merit == std::numeric_limits<double>::infinity())
@@ -321,26 +432,12 @@ Solution AdmmEngine::run_async(const SubtreePartition& partition) {
     result.status = SolveStatus::MaxIterations;
   }
 
-  // Telemetry: per-worker rounds, observed staleness, consensus activity.
-  // The workers have quiesced (join above), so the mailbox locks are
-  // uncontended — still taken, for the annotation contract.
-  result.worker_iterations.assign(num_workers, 0);
-  {
-    const util::MutexLock lock(progress.mutex);
-    for (std::size_t w = 0; w < num_workers; ++w)
-      result.worker_iterations[w] = progress.round[w] + 1;
-  }
-  int staleness = consensus_lag;
-  for (std::size_t w = 0; w < num_workers; ++w) {
-    const util::MutexLock lock(mailboxes[w].mutex);
-    staleness = std::max(staleness, mailboxes[w].staleness_seen);
-  }
+  result.worker_iterations = std::move(worker_rounds);
   result.max_staleness_seen = staleness;
   result.consensus_rounds = rounds_published;
   if (result.x.size() == nblocks_) {
     result.consensus_residual = overlap_residual_inf(result.x);
   }
-  for (const double sec : eig_seconds) phase_.eig += sec;
   util::log_debug("admm-async: ", num_workers, " worker(s), staleness<=", max_stale,
                   ", observed ", staleness, ", ", rounds_published, " consensus round(s)");
   return result;

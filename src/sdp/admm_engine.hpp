@@ -18,6 +18,7 @@
 // bit-identical to the synchronous loop at any worker count.
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "linalg/cholesky.hpp"
@@ -91,20 +92,31 @@ class AdmmEngine {
             int iter) const;
 
   /// Post-residual control law of iteration `iter`, identical for both
-  /// drivers: progress notification, best-iterate/merit tracking, tolerance,
-  /// cancellation, stagnation + degenerate-drift classification, and the
-  /// residual-balanced adaptive-rho update (mutates rho_). The caller acts:
+  /// drivers: the divergence watchdog, progress notification,
+  /// best-iterate/merit tracking, tolerance, cancellation, stagnation +
+  /// degenerate-drift classification, and the residual-balanced adaptive-rho
+  /// update (mutates rho_). The caller acts:
   ///   Continue    — next iteration;
   ///   Converged   — fill the result from the current iterate (Optimal);
   ///   Interrupted — return `best` with Interrupted status;
   ///   ReturnBest  — return `best` with MaxIterations status (plateau or
-  ///                 degenerate-drift lock).
-  enum class ControlAction { Continue, Converged, Interrupted, ReturnBest };
+  ///                 degenerate-drift lock);
+  ///   Diverged    — NaN/Inf entered the residuals or the iterate
+  ///                 (diverged_phase_ names where); the sync driver returns
+  ///                 `best` as Diverged, the async driver falls back to the
+  ///                 lockstep loop when AdmmOptions::sync_fallback allows.
+  enum class ControlAction { Continue, Converged, Interrupted, ReturnBest, Diverged };
   ControlAction control_step(int iter, double pres, double dres, double gap,
                              const std::vector<linalg::Matrix>& x,
                              const std::vector<linalg::Matrix>& s,
                              const linalg::Vector& y, const linalg::Vector& w,
                              Solution& best, double& best_merit, int& stagnant);
+  /// Sum-scan finiteness check over a full iterate (NaN/Inf propagate
+  /// through addition, and the residual max-reductions silently drop NaNs,
+  /// so this is the check that actually catches a poisoned iterate).
+  static bool iterate_finite(const std::vector<linalg::Matrix>& x,
+                             const std::vector<linalg::Matrix>& s,
+                             const linalg::Vector& y, const linalg::Vector& w);
 
   /// Row access across the extended index space (real rows, then overlaps).
   const Row& row_at(std::size_t i) const {
@@ -139,6 +151,12 @@ class AdmmEngine {
   double rho_ = 1.0;
   double alpha_ = 1.6;
   int rho_interval_ = 50;
+  /// Phase the watchdog blamed for a ControlAction::Diverged ("gap",
+  /// "primal-residual", "iterate", ...); copied to Solution::faulted_phase.
+  std::string diverged_phase_;
+  /// In-solve recovery steps (the async driver's sync fallback); run()
+  /// appends them to the returned Solution.
+  std::vector<RecoveryRecord> recoveries_;
 };
 
 }  // namespace soslock::sdp

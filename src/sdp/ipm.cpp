@@ -9,6 +9,7 @@
 #include "linalg/eigen_sym.hpp"
 #include "sdp/elimination.hpp"
 #include "sdp/structure.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -157,9 +158,31 @@ class Ipm {
     int stagnant_iterations = 0;
 
     for (int iter = 0; iter < opt_.max_iterations; ++iter) {
+      // Injected iterate poisoning: the NaN-leak failure mode the watchdog
+      // below must catch.
+      SOSLOCK_FAULT_HOOK(util::fault_site::kIterateNan, {
+        if (!s.y.empty()) {
+          s.y[0] = std::numeric_limits<double>::quiet_NaN();
+        } else if (!s.x.empty() && s.x[0].rows() > 0) {
+          s.x[0](0, 0) = std::numeric_limits<double>::quiet_NaN();
+        }
+      });
       const Residuals res = residuals(s);
       const double mu = complementarity(s);
       const double gap = relative_gap(s);
+
+      // Watchdog: bail on the first non-finite quantity with the offending
+      // phase named, instead of iterating on poisoned state until the
+      // budget burns out (the max-reductions in the residual norms silently
+      // drop NaNs, so the merit test alone never fires). The overflow guard
+      // catches a genuinely divergent iterate before it turns into Inf-Inf.
+      if (const char* phase = divergence_phase(s, res, mu, gap)) {
+        if (best.x.empty()) fill_solution(s, res, gap, mu, iter, best);
+        best.status = SolveStatus::Diverged;
+        best.faulted_phase = phase;
+        util::log_info("ipm: diverged at iteration ", iter, " (", phase, ")");
+        return best;
+      }
 
       IterationInfo info;
       info.iteration = iter;
@@ -213,11 +236,39 @@ class Ipm {
 
       if (!step(s, res, mu)) {
         best.status = SolveStatus::NumericalProblem;
+        best.faulted_phase = "factor";
         return best;
       }
     }
     best.status = SolveStatus::MaxIterations;
     return best;
+  }
+
+  /// Name of the first non-finite (or overflowing) quantity of this
+  /// iteration, or nullptr when everything is sane. The iterate scan sums
+  /// every entry — NaN and Inf both propagate through addition (and
+  /// Inf + -Inf is NaN), so one accumulator per matrix set suffices; it is
+  /// O(n^2) per block against the O(n^3) factorization work per iteration.
+  const char* divergence_phase(const State& s, const Residuals& res, double mu,
+                               double gap) const {
+    if (!std::isfinite(res.rp_rel)) return "primal-residual";
+    if (!std::isfinite(res.rd_rel)) return "dual-residual";
+    if (!std::isfinite(res.rf_rel)) return "free-residual";
+    if (!std::isfinite(mu)) return "complementarity";
+    if (!std::isfinite(gap)) return "gap";
+    double acc = 0.0;
+    for (const std::vector<Matrix>* set : {&s.x, &s.z}) {
+      for (const Matrix& m : *set) {
+        for (std::size_t r = 0; r < m.rows(); ++r) {
+          for (std::size_t c = 0; c < m.cols(); ++c) acc += m(r, c);
+        }
+      }
+    }
+    for (const double v : s.y) acc += v;
+    for (const double v : s.w) acc += v;
+    if (!std::isfinite(acc)) return "iterate";
+    if (std::fabs(acc) > 1e150) return "iterate-overflow";
+    return nullptr;
   }
 
   State initial_state() const {
@@ -479,6 +530,10 @@ class Ipm {
 
   /// One predictor-corrector step; returns false on numerical breakdown.
   bool step(State& s, const Residuals& res, double mu) {
+    // Injected factorization failure: the step reports no progress exactly
+    // as it does when the real step lengths collapse, and run_inner
+    // classifies it as NumericalProblem with phase "factor".
+    SOSLOCK_FAULT_HOOK(util::fault_site::kIpmFactorization, { return false; });
     util::Timer phase_timer;
     // Factor all Z and X blocks and form the explicit Z^{-1} (used by the
     // Schur panels, the RHS assembly and the direction recovery — computing

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "sdp/verify.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -29,6 +30,10 @@ Lowering lower(Problem problem, const LoweringOptions& options) {
     out.passes.push_back(std::move(rec));
   }
   SOSLOCK_VERIFY_PASS(problem, out.base_fingerprint, "analyze");
+  // Injected pipeline failure between passes: `problem` was moved in but no
+  // caller-visible state has been touched yet, so an abort here must leave
+  // every cache exactly as it was (the fault tests assert this).
+  SOSLOCK_FAULT_POINT(util::fault_site::kLoweringPass);
 
   // --- decompose + lower: chordal clique planning and block lowering.
   if (convert) {

@@ -4,6 +4,8 @@
 // plus the structure-exploitation knob shared by the SOS compiler and the
 // SDP conversion layer.
 #include <cstddef>
+#include <string>
+#include <vector>
 
 namespace soslock::sdp {
 
@@ -108,6 +110,49 @@ struct AdmmOptions {
   /// Async worker count; 0 = hardware count. Ignored by the sync driver.
   std::size_t workers = 0;
   bool verbose = false;
+  /// In-solve resilience of the async driver: when a worker dies (exception,
+  /// injected thread death, or a stall past worker_stall_seconds) or the
+  /// watchdog classifies the gathered iterate as divergent, fall back to the
+  /// synchronous single-thread lockstep loop on the same lowered problem,
+  /// warm-started from the last consistent iterate, instead of failing the
+  /// solve. The fallback is recorded as a RecoveryRecord on the Solution.
+  bool sync_fallback = true;
+  /// Bound on the consensus thread's wait for worker progress, in seconds: a
+  /// worker that posts nothing for a full window is treated as dead — it may
+  /// have exited its body without posting a final mailbox version, in which
+  /// case the awaited round never arrives. 0 disables the bound (the pre-PR 9
+  /// unbounded wait). Generous by default; only a genuinely wedged solve
+  /// pays it.
+  double worker_stall_seconds = 30.0;
+};
+
+/// Declarative retry/fallback policy of the resilience layer
+/// (sdp/resilience.hpp), carried on SolverConfig. Generalizes the "auto"
+/// backend's hard-coded ADMM -> IPM rescue: an unusable result is retried on
+/// the same backend with deterministically jittered options, then escalated
+/// along a fallback chain, every step warm-started from the best usable
+/// iterate so far and recorded as RecoveryRecord telemetry.
+struct ResiliencePolicy {
+  /// Master switch: off = a failed solve returns as-is, no retries and no
+  /// fallback (the raw single-backend behavior).
+  bool enabled = true;
+  /// Same-backend retries before the fallback chain is consulted. Retries
+  /// apply to transient/numerical failures (Diverged, Faulted,
+  /// NumericalProblem); a deterministic stall (MaxIterations with bad
+  /// residuals) escalates straight to the chain — re-running the identical
+  /// stall is the one recovery known not to help.
+  int max_retries = 1;
+  /// Sleep between attempts, for transient-resource failure hygiene.
+  double backoff_seconds = 0.0;
+  /// Multiplicative perturbation per retry: attempt k scales the ADMM rho
+  /// and the IPM warm-start margin by an alternating expansion/contraction
+  /// factor derived from k — deterministic, no RNG, so a retried solve is
+  /// reproducible.
+  double rho_jitter = 0.5;
+  /// Backends to escalate to after retries, in order. Empty = the auto
+  /// default: any failing backend other than "ipm" escalates to "ipm" (the
+  /// high-accuracy backend), reproducing the old hard-coded recovery.
+  std::vector<std::string> fallback_chain;
 };
 
 }  // namespace soslock::sdp

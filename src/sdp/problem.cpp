@@ -136,6 +136,8 @@ std::string to_string(SolveStatus status) {
     case SolveStatus::DualInfeasible: return "DualInfeasible";
     case SolveStatus::NumericalProblem: return "NumericalProblem";
     case SolveStatus::Interrupted: return "Interrupted";
+    case SolveStatus::Diverged: return "Diverged";
+    case SolveStatus::Faulted: return "Faulted";
   }
   return "?";
 }

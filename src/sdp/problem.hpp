@@ -141,9 +141,25 @@ enum class SolveStatus {
   DualInfeasible,     // heuristic certificate of dual infeasibility / unbounded primal
   NumericalProblem,   // linear algebra failed to make progress
   Interrupted,        // stopped by cancellation or wall-clock budget
+  Diverged,           // watchdog: NaN/Inf or iterate blowup mid-iteration
+  Faulted,            // backend died outright (exception / injected fault)
 };
 
 std::string to_string(SolveStatus status);
+
+/// One step the resilience layer (sdp/resilience) took to keep a solve
+/// alive: a same-backend retry with perturbed options, a fallback to the
+/// next backend in the policy chain, or the async ADMM driver's in-solve
+/// fallback to the synchronous lockstep loop. Recorded on
+/// Solution::recoveries in the order taken — the audit trail behind "this
+/// certificate survived a worker death".
+struct RecoveryRecord {
+  std::string action;  // "retry" | "fallback" | "sync-fallback"
+  std::string from;    // failing backend/driver
+  std::string to;      // backend/driver the recovery ran on
+  std::string reason;  // typed cause, e.g. "Diverged(phase=primal-residual)"
+  int attempt = 0;     // 1-based recovery step within this solve
+};
 
 /// Wall-clock seconds a backend spent in each hot-path phase, summed over
 /// iterations. The taxonomy is shared by both backends so benches can
@@ -220,6 +236,13 @@ struct Solution {
   int max_staleness_seen = 0;
   long consensus_rounds = 0;
   double consensus_residual = 0.0;
+  /// Phase the watchdogs blamed for a Diverged/Faulted/NumericalProblem
+  /// outcome ("factor", "primal-residual", "iterate", ...); empty when no
+  /// failure was classified.
+  std::string faulted_phase;
+  /// Recovery steps the resilience layer took to produce this solution,
+  /// in order. Empty for a clean first-attempt solve.
+  std::vector<RecoveryRecord> recoveries;
   /// The solve ran its course and returned a best iterate. An Interrupted
   /// solve may have stopped before the first step, so it makes no such
   /// claim — check the residuals before accepting its iterate.

@@ -1,0 +1,36 @@
+#pragma once
+// Declarative retry/fallback driver around the solver backends. One call:
+//
+//   sdp::SolverConfig config;            // config.resilience = the policy
+//   sdp::Solution sol = sdp::resilient_solve(problem, context, config);
+//
+// resolves config.backend ("auto" included), runs it, classifies the result,
+// and — under config.resilience — retries the same backend with
+// deterministically jittered options, then escalates along the fallback
+// chain, each attempt warm-started from the best usable iterate so far. A
+// backend that throws (a deep linear-algebra std::logic_error, an injected
+// fault) is converted to a typed SolveStatus::Faulted result instead of
+// unwinding through the caller. Every recovery step lands on
+// Solution::recoveries, so "this certificate needed two attempts" is
+// auditable telemetry rather than a lost log line. The "auto" meta-backend
+// routes through this, generalizing its old hard-coded ADMM -> IPM rescue.
+#include "sdp/problem.hpp"
+#include "sdp/solver.hpp"
+
+namespace soslock::sdp {
+
+/// Is this result too poor to hand to certificate extraction? Certified
+/// infeasibility is a classification (not a failure), Interrupted means the
+/// caller's budget — not the backend — gave out, and a best-effort iterate
+/// is usable when its residuals/gap are near tolerance. Diverged/Faulted are
+/// always unusable.
+bool solve_unusable(const Solution& solution);
+
+/// Solve under config.resilience (see ResiliencePolicy in sdp/options.hpp).
+/// The caller's context (budget, cancellation, warm start) applies to every
+/// attempt; context.warm_start is restored to the caller's pointer before
+/// returning or throwing.
+Solution resilient_solve(const Problem& problem, SolveContext& context,
+                         const SolverConfig& config);
+
+}  // namespace soslock::sdp

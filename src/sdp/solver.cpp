@@ -6,6 +6,7 @@
 
 #include "sdp/admm.hpp"
 #include "sdp/ipm.hpp"
+#include "sdp/resilience.hpp"
 #include "util/log.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -34,86 +35,29 @@ Registry& registry() {
   return *r;
 }
 
-/// Did the backend come back with an iterate too poor for certificate
-/// extraction? Mirrors the acceptance bar of SosProgram::solve: certified
-/// infeasibility is a *classification* (no retry), Optimal is fine, and a
-/// best-effort iterate is usable when its residuals/gap are near tolerance.
-bool delegate_result_unusable(const Solution& sol) {
-  switch (sol.status) {
-    case SolveStatus::Optimal:
-    case SolveStatus::PrimalInfeasible:
-    case SolveStatus::DualInfeasible:
-    case SolveStatus::Interrupted:  // budget/cancel: retrying would also be cut short
-      return false;
-    case SolveStatus::MaxIterations:
-    case SolveStatus::NumericalProblem:
-      return sol.primal_residual > 1e-5 || sol.dual_residual > 1e-4 || sol.gap > 5e-3;
-  }
-  return false;
-}
-
 /// Meta-backend: inspects the problem at solve() time and delegates to the
 /// first- or second-order backend by largest PSD block size. The Schur
 /// assembly of the IPM costs O(m * n^3 + m^2 n^2) per iteration against the
 /// ADMM's single O(n^3) eigendecomposition, so large Gram blocks tip the
 /// balance to the first-order method despite its weaker accuracy.
 ///
-/// Recovery: when the chosen backend classifies the solve as stuck (e.g. the
-/// ADMM's degenerate-drift lock on the maximize_region objective) instead of
-/// returning a usable iterate, "auto" re-solves on the *other* backend,
-/// warm-started from the failed iterate. Size-based routing therefore no
-/// longer needs to route around a backend's pathologies; the certificate
-/// audit remains the soundness gate above all of this.
+/// Recovery is delegated to sdp::resilient_solve under config.resilience:
+/// with the default policy an ADMM drift-lock escalates to a warm-started
+/// IPM exactly as the old hard-coded rescue did, and transient failures
+/// (Diverged/Faulted/NumericalProblem) get a jittered same-backend retry
+/// first. The certificate audit remains the soundness gate above all of
+/// this.
 class AutoSolver : public SolverBackend {
  public:
   explicit AutoSolver(SolverConfig config) : config_(std::move(config)) {}
 
   using SolverBackend::solve;
   Solution solve(const Problem& problem, SolveContext& context) const override {
-    const std::string choice = auto_backend_for(problem, config_);
-    util::log_debug("solver auto: delegating to ", choice);
-    const std::unique_ptr<SolverBackend> delegate = make_solver(choice, config_);
-    Solution sol = delegate->solve(problem, context);
-    // Recovery runs only from a low-accuracy delegate toward the
-    // high-accuracy one: the IPM classifies infeasibility and stalls
-    // authoritatively (an ADMM second opinion is 20k iterations of little
-    // credibility), while an ADMM drift-lock is exactly what a warm-started
-    // IPM polishes off.
-    if (delegate->capabilities().high_accuracy || !delegate_result_unusable(sol) ||
-        context.interrupted()) {
-      return sol;
-    }
-    const std::string other = "ipm";
-    util::log_info("solver auto: ", choice, " returned an unusable iterate (",
-                   to_string(sol.status), ", rp=", sol.primal_residual, ", gap=", sol.gap,
-                   "); retrying on ", other, " warm-started from it");
-    // The rescue solve honors the cold-start A/B switch: with
-    // config.warm_start off every solve — including this retry — runs cold.
-    // The caller's pointer is restored even if the retry throws (rescue dies
-    // with this frame; the caller-owned context must not point into it).
-    WarmStart rescue;
-    if (config_.warm_start) rescue = make_warm_start(sol, 0);
-    const WarmStart* caller_warm = context.warm_start;
-    context.warm_start = rescue.empty() ? caller_warm : &rescue;
-    Solution retry;
-    try {
-      retry = make_solver(other, config_)->solve(problem, context);
-    } catch (...) {
-      context.warm_start = caller_warm;
-      throw;
-    }
-    context.warm_start = caller_warm;
-    // Account for the full cost of the recovery in the telemetry. When both
-    // backends came back unusable, hand over the better-quality iterate.
-    retry.iterations += sol.iterations;
-    retry.solve_seconds += sol.solve_seconds;
-    if (delegate_result_unusable(retry) &&
-        sol.primal_residual + sol.gap < retry.primal_residual + retry.gap) {
-      sol.iterations = retry.iterations;
-      sol.solve_seconds = retry.solve_seconds;
-      return sol;
-    }
-    return retry;
+    util::log_debug("solver auto: delegating to ", auto_backend_for(problem, config_),
+                    " under the resilience policy");
+    SolverConfig config = config_;
+    config.backend = "auto";  // let resilient_solve resolve per problem
+    return resilient_solve(problem, context, config);
   }
 
   std::string name() const override { return "auto"; }

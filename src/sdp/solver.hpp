@@ -162,6 +162,10 @@ struct SolverConfig {
   IpmOptions ipm;    // backend-specific tuning (shared fields above win)
   AdmmOptions admm;
 
+  /// Retry/fallback policy applied by sdp::resilient_solve (and with it by
+  /// the "auto" meta-backend) when a solve comes back unusable.
+  ResiliencePolicy resilience;
+
   /// Backend options with the shared overrides applied.
   IpmOptions resolved_ipm() const;
   AdmmOptions resolved_admm() const;

@@ -1,5 +1,7 @@
 #include "sdp/structure.hpp"
 
+#include "util/fault.hpp"
+
 namespace soslock::sdp {
 namespace {
 
@@ -94,6 +96,16 @@ std::shared_ptr<const ProblemStructure> StructureCache::get(const Problem& p) co
     }
   }
   auto fresh = std::make_shared<const ProblemStructure>(build_structure(p));
+  // Injected eviction race: the whole cache is flushed in the unlocked gap
+  // between the miss-path build above and the re-check below — the worst
+  // interleaving a concurrent set_capacity(0)/put storm can produce. Callers
+  // hold shared_ptrs, so evicted structures stay alive; the re-insert below
+  // must leave the cache consistent.
+  SOSLOCK_FAULT_HOOK(util::fault_site::kCacheEvict, {
+    const util::MutexLock evict_lock(mutex_);
+    evictions_ += slots_.size();
+    slots_.clear();
+  });
   const util::MutexLock lock(mutex_);
   // Re-check under the lock: batch workers miss simultaneously on first use
   // of a shared shape, and duplicate slots would evict live patterns. The

@@ -286,6 +286,7 @@ void SolveStats::absorb(const SolveResult& result) {
     max_staleness_seen = std::max(max_staleness_seen, result.sdp.max_staleness_seen);
     consensus_rounds += result.sdp.consensus_rounds;
   }
+  recoveries += static_cast<int>(result.sdp.recoveries.size());
 }
 
 void SolveStats::merge(const SolveStats& other) {
@@ -303,6 +304,7 @@ void SolveStats::merge(const SolveStats& other) {
   async_solves += other.async_solves;
   max_staleness_seen = std::max(max_staleness_seen, other.max_staleness_seen);
   consensus_rounds += other.consensus_rounds;
+  recoveries += other.recoveries;
 }
 
 std::string SolveStats::str() const {
@@ -312,8 +314,12 @@ std::string SolveStats::str() const {
                           backend.empty() ? "?" : backend.c_str(), solves, iterations,
                           seconds);
   if (async_solves > 0 && len > 0 && static_cast<std::size_t>(len) < sizeof(buf)) {
+    len += std::snprintf(buf + len, sizeof(buf) - static_cast<std::size_t>(len),
+                         " async=%d(stale<=%d)", async_solves, max_staleness_seen);
+  }
+  if (recoveries > 0 && len > 0 && static_cast<std::size_t>(len) < sizeof(buf)) {
     std::snprintf(buf + len, sizeof(buf) - static_cast<std::size_t>(len),
-                  " async=%d(stale<=%d)", async_solves, max_staleness_seen);
+                  " recoveries=%d", recoveries);
   }
   return buf;
 }

@@ -271,6 +271,10 @@ struct SolveStats {
   int async_solves = 0;
   int max_staleness_seen = 0;
   long consensus_rounds = 0;
+  /// Resilience telemetry: recovery steps (retries, backend fallbacks, async
+  /// sync-fallbacks) the solves behind this step needed. Zero on a healthy
+  /// run; nonzero flags that a verdict survived a solver failure.
+  int recoveries = 0;
 
   void absorb(const SolveResult& result);
   void merge(const SolveStats& other);

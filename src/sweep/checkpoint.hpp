@@ -1,0 +1,50 @@
+#pragma once
+// Sweep checkpoint/resume: run_sweep periodically serializes the completed
+// PointRecords plus each lane's warm-chain blob (keyed by its base-space
+// fingerprint) to a plain-text file, and a later request pointed at that file
+// skips the already-certified points and replays the warm chains — the
+// resumed report is verdict-identical to an uninterrupted run with strictly
+// fewer solves (the kill-and-resume bench gate).
+//
+// The format is a line-oriented text dump ("soslock-sweep-checkpoint v1"),
+// floats at %.17g so a round-trip is bit-exact. Writes go through a .tmp
+// sibling + std::rename, so a crash mid-write leaves the previous checkpoint
+// intact. Loading is fail-soft by construction: a missing, truncated, or
+// mismatched file yields an empty checkpoint and the sweep simply runs cold —
+// a corrupt checkpoint can slow a resume down but never change a verdict.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sdp/solver.hpp"
+#include "sweep/service.hpp"
+
+namespace soslock::sweep {
+
+struct SweepCheckpoint {
+  /// Grid size the records belong to; a resume against a different grid
+  /// discards the checkpoint (indices would alias other points).
+  std::uint64_t grid_points = 0;
+  /// Lane count of the writing sweep; warm chains are only replayed when the
+  /// resuming sweep partitions the grid identically.
+  std::uint64_t lanes = 0;
+  /// Completed (solved, non-skipped) points. Grid coordinates and axis
+  /// values are recomputed from the grid on resume, not stored.
+  std::vector<PointRecord> completed;
+  /// Per-lane warm-chain blob at checkpoint time (possibly empty for a lane
+  /// whose last point was uncertified — the chain break is preserved).
+  std::vector<sdp::WarmStart> lane_chains;
+
+  bool empty() const { return completed.empty(); }
+};
+
+/// Atomically write `checkpoint` to `path` (via path + ".tmp" + rename).
+/// Returns false on I/O failure; the sweep treats that as non-fatal.
+bool save_checkpoint(const std::string& path, const SweepCheckpoint& checkpoint);
+
+/// Parse `path`; any failure (absent file, bad header, truncation) returns an
+/// empty checkpoint so the caller falls back to a cold sweep.
+SweepCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace soslock::sweep

@@ -9,8 +9,10 @@
 #include "sdp/lowering.hpp"
 #include "sos/batch.hpp"
 #include "sos/checker.hpp"
+#include "sweep/checkpoint.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/log.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace soslock::sweep {
@@ -134,12 +136,56 @@ SweepReport run_sweep(const Grid& grid, const CertificationQuery& query,
   std::vector<LaneStats> lane_stats(lanes);
   std::atomic<bool> out_of_budget{false};
 
+  // Checkpoint/resume state. Everything lives under one mutex — the shared
+  // lane chains, the completed bitmap, and the file rewrites; checkpointing
+  // is rare and cheap relative to a solve, and the single lock is what makes
+  // the writer's cross-lane record reads well-ordered under TSan.
+  SweepCheckpoint resume;
+  if (!options.resume_from.empty()) {
+    resume = load_checkpoint(options.resume_from);
+    if (!resume.empty() && resume.grid_points != total) {
+      util::log_info("sweep: checkpoint covers ", resume.grid_points,
+                     " point(s), grid has ", total, "; running cold");
+      resume = SweepCheckpoint{};
+    } else if (resume.lanes != lanes) {
+      // Records stay valid (they are grid-indexed), but the chains belong to
+      // a different partition of the grid and cannot be replayed.
+      resume.lane_chains.assign(lanes, sdp::WarmStart{});
+    }
+  }
+  std::vector<const PointRecord*> resumed_at(total, nullptr);
+  for (const PointRecord& rec : resume.completed) resumed_at[rec.index] = &rec;
+
+  const bool checkpointing = !options.checkpoint_path.empty();
+  const std::size_t ckpt_every = std::max<std::size_t>(1, options.checkpoint_every);
+  util::Mutex ckpt_mutex;
+  std::vector<char> completed(total, 0);
+  std::vector<sdp::WarmStart> lane_chains(resume.lane_chains);
+  lane_chains.resize(lanes);
+  std::size_t completed_since = 0;
+  std::atomic<std::size_t> solved_points{0};
+  for (const PointRecord& rec : resume.completed) completed[rec.index] = 1;
+  auto write_checkpoint_locked = [&] {
+    SweepCheckpoint cp;
+    cp.grid_points = total;
+    cp.lanes = lanes;
+    cp.lane_chains = lane_chains;
+    for (std::size_t i = 0; i < total; ++i) {
+      if (completed[i] != 0) cp.completed.push_back(report.points[i]);
+    }
+    save_checkpoint(options.checkpoint_path, cp);
+  };
+
   auto run_lane = [&](std::size_t lane) {
     const std::size_t row_begin = lane * rows / lanes;
     const std::size_t row_end = (lane + 1) * rows / lanes;
     const std::unique_ptr<sdp::SolverBackend> backend = sdp::make_solver(lane_config);
     sdp::LoweringCache cache;
     sdp::WarmStart chain;  // last certified point's base-space blob
+    {
+      const util::MutexLock lock(ckpt_mutex);
+      chain = lane_chains[lane];  // replay the checkpointed chain, if any
+    }
 
     for (std::size_t rr = row_begin; rr < row_end; ++rr) {
       const bool reverse = ((rr - row_begin) % 2) == 1;  // serpentine
@@ -153,9 +199,33 @@ SweepReport run_sweep(const Grid& grid, const CertificationQuery& query,
         for (std::size_t d = 0; d < grid.dims(); ++d)
           rec.values.push_back(grid.axis_value(d, rec.coords[d]));
 
+        if (const PointRecord* prev = resumed_at[index]; prev != nullptr) {
+          // Restored verbatim from the checkpoint: verdict and per-point
+          // telemetry are those of the original solve; only the grid-derived
+          // coords/values above are recomputed.
+          rec.certified = prev->certified;
+          rec.status = prev->status;
+          rec.iterations = prev->iterations;
+          rec.solve_seconds = prev->solve_seconds;
+          rec.warm_hit = prev->warm_hit;
+          rec.cold_restart = prev->cold_restart;
+          rec.audit_residual = prev->audit_residual;
+          rec.objective = prev->objective;
+          rec.resumed = true;
+          continue;
+        }
+
         const bool cancelled = options.cancel != nullptr &&
                                options.cancel->load(std::memory_order_relaxed);
         if (cancelled || out_of_budget.load(std::memory_order_relaxed)) {
+          rec.skipped = true;
+          lane_stats[lane].interrupted = true;
+          continue;
+        }
+        if (options.max_points > 0 &&
+            solved_points.load(std::memory_order_relaxed) >= options.max_points) {
+          // Deterministic interruption: the kill half of the checkpoint
+          // kill-and-resume gate.
           rec.skipped = true;
           lane_stats[lane].interrupted = true;
           continue;
@@ -223,12 +293,26 @@ SweepReport run_sweep(const Grid& grid, const CertificationQuery& query,
         } else {
           chain = sdp::WarmStart{};
         }
+        solved_points.fetch_add(1, std::memory_order_relaxed);
+        if (checkpointing) {
+          const util::MutexLock lock(ckpt_mutex);
+          lane_chains[lane] = chain;
+          completed[index] = 1;
+          if (++completed_since >= ckpt_every) {
+            completed_since = 0;
+            write_checkpoint_locked();
+          }
+        }
       }
     }
     lane_stats[lane].full_lowerings = cache.full_lowerings();
     lane_stats[lane].updates = cache.updates();
   };
   batch.run_all(lanes, run_lane);
+  if (checkpointing) {
+    const util::MutexLock lock(ckpt_mutex);
+    write_checkpoint_locked();
+  }
 
   for (const LaneStats& stats : lane_stats) {
     report.full_lowerings += stats.full_lowerings;
@@ -247,6 +331,7 @@ SweepReport run_sweep(const Grid& grid, const CertificationQuery& query,
     }
     report.warm_hits += rec.warm_hit ? 1 : 0;
     report.cold_restarts += rec.cold_restart ? 1 : 0;
+    report.resumed_points += rec.resumed ? 1 : 0;
     report.total_iterations += rec.iterations;
   }
   report.seconds = request_timer.seconds();

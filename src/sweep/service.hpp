@@ -54,6 +54,19 @@ struct SweepOptions {
   /// for the request (satellite of the sweep service: long sweeps must not
   /// grow the cache one pattern per shape ever solved).
   std::size_t structure_cache_capacity = 0;
+  /// Non-empty: periodically serialize completed points + lane warm chains
+  /// to this file (atomic tmp+rename), so a killed sweep can resume.
+  std::string checkpoint_path;
+  /// Rewrite the checkpoint after this many newly completed points (>= 1).
+  std::size_t checkpoint_every = 1;
+  /// Non-empty: load this checkpoint and skip its already-completed points,
+  /// replaying the lane warm chains. A missing/corrupt/mismatched file is
+  /// ignored (cold sweep) — resume can never change a verdict.
+  std::string resume_from;
+  /// When > 0, stop after this many solved points and mark the rest skipped
+  /// (deterministic interruption — the kill half of the kill-and-resume
+  /// bench gate). Resumed points do not count against the cap.
+  std::size_t max_points = 0;
 };
 
 /// Per-point result and telemetry, in grid order.
@@ -68,6 +81,7 @@ struct PointRecord {
   double solve_seconds = 0.0;       // wall clock for this point (incl. audit)
   bool warm_hit = false;            // final verdict came from a chained warm solve
   bool cold_restart = false;        // warm attempt flipped verdict; re-solved cold
+  bool resumed = false;             // restored from a checkpoint, not re-solved
   double audit_residual = 0.0;      // worst identity residual of the audit
   double objective = 0.0;
 };
@@ -79,6 +93,7 @@ struct SweepReport {
   std::size_t skipped = 0;
   std::size_t warm_hits = 0;
   std::size_t cold_restarts = 0;
+  std::size_t resumed_points = 0;   // restored from SweepOptions::resume_from
   int total_iterations = 0;
   double seconds = 0.0;             // whole request wall clock
   /// Lowering-cache telemetry summed over lanes: a healthy sweep shows

@@ -15,6 +15,7 @@
 // attributes attached; the CI clang job builds with -Wthread-safety -Werror,
 // so a member access outside its declared lock fails the build instead of
 // surfacing as a TSan race (or worse, a wrong certificate) later.
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -93,6 +94,16 @@ class SOSLOCK_SCOPED_CAPABILITY CondLock {
   /// re-acquired before returning.
   void wait(std::condition_variable_any& cv) SOSLOCK_NO_THREAD_SAFETY_ANALYSIS {
     cv.wait(mutex_);
+  }
+
+  /// wait() with a timeout. Returns false when the wait timed out without a
+  /// notification; either way the mutex is held again and the caller must
+  /// re-check its predicate. The resilience layer uses this to bound waits
+  /// on worker progress that may never arrive (a dead or wedged worker).
+  bool wait_for(std::condition_variable_any& cv,
+                double seconds) SOSLOCK_NO_THREAD_SAFETY_ANALYSIS {
+    return cv.wait_for(mutex_, std::chrono::duration<double>(seconds)) ==
+           std::cv_status::no_timeout;
   }
 
  private:

@@ -16,17 +16,36 @@
 //  * Work is claimed via an atomic counter (dynamic load balancing); the
 //    first task exception is captured and rethrown on the calling thread
 //    after the join.
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "util/thread_annotations.hpp"
 
 namespace soslock::util {
+
+/// Typed error surfaced by ResidentPool::join() when a resident thread died
+/// (exited thread_main) instead of returning from its dispatched body — the
+/// caller gets a classifiable failure, never a hang on a round counter that
+/// will not reach zero. The pool respawns the thread on the next start().
+class WorkerDeath : public std::runtime_error {
+ public:
+  explicit WorkerDeath(std::size_t worker)
+      : std::runtime_error("resident worker " + std::to_string(worker) +
+                           " died without completing its round"),
+        worker_(worker) {}
+  std::size_t worker() const { return worker_; }
+
+ private:
+  std::size_t worker_;
+};
 
 class ThreadPool {
  public:
@@ -92,11 +111,20 @@ class ResidentPool {
   void start(std::function<void(std::size_t)> body);
 
   /// Block until every worker has returned from the current body, then
-  /// rethrow the first worker exception, if any.
+  /// rethrow the first worker exception, if any. A thread that died outright
+  /// still decrements the round counter on its way out, so join() terminates
+  /// and rethrows a typed WorkerDeath instead of waiting forever.
   void join();
+
+  /// Resident threads respawned after a death, over the pool's lifetime.
+  std::size_t respawns() const { return respawns_.load(std::memory_order_relaxed); }
 
  private:
   void thread_main(std::size_t id);
+  /// Account for thread `id` exiting mid-round (fault-injected or a real
+  /// crash-to-exit path): mark it dead, release the round, surface a typed
+  /// WorkerDeath to join().
+  void abandon_round(std::size_t id);
 
   std::size_t count_;
   std::vector<std::thread> threads_;
@@ -107,6 +135,8 @@ class ResidentPool {
   std::size_t running_ SOSLOCK_GUARDED_BY(mutex_) = 0;
   bool shutdown_ SOSLOCK_GUARDED_BY(mutex_) = false;
   std::exception_ptr error_ SOSLOCK_GUARDED_BY(mutex_);
+  std::vector<char> dead_ SOSLOCK_GUARDED_BY(mutex_);
+  std::atomic<std::size_t> respawns_{0};
 };
 
 }  // namespace soslock::util
