@@ -89,6 +89,7 @@ bool verdict_parity(const sdp::Solution& a, const sdp::Solution& b) {
 int main() {
   std::printf("=== Async clique-parallel ADMM vs synchronous loop ===\n");
   const std::size_t worker_threads = bench::thread_banner();
+  bench::cpu_banner();
 
   pll::ClockTreeOptions tree;
   tree.loops = env_size("SOSLOCK_BENCH_LOOPS", 192);  // >= the K = 16 gate scale
@@ -170,7 +171,7 @@ int main() {
 
   bench::write_bench_json(
       "BENCH_PR8.json", "admm_async",
-      {
+      bench::with_kernel_fields({
           {"loops", static_cast<double>(tree.loops)},
           {"cluster", static_cast<double>(tree.cluster)},
           {"rows", static_cast<double>(original.num_rows())},
@@ -191,7 +192,7 @@ int main() {
           {"consensus_rounds", static_cast<double>(ra.solution.consensus_rounds)},
           {"consensus_residual", ra.solution.consensus_residual},
           {"worker_threads", static_cast<double>(worker_threads)},
-      },
+      }),
       /*fresh=*/true);
   std::printf("\nwrote BENCH_PR8.json (admm_async)\n");
   return failures == 0 ? 0 : 1;

@@ -68,6 +68,7 @@ double run_lyapunov(const hybrid::HybridSystem& sys, const core::LyapunovOptions
 int main() {
   std::printf("=== Batched per-mode SOS solves vs sequential baseline ===\n");
   bench::thread_banner();
+  bench::cpu_banner();
   std::printf("\n");
 
   const pll::Params params = pll::Params::paper_third_order();

@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "linalg/kernels.hpp"
 #include "pll/models.hpp"
 #include "pll/params.hpp"
 #include "util/ascii_plot.hpp"
+#include "util/cpu.hpp"
 #include "util/csv.hpp"
 #include "util/thread_pool.hpp"
 
@@ -26,6 +28,33 @@ inline std::size_t thread_banner() {
   std::printf("worker threads: %zu%s\n", hw,
               hw > 1 ? "" : "  (single core: parallel modes cannot win here)");
   return hw;
+}
+
+/// SIMD dispatch banner, the ISA analogue of thread_banner(): which kernel
+/// table this process resolved at startup (detection + SOSLOCK_SIMD
+/// override) versus what the CPU supports. Returns the dispatched ISA so the
+/// gates can record it — a kernel speedup without the ISA that produced it
+/// is not reproducible evidence.
+inline util::SimdIsa cpu_banner() {
+  const util::SimdIsa active = linalg::active_isa();
+  const util::SimdIsa detected = util::detected_isa();
+  std::printf("simd kernels: %s%s (cpu supports %s)\n", util::isa_name(active),
+              active == detected ? "" : "  [SOSLOCK_SIMD override]",
+              util::isa_name(detected));
+  return active;
+}
+
+/// Append the two kernel-configuration fields every gate bench records in
+/// its JSON section: the dispatched ISA as its enum code (0=scalar 1=neon
+/// 2=avx2 3=avx512 — write_bench_json is numbers-only) and whether the run
+/// used the mixed-precision IPM. Wraps the field list so call sites stay
+/// brace-literal: write_bench_json(path, sec, with_kernel_fields({...}), f).
+inline std::vector<std::pair<std::string, double>> with_kernel_fields(
+    std::vector<std::pair<std::string, double>> fields, bool mixed_precision = false) {
+  fields.emplace_back("simd_isa_code",
+                      static_cast<double>(static_cast<int>(linalg::active_isa())));
+  fields.emplace_back("mixed_precision", mixed_precision ? 1.0 : 0.0);
+  return fields;
 }
 
 /// Boundary of {p <= level} intersected with the (i, j) coordinate plane

@@ -31,6 +31,7 @@ using namespace soslock;
 
 int main() {
   const std::size_t worker_threads = bench::thread_banner();
+  bench::cpu_banner();
   const pll::Params base = pll::Params::paper_third_order();
   const sweep::Grid grid(base, {
       {sweep::Axis::Ip, 5, 300e-6, 700e-6, 5e-6},
@@ -118,7 +119,7 @@ int main() {
 
   bench::write_bench_json(
       "BENCH_PR6.json", "sweep_throughput",
-      {
+      bench::with_kernel_fields({
           {"points", static_cast<double>(points)},
           {"certified", static_cast<double>(warm.certified)},
           {"certificates_per_second", warm.certificates_per_second()},
@@ -131,11 +132,11 @@ int main() {
           {"warm_seconds", warm.seconds},
           {"cold_seconds", cold.seconds},
           {"worker_threads", static_cast<double>(worker_threads)},
-      },
+      }),
       /*fresh=*/true);
   bench::write_bench_json(
       "BENCH_PR6.json", "sweep_resume",
-      {
+      bench::with_kernel_fields({
           {"kill_after", static_cast<double>(kKillAfter)},
           {"killed_skipped", static_cast<double>(killed.skipped)},
           {"resumed_points", static_cast<double>(resumed.resumed_points)},
@@ -143,7 +144,7 @@ int main() {
           {"resumed_certified", static_cast<double>(resumed.certified)},
           {"resumed_total_iterations", static_cast<double>(resumed.total_iterations)},
           {"verdicts_identical", verdicts_identical ? 1.0 : 0.0},
-      },
+      }),
       /*fresh=*/false);
   std::remove(ckpt);
   std::printf("wrote BENCH_PR6.json (sweep_throughput, sweep_resume)\n");

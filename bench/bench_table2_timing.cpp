@@ -293,6 +293,7 @@ NativeSeamBench bench_clock_tree_native_vs_seam() {
 
 int main() {
   const std::size_t worker_threads = bench::thread_banner();
+  bench::cpu_banner();
   const bool paper_degrees = bench::env_flag("SOSLOCK_PAPER_DEGREES");
   std::printf("=== Table 2: computation time of the inevitability verification ===\n");
   std::printf("(certificate degrees: %s; set SOSLOCK_PAPER_DEGREES=1 for the paper's)\n\n",
@@ -425,6 +426,7 @@ int main() {
               ns.wall_native, ns.wall_seam, ns.verdict_parity ? "yes" : "NO");
 
   bench::write_bench_json("BENCH_PR5.json", "native_cones",
+                          bench::with_kernel_fields(
                           {{"rows_original", static_cast<double>(ns.rows_original)},
                            {"overlap_couplings", static_cast<double>(ns.overlaps)},
                            {"schur_rows_native", static_cast<double>(ns.schur_rows_native)},
@@ -433,11 +435,12 @@ int main() {
                            {"iters_seam", static_cast<double>(ns.iters_seam)},
                            {"wall_native_seconds", ns.wall_native},
                            {"wall_seam_seconds", ns.wall_seam},
-                           {"worker_threads", static_cast<double>(worker_threads)}},
+                           {"worker_threads", static_cast<double>(worker_threads)}}),
                           /*fresh=*/true);
   std::printf("wrote BENCH_PR5.json (native_cones)\n");
 
   bench::write_bench_json("BENCH_PR4.json", "table2",
+                          bench::with_kernel_fields(
                           {{"schur_per_iter_fast", schur.fast_per_iter},
                            {"schur_per_iter_reference", schur.ref_per_iter},
                            {"schur_speedup_pump_vertex", schur.speedup},
@@ -445,7 +448,7 @@ int main() {
                            {"wall_cold_seconds", cold.seconds},
                            {"wall_warm_seconds", warm.seconds},
                            {"wall_clique_seconds", clique_loops.seconds},
-                           {"worker_threads", static_cast<double>(worker_threads)}},
+                           {"worker_threads", static_cast<double>(worker_threads)}}),
                           /*fresh=*/false);
   std::printf("wrote BENCH_PR4.json (table2)\n");
 

@@ -1,7 +1,9 @@
 #include "linalg/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels.hpp"
 #include "util/log.hpp"
 
 namespace soslock::linalg {
@@ -20,6 +22,7 @@ constexpr std::size_t kPanel = 48;
 /// strictly-upper part is zeroed on success.
 bool try_factor(const Matrix& a, double shift, Matrix& l) {
   const std::size_t n = a.rows();
+  const Kernels& kern = active_kernels();
   l = a;
   if (shift != 0.0) {
     for (std::size_t i = 0; i < n; ++i) l(i, i) += shift;
@@ -27,45 +30,15 @@ bool try_factor(const Matrix& a, double shift, Matrix& l) {
   for (std::size_t k0 = 0; k0 < n; k0 += kPanel) {
     const std::size_t kb = std::min(kPanel, n - k0);
     const std::size_t t0 = k0 + kb;  // first trailing row
-    // 1. Unblocked factor of the diagonal block (columns < k0 were already
-    //    folded in by the trailing updates of previous rounds).
-    for (std::size_t j = k0; j < t0; ++j) {
-      const double* lj = l.row_ptr(j);
-      double d = lj[j];
-      for (std::size_t k = k0; k < j; ++k) d -= lj[k] * lj[k];
-      if (!(d > 0.0) || !std::isfinite(d)) return false;
-      const double ljj = std::sqrt(d);
-      l(j, j) = ljj;
-      const double inv = 1.0 / ljj;
-      for (std::size_t i = j + 1; i < t0; ++i) {
-        double* li = l.row_ptr(i);
-        double s = li[j];
-        for (std::size_t k = k0; k < j; ++k) s -= li[k] * lj[k];
-        li[j] = s * inv;
-      }
-    }
-    // 2. Panel solve: L21 = A21 * L11^{-T} row by row.
-    for (std::size_t i = t0; i < n; ++i) {
-      double* li = l.row_ptr(i);
-      for (std::size_t j = k0; j < t0; ++j) {
-        const double* lj = l.row_ptr(j);
-        double s = li[j];
-        for (std::size_t k = k0; k < j; ++k) s -= li[k] * lj[k];
-        li[j] = s / lj[j];
-      }
-    }
+    // 1+2. Factor the kb x kb diagonal block and solve the panel below it
+    //    (L21 = A21 * L11^{-T}) in one kernel call — columns < k0 were
+    //    already folded in by the trailing updates of previous rounds, so
+    //    the whole column panel is self-contained from column k0 on.
+    if (!kern.chol_factor_panel(kb, n - t0, l.row_ptr(k0) + k0, l.cols())) return false;
     // 3. Trailing syrk update A22 -= L21 * L21^T, lower triangle only.
-    //    Row pairs are contiguous length-kb segments starting at column k0.
-    for (std::size_t i = t0; i < n; ++i) {
-      const double* pi = l.row_ptr(i) + k0;
-      double* li = l.row_ptr(i);
-      for (std::size_t j = t0; j <= i; ++j) {
-        const double* pj = l.row_ptr(j) + k0;
-        double s = 0.0;
-        for (std::size_t k = 0; k < kb; ++k) s += pi[k] * pj[k];
-        li[j] -= s;
-      }
-    }
+    //    Vector tables may scribble on the dead strictly-upper cells of the
+    //    trailing block; the zeroing pass below reclaims them.
+    kern.chol_trailing_update(n - t0, kb, l.row_ptr(t0) + k0, l.cols());
   }
   for (std::size_t r = 0; r < n; ++r) {
     double* lr = l.row_ptr(r);
@@ -118,25 +91,16 @@ Cholesky Cholesky::factor_shifted(const Matrix& a, double initial_rel_shift) {
 Vector Cholesky::solve_lower(const Vector& b) const {
   const std::size_t n = l_.rows();
   assert(b.size() == n);
-  Vector y(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    double s = b[i];
-    const double* li = l_.row_ptr(i);
-    for (std::size_t k = 0; k < i; ++k) s -= li[k] * y[k];
-    y[i] = s / li[i];
-  }
+  Vector y = b;
+  active_kernels().trsv_lower(n, l_.data(), l_.cols(), y.data());
   return y;
 }
 
 Vector Cholesky::solve_lower_transposed(const Vector& y) const {
   const std::size_t n = l_.rows();
   assert(y.size() == n);
-  Vector x(n);
-  for (std::size_t ii = n; ii-- > 0;) {
-    double s = y[ii];
-    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
-    x[ii] = s / l_(ii, ii);
-  }
+  Vector x = y;
+  active_kernels().trsv_lower_t(n, l_.data(), l_.cols(), x.data());
   return x;
 }
 
@@ -200,6 +164,77 @@ bool is_positive_definite(const Matrix& a, double tol) {
   Matrix l;
   const double shift = tol * diag_scale(a);
   return try_factor(a, shift, l);
+}
+
+bool Cholesky32::factor(const Matrix& a, double shift) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  const Kernels& kern = active_kernels();
+  n_ = n;
+  l_.assign(n * n, 0.0f);
+  // Downconvert once; magnitudes past FP32 range poison the factor, so any
+  // non-finite converted entry fails the factorization up front.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ar = a.row_ptr(i);
+    float* lr = l_.data() + i * n;
+    for (std::size_t j = 0; j <= i; ++j) lr[j] = static_cast<float>(ar[j]);
+    lr[i] = static_cast<float>(ar[i] + shift);
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (!std::isfinite(lr[j])) return false;
+    }
+  }
+  // Same blocked right-looking shape as the FP64 try_factor, on the FP32
+  // kernel set (twice the lanes per register).
+  for (std::size_t k0 = 0; k0 < n; k0 += kPanel) {
+    const std::size_t kb = std::min(kPanel, n - k0);
+    const std::size_t t0 = k0 + kb;
+    for (std::size_t j = k0; j < t0; ++j) {
+      float* lj = l_.data() + j * n;
+      const float d = kern.dot_sub_f32(lj[j], lj + k0, lj + k0, j - k0);
+      if (!(d > 0.0f) || !std::isfinite(d)) return false;
+      const float ljj = std::sqrt(d);
+      lj[j] = ljj;
+      const float inv = 1.0f / ljj;
+      for (std::size_t i = j + 1; i < t0; ++i) {
+        float* li = l_.data() + i * n;
+        li[j] = kern.dot_sub_f32(li[j], li + k0, lj + k0, j - k0) * inv;
+      }
+    }
+    for (std::size_t i = t0; i < n; ++i) {
+      float* li = l_.data() + i * n;
+      for (std::size_t j = k0; j < t0; ++j) {
+        const float* lj = l_.data() + j * n;
+        li[j] = kern.dot_sub_f32(li[j], li + k0, lj + k0, j - k0) / lj[j];
+      }
+    }
+    for (std::size_t i = t0; i < n; ++i) {
+      float* li = l_.data() + i * n;
+      for (std::size_t j = t0; j <= i; ++j) {
+        li[j] -= kern.dot_f32(li + k0, l_.data() + j * n + k0, kb);
+      }
+    }
+  }
+  return true;
+}
+
+Vector Cholesky32::solve(const Vector& b) const {
+  assert(b.size() == n_);
+  const Kernels& kern = active_kernels();
+  std::vector<float, AlignedAlloc<float>> y(n_);
+  for (std::size_t i = 0; i < n_; ++i) y[i] = static_cast<float>(b[i]);
+  // Forward then back substitution, both FP32.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const float* li = l_.data() + i * n_;
+    y[i] = kern.dot_sub_f32(y[i], li, y.data(), i) / li[i];
+  }
+  for (std::size_t ii = n_; ii-- > 0;) {
+    float s = y[ii];
+    for (std::size_t k = ii + 1; k < n_; ++k) s -= l_[k * n_ + ii] * y[k];
+    y[ii] = s / l_[ii * n_ + ii];
+  }
+  Vector x(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[i] = static_cast<double>(y[i]);
+  return x;
 }
 
 }  // namespace soslock::linalg

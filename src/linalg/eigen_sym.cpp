@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "linalg/kernels.hpp"
+
 namespace soslock::linalg {
 namespace {
 
@@ -33,10 +35,14 @@ void tridiagonalize(Matrix& z, Vector& d, Vector& e, bool want_vectors) {
         h -= f * g;
         z(i, l) = f - g;
         f = 0.0;
+        const Kernels& kern = active_kernels();
+        const double* zi = z.row_ptr(static_cast<std::size_t>(i));
         for (int j = 0; j <= l; ++j) {
           if (want_vectors) z(j, i) = z(i, j) / h;
-          g = 0.0;
-          for (int k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
+          // Row j is contiguous up to its diagonal; the strided tail walks
+          // column j below it.
+          g = kern.dot(z.row_ptr(static_cast<std::size_t>(j)), zi,
+                       static_cast<std::size_t>(j) + 1);
           for (int k = j + 1; k <= l; ++k) g += z(k, j) * z(i, k);
           e[j] = g / h;
           f += e[j] * z(i, j);
@@ -45,7 +51,8 @@ void tridiagonalize(Matrix& z, Vector& d, Vector& e, bool want_vectors) {
         for (int j = 0; j <= l; ++j) {
           f = z(i, j);
           e[j] = g = e[j] - hh * f;
-          for (int k = 0; k <= j; ++k) z(j, k) -= f * e[k] + g * z(i, k);
+          kern.sub_scaled2(f, e.data(), g, zi, z.row_ptr(static_cast<std::size_t>(j)),
+                           static_cast<std::size_t>(j) + 1);
         }
       }
     } else {

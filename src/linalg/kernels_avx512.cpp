@@ -1,0 +1,72 @@
+// AVX-512 kernel table (F + VL + DQ): 512-bit FMA lanes. This TU is the only
+// place compiled with the -mavx512* flags (set per-source in CMake); it
+// self-gates on the macros so flagless builds still link and dispatch walks
+// down to AVX2 or scalar.
+#include "linalg/kernels.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512VL__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+#include "linalg/kernels_simd.hpp"
+
+namespace soslock::linalg {
+namespace {
+
+struct VecAvx512D {
+  static constexpr std::size_t W = 8;
+  using elem = double;
+  using vec = __m512d;
+  static vec zero() { return _mm512_setzero_pd(); }
+  static vec set1(double x) { return _mm512_set1_pd(x); }
+  static vec loadu(const double* p) { return _mm512_loadu_pd(p); }
+  static void storeu(double* p, vec v) { _mm512_storeu_pd(p, v); }
+  static vec add(vec a, vec b) { return _mm512_add_pd(a, b); }
+  static vec mul(vec a, vec b) { return _mm512_mul_pd(a, b); }
+  static vec fmadd(vec a, vec b, vec c) { return _mm512_fmadd_pd(a, b, c); }
+  static vec fnmadd(vec a, vec b, vec c) { return _mm512_fnmadd_pd(a, b, c); }
+  static double reduce_add(vec v) {
+    double t[8];
+    _mm512_storeu_pd(t, v);
+    return ((t[0] + t[1]) + (t[2] + t[3])) + ((t[4] + t[5]) + (t[6] + t[7]));
+  }
+};
+
+struct VecAvx512S {
+  static constexpr std::size_t W = 16;
+  using elem = float;
+  using vec = __m512;
+  static vec zero() { return _mm512_setzero_ps(); }
+  static vec set1(float x) { return _mm512_set1_ps(x); }
+  static vec loadu(const float* p) { return _mm512_loadu_ps(p); }
+  static void storeu(float* p, vec v) { _mm512_storeu_ps(p, v); }
+  static vec add(vec a, vec b) { return _mm512_add_ps(a, b); }
+  static vec mul(vec a, vec b) { return _mm512_mul_ps(a, b); }
+  static vec fmadd(vec a, vec b, vec c) { return _mm512_fmadd_ps(a, b, c); }
+  static vec fnmadd(vec a, vec b, vec c) { return _mm512_fnmadd_ps(a, b, c); }
+  static float reduce_add(vec v) {
+    float t[16];
+    _mm512_storeu_ps(t, v);
+    float s = 0.0f;
+    for (int i = 0; i < 16; i += 4) s += ((t[i] + t[i + 1]) + (t[i + 2] + t[i + 3]));
+    return s;
+  }
+};
+
+}  // namespace
+
+const Kernels* kernels_avx512() {
+  static const Kernels k =
+      simd_detail::make_table<VecAvx512D, VecAvx512S>(util::SimdIsa::Avx512);
+  return &k;
+}
+
+}  // namespace soslock::linalg
+
+#else
+
+namespace soslock::linalg {
+const Kernels* kernels_avx512() { return nullptr; }
+}  // namespace soslock::linalg
+
+#endif

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "linalg/kernels.hpp"
+
 namespace soslock::linalg {
 
 Matrix Matrix::identity(std::size_t n) {
@@ -65,7 +67,7 @@ Matrix& Matrix::operator-=(const Matrix& other) {
 
 void Matrix::axpy(double s, const Matrix& b) {
   assert(rows_ == b.rows_ && cols_ == b.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * b.data_[i];
+  active_kernels().axpy(s, b.data_.data(), data_.data(), data_.size());
 }
 
 std::string Matrix::str(int precision) const {
@@ -99,71 +101,16 @@ Matrix operator*(double s, Matrix a) {
 
 namespace {
 
-// Register-tiled GEMM micro-kernel: C += A * B, row-major, no aliasing.
-// Tiles of kMr x kNr elements of C are held in local accumulators across the
-// whole k loop, so each C element is written once and the inner loop is a
-// contiguous kNr-wide fused multiply-add on one row of B — the compiler
-// vectorizes it without needing to prove anything about aliasing. Edge rows
-// and columns fall through to narrower variants of the same loop. All dense
-// products (operator*, transposed_times, times_transposed) ride on this one
-// kernel; the transposed variants pay an O(n^2) explicit transpose to get
-// the O(n^3) work onto the contiguous fast path.
-constexpr std::size_t kMr = 4;  // C tile rows
-constexpr std::size_t kNr = 8;  // C tile cols
-
+// Register-tiled GEMM: C += A * B, row-major, no aliasing. The micro-kernel
+// itself lives behind the ISA dispatch seam (linalg/kernels) — scalar builds
+// get the historical tiled loop bit for bit, vector builds get the FMA-lane
+// version of the same per-element accumulation order. All dense products
+// (operator*, transposed_times, times_transposed) ride on this one kernel;
+// the transposed variants pay an O(n^2) explicit transpose to get the O(n^3)
+// work onto the contiguous fast path.
 void gemm_acc(const Matrix& a, const Matrix& b, Matrix& c) {
-  const std::size_t m = a.rows(), kk = a.cols(), n = b.cols();
-  std::size_t j0 = 0;
-  for (; j0 + kNr <= n; j0 += kNr) {
-    std::size_t i0 = 0;
-    for (; i0 + kMr <= m; i0 += kMr) {
-      double acc[kMr][kNr] = {};
-      const double* a0 = a.row_ptr(i0);
-      const double* a1 = a.row_ptr(i0 + 1);
-      const double* a2 = a.row_ptr(i0 + 2);
-      const double* a3 = a.row_ptr(i0 + 3);
-      for (std::size_t k = 0; k < kk; ++k) {
-        const double* bk = b.row_ptr(k) + j0;
-        const double f0 = a0[k], f1 = a1[k], f2 = a2[k], f3 = a3[k];
-        for (std::size_t jj = 0; jj < kNr; ++jj) {
-          const double bj = bk[jj];
-          acc[0][jj] += f0 * bj;
-          acc[1][jj] += f1 * bj;
-          acc[2][jj] += f2 * bj;
-          acc[3][jj] += f3 * bj;
-        }
-      }
-      for (std::size_t r = 0; r < kMr; ++r) {
-        double* cr = c.row_ptr(i0 + r) + j0;
-        for (std::size_t jj = 0; jj < kNr; ++jj) cr[jj] += acc[r][jj];
-      }
-    }
-    for (; i0 < m; ++i0) {  // remainder rows, full-width tile
-      double acc[kNr] = {};
-      const double* ai = a.row_ptr(i0);
-      for (std::size_t k = 0; k < kk; ++k) {
-        const double* bk = b.row_ptr(k) + j0;
-        const double f = ai[k];
-        for (std::size_t jj = 0; jj < kNr; ++jj) acc[jj] += f * bk[jj];
-      }
-      double* cr = c.row_ptr(i0) + j0;
-      for (std::size_t jj = 0; jj < kNr; ++jj) cr[jj] += acc[jj];
-    }
-  }
-  if (j0 < n) {  // remainder columns (< kNr wide)
-    const std::size_t nr = n - j0;
-    for (std::size_t i = 0; i < m; ++i) {
-      double acc[kNr] = {};
-      const double* ai = a.row_ptr(i);
-      for (std::size_t k = 0; k < kk; ++k) {
-        const double* bk = b.row_ptr(k) + j0;
-        const double f = ai[k];
-        for (std::size_t jj = 0; jj < nr; ++jj) acc[jj] += f * bk[jj];
-      }
-      double* cr = c.row_ptr(i) + j0;
-      for (std::size_t jj = 0; jj < nr; ++jj) cr[jj] += acc[jj];
-    }
-  }
+  active_kernels().gemm_acc(a.rows(), b.cols(), a.cols(), a.data(), a.cols(), b.data(),
+                            b.cols(), c.data(), c.cols());
 }
 
 }  // namespace
@@ -177,24 +124,20 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
 
 Vector operator*(const Matrix& a, const Vector& x) {
   assert(a.cols() == x.size());
+  const Kernels& kern = active_kernels();
   Vector y(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* row = a.row_ptr(i);
-    double acc = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
-    y[i] = acc;
-  }
+  for (std::size_t i = 0; i < a.rows(); ++i) y[i] = kern.dot(a.row_ptr(i), x.data(), a.cols());
   return y;
 }
 
 Vector transposed_times(const Matrix& a, const Vector& x) {
   assert(a.rows() == x.size());
+  const Kernels& kern = active_kernels();
   Vector y(a.cols(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double xi = x[i];
     if (xi == 0.0) continue;
-    const double* row = a.row_ptr(i);
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
+    kern.axpy(xi, a.row_ptr(i), y.data(), a.cols());
   }
   return y;
 }
@@ -218,17 +161,9 @@ Matrix times_transposed(const Matrix& a, const Matrix& b) {
 void subtract_gram(Matrix& c, const Matrix& w) {
   const std::size_t n = c.rows();
   assert(c.cols() == n && w.cols() == n);
-  // Rank-1 accumulation over the rows of W, upper triangle only; W's rows
-  // are contiguous, so both factor reads stream.
-  for (std::size_t a = 0; a < w.rows(); ++a) {
-    const double* wr = w.row_ptr(a);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double f = wr[i];
-      if (f == 0.0) continue;
-      double* ci = c.row_ptr(i);
-      for (std::size_t j = i; j < n; ++j) ci[j] -= f * wr[j];
-    }
-  }
+  // Rank-1 accumulation over the rows of W, upper triangle only (the syrk
+  // micro-kernel); the mirror pass completes the symmetric result.
+  active_kernels().syrk_sub_upper(n, w.rows(), w.data(), w.cols(), c.data(), c.cols());
   for (std::size_t i = 0; i < n; ++i) {
     const double* ci = c.row_ptr(i);
     for (std::size_t j = i + 1; j < n; ++j) c(j, i) = ci[j];
@@ -237,18 +172,12 @@ void subtract_gram(Matrix& c, const Matrix& w) {
 
 double dot(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows() && a.cols() == b.cols());
-  const double* pa = a.data();
-  const double* pb = b.data();
-  double acc = 0.0;
-  for (std::size_t i = 0, n = a.rows() * a.cols(); i < n; ++i) acc += pa[i] * pb[i];
-  return acc;
+  return active_kernels().dot(a.data(), b.data(), a.rows() * a.cols());
 }
 
 double dot(const Vector& a, const Vector& b) {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return active_kernels().dot(a.data(), b.data(), a.size());
 }
 
 double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
@@ -287,7 +216,7 @@ Vector operator*(double s, Vector a) {
 
 void axpy(double s, const Vector& x, Vector& y) {
   assert(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += s * x[i];
+  active_kernels().axpy(s, x.data(), y.data(), x.size());
 }
 
 double max_abs_diff(const Vector& a, const Vector& b) {

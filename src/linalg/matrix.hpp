@@ -5,6 +5,8 @@
 // so a straightforward dense implementation is appropriate.
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -12,11 +14,47 @@ namespace soslock::linalg {
 
 using Vector = std::vector<double>;
 
+/// Minimal 64-byte-aligned allocator for matrix storage: one cache line and
+/// the widest vector register (AVX-512) share that bound, so the SIMD
+/// kernels' loads never split cache lines and aligned stores are legal on
+/// row 0 regardless of what the default allocator felt like returning.
+template <class T>
+struct AlignedAlloc {
+  using value_type = T;
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedAlloc() = default;
+  template <class U>
+  AlignedAlloc(const AlignedAlloc<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t(kAlignment)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(kAlignment));
+  }
+  template <class U>
+  bool operator==(const AlignedAlloc<U>&) const {
+    return true;
+  }
+  template <class U>
+  bool operator!=(const AlignedAlloc<U>&) const {
+    return false;
+  }
+};
+
+/// Contiguous 64-byte-aligned double storage (Matrix backing store; also the
+/// FP32 Cholesky factor uses the float instantiation).
+using AlignedVector = std::vector<double, AlignedAlloc<double>>;
+
 class Matrix {
  public:
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    assert(data_.empty() ||
+           reinterpret_cast<std::uintptr_t>(data_.data()) % AlignedAlloc<double>::kAlignment == 0);
+  }
 
   static Matrix identity(std::size_t n);
   /// Diagonal matrix from vector.
@@ -58,7 +96,7 @@ class Matrix {
 
  private:
   std::size_t rows_ = 0, cols_ = 0;
-  Vector data_;
+  AlignedVector data_;
 };
 
 // --- Matrix/vector algebra -------------------------------------------------

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "linalg/eigen_sym.hpp"
+#include "linalg/kernels.hpp"
 #include "sdp/admm_engine.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
@@ -28,12 +29,14 @@ void admm_split_psd(const Matrix& u, double rho, bool use_jacobi, Matrix& splus_
     const double scale = std::sqrt(-eig.values[c]);
     for (std::size_t r = 0; r < n; ++r) panel(r, c) = eig.vectors(r, c) * scale;
   }
-  Matrix neg = linalg::times_transposed(panel, panel);  // U^-
-  Matrix pos = neg;                                     // U^+ = U + U^-
-  pos += u;
-  neg.scale(rho);
+  const Matrix neg = linalg::times_transposed(panel, panel);  // U^-
+  // Fused recombination: S^+ = U + U^-, X' = rho U^- in one pass over the
+  // eigensplit output (linalg::Kernels::split_recombine).
+  Matrix pos(n, n), xnew(n, n);
+  linalg::active_kernels().split_recombine(neg.data(), u.data(), rho, pos.data(),
+                                           xnew.data(), n * n);
   splus_out = std::move(pos);
-  xnew_out = std::move(neg);
+  xnew_out = std::move(xnew);
 }
 
 AdmmEngine::AdmmEngine(const Problem& p, const AdmmOptions& opt, SolveContext& ctx,

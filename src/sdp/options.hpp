@@ -62,6 +62,20 @@ struct IpmOptions {
   /// solves) instead of the sparse upper-triangle panel assembly. Reference
   /// implementation for parity tests and the bench speedup gates.
   bool reference_schur = false;
+  /// Factor the (reduced) Schur complement in FP32 — twice the SIMD lanes,
+  /// half the factor memory — and recover the FP64 search direction by
+  /// iterative refinement against the FP64 matrix. Soundness is unaffected:
+  /// the direction is refined to FP64 residuals (and the SOS audit
+  /// re-verifies certificates regardless); when refinement stagnates or the
+  /// FP32 factorization breaks down, the iteration falls back to the FP64
+  /// factorization automatically and records the event on
+  /// Solution::mixed / Solution::recoveries. The resilience layer disables
+  /// this mode on jittered retries, so a persistent mixed-precision failure
+  /// escalates to a plain FP64 solve.
+  bool mixed_precision = false;
+  /// Refinement-step budget per refined solve before the solve is declared
+  /// stagnant and the iteration falls back to FP64.
+  int max_refinement_steps = 8;
   bool verbose = false;
 };
 

@@ -154,7 +154,7 @@ std::string to_string(SolveStatus status);
 /// Solution::recoveries in the order taken — the audit trail behind "this
 /// certificate survived a worker death".
 struct RecoveryRecord {
-  std::string action;  // "retry" | "fallback" | "sync-fallback"
+  std::string action;  // "retry" | "fallback" | "sync-fallback" | "fp32-fallback"
   std::string from;    // failing backend/driver
   std::string to;      // backend/driver the recovery ran on
   std::string reason;  // typed cause, e.g. "Diverged(phase=primal-residual)"
@@ -195,6 +195,25 @@ struct PhaseTimes {
     convert += other.convert;
     complete += other.complete;
   }
+};
+
+/// Telemetry of the IPM's mixed-precision Schur path
+/// (IpmOptions::mixed_precision): the Schur complement is factored in FP32
+/// and the search direction is recovered by FP64 iterative refinement
+/// against the FP64 matrix. Zero-valued when the mode is off.
+struct MixedPrecisionStats {
+  bool enabled = false;
+  /// Successful FP32 Schur factorizations (at most one per iteration).
+  int fp32_factorizations = 0;
+  /// Iterations where the FP32 path was abandoned for the FP64
+  /// factorization — an FP32 pivot breakdown, an injected fault at the
+  /// fp32-factorization site, or refinement stagnation mid-iteration. Each
+  /// is also a RecoveryRecord{action="fp32-fallback"} on the Solution.
+  int fp64_fallbacks = 0;
+  /// FP64 refinement steps summed over every refined triangular solve.
+  long refinement_steps = 0;
+  /// Largest number of refinement steps any single solve needed.
+  int max_refinement_steps = 0;
 };
 
 struct Solution {
@@ -240,6 +259,9 @@ struct Solution {
   /// outcome ("factor", "primal-residual", "iterate", ...); empty when no
   /// failure was classified.
   std::string faulted_phase;
+  /// Mixed-precision Schur telemetry (IPM only; zero-valued when the mode
+  /// is off or the backend does not support it).
+  MixedPrecisionStats mixed;
   /// Recovery steps the resilience layer took to produce this solution,
   /// in order. Empty for a clean first-attempt solve.
   std::vector<RecoveryRecord> recoveries;

@@ -287,6 +287,13 @@ void SolveStats::absorb(const SolveResult& result) {
     consensus_rounds += result.sdp.consensus_rounds;
   }
   recoveries += static_cast<int>(result.sdp.recoveries.size());
+  if (result.sdp.mixed.enabled) {
+    ++mixed_precision_solves;
+    refinement_steps += result.sdp.mixed.refinement_steps;
+    max_refinement_steps =
+        std::max(max_refinement_steps, result.sdp.mixed.max_refinement_steps);
+    fp32_fallbacks += result.sdp.mixed.fp64_fallbacks;
+  }
 }
 
 void SolveStats::merge(const SolveStats& other) {
@@ -305,6 +312,10 @@ void SolveStats::merge(const SolveStats& other) {
   max_staleness_seen = std::max(max_staleness_seen, other.max_staleness_seen);
   consensus_rounds += other.consensus_rounds;
   recoveries += other.recoveries;
+  mixed_precision_solves += other.mixed_precision_solves;
+  refinement_steps += other.refinement_steps;
+  max_refinement_steps = std::max(max_refinement_steps, other.max_refinement_steps);
+  fp32_fallbacks += other.fp32_fallbacks;
 }
 
 std::string SolveStats::str() const {
@@ -316,6 +327,12 @@ std::string SolveStats::str() const {
   if (async_solves > 0 && len > 0 && static_cast<std::size_t>(len) < sizeof(buf)) {
     len += std::snprintf(buf + len, sizeof(buf) - static_cast<std::size_t>(len),
                          " async=%d(stale<=%d)", async_solves, max_staleness_seen);
+  }
+  if (mixed_precision_solves > 0 && len > 0 &&
+      static_cast<std::size_t>(len) < sizeof(buf)) {
+    len += std::snprintf(buf + len, sizeof(buf) - static_cast<std::size_t>(len),
+                         " fp32=%d(refine<=%d)", mixed_precision_solves,
+                         max_refinement_steps);
   }
   if (recoveries > 0 && len > 0 && static_cast<std::size_t>(len) < sizeof(buf)) {
     std::snprintf(buf + len, sizeof(buf) - static_cast<std::size_t>(len),

@@ -275,6 +275,15 @@ struct SolveStats {
   /// sync-fallbacks) the solves behind this step needed. Zero on a healthy
   /// run; nonzero flags that a verdict survived a solver failure.
   int recoveries = 0;
+  /// Mixed-precision IPM telemetry, aggregated over the solves that ran with
+  /// IpmOptions::mixed_precision (all zero otherwise): how many did, the
+  /// FP64 refinement steps their FP32-factored solves needed in total, the
+  /// worst single solve's step count, and how many solves hit the in-solve
+  /// FP64 fallback.
+  int mixed_precision_solves = 0;
+  long refinement_steps = 0;
+  int max_refinement_steps = 0;
+  int fp32_fallbacks = 0;
 
   void absorb(const SolveResult& result);
   void merge(const SolveStats& other);

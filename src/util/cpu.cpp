@@ -1,0 +1,82 @@
+#include "util/cpu.hpp"
+
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace soslock::util {
+
+const char* isa_name(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::Scalar: return "scalar";
+    case SimdIsa::Neon: return "neon";
+    case SimdIsa::Avx2: return "avx2";
+    case SimdIsa::Avx512: return "avx512";
+  }
+  return "scalar";
+}
+
+bool parse_isa(const std::string& token, SimdIsa& out) {
+  if (token == "scalar") {
+    out = SimdIsa::Scalar;
+  } else if (token == "neon") {
+    out = SimdIsa::Neon;
+  } else if (token == "avx2") {
+    out = SimdIsa::Avx2;
+  } else if (token == "avx512") {
+    out = SimdIsa::Avx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool cpu_supports(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::Scalar:
+      return true;
+    case SimdIsa::Neon:
+#if defined(__aarch64__) || defined(__ARM_NEON)
+      return true;
+#else
+      return false;
+#endif
+    case SimdIsa::Avx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      // The builtins consult cpuid *and* xgetbv, so an OS that does not
+      // save the wide registers correctly reports unsupported.
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case SimdIsa::Avx512:
+#if defined(__x86_64__) || defined(_M_X64)
+      // F + VL + DQ is what the kernels emit (512-bit FMA plus the 256/128
+      // tails and double-precision conversions).
+      return __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512vl") &&
+             __builtin_cpu_supports("avx512dq");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+SimdIsa detected_isa() {
+  for (SimdIsa isa : {SimdIsa::Avx512, SimdIsa::Avx2, SimdIsa::Neon}) {
+    if (cpu_supports(isa)) return isa;
+  }
+  return SimdIsa::Scalar;
+}
+
+bool simd_override(SimdIsa& out) {
+  const char* env = std::getenv("SOSLOCK_SIMD");
+  if (env == nullptr || env[0] == '\0') return false;
+  if (!parse_isa(env, out)) {
+    log_warn("SOSLOCK_SIMD=", env, " not recognized (scalar|avx2|avx512|neon); ignoring");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace soslock::util

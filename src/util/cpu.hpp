@@ -1,0 +1,45 @@
+#pragma once
+// CPU SIMD feature probe behind the linalg kernel dispatch (linalg/kernels).
+// The instruction set is resolved once at startup: the hardware is probed
+// (cpuid-backed builtins on x86-64, architecture macros on ARM) and the
+// SOSLOCK_SIMD environment override — scalar|avx2|avx512|neon — is applied
+// on top, so tests and CI can pin a path without rebuilding. An override
+// naming an ISA the hardware (or the build) cannot run is ignored with a
+// warning rather than crashing on an illegal instruction.
+#include <string>
+
+namespace soslock::util {
+
+/// Instruction sets the kernel layer can dispatch to, weakest first. The
+/// numeric order is meaningful: dispatch walks downward from the strongest
+/// available ISA, and the bench JSON records the enum value as
+/// "simd_isa_code" (0 = scalar, 1 = neon, 2 = avx2, 3 = avx512).
+enum class SimdIsa : int {
+  Scalar = 0,
+  Neon = 1,
+  Avx2 = 2,
+  Avx512 = 3,
+};
+
+/// Display/override-token name: "scalar", "neon", "avx2", "avx512".
+const char* isa_name(SimdIsa isa);
+
+/// Parse an override token (the SOSLOCK_SIMD grammar). Returns true and sets
+/// `out` on a recognized name; false (out untouched) otherwise.
+bool parse_isa(const std::string& token, SimdIsa& out);
+
+/// Does the *hardware this process runs on* support `isa`? (Scalar: always.
+/// x86 features via cpuid-backed compiler builtins, so OS XSAVE support is
+/// included; NEON is baseline on aarch64 and absent elsewhere.)
+bool cpu_supports(SimdIsa isa);
+
+/// Strongest ISA the hardware supports (ignores the env override and what
+/// the build compiled in — the kernel layer intersects those).
+SimdIsa detected_isa();
+
+/// The SOSLOCK_SIMD override, if set to a recognized token; Scalar-or-better
+/// requested ISAs that the hardware cannot run are reported as-is here (the
+/// kernel dispatch clamps and warns). Returns false when unset/unrecognized.
+bool simd_override(SimdIsa& out);
+
+}  // namespace soslock::util

@@ -22,6 +22,7 @@ namespace soslock::util {
 namespace fault_site {
 // Stable site ids. Keep in sync with known_sites() and the README table.
 inline constexpr const char* kIpmFactorization = "sdp.ipm.factorization";
+inline constexpr const char* kIpmFp32Factor = "sdp.ipm.fp32-factorization";
 inline constexpr const char* kIterateNan = "sdp.iterate-nan";
 inline constexpr const char* kPoolWorkerDeath = "util.pool.worker-death";
 inline constexpr const char* kAdmmWorkerExit = "sdp.admm.worker-silent-exit";

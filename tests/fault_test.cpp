@@ -175,13 +175,13 @@ TEST(FaultRegistry, CallbackRunsInsteadOfFiring) {
 TEST(FaultRegistry, KnownSitesCoverTheInjectionTable) {
   const std::vector<std::string> sites = FaultInjector::known_sites();
   for (const char* expected :
-       {site::kIpmFactorization, site::kIterateNan, site::kPoolWorkerDeath,
-        site::kAdmmWorkerExit, site::kAdmmMailboxCorrupt, site::kLoweringPass,
-        site::kCacheEvict}) {
+       {site::kIpmFactorization, site::kIpmFp32Factor, site::kIterateNan,
+        site::kPoolWorkerDeath, site::kAdmmWorkerExit, site::kAdmmMailboxCorrupt,
+        site::kLoweringPass, site::kCacheEvict}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), expected), sites.end())
         << expected;
   }
-  EXPECT_EQ(sites.size(), 7u);
+  EXPECT_EQ(sites.size(), 8u);
 }
 
 TEST_F(FaultScenario, IpmFactorizationFaultIsTypedNotThrown) {

@@ -2,9 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "linalg/cholesky.hpp"
 #include "linalg/eigen_sym.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/qr.hpp"
@@ -447,6 +450,388 @@ TEST(Matrix, GemmKernelEmptyOperands) {
   EXPECT_EQ(cd.rows(), 3u);
   EXPECT_EQ(cd.cols(), 4u);
   EXPECT_NEAR(norm_inf(cd), 0.0, 0.0);
+}
+
+// --- ISA kernel parity suite ------------------------------------------------
+//
+// Every vector table the build compiled in (and this machine can run) is
+// checked against the scalar reference. The elementwise kernels keep the
+// scalar per-element accumulation order and differ only by FMA fusing, so
+// they must match a fused sequential reference EXACTLY (and the scalar table
+// must match the unfused reference exactly). The reduction kernels split
+// sums across lanes, so they are held to ulp-scaled bounds instead.
+
+std::vector<const Kernels*> vector_tables() {
+  std::vector<const Kernels*> out;
+  for (util::SimdIsa isa :
+       {util::SimdIsa::Neon, util::SimdIsa::Avx2, util::SimdIsa::Avx512}) {
+    if (const Kernels* t = kernels_for(isa)) out.push_back(t);
+  }
+  return out;
+}
+
+TEST(KernelParity, MatrixStorageIs64ByteAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 129u}) {
+    const Matrix m(n, n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) % 64, 0u) << "n=" << n;
+  }
+}
+
+TEST(KernelParity, DispatchResolvesAndRoundTrips) {
+  // The active table is one of the compiled-in tables and the scalar table
+  // always resolves; forcing scalar and back is a no-op on availability.
+  ASSERT_NE(kernels_for(util::SimdIsa::Scalar), nullptr);
+  const util::SimdIsa startup = active_isa();
+  const util::SimdIsa prev = set_active_isa(util::SimdIsa::Scalar);
+  EXPECT_EQ(prev, startup);
+  EXPECT_EQ(active_isa(), util::SimdIsa::Scalar);
+  set_active_isa(startup);
+  EXPECT_EQ(active_isa(), startup);
+}
+
+TEST(KernelParity, GemmExactAgainstOrderedReference) {
+  const std::size_t shapes[][3] = {{4, 8, 8},   {4, 16, 16}, {8, 16, 8},  {1, 1, 1},
+                                   {5, 9, 7},   {13, 11, 17}, {33, 7, 29}, {40, 64, 24},
+                                   {17, 31, 19}};
+  int seed = 71;
+  for (const auto& s : shapes) {
+    util::Rng rng(seed++);
+    const std::size_t m = s[0], kk = s[1], n = s[2];
+    const Matrix a = random_matrix(m, kk, rng);
+    const Matrix b = random_matrix(kk, n, rng);
+    // Unfused (scalar) and fused (vector) per-element references: identical
+    // k-order, only the multiply-add contraction differs.
+    Matrix ref_plain(m, n), ref_fma(m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0.0, accf = 0.0;
+        for (std::size_t k = 0; k < kk; ++k) {
+          acc += a(i, k) * b(k, j);
+          accf = std::fma(a(i, k), b(k, j), accf);
+        }
+        ref_plain(i, j) = acc;
+        ref_fma(i, j) = accf;
+      }
+    }
+    Matrix c(m, n);
+    scalar_kernels().gemm_acc(m, n, kk, a.data(), kk, b.data(), n, c.data(), n);
+    for (std::size_t i = 0; i < m * n; ++i)
+      ASSERT_EQ(c.data()[i], ref_plain.data()[i]) << "scalar gemm, elem " << i;
+    for (const Kernels* t : vector_tables()) {
+      Matrix cv(m, n);
+      t->gemm_acc(m, n, kk, a.data(), kk, b.data(), n, cv.data(), n);
+      for (std::size_t i = 0; i < m * n; ++i)
+        ASSERT_EQ(cv.data()[i], ref_fma.data()[i])
+            << util::isa_name(t->isa) << " gemm, elem " << i;
+    }
+  }
+}
+
+TEST(KernelParity, SyrkExactAgainstOrderedReference) {
+  int seed = 83;
+  for (std::size_t n : {1u, 4u, 8u, 9u, 16u, 23u, 48u}) {
+    util::Rng rng(seed++);
+    const std::size_t k = n / 2 + 1;
+    Matrix w = random_matrix(k, n, rng);
+    w(0, n / 2) = 0.0;  // exercise the zero-skip
+    const Matrix c0 = random_spd(n, rng);
+    Matrix ref_plain = c0, ref_fma = c0;
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double f = w(a, i);
+        if (f == 0.0) continue;
+        for (std::size_t j = i; j < n; ++j) {
+          ref_plain(i, j) -= f * w(a, j);
+          ref_fma(i, j) = std::fma(-f, w(a, j), ref_fma(i, j));
+        }
+      }
+    }
+    Matrix c = c0;
+    scalar_kernels().syrk_sub_upper(n, k, w.data(), n, c.data(), n);
+    for (std::size_t i = 0; i < n * n; ++i)
+      ASSERT_EQ(c.data()[i], ref_plain.data()[i]) << "scalar syrk, elem " << i;
+    for (const Kernels* t : vector_tables()) {
+      Matrix cv = c0;
+      t->syrk_sub_upper(n, k, w.data(), n, cv.data(), n);
+      for (std::size_t i = 0; i < n * n; ++i)
+        ASSERT_EQ(cv.data()[i], ref_fma.data()[i])
+            << util::isa_name(t->isa) << " syrk, elem " << i;
+    }
+  }
+}
+
+TEST(KernelParity, ElementwiseKernelsExact) {
+  util::Rng rng(97);
+  for (std::size_t n : {1u, 2u, 4u, 7u, 8u, 15u, 16u, 63u, 200u}) {
+    const Vector x = rng.uniform_vector(n, -2.0, 2.0);
+    const Vector u = rng.uniform_vector(n, -2.0, 2.0);
+    const Vector y0 = rng.uniform_vector(n, -2.0, 2.0);
+    const double f = 0.77, g = -1.3, rho = 2.5;
+
+    Vector ax_plain = y0, ax_fma = y0, s2_plain = y0, s2_fma = y0;
+    Vector sp_ref(n), xn_ref(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ax_plain[i] += f * x[i];
+      ax_fma[i] = std::fma(f, x[i], ax_fma[i]);
+      s2_plain[i] -= f * x[i] + g * u[i];
+      s2_fma[i] = std::fma(-g, u[i], std::fma(-f, x[i], s2_fma[i]));
+      sp_ref[i] = x[i] + u[i];
+      xn_ref[i] = rho * x[i];
+    }
+
+    Vector y = y0;
+    scalar_kernels().axpy(f, x.data(), y.data(), n);
+    EXPECT_EQ(max_abs_diff(y, ax_plain), 0.0) << "scalar axpy n=" << n;
+    y = y0;
+    scalar_kernels().sub_scaled2(f, x.data(), g, u.data(), y.data(), n);
+    EXPECT_EQ(max_abs_diff(y, s2_plain), 0.0) << "scalar sub_scaled2 n=" << n;
+    Vector sp(n), xn(n);
+    scalar_kernels().split_recombine(x.data(), u.data(), rho, sp.data(), xn.data(), n);
+    EXPECT_EQ(max_abs_diff(sp, sp_ref), 0.0);
+    EXPECT_EQ(max_abs_diff(xn, xn_ref), 0.0);
+
+    for (const Kernels* t : vector_tables()) {
+      y = y0;
+      t->axpy(f, x.data(), y.data(), n);
+      EXPECT_EQ(max_abs_diff(y, ax_fma), 0.0) << util::isa_name(t->isa) << " axpy n=" << n;
+      y = y0;
+      t->sub_scaled2(f, x.data(), g, u.data(), y.data(), n);
+      EXPECT_EQ(max_abs_diff(y, s2_fma), 0.0)
+          << util::isa_name(t->isa) << " sub_scaled2 n=" << n;
+      // split_recombine has no fused contraction at all: exact on every ISA.
+      t->split_recombine(x.data(), u.data(), rho, sp.data(), xn.data(), n);
+      EXPECT_EQ(max_abs_diff(sp, sp_ref), 0.0) << util::isa_name(t->isa);
+      EXPECT_EQ(max_abs_diff(xn, xn_ref), 0.0) << util::isa_name(t->isa);
+    }
+  }
+}
+
+TEST(KernelParity, ReductionKernelsUlpBounded) {
+  util::Rng rng(101);
+  for (std::size_t n : {1u, 3u, 8u, 16u, 17u, 48u, 63u, 257u}) {
+    const Vector a = rng.uniform_vector(n, -1.0, 1.0);
+    const Vector b = rng.uniform_vector(n, -1.0, 1.0);
+    const double ds = scalar_kernels().dot(a.data(), b.data(), n);
+    const double dss = scalar_kernels().dot_sub(3.25, a.data(), b.data(), n);
+    const double tol = 1e-13 * static_cast<double>(n + 1);
+    for (const Kernels* t : vector_tables()) {
+      EXPECT_NEAR(t->dot(a.data(), b.data(), n), ds, tol)
+          << util::isa_name(t->isa) << " dot n=" << n;
+      EXPECT_NEAR(t->dot_sub(3.25, a.data(), b.data(), n), dss, tol)
+          << util::isa_name(t->isa) << " dot_sub n=" << n;
+    }
+  }
+}
+
+TEST(KernelParity, CholTrailingUpdateLowerTriangleParity) {
+  // Scalar must reproduce the per-element `dr[j] -= dot(...)` loop bit for
+  // bit; vector tables are ulp-bounded on the LOWER triangle only — cells
+  // above the diagonal of the trailing block are contractually dead and may
+  // be scribbled on.
+  for (std::size_t ntrail : {0u, 1u, 3u, 4u, 17u, 70u}) {
+    for (std::size_t kb : {1u, 7u, 48u}) {
+      util::Rng rng(ntrail * 131 + kb);
+      const std::size_t ld = kb + ntrail + 5;  // non-trivial stride
+      const Vector panel0 = rng.uniform_vector(ntrail * ld, -1.0, 1.0);
+      Vector ref = panel0;
+      for (std::size_t r = 0; r < ntrail; ++r) {
+        const double* pr = ref.data() + r * ld;
+        for (std::size_t j = 0; j <= r; ++j)
+          ref[r * ld + kb + j] -= scalar_kernels().dot(pr, ref.data() + j * ld, kb);
+      }
+      Vector ps = panel0;
+      scalar_kernels().chol_trailing_update(ntrail, kb, ps.data(), ld);
+      EXPECT_EQ(max_abs_diff(ps, ref), 0.0)
+          << "scalar chol_trailing_update ntrail=" << ntrail << " kb=" << kb;
+      const double tol = 1e-13 * static_cast<double>(kb + 1);
+      for (const Kernels* t : vector_tables()) {
+        Vector pv = panel0;
+        t->chol_trailing_update(ntrail, kb, pv.data(), ld);
+        double worst = 0.0;
+        for (std::size_t r = 0; r < ntrail; ++r)
+          for (std::size_t j = 0; j <= r; ++j)
+            worst = std::max(worst, std::fabs(pv[r * ld + kb + j] - ref[r * ld + kb + j]));
+        EXPECT_LT(worst, tol)
+            << util::isa_name(t->isa) << " chol_trailing_update ntrail=" << ntrail
+            << " kb=" << kb;
+      }
+    }
+  }
+}
+
+TEST(KernelParity, CholFactorPanelParity) {
+  // Factor the leading kb x kb block of an SPD matrix and solve the rows
+  // below it. Scalar must match the historical loop nest exactly; vector
+  // tables are held to a scaled bound on every written cell.
+  for (std::size_t kb : {1u, 4u, 5u, 48u}) {
+    for (std::size_t nrows : {0u, 1u, 6u, 33u}) {
+      const std::size_t n = kb + nrows;
+      util::Rng rng(kb * 57 + nrows + 11);
+      const Matrix a = random_spd(n, rng, 2.0);
+      Matrix ref = a;
+      for (std::size_t j = 0; j < kb; ++j) {
+        double* lj = ref.row_ptr(j);
+        const double d = scalar_kernels().dot_sub(lj[j], lj, lj, j);
+        ASSERT_GT(d, 0.0);
+        lj[j] = std::sqrt(d);
+        const double inv = 1.0 / lj[j];
+        for (std::size_t i = j + 1; i < kb; ++i) {
+          double* li = ref.row_ptr(i);
+          li[j] = scalar_kernels().dot_sub(li[j], li, lj, j) * inv;
+        }
+      }
+      for (std::size_t r = kb; r < n; ++r) {
+        double* ri = ref.row_ptr(r);
+        for (std::size_t j = 0; j < kb; ++j) {
+          const double* lj = ref.row_ptr(j);
+          ri[j] = scalar_kernels().dot_sub(ri[j], ri, lj, j) / lj[j];
+        }
+      }
+      Matrix ms = a;
+      ASSERT_TRUE(scalar_kernels().chol_factor_panel(kb, nrows, ms.data(), n));
+      for (std::size_t i = 0; i < n * n; ++i)
+        ASSERT_EQ(ms.data()[i], ref.data()[i])
+            << "scalar chol_factor_panel kb=" << kb << " nrows=" << nrows
+            << " elem " << i;
+      for (const Kernels* t : vector_tables()) {
+        Matrix mv = a;
+        ASSERT_TRUE(t->chol_factor_panel(kb, nrows, mv.data(), n));
+        double worst = 0.0;
+        for (std::size_t r = 0; r < n; ++r)
+          for (std::size_t j = 0; j < std::min(r + 1, kb); ++j)
+            worst = std::max(worst, std::fabs(mv(r, j) - ref(r, j)));
+        EXPECT_LT(worst, 1e-11 * static_cast<double>(kb + 1))
+            << util::isa_name(t->isa) << " chol_factor_panel kb=" << kb
+            << " nrows=" << nrows;
+      }
+    }
+  }
+  // A non-positive pivot is rejected identically by every table.
+  Matrix bad(3, 3);
+  bad(0, 0) = 1.0;
+  bad(1, 1) = -2.0;
+  bad(2, 2) = 1.0;
+  EXPECT_FALSE(scalar_kernels().chol_factor_panel(3, 0, bad.data(), 3));
+  for (const Kernels* t : vector_tables()) {
+    Matrix bv = bad;
+    EXPECT_FALSE(t->chol_factor_panel(3, 0, bv.data(), 3)) << util::isa_name(t->isa);
+  }
+  // Triangular solves: scalar vs vector on a well-conditioned factor.
+  for (std::size_t n : {1u, 5u, 33u, 96u}) {
+    util::Rng rng2(n * 7 + 3);
+    const Matrix a = random_spd(n, rng2, 2.0);
+    const auto chol = Cholesky::factor(a);
+    ASSERT_TRUE(chol.has_value());
+    const Matrix& l = chol->lower();
+    const Vector rhs = rng2.uniform_vector(n, -1.0, 1.0);
+    Vector xs = rhs;
+    scalar_kernels().trsv_lower(n, l.data(), n, xs.data());
+    Vector xst = rhs;
+    scalar_kernels().trsv_lower_t(n, l.data(), n, xst.data());
+    for (const Kernels* t : vector_tables()) {
+      Vector xv = rhs;
+      t->trsv_lower(n, l.data(), n, xv.data());
+      EXPECT_LT(max_abs_diff(xv, xs), 1e-10 * static_cast<double>(n + 1))
+          << util::isa_name(t->isa) << " trsv_lower n=" << n;
+      Vector xvt = rhs;
+      t->trsv_lower_t(n, l.data(), n, xvt.data());
+      EXPECT_LT(max_abs_diff(xvt, xst), 1e-10 * static_cast<double>(n + 1))
+          << util::isa_name(t->isa) << " trsv_lower_t n=" << n;
+    }
+  }
+}
+
+TEST(KernelParity, Fp32KernelsUlpBounded) {
+  util::Rng rng(103);
+  for (std::size_t n : {1u, 7u, 16u, 33u, 128u}) {
+    std::vector<float> a(n), b(n), y0(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+      b[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+      y0[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    const float ds = scalar_kernels().dot_f32(a.data(), b.data(), n);
+    const float dss = scalar_kernels().dot_sub_f32(1.5f, a.data(), b.data(), n);
+    const float tol = 1e-5f * static_cast<float>(n + 1);
+    for (const Kernels* t : vector_tables()) {
+      EXPECT_NEAR(t->dot_f32(a.data(), b.data(), n), ds, tol)
+          << util::isa_name(t->isa) << " dot_f32 n=" << n;
+      EXPECT_NEAR(t->dot_sub_f32(1.5f, a.data(), b.data(), n), dss, tol)
+          << util::isa_name(t->isa) << " dot_sub_f32 n=" << n;
+      std::vector<float> ys = y0, yv = y0;
+      scalar_kernels().axpy_f32(0.6f, a.data(), ys.data(), n);
+      t->axpy_f32(0.6f, a.data(), yv.data(), n);
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(yv[i], ys[i], 1e-6f) << util::isa_name(t->isa) << " axpy_f32";
+    }
+  }
+}
+
+TEST(KernelParity, WholeMatrixOpsAgreeAcrossIsas) {
+  // End-to-end: the routed entry points (GEMM, Cholesky factor+solve, eigen)
+  // agree between the forced-scalar table and the startup table. This is the
+  // same check the SOSLOCK_SIMD=scalar CI job makes machine-wide.
+  const util::SimdIsa startup = active_isa();
+  util::Rng rng(107);
+  const std::size_t n = 64;
+  const Matrix a = random_spd(n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  const Vector rhs = rng.uniform_vector(n, -1.0, 1.0);
+
+  set_active_isa(util::SimdIsa::Scalar);
+  const Matrix prod_s = a * b;
+  const Cholesky chol_s = Cholesky::factor_shifted(a);
+  const Vector x_s = chol_s.solve(rhs);
+  const Vector ev_s = eigen_values_sym(a);
+
+  set_active_isa(startup);
+  const Matrix prod_v = a * b;
+  const Cholesky chol_v = Cholesky::factor_shifted(a);
+  const Vector x_v = chol_v.solve(rhs);
+  const Vector ev_v = eigen_values_sym(a);
+
+  const double scale = norm_inf(a) * static_cast<double>(n);
+  EXPECT_LT(norm_inf(prod_s - prod_v), 1e-12 * scale);
+  EXPECT_LT(norm_inf(chol_s.lower() - chol_v.lower()), 1e-9 * scale);
+  EXPECT_LT(max_abs_diff(x_s, x_v), 1e-8 * scale);
+  EXPECT_LT(max_abs_diff(ev_s, ev_v), 1e-9 * scale);
+}
+
+// --- FP32 Cholesky (mixed-precision building block) -------------------------
+
+TEST(Cholesky32, FactorsAndRefinesToFp64Accuracy) {
+  util::Rng rng(109);
+  for (std::size_t n : {1u, 9u, 48u, 97u}) {
+    const Matrix a = random_spd(n, rng, 1.0);
+    Cholesky32 c32;
+    ASSERT_TRUE(c32.factor(a)) << "n=" << n;
+    const Vector b = rng.uniform_vector(n, -1.0, 1.0);
+    // Raw FP32 solve lands within single-precision distance...
+    Vector x = c32.solve(b);
+    Vector r = b;
+    axpy(-1.0, a * x, r);
+    EXPECT_LT(norm_inf(r), 1e-3 * static_cast<double>(n + 1)) << "n=" << n;
+    // ...and FP64 iterative refinement against the FP64 matrix recovers
+    // double-precision residuals within a few steps.
+    for (int step = 0; step < 5 && norm_inf(r) > 1e-12 * static_cast<double>(n + 1);
+         ++step) {
+      axpy(1.0, c32.solve(r), x);
+      r = b;
+      axpy(-1.0, a * x, r);
+    }
+    EXPECT_LT(norm_inf(r), 1e-10 * static_cast<double>(n + 1)) << "n=" << n;
+  }
+}
+
+TEST(Cholesky32, RejectsIndefinite) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {2.0, 1.0}});
+  Cholesky32 c32;
+  EXPECT_FALSE(c32.factor(a));
+  // FP64-representable but FP32-overflowing input is rejected, not folded
+  // into an Inf-poisoned factor.
+  Matrix big = Matrix::identity(2);
+  big(0, 0) = 1e200;
+  EXPECT_FALSE(c32.factor(big));
 }
 
 }  // namespace

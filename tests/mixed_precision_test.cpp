@@ -1,0 +1,133 @@
+// Tests for the mixed-precision IPM (IpmOptions::mixed_precision): the
+// FP32-factored / FP64-refined Schur solves on the paper's two workload
+// shapes —
+//
+//   * pump-vertex Lyapunov certification (sweep::lyapunov_query through the
+//     full SOS pipeline): verdict parity with the plain FP64 solve, an
+//     independent certificate audit that passes, and populated
+//     MixedPrecisionStats with the refinement-step budget respected;
+//   * clock-tree coupling SDP solved at the backend level: status and
+//     objective parity, FP32 factorizations actually taken;
+//
+// plus the telemetry plumbing: stats default-clean without the mode, the
+// refinement budget surfaced on Solution::mixed, and the SolveStats rollup.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+#include "pll/models.hpp"
+#include "pll/params.hpp"
+#include "sdp/ipm.hpp"
+#include "sdp/lowering.hpp"
+#include "sdp/solver.hpp"
+#include "sos/checker.hpp"
+#include "sos/program.hpp"
+#include "sweep/query.hpp"
+
+namespace soslock {
+namespace {
+
+using sdp::Solution;
+using sdp::SolveStatus;
+
+/// Clustered clock-tree coupling SDP (the admm_async test workload).
+sdp::Problem clock_tree_sdp(std::size_t loops, std::size_t cluster) {
+  pll::ClockTreeOptions tree;
+  tree.loops = loops;
+  tree.neighbor_coupling = 0.05;
+  tree.cluster = cluster;
+  tree.neighbor_hops = cluster > 0 ? cluster - 1 : 1;
+  const pll::ClockTreeModel model =
+      pll::make_clock_tree(pll::Params::paper_third_order(), tree);
+  return pll::clock_tree_coupling_sdp(model.constants, tree);
+}
+
+sdp::IpmOptions mixed_options() {
+  sdp::IpmOptions opt;
+  opt.mixed_precision = true;
+  // The acceptance budget on the paper workloads: a refined solve that needs
+  // more than 5 FP64 correction steps falls back to FP64 instead.
+  opt.max_refinement_steps = 5;
+  return opt;
+}
+
+TEST(MixedPrecision, PumpVertexCertificationMatchesFp64AndPassesAudit) {
+  const sweep::CertificationQuery query = sweep::lyapunov_query();
+  const sos::SosProgram program = query.build(pll::Params::paper_third_order());
+
+  sdp::SolverConfig plain;
+  plain.backend = "ipm";
+  const sos::SolveResult fp64 = program.solve(plain);
+
+  sdp::SolverConfig mixed = plain;
+  mixed.ipm = mixed_options();
+  const sos::SolveResult fp32 = program.solve(mixed);
+
+  // Verdict parity with the plain solve, and the independent audit accepts
+  // the refined certificate — soundness does not rest on the refinement.
+  EXPECT_EQ(fp32.status, fp64.status);
+  EXPECT_EQ(fp32.feasible, fp64.feasible);
+  EXPECT_TRUE(fp32.feasible);
+  EXPECT_TRUE(sos::audit(program, fp32).ok);
+
+  // Telemetry: the mode ran, factored in FP32, and respected the budget.
+  EXPECT_TRUE(fp32.sdp.mixed.enabled);
+  EXPECT_GT(fp32.sdp.mixed.fp32_factorizations, 0);
+  EXPECT_LE(fp32.sdp.mixed.max_refinement_steps, 5);
+  EXPECT_FALSE(fp64.sdp.mixed.enabled);
+  EXPECT_EQ(fp64.sdp.mixed.fp32_factorizations, 0);
+}
+
+TEST(MixedPrecision, ClockTreeSolveMatchesFp64) {
+  const sdp::Problem p = clock_tree_sdp(12, 4);
+
+  sdp::SolveContext c64, c32;
+  const Solution fp64 = sdp::IpmSolver().solve(p, c64);
+  const Solution fp32 = sdp::IpmSolver(mixed_options()).solve(p, c32);
+
+  ASSERT_EQ(fp64.status, SolveStatus::Optimal);
+  EXPECT_EQ(fp32.status, fp64.status);
+  EXPECT_NEAR(fp32.primal_objective, fp64.primal_objective,
+              1e-4 * (1.0 + std::fabs(fp64.primal_objective)));
+  EXPECT_LT(fp32.gap, 1e-6);
+
+  EXPECT_TRUE(fp32.mixed.enabled);
+  EXPECT_GT(fp32.mixed.fp32_factorizations, 0);
+  EXPECT_LE(fp32.mixed.max_refinement_steps, 5);
+  // A fallback is allowed (it is the safety net, not a failure) — but every
+  // fallback must have left a matching record.
+  EXPECT_EQ(static_cast<int>(fp32.recoveries.size()), fp32.mixed.fp64_fallbacks);
+  for (const sdp::RecoveryRecord& rec : fp32.recoveries) {
+    EXPECT_EQ(rec.action, "fp32-fallback");
+    EXPECT_EQ(rec.from, "ipm-fp32-schur");
+    EXPECT_EQ(rec.to, "ipm-fp64-schur");
+  }
+}
+
+TEST(MixedPrecision, StatsRollUpIntoSolveStats) {
+  const sweep::CertificationQuery query = sweep::lyapunov_query();
+  const sos::SosProgram program = query.build(pll::Params::paper_third_order());
+  sdp::SolverConfig mixed;
+  mixed.backend = "ipm";
+  mixed.ipm = mixed_options();
+  const sos::SolveResult result = program.solve(mixed);
+
+  sos::SolveStats stats;
+  stats.absorb(result);
+  EXPECT_EQ(stats.mixed_precision_solves, 1);
+  EXPECT_EQ(stats.max_refinement_steps, result.sdp.mixed.max_refinement_steps);
+  EXPECT_EQ(stats.fp32_fallbacks, result.sdp.mixed.fp64_fallbacks);
+  EXPECT_NE(stats.str().find("fp32=1"), std::string::npos);
+
+  sos::SolveStats plain_stats;
+  sdp::SolverConfig plain;
+  plain.backend = "ipm";
+  plain_stats.absorb(program.solve(plain));
+  EXPECT_EQ(plain_stats.mixed_precision_solves, 0);
+  EXPECT_EQ(plain_stats.str().find("fp32="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soslock

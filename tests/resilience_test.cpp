@@ -204,6 +204,33 @@ TEST(ResiliencePolicy, AutoBackendRoutesThroughTheSamePolicy) {
   EXPECT_EQ(sol.recoveries.back().to, "ipm");
 }
 
+TEST(ResiliencePolicy, InjectedFp32FactorFailureFallsBackInSolve) {
+  if (!kFaultsCompiled) GTEST_SKIP() << "needs fault injection (Debug)";
+  util::FaultInjector::reset();
+  // The FP32 Schur factorization dies on its very first attempt. The
+  // mixed-precision solver must absorb that inside the solve — finish on the
+  // FP64 factor with a recovery record — rather than fail out to the retry
+  // machinery.
+  util::FaultInjector::arm(util::fault_site::kIpmFp32Factor);
+  sdp::SolverConfig config;
+  config.backend = "ipm";
+  config.ipm.mixed_precision = true;
+  sdp::SolveContext context;
+  const Solution sol = sdp::resilient_solve(random_feasible_sdp(7), context, config);
+  EXPECT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_EQ(util::FaultInjector::fired(util::fault_site::kIpmFp32Factor), 1);
+  EXPECT_TRUE(sol.mixed.enabled);
+  EXPECT_GE(sol.mixed.fp64_fallbacks, 1);
+  ASSERT_FALSE(sol.recoveries.empty());
+  EXPECT_EQ(sol.recoveries[0].action, "fp32-fallback");
+  EXPECT_EQ(sol.recoveries[0].from, "ipm-fp32-schur");
+  EXPECT_EQ(sol.recoveries[0].to, "ipm-fp64-schur");
+  // The fallback is sticky for the rest of the solve: the armed site was
+  // traversed exactly once.
+  EXPECT_EQ(util::FaultInjector::traversals(util::fault_site::kIpmFp32Factor), 1);
+  util::FaultInjector::reset();
+}
+
 TEST(Cancellation, MidLoweringPassLeavesCachesConsistent) {
   if (!kFaultsCompiled) GTEST_SKIP() << "needs the fault-callback trigger (Debug)";
   util::FaultInjector::reset();
